@@ -1,0 +1,838 @@
+(* The derived experiment suite (see EXPERIMENTS.md): one experiment per
+   performance-relevant claim of the ODE paper. Each prints a table of
+   measured results plus the engine-work counters that explain them. *)
+
+module Db = Ode.Database
+module Query = Ode.Query
+module Value = Ode_model.Value
+module Parser = Ode_lang.Parser
+module Prng = Ode_util.Prng
+module S = Ode.Odeset
+open Report
+
+let mem_db () = Db.open_in_memory ()
+
+let disk_db prefix =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ode-bench-%s-%d-%f" prefix (Unix.getpid ()) (Unix.gettimeofday ()))
+  in
+  Db.open_ dir
+
+let pred fmt = Printf.ksprintf Parser.expr fmt
+
+(* ------------------------------------------------------------------ E1 *)
+(* §2.4: persistent objects are manipulated "in much the same way as
+   volatile objects" — what does that cost? Volatile OCaml records vs the
+   persistent store (memory and disk backends). *)
+
+type vol_item = { mutable v_qty : int; v_name : string }
+
+let e1 () =
+  section "E1  persistence vs volatile objects (paper §2.4)";
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      (* volatile baseline *)
+      let rng = Prng.create 1 in
+      let arr = Array.make n None in
+      let _, m_vcreate =
+        timed (fun () ->
+            for i = 0 to n - 1 do
+              arr.(i) <- Some { v_qty = Prng.int rng 100; v_name = Printf.sprintf "i%d" i }
+            done)
+      in
+      let _, m_vupdate =
+        timed (fun () ->
+            Array.iter (function Some it -> it.v_qty <- it.v_qty + 1 | None -> ()) arr)
+      in
+      (* persistent, both backends *)
+      let bench db =
+        ignore (Db.define db "class it { name: string; qty: int; };");
+        Db.create_cluster db "it";
+        let rng = Prng.create 1 in
+        let oids = Array.make n None in
+        let _, m_create =
+          timed (fun () ->
+              Db.with_txn db (fun txn ->
+                  for i = 0 to n - 1 do
+                    oids.(i) <-
+                      Some
+                        (Db.pnew txn "it"
+                           [ ("name", Str (Printf.sprintf "i%d" i)); ("qty", Int (Prng.int rng 100)) ])
+                  done))
+        in
+        let _, m_read =
+          timed (fun () ->
+              Db.with_txn db (fun txn ->
+                  Array.iter
+                    (function Some o -> ignore (Db.get_field txn o "qty") | None -> ())
+                    oids))
+        in
+        let _, m_update =
+          timed (fun () ->
+              Db.with_txn db (fun txn ->
+                  Array.iter
+                    (function
+                      | Some o ->
+                          let q = match Db.get_field txn o "qty" with Value.Int q -> q | _ -> 0 in
+                          Db.set_field txn o "qty" (Value.Int (q + 1))
+                      | None -> ())
+                    oids))
+        in
+        Db.close db;
+        (m_create, m_read, m_update)
+      in
+      let mc_m, mr_m, mu_m = bench (mem_db ()) in
+      let mc_d, mr_d, mu_d = bench (disk_db "e1") in
+      rows :=
+        [
+          [ Printf.sprintf "%d volatile" n; fops (ops_per_sec m_vcreate n); "-"; fops (ops_per_sec m_vupdate n) ];
+          [ Printf.sprintf "%d persistent/mem" n; fops (ops_per_sec mc_m n); fops (ops_per_sec mr_m n); fops (ops_per_sec mu_m n) ];
+          [ Printf.sprintf "%d persistent/disk" n; fops (ops_per_sec mc_d n); fops (ops_per_sec mr_d n); fops (ops_per_sec mu_d n) ];
+        ]
+        @ !rows)
+    [ 1_000; 10_000 ];
+  table ~title:"E1: object create/read/update throughput"
+    ~header:[ "workload"; "create"; "read"; "update" ]
+    (List.rev !rows);
+  note "volatile objects are orders of magnitude faster, as expected; the point";
+  note "is that persistent code is *shape-identical* and survives restarts."
+
+(* ------------------------------------------------------------------ E2 *)
+(* §3: iteration as "an alternative to using object ids to navigate". *)
+
+let e2 () =
+  section "E2  pointer navigation vs cluster iteration (paper §3, CODASYL criticism)";
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let db = mem_db () in
+      Workload.define_inventory db;
+      let suppliers = 20 in
+      let _, sups = Workload.load_inventory db ~items:n ~suppliers;
+      in
+      let target_sid = 7 in
+      let target = sups.(target_sid) in
+      (* (a) navigation: chase the supplier's set of refs *)
+      let count_nav = ref 0 in
+      let _, m_nav =
+        timed (fun () ->
+            Db.with_txn db (fun txn ->
+                match Db.get_field txn target "items" with
+                | Value.VSet refs ->
+                    List.iter
+                      (fun v ->
+                        match v with
+                        | Value.Ref o ->
+                            if Db.get_field txn o "qty" <> Value.Null then incr count_nav
+                        | _ -> ())
+                      refs
+                | _ -> ()))
+      in
+      (* (b) cluster scan with suchthat *)
+      let count_scan = ref 0 in
+      let _, m_scan =
+        timed (fun () ->
+            Db.with_txn db (fun txn ->
+                Query.run db ~txn ~var:"x" ~cls:"stockitem"
+                  ~suchthat:(pred "x.supid == %d" target_sid) (fun _ -> incr count_scan)))
+      in
+      (* (c) index probe *)
+      (try Db.create_index db ~cls:"stockitem" ~field:"supid" with _ -> ());
+      let count_idx = ref 0 in
+      let _, m_idx =
+        timed (fun () ->
+            Db.with_txn db (fun txn ->
+                Query.run db ~txn ~var:"x" ~cls:"stockitem"
+                  ~suchthat:(pred "x.supid == %d" target_sid) (fun _ -> incr count_idx)))
+      in
+      assert (!count_nav = !count_scan && !count_scan = !count_idx);
+      rows :=
+        [
+          Printf.sprintf "%d items, 1/%d" n suppliers;
+          fsec m_nav.seconds;
+          fsec m_scan.seconds;
+          fsec m_idx.seconds;
+          fint m_scan.stats.objects_scanned;
+          fint m_idx.stats.objects_scanned;
+        ]
+        :: !rows;
+      Db.close db)
+    [ 2_000; 10_000; 30_000 ];
+  table
+    ~title:"E2: fetch one supplier's items (navigation vs scan vs index)"
+    ~header:[ "workload"; "navigate"; "scan"; "index"; "scanned(scan)"; "scanned(idx)" ]
+    (List.rev !rows);
+  note "navigation wins when you already hold the refs; the iterator with an";
+  note "index matches it without any application-held pointers — the paper's";
+  note "answer to the pointer-chasing criticism."
+
+(* ------------------------------------------------------------------ E3 *)
+(* §3.1: suchthat/by "can be used to advantage in query optimization". *)
+
+let e3 () =
+  section "E3  suchthat selectivity sweep: full scan vs index (paper §3.1)";
+  let n = 30_000 in
+  let db = mem_db () in
+  ignore (Db.define db "class row { k: int; pad: string; };");
+  Db.create_cluster db "row";
+  let rng = Prng.create 5 in
+  Db.with_txn db (fun txn ->
+      for _ = 1 to n do
+        ignore (Db.pnew txn "row" [ ("k", Int (Prng.int rng 1_000_000)); ("pad", Str "xxxxxxxx") ])
+      done);
+  let run_query () =
+    List.map
+      (fun sel ->
+        let hi = int_of_float (1e6 *. sel) in
+        let q = pred "x.k < %d" hi in
+        let count = ref 0 in
+        let _, m =
+          timed (fun () ->
+              Db.with_txn db (fun txn ->
+                  Query.run db ~txn ~var:"x" ~cls:"row" ~suchthat:q (fun _ -> incr count)))
+        in
+        (sel, !count, m))
+      [ 0.0001; 0.001; 0.01; 0.1; 0.5 ]
+  in
+  let scans = run_query () in
+  Db.create_index db ~cls:"row" ~field:"k";
+  let probes = run_query () in
+  let rows =
+    List.map2
+      (fun (sel, c1, ms) (_, c2, mi) ->
+        assert (c1 = c2);
+        [
+          Printf.sprintf "%.4f" sel;
+          fint c1;
+          fsec ms.seconds;
+          fsec mi.seconds;
+          ffloat (ms.seconds /. (mi.seconds +. 1e-9));
+          fint mi.stats.objects_scanned;
+        ])
+      scans probes
+  in
+  Db.close db;
+  table
+    ~title:(Printf.sprintf "E3: selectivity sweep over %d rows" n)
+    ~header:[ "selectivity"; "rows out"; "full scan"; "index"; "speedup"; "idx scanned" ]
+    rows;
+  note "the index wins by orders of magnitude at low selectivity and the";
+  note "advantage shrinks as the range covers more of the cluster."
+
+(* ------------------------------------------------------------------ E4 *)
+(* §3.1.1: iterating over cluster hierarchies. *)
+
+let e4 () =
+  section "E4  cluster-hierarchy iteration (paper §3.1.1)";
+  let per_class = 10_000 in
+  let db = mem_db () in
+  Workload.define_university db;
+  Workload.load_university db ~per_class;
+  let count ?deep ?suchthat cls =
+    let c = ref 0 in
+    let _, m =
+      timed (fun () ->
+          Db.with_txn db (fun txn ->
+              Query.run db ~txn ~var:"x" ~cls ?deep ?suchthat (fun _ -> incr c)))
+    in
+    (!c, m)
+  in
+  let c1, m1 = count "person" in
+  let c2, m2 = count ~deep:true "person" in
+  let c3, m3 = count ~deep:true ~suchthat:(Parser.expr "x is faculty") "person" in
+  let c4, m4 = count "faculty" in
+  Db.close db;
+  table
+    ~title:(Printf.sprintf "E4: extents with %d objects per class" per_class)
+    ~header:[ "query"; "rows"; "time"; "objects scanned" ]
+    [
+      [ "forall p in person (shallow)"; fint c1; fsec m1.seconds; fint m1.stats.objects_scanned ];
+      [ "forall p in person* (deep)"; fint c2; fsec m2.seconds; fint m2.stats.objects_scanned ];
+      [ "forall p in person* suchthat p is faculty"; fint c3; fsec m3.seconds; fint m3.stats.objects_scanned ];
+      [ "forall f in faculty (direct subcluster)"; fint c4; fsec m4.seconds; fint m4.stats.objects_scanned ];
+    ];
+  note "deep extents cost the union of the subclusters; 'is'-filtering the";
+  note "deep extent scans everything, while targeting the right subcluster";
+  note "reads only what it returns — the paper's reason for making clusters";
+  note "mirror the type hierarchy."
+
+(* ------------------------------------------------------------------ E5 *)
+(* §3.1: multiple loop variables = joins. *)
+
+let e5 () =
+  section "E5  multi-variable forall: nested-loop vs index-nested-loop join (paper §3.1)";
+  let rows = ref [] in
+  List.iter
+    (fun (s, n) ->
+      let db = mem_db () in
+      Workload.define_inventory db;
+      ignore (Workload.load_inventory db ~items:n ~suppliers:s);
+      let join () =
+        let c = ref 0 in
+        let _, m =
+          timed (fun () ->
+              Db.with_txn db (fun _ ->
+                  Query.join2 db ~outer:("s", "supplier") ~inner:("i", "stockitem")
+                    ~suchthat:(Parser.expr "i.supid == s.sid") (fun _ _ -> incr c)))
+        in
+        (!c, m)
+      in
+      let c_nl, m_nl = join () in
+      Db.create_index db ~cls:"stockitem" ~field:"supid";
+      let c_inl, m_inl = join () in
+      assert (c_nl = c_inl);
+      rows :=
+        [
+          Printf.sprintf "%d sup x %d items" s n;
+          fint c_nl;
+          fsec m_nl.seconds;
+          fsec m_inl.seconds;
+          ffloat (m_nl.seconds /. (m_inl.seconds +. 1e-9));
+        ]
+        :: !rows;
+      Db.close db)
+    [ (10, 2_000); (20, 8_000); (40, 16_000) ];
+  table ~title:"E5: equi-join supplier x stockitem"
+    ~header:[ "workload"; "pairs"; "nested loop"; "index NL"; "speedup" ]
+    (List.rev !rows);
+  note "with the index, the inner forall becomes one probe per outer row:";
+  note "the join cost drops from O(S*N) to O(S + pairs)."
+
+(* ------------------------------------------------------------------ E6 *)
+(* §3.2: fixpoint queries. *)
+
+let e6 () =
+  section "E6  fixpoint queries: worklist vs naive repeated scan (paper §3.2)";
+  let rows = ref [] in
+  List.iter
+    (fun (fanout, depth) ->
+      let db = mem_db () in
+      Workload.define_parts db;
+      let root = Workload.load_parts_tree db ~fanout ~depth in
+      (* Pre-index edges by parent for both strategies. *)
+      Db.create_index db ~cls:"uses" ~field:"parent";
+      let children txn p =
+        let acc = ref [] in
+        Query.run db ~txn ~var:"u" ~cls:"uses"
+          ~env:[ ("p", Value.Ref p) ]
+          ~suchthat:(Parser.expr "u.parent == p")
+          (fun u ->
+            match Db.get_field txn u "child" with Value.Ref c -> acc := c :: !acc | _ -> ());
+        !acc
+      in
+      (* worklist closure *)
+      let size_wl = ref 0 in
+      let _, m_wl =
+        timed (fun () ->
+            Db.with_txn db (fun txn ->
+                let w = S.worklist (S.of_list [ Value.Ref root ]) in
+                S.iter_fix w (fun v ->
+                    incr size_wl;
+                    match v with
+                    | Value.Ref p -> List.iter (fun c -> ignore (S.insert w (Value.Ref c))) (children txn p)
+                    | _ -> ())))
+      in
+      (* naive: scan the frontier set repeatedly until no growth *)
+      let size_naive = ref 0 in
+      let _, m_naive =
+        timed (fun () ->
+            Db.with_txn db (fun txn ->
+                let closure = ref (S.of_list [ Value.Ref root ]) in
+                let changed = ref true in
+                while !changed do
+                  changed := false;
+                  S.iter
+                    (fun v ->
+                      match v with
+                      | Value.Ref p ->
+                          List.iter
+                            (fun c ->
+                              if not (S.mem (Value.Ref c) !closure) then begin
+                                closure := S.add (Value.Ref c) !closure;
+                                changed := true
+                              end)
+                            (children txn p)
+                      | _ -> ())
+                    !closure
+                done;
+                size_naive := S.cardinal !closure))
+      in
+      assert (!size_wl = !size_naive);
+      rows :=
+        [
+          Printf.sprintf "fanout %d depth %d" fanout depth;
+          fint !size_wl;
+          fsec m_wl.seconds;
+          fsec m_naive.seconds;
+          ffloat (m_naive.seconds /. (m_wl.seconds +. 1e-9));
+        ]
+        :: !rows;
+      Db.close db)
+    [ (3, 5); (3, 6); (4, 5) ];
+  table ~title:"E6: transitive closure (parts explosion)"
+    ~header:[ "tree"; "parts"; "worklist"; "repeated scan"; "naive/worklist" ]
+    (List.rev !rows);
+  note "iteration-sees-inserts (the worklist) touches each edge once; the";
+  note "naive fixpoint rescans the whole closure every round."
+
+(* ------------------------------------------------------------------ E7 *)
+(* §4: versioning costs. *)
+
+let e7 () =
+  section "E7  versioning: update/read cost vs version count (paper §4)";
+  let rows = ref [] in
+  List.iter
+    (fun versions ->
+      let db = mem_db () in
+      ignore (Db.define db "class doc { body: string; n: int; };");
+      Db.create_cluster db "doc";
+      let d = Db.with_txn db (fun txn -> Db.pnew txn "doc" [ ("body", Str "x") ]) in
+      let _, m_build =
+        timed (fun () ->
+            for i = 1 to versions - 1 do
+              Db.with_txn db (fun txn ->
+                  ignore (Db.newversion txn d);
+                  Db.set_field txn d "n" (Int i))
+            done)
+      in
+      let reads = 2_000 in
+      let _, m_cur =
+        timed (fun () ->
+            Db.with_txn db (fun txn ->
+                for _ = 1 to reads do
+                  ignore (Db.get_field txn d "n")
+                done))
+      in
+      let _, m_v0 =
+        timed (fun () ->
+            Db.with_txn db (fun txn ->
+                for _ = 1 to reads do
+                  ignore (Db.get_version txn { oid = d; ver = 0 })
+                done))
+      in
+      let _, m_walk =
+        timed (fun () ->
+            Db.with_txn db (fun txn ->
+                let v = ref (Db.eval txn ~vars:[ ("d", Value.Ref d) ] (Parser.expr "vprev(d)")) in
+                while !v <> Value.Null do
+                  v := Db.eval txn ~vars:[ ("v", !v) ] (Parser.expr "vprev(v)")
+                done))
+      in
+      rows :=
+        [
+          fint versions;
+          Printf.sprintf "%s" (fsec (m_build.seconds /. float (max 1 (versions - 1))));
+          Printf.sprintf "%.1fµs" (per_op m_cur reads);
+          Printf.sprintf "%.1fµs" (per_op m_v0 reads);
+          fsec m_walk.seconds;
+        ]
+        :: !rows;
+      Db.close db)
+    [ 1; 4; 16; 64; 256 ];
+  table ~title:"E7: per-object version chains"
+    ~header:[ "versions"; "newversion cost"; "read current"; "read v0"; "full vprev walk" ]
+    (List.rev !rows);
+  note "current-version reads never walk the chain (cost grows only with the";
+  note "header's version list); creation pays one copy; 'no pre-defined";
+  note "limit' holds — 256 versions stay cheap."
+
+(* ------------------------------------------------------------------ E8 *)
+(* §5: constraint checking and abort cost. *)
+
+let e8 () =
+  section "E8  constraints: update overhead and abort cost (paper §5)";
+  let rows = ref [] in
+  List.iter
+    (fun k ->
+      let db = mem_db () in
+      let constraints =
+        String.concat "\n"
+          (List.init k (fun i -> Printf.sprintf "constraint c%d: v >= %d - 1000000;" i i))
+      in
+      ignore (Db.define db (Printf.sprintf "class obj { v: int; %s };" constraints));
+      Db.create_cluster db "obj";
+      let o = Db.with_txn db (fun txn -> Db.pnew txn "obj" [ ("v", Int 0) ]) in
+      let updates = 3_000 in
+      let _, m =
+        timed (fun () ->
+            for i = 1 to updates do
+              Db.with_txn db (fun txn -> Db.set_field txn o "v" (Int i))
+            done)
+      in
+      rows :=
+        [ fint k; Printf.sprintf "%.1fµs" (per_op m updates); fint m.stats.constraints_checked ]
+        :: !rows;
+      Db.close db)
+    [ 0; 1; 2; 4; 8 ];
+  table ~title:"E8a: commit cost vs constraints per class"
+    ~header:[ "constraints"; "per-update txn"; "checks performed" ]
+    (List.rev !rows);
+  (* abort cost vs transaction size *)
+  let db = mem_db () in
+  ignore (Db.define db "class g { v: int; constraint pos: v >= 0; };");
+  Db.create_cluster db "g";
+  let rows2 =
+    List.map
+      (fun w ->
+        let _, m =
+          timed (fun () ->
+              match
+                Db.with_txn db (fun txn ->
+                    for i = 1 to w do
+                      ignore (Db.pnew txn "g" [ ("v", Int i) ])
+                    done;
+                    ignore (Db.pnew txn "g" [ ("v", Int (-1)) ]))
+              with
+              | () -> assert false
+              | exception Ode.Types.Constraint_violation _ -> ())
+        in
+        let leftover = Db.with_txn db (fun _ -> Query.count db ~var:"x" ~cls:"g" ()) in
+        assert (leftover = 0);
+        [ fint w; fsec m.seconds; "0 rows leaked" ])
+      [ 10; 100; 1_000 ]
+  in
+  Db.close db;
+  table ~title:"E8b: abort+rollback cost vs writes in the violating txn"
+    ~header:[ "writes before violation"; "abort time"; "integrity" ] rows2;
+  note "deferred apply makes rollback O(1) in disk work: the write set is";
+  note "simply dropped, exactly the paper's abort-and-roll-back semantics."
+
+(* ------------------------------------------------------------------ E9 *)
+(* §6: trigger evaluation cost. *)
+
+let e9 () =
+  section "E9  triggers: commit latency vs active triggers (paper §6)";
+  let rows = ref [] in
+  List.iter
+    (fun m_triggers ->
+      let db = mem_db () in
+      Db.set_action_printer db ignore;
+      ignore
+        (Db.define db
+           {|class it { qty: int; trigger watch(n: int): qty < n ==> { qty := qty; }; };|});
+      Db.create_cluster db "it";
+      (* one object per trigger; only object 0 is updated afterwards *)
+      let oids =
+        Db.with_txn db (fun txn ->
+            List.init (max 1 m_triggers) (fun _ -> Db.pnew txn "it" [ ("qty", Int 100) ]))
+      in
+      Db.with_txn db (fun txn ->
+          List.iter (fun o -> ignore (Db.activate txn o "watch" [ Value.Int 0 ])) (if m_triggers = 0 then [] else oids));
+      let target = List.hd oids in
+      let updates = 2_000 in
+      let _, m_quiet =
+        timed (fun () ->
+            for i = 1 to updates do
+              Db.with_txn db (fun txn -> Db.set_field txn target "qty" (Int (100 + i)))
+            done)
+      in
+      (* now fire: perpetual would re-fire; watch is once-only, so measure
+         one firing commit *)
+      let _, m_fire =
+        timed (fun () -> Db.with_txn db (fun txn -> Db.set_field txn target "qty" (Int (-1))))
+      in
+      rows :=
+        [
+          fint m_triggers;
+          Printf.sprintf "%.1fµs" (per_op m_quiet updates);
+          fsec m_fire.seconds;
+          fint m_fire.stats.triggers_fired;
+        ]
+        :: !rows;
+      Db.close db)
+    [ 0; 10; 100; 1_000 ];
+  table ~title:"E9: per-commit trigger evaluation (only touched objects are checked)"
+    ~header:[ "active triggers"; "quiet commit"; "firing commit"; "fired" ]
+    (List.rev !rows);
+  note "commit cost is independent of the total number of activations in the";
+  note "database: conditions are evaluated only for objects the transaction";
+  note "touched (end-of-transaction semantics, weak coupling for actions)."
+
+(* ----------------------------------------------------------------- E10 *)
+(* Durability: commit batching and recovery time. *)
+
+let e10 () =
+  section "E10  durability: commit cost and recovery time";
+  let rows = ref [] in
+  List.iter
+    (fun batch ->
+      let db = disk_db "e10" in
+      ignore (Db.define db "class r { v: int; };");
+      Db.create_cluster db "r";
+      let total = 2_000 in
+      let _, m =
+        timed (fun () ->
+            let done_ = ref 0 in
+            while !done_ < total do
+              Db.with_txn db (fun txn ->
+                  for _ = 1 to batch do
+                    ignore (Db.pnew txn "r" [ ("v", Int !done_) ]);
+                    incr done_
+                  done)
+            done)
+      in
+      rows :=
+        [
+          fint batch;
+          fops (ops_per_sec m total);
+          fint m.stats.wal_syncs;
+          Printf.sprintf "%.1fµs" (per_op m total);
+        ]
+        :: !rows;
+      Db.close db)
+    [ 1; 10; 100; 1_000 ];
+  table ~title:"E10a: insert throughput vs transaction batch size (on disk, fsync per commit)"
+    ~header:[ "ops/txn"; "throughput"; "wal syncs"; "per op" ]
+    (List.rev !rows);
+  (* recovery time vs wal length *)
+  let rows2 =
+    List.map
+      (fun txns ->
+        let dir =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "ode-rec-%d-%d" (Unix.getpid ()) txns)
+        in
+        let db = Db.open_ ~wal_checkpoint_bytes:max_int dir in
+        ignore (Db.define db "class r { v: int; };");
+        Db.create_cluster db "r";
+        for i = 1 to txns do
+          Db.with_txn db (fun txn -> ignore (Db.pnew txn "r" [ ("v", Int i) ]))
+        done;
+        let wal_bytes = Ode.Txn.wal_bytes db in
+        (* crash: reopen without close *)
+        let _, m =
+          timed (fun () ->
+              let db2 = Db.open_ dir in
+              let n = Db.with_txn db2 (fun _ -> Query.count db2 ~var:"x" ~cls:"r" ()) in
+              assert (n = txns);
+              Db.close db2)
+        in
+        Db.close db;
+        [ fint txns; Printf.sprintf "%dkB" (wal_bytes / 1024); fsec m.seconds ])
+      [ 100; 1_000; 5_000 ]
+  in
+  table ~title:"E10b: recovery (replay) time vs un-checkpointed WAL"
+    ~header:[ "committed txns"; "wal size"; "reopen+verify" ] rows2;
+  note "group commit amortizes the fsync; recovery replays the committed";
+  note "tail linearly and is bounded by checkpointing."
+
+(* ----------------------------------------------------------------- E11 *)
+(* §2.6: set operations. *)
+
+let e11 () =
+  section "E11  set values: Odeset vs a naive list (paper §2.6)";
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let rng = Prng.create 3 in
+      let elems = Array.init n (fun _ -> Value.Int (Prng.int rng (4 * n))) in
+      let _, m_build =
+        timed (fun () -> ignore (S.of_list (Array.to_list elems)))
+      in
+      let s = S.of_list (Array.to_list elems) in
+      let probes = 2_000 in
+      let _, m_mem =
+        timed (fun () ->
+            for i = 0 to probes - 1 do
+              ignore (S.mem elems.(i mod n) s)
+            done)
+      in
+      (* naive: list with exists *)
+      let l = Array.to_list elems in
+      let _, m_lmem =
+        timed (fun () ->
+            for i = 0 to probes - 1 do
+              ignore (List.exists (Value.equal elems.(i mod n)) l)
+            done)
+      in
+      rows :=
+        [
+          fint n;
+          fsec m_build.seconds;
+          Printf.sprintf "%.2fµs" (per_op m_mem probes);
+          Printf.sprintf "%.2fµs" (per_op m_lmem probes);
+        ]
+        :: !rows)
+    [ 100; 1_000; 10_000 ];
+  table ~title:"E11: set build and membership"
+    ~header:[ "elements"; "normalize"; "mem (set)"; "mem (raw list)" ]
+    (List.rev !rows);
+  note "normalized sets give order-independent equality (needed for value";
+  note "semantics) at modest cost; membership is comparable at these sizes."
+
+(* ----------------------------------------------------------------- E12 *)
+(* Substrate ablation: the B+tree earning its keep. *)
+
+let e12 () =
+  section "E12  substrate ablation: B+tree vs linear structures";
+  let module B = Ode_index.Bptree in
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let t = B.attach (Ode_storage.Buffer_pool.create ~capacity:256 (Ode_storage.Disk.in_memory ())) in
+      let rng = Prng.create 9 in
+      let keys = Array.init n (fun i -> Ode_util.Key.of_int i) in
+      Prng.shuffle rng keys;
+      let _, m_ins =
+        timed (fun () -> Array.iter (fun k -> B.insert t k "v") keys)
+      in
+      let probes = 5_000 in
+      let _, m_find =
+        timed (fun () ->
+            for i = 0 to probes - 1 do
+              ignore (B.find t keys.(i mod n))
+            done)
+      in
+      (* association list baseline *)
+      let assoc = Array.to_list (Array.map (fun k -> (k, "v")) keys) in
+      let _, m_assoc =
+        timed (fun () ->
+            for i = 0 to min probes 500 - 1 do
+              ignore (List.assoc_opt keys.(i mod n) assoc)
+            done)
+      in
+      let range_n = ref 0 in
+      let _, m_range =
+        timed (fun () ->
+            B.iter_range t ~lo:(Ode_util.Key.of_int (n / 2)) ~hi:(Ode_util.Key.of_int (n / 2 + 1000))
+              (fun _ _ ->
+                incr range_n;
+                true))
+      in
+      rows :=
+        [
+          fint n;
+          fops (ops_per_sec m_ins n);
+          Printf.sprintf "%.2fµs" (per_op m_find probes);
+          Printf.sprintf "%.2fµs" (per_op m_assoc (min probes 500));
+          Printf.sprintf "%s (%d rows)" (fsec m_range.seconds) !range_n;
+          fint (B.height t);
+        ]
+        :: !rows)
+    [ 1_000; 10_000; 50_000 ];
+  table ~title:"E12: B+tree insert/lookup/range vs association list"
+    ~header:[ "keys"; "insert"; "find"; "assoc find"; "range 1000"; "height" ]
+    (List.rev !rows);
+  note "log-time probes and sorted range scans are what make E3/E5's index";
+  note "plans win; a linear structure degrades with extent size."
+
+(* ----------------------------------------------------------------- E13 *)
+(* Ablation: [by x.f] streamed in index order vs materialize-and-sort. The
+   paper's §3.1 footnote that suchthat/by "can be used to advantage in query
+   optimization" covers ordering too. *)
+
+let e13 () =
+  section "E13  ablation: by-clause via index order vs sort (paper §3.1)";
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let db = mem_db () in
+      ignore (Db.define db "class s { k: int; w: int; };");
+      Db.create_cluster db "s";
+      let rng = Prng.create 21 in
+      Db.with_txn db (fun txn ->
+          for _ = 1 to n do
+            ignore (Db.pnew txn "s" [ ("k", Int (Prng.int rng 1_000_000)); ("w", Int 1) ])
+          done);
+      let by = (Parser.expr "x.k", Ode_lang.Ast.Asc) in
+      let ordered () =
+        let last = ref min_int and ok = ref true and c = ref 0 in
+        let _, m =
+          timed (fun () ->
+              Db.with_txn db (fun txn ->
+                  Query.run db ~txn ~var:"x" ~cls:"s" ~by (fun oid ->
+                      incr c;
+                      match Db.get_field txn oid "k" with
+                      | Value.Int k ->
+                          if k < !last then ok := false;
+                          last := k
+                      | _ -> ())))
+        in
+        assert (!ok && !c = n);
+        m
+      in
+      let m_sort = ordered () in
+      Db.create_index db ~cls:"s" ~field:"k";
+      let m_idx = ordered () in
+      rows :=
+        [
+          fint n;
+          fsec m_sort.seconds;
+          fsec m_idx.seconds;
+          ffloat (m_sort.seconds /. (m_idx.seconds +. 1e-9));
+        ]
+        :: !rows;
+      Db.close db)
+    [ 5_000; 20_000 ];
+  table ~title:"E13: forall ... by x.k asc over n rows"
+    ~header:[ "rows"; "sort plan"; "index-order plan"; "speedup" ]
+    (List.rev !rows);
+  note "with an index on the by-field the engine streams in key order and";
+  note "skips both the sort and the per-row key evaluation."
+
+(* ----------------------------------------------------------------- E14 *)
+(* Substrate ablation: linear hashing vs B+tree for the index role. *)
+
+let e14 () =
+  section "E14  ablation: linear-hash index vs B+tree";
+  let module B = Ode_index.Bptree in
+  let module H = Ode_index.Hash_index in
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let bt = B.attach (Ode_storage.Buffer_pool.create ~capacity:512 (Ode_storage.Disk.in_memory ())) in
+      let ht = H.attach (Ode_storage.Buffer_pool.create ~capacity:512 (Ode_storage.Disk.in_memory ())) in
+      let keys = Array.init n (fun i -> Ode_util.Key.of_int i) in
+      let rng = Prng.create 31 in
+      Prng.shuffle rng keys;
+      let _, m_bins = timed (fun () -> Array.iter (fun k -> B.insert bt k "v") keys) in
+      let _, m_hins = timed (fun () -> Array.iter (fun k -> H.insert ht k "v") keys) in
+      let probes = 10_000 in
+      let _, m_bfind =
+        timed (fun () ->
+            for i = 0 to probes - 1 do
+              ignore (B.find bt keys.(i mod n))
+            done)
+      in
+      let _, m_hfind =
+        timed (fun () ->
+            for i = 0 to probes - 1 do
+              ignore (H.find ht keys.(i mod n))
+            done)
+      in
+      (* The structural trade-off: the B+tree can range-scan, the hash
+         index cannot (it would have to visit everything). *)
+      let hits = ref 0 in
+      let _, m_brange =
+        timed (fun () ->
+            B.iter_range bt ~lo:(Ode_util.Key.of_int 0) ~hi:(Ode_util.Key.of_int 500) (fun _ _ ->
+                incr hits;
+                true))
+      in
+      rows :=
+        [
+          fint n;
+          fops (ops_per_sec m_bins n);
+          fops (ops_per_sec m_hins n);
+          Printf.sprintf "%.2fµs" (per_op m_bfind probes);
+          Printf.sprintf "%.2fµs" (per_op m_hfind probes);
+          Printf.sprintf "%s (%d)" (fsec m_brange.seconds) !hits;
+        ]
+        :: !rows)
+    [ 10_000; 50_000 ];
+  table ~title:"E14: point-lookup substrates"
+    ~header:[ "keys"; "bt insert"; "hash insert"; "bt find"; "hash find"; "bt range 500" ]
+    (List.rev !rows);
+  note "linear hashing wins on inserts (no splits of sorted nodes); the";
+  note "B+tree's decoded-node cache makes its probes competitive, and only";
+  note "it supports the range and ordered plans of E3/E5/E13 — which is why";
+  note "the engine's secondary indexes are B+trees."
+
+let all : (string * (unit -> unit)) list =
+  [
+    ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
+    ("E13", e13); ("E14", e14);
+  ]

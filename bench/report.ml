@@ -1,0 +1,59 @@
+(* Timing and table rendering for the experiment harness. *)
+
+let now () = Unix.gettimeofday ()
+
+type measurement = {
+  seconds : float;
+  stats : Ode_util.Stats.snapshot; (* engine work performed during the run *)
+}
+
+let timed f =
+  let s0 = Ode_util.Stats.snapshot () in
+  let t0 = now () in
+  let result = f () in
+  let t1 = now () in
+  let s1 = Ode_util.Stats.snapshot () in
+  (result, { seconds = t1 -. t0; stats = Ode_util.Stats.diff s1 s0 })
+
+let per_op m n = if n = 0 then 0.0 else m.seconds /. float n *. 1e6 (* µs/op *)
+let ops_per_sec m n = if m.seconds <= 0.0 then 0.0 else float n /. m.seconds
+
+(* -- tables ------------------------------------------------------------- *)
+
+let hr width = String.make width '-'
+
+let table ~title ~header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let width c =
+    List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           let w = List.nth widths i in
+           if i = 0 then Printf.sprintf "%-*s" w cell else Printf.sprintf "%*s" w cell)
+         row)
+  in
+  let total_width = List.fold_left ( + ) (2 * (ncols - 1)) widths in
+  Printf.printf "\n%s\n%s\n" title (hr (max total_width (String.length title)));
+  Printf.printf "%s\n%s\n" (render_row header) (hr total_width);
+  List.iter (fun r -> Printf.printf "%s\n" (render_row r)) rows;
+  flush stdout
+
+let fsec s = if s < 0.001 then Printf.sprintf "%.1fµs" (s *. 1e6)
+             else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
+             else Printf.sprintf "%.2fs" s
+
+let fops v =
+  if v >= 1e6 then Printf.sprintf "%.2fM/s" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.1fk/s" (v /. 1e3)
+  else Printf.sprintf "%.0f/s" v
+
+let fint = string_of_int
+let ffloat f = Printf.sprintf "%.2f" f
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n" s) fmt
+let section title = Printf.printf "\n================ %s ================\n" title

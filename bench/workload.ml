@@ -1,0 +1,120 @@
+(* Synthetic workload generators. Everything is seeded and deterministic
+   (the harness never touches the global Random state), so runs are
+   reproducible. *)
+
+module Db = Ode.Database
+module Value = Ode_model.Value
+module Prng = Ode_util.Prng
+
+(* Items point at their supplier by id; suppliers hold a set of item refs so
+   the pointer-navigation strategy of E2 has something to chase. *)
+let define_inventory db =
+  ignore
+    (Db.define db
+       {|
+       class stockitem { name: string; qty: int; price: float; supid: int; };
+       class supplier { sname: string; city: string; sid: int; items: set<ref stockitem>; };
+       |});
+  Db.create_cluster db "stockitem";
+  Db.create_cluster db "supplier"
+
+(* [n] items spread over [s] suppliers; each supplier's [items] set holds
+   refs to its items (for the pointer-navigation strategy), while each item
+   records its supplier id (for the scan/index strategies). Returns the
+   supplier oids in sid order. *)
+let load_inventory ?(seed = 42) db ~items:n ~suppliers:s =
+  let rng = Prng.create seed in
+  let item_oids = Array.make n None in
+  Db.with_txn db (fun txn ->
+      for i = 0 to n - 1 do
+        let sid = i mod s in
+        let oid =
+          Db.pnew txn "stockitem"
+            [
+              ("name", Str (Printf.sprintf "item-%05d" i));
+              ("qty", Int (Prng.int rng 10_000));
+              ("price", Float (Prng.float rng 100.0));
+              ("supid", Int sid);
+            ]
+        in
+        item_oids.(i) <- Some oid
+      done);
+  let sup_oids = Array.make s None in
+  Db.with_txn db (fun txn ->
+      for sid = 0 to s - 1 do
+        let mine = ref [] in
+        Array.iteri
+          (fun i o -> if i mod s = sid then mine := Value.Ref (Option.get o) :: !mine)
+          item_oids;
+        let oid =
+          Db.pnew txn "supplier"
+            [
+              ("sname", Str (Printf.sprintf "sup-%03d" sid));
+              ("city", Str (Prng.string rng 8));
+              ("sid", Int sid);
+              ("items", Value.set_of_list !mine);
+            ]
+        in
+        sup_oids.(sid) <- Some oid
+      done);
+  (Array.map Option.get item_oids, Array.map Option.get sup_oids)
+
+let university_schema =
+  {|
+  class person { name: string; age: int; income: int; };
+  class student : person { gpa: float; };
+  class faculty : person { salary: int; };
+  |}
+
+let define_university db =
+  ignore (Db.define db university_schema);
+  List.iter (Db.create_cluster db) [ "person"; "student"; "faculty" ]
+
+let load_university ?(seed = 7) db ~per_class:n =
+  let rng = Prng.create seed in
+  Db.with_txn db (fun txn ->
+      for i = 0 to n - 1 do
+        let base =
+          [
+            ("name", Value.Str (Printf.sprintf "p%06d" i));
+            ("age", Value.Int (18 + Prng.int rng 60));
+            ("income", Value.Int (Prng.int rng 10_000));
+          ]
+        in
+        ignore (Db.pnew txn "person" base);
+        ignore (Db.pnew txn "student" (("gpa", Value.Float (Prng.float rng 4.0)) :: base));
+        ignore (Db.pnew txn "faculty" (("salary", Value.Int (Prng.int rng 9000)) :: base))
+      done)
+
+(* A uniform parts tree: every non-leaf part uses [fanout] children. Returns
+   the root. Total parts = (fanout^(depth+1) - 1) / (fanout - 1). *)
+let parts_schema =
+  {|
+  class part { pname: string; leaf: bool; };
+  class uses { parent: ref part; child: ref part; count: int; };
+  |}
+
+let define_parts db =
+  ignore (Db.define db parts_schema);
+  List.iter (Db.create_cluster db) [ "part"; "uses" ]
+
+let load_parts_tree db ~fanout ~depth =
+  Db.with_txn db (fun txn ->
+      let counter = ref 0 in
+      let rec build level =
+        let id = !counter in
+        incr counter;
+        let leaf = level = depth in
+        let oid =
+          Db.pnew txn "part"
+            [ ("pname", Str (Printf.sprintf "part-%d" id)); ("leaf", Bool leaf) ]
+        in
+        if not leaf then
+          for _ = 1 to fanout do
+            let child = build (level + 1) in
+            ignore
+              (Db.pnew txn "uses" [ ("parent", Ref oid); ("child", Ref child); ("count", Int 2) ])
+          done;
+        oid
+      in
+      build 0)

@@ -1,0 +1,107 @@
+(* The ODE shell: an interactive (or scripted) interpreter for the O++-like
+   surface language.
+
+     ode_shell mydb                 # REPL against the database in ./mydb
+     ode_shell --memory             # throwaway in-memory database
+     ode_shell mydb -f script.oql   # run a script, then exit
+     ode_shell mydb -e 'show classes;'
+
+   Input is accumulated until it parses (so multi-line class declarations
+   work); an empty line forces an error report instead of more input. *)
+
+let banner =
+  "ODE shell — O++ data model on OCaml. Statements end with ';'.\n\
+   Try: class point { x: int; y: int; };  create cluster point;\n\
+   \     p := pnew point { x = 1, y = 2 };  forall q in point { print q.x; };\n"
+
+let run_repl shell =
+  print_string banner;
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    print_string (if Buffer.length buf = 0 then "ode> " else "...> ");
+    flush stdout;
+    match In_channel.input_line stdin with
+    | None -> print_newline ()
+    | Some line ->
+        let force = String.trim line = "" in
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        let source = Buffer.contents buf in
+        let complete =
+          (not force)
+          &&
+          match Ode_lang.Parser.program source with
+          | _ -> true
+          | exception Ode_lang.Parser.Parse_error (_, off)
+            when off >= String.length (String.trim source) ->
+              false (* likely just incomplete input: keep reading *)
+          | exception _ -> true
+        in
+        if complete || force then begin
+          Buffer.clear buf;
+          (match Ode.Shell.exec_catching shell source with
+          | Ok () -> ()
+          | Error msg -> Printf.printf "error: %s\n" msg);
+          flush stdout
+        end;
+        loop ()
+  in
+  loop ()
+
+let main memory file expr dir =
+  let db =
+    if memory then Ode.Database.open_in_memory ()
+    else
+      match dir with
+      | Some d -> Ode.Database.open_ d
+      | None ->
+          prerr_endline "ode_shell: need a database directory (or --memory)";
+          exit 2
+  in
+  let shell = Ode.Shell.create db in
+  let code =
+    match (file, expr) with
+    | Some path, _ -> (
+        let source = In_channel.with_open_text path In_channel.input_all in
+        match Ode.Shell.exec_catching shell source with
+        | Ok () -> 0
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1)
+    | None, Some src -> (
+        match Ode.Shell.exec_catching shell src with
+        | Ok () -> 0
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1)
+    | None, None ->
+        run_repl shell;
+        0
+  in
+  Ode.Database.close db;
+  exit code
+
+open Cmdliner
+
+let memory =
+  Arg.(value & flag & info [ "memory"; "m" ] ~doc:"Use a throwaway in-memory database.")
+
+let file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "f"; "file" ] ~docv:"SCRIPT" ~doc:"Execute a script file and exit.")
+
+let expr =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "e"; "exec" ] ~docv:"SOURCE" ~doc:"Execute the given source and exit.")
+
+let dir = Arg.(value & pos 0 (some string) None & info [] ~docv:"DBDIR")
+
+let cmd =
+  let doc = "interactive shell for the ODE object database" in
+  Cmd.v (Cmd.info "ode_shell" ~doc) Term.(const main $ memory $ file $ expr $ dir)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,338 @@
+module Ast = Ode_lang.Ast
+module Oid = Ode_model.Oid
+module Value = Ode_model.Value
+module Schema = Ode_model.Schema
+module Catalog = Ode_model.Catalog
+module Typecheck = Ode_model.Typecheck
+module Disk = Ode_storage.Disk
+module Buffer_pool = Ode_storage.Buffer_pool
+module Heap = Ode_storage.Heap
+module Wal = Ode_storage.Wal
+module Bptree = Ode_index.Bptree
+open Types
+
+type t = db
+
+exception Schema_error = Catalog.Schema_error
+
+let log = Logs.Src.create "ode.database" ~doc:"ODE database engine"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+(* -- lifecycle --------------------------------------------------------------- *)
+
+let make_db ~dbdir ~kv_disk ~dir_disk ~idx_disk ~wal ~pool_pages ~wal_checkpoint_bytes =
+  let pool d = Buffer_pool.create ~capacity:pool_pages d in
+  {
+    dbdir;
+    kv_heap = Heap.attach (pool kv_disk);
+    kv_dir = Bptree.attach (pool dir_disk);
+    idx = Bptree.attach (pool idx_disk);
+    wal;
+    catalog = Catalog.create ();
+    meta = { next_tid = 0; clock = 0 };
+    next_xid = 1;
+    active = None;
+    activations = Hashtbl.create 64;
+    by_oid = Hashtbl.create 64;
+    action_queue = Queue.create ();
+    draining = false;
+    wal_auto_checkpoint = wal_checkpoint_bytes;
+    closed = false;
+    printer = print_string;
+  }
+
+let recover db =
+  (* Pass 1: which transactions committed. Pass 2: apply their operations in
+     log order (idempotent logical redo). *)
+  let committed = Hashtbl.create 16 in
+  Wal.replay db.wal (function
+    | Wal.Commit xid -> Hashtbl.replace committed xid ()
+    | _ -> ());
+  let applied = ref 0 in
+  Wal.replay db.wal (function
+    | Wal.Put (xid, key, payload) when Hashtbl.mem committed xid ->
+        Store.apply_op db key (Put payload);
+        incr applied
+    | Wal.Delete (xid, key) when Hashtbl.mem committed xid ->
+        Store.apply_op db key Del;
+        incr applied
+    | _ -> ());
+  if !applied > 0 then Log.info (fun m -> m "recovery: replayed %d operations" !applied);
+  Txn.checkpoint db
+
+let load_state db =
+  (match Kv.get db Keys.catalog with
+  | Some s -> db.catalog <- Catalog.decode s
+  | None -> ());
+  (match Kv.get db Keys.meta with
+  | Some s -> db.meta <- Txn.decode_meta s
+  | None -> ());
+  Triggers.load_all db
+
+let open_ ?(pool_pages = 512) ?(wal_checkpoint_bytes = 8 * 1024 * 1024) dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let file name = Filename.concat dir name in
+  let db =
+    make_db ~dbdir:(Some dir)
+      ~kv_disk:(Disk.open_file (file "objects.heap"))
+      ~dir_disk:(Disk.open_file (file "directory.bpt"))
+      ~idx_disk:(Disk.open_file (file "indexes.bpt"))
+      ~wal:(Wal.open_file (file "wal.log"))
+      ~pool_pages ~wal_checkpoint_bytes
+  in
+  recover db;
+  load_state db;
+  db
+
+let open_in_memory ?(pool_pages = 4096) () =
+  let db =
+    make_db ~dbdir:None ~kv_disk:(Disk.in_memory ()) ~dir_disk:(Disk.in_memory ())
+      ~idx_disk:(Disk.in_memory ()) ~wal:(Wal.in_memory ()) ~pool_pages
+      ~wal_checkpoint_bytes:(64 * 1024 * 1024)
+  in
+  load_state db;
+  db
+
+let checkpoint = Txn.checkpoint
+
+let close db =
+  if not db.closed then begin
+    (match db.active with Some t -> Txn.abort t | None -> ());
+    Txn.checkpoint db;
+    Wal.close db.wal;
+    Disk.close (Buffer_pool.disk (Heap.pool db.kv_heap));
+    db.closed <- true
+  end
+
+(* -- trigger action drain ------------------------------------------------------ *)
+
+let max_cascade = 10_000
+
+let with_txn_no_drain db f =
+  let txn = Txn.begin_ db in
+  match f txn with
+  | v ->
+      let firings = Txn.commit txn in
+      List.iter (fun fr -> Queue.add fr db.action_queue) firings;
+      v
+  | exception e ->
+      if txn.tstate = `Active then Txn.abort txn;
+      raise e
+
+let run_firing db (f : firing) =
+  let a = f.f_act in
+  match Triggers.find_decl db a.aoid a.tname with
+  | exception Triggers.Trigger_error _ -> () (* object's class vanished: drop *)
+  | g, _ ->
+      let stmts = match f.f_kind with Fired -> g.gaction | Timed_out -> g.gtimeout in
+      if stmts <> [] then begin
+        let run txn =
+          let env = Interp.env ~print:db.printer ~this:(Value.Ref a.aoid) () in
+          List.iter2
+            (fun (p : Schema.field) v -> Interp.define_var env p.fname v)
+            g.gparams a.targs;
+          Interp.exec_stmts txn env stmts
+        in
+        match with_txn_no_drain db run with
+        | () -> ()
+        | exception e ->
+            (* A failed action aborts only itself (weak coupling). *)
+            Log.warn (fun m ->
+                m "trigger %s action failed: %s" a.tname (Printexc.to_string e))
+      end
+
+let drain db =
+  if not db.draining then begin
+    db.draining <- true;
+    Fun.protect
+      ~finally:(fun () -> db.draining <- false)
+      (fun () ->
+        let steps = ref 0 in
+        let rec go () =
+          match Queue.take_opt db.action_queue with
+          | None -> ()
+          | Some f ->
+              incr steps;
+              if !steps > max_cascade then begin
+                Queue.clear db.action_queue;
+                Log.err (fun m -> m "trigger cascade exceeded %d actions; stopping" max_cascade)
+              end
+              else begin
+                run_firing db f;
+                go ()
+              end
+        in
+        go ())
+  end
+
+let with_txn db f =
+  let v = with_txn_no_drain db f in
+  drain db;
+  v
+
+let begin_txn = Txn.begin_
+
+let commit txn =
+  let db = txn.tdb in
+  let firings = Txn.commit txn in
+  List.iter (fun fr -> Queue.add fr db.action_queue) firings;
+  drain db
+
+let abort = Txn.abort
+
+(* -- schema ---------------------------------------------------------------------- *)
+
+let require_no_txn db what =
+  if db.active <> None then invalid_arg (what ^ " cannot run inside a transaction")
+
+let define_class db (decl : Ast.class_decl) =
+  require_no_txn db "define_class";
+  (* Resolve the would-be field set to drive the implicit-this rewrite. *)
+  let parent_fields =
+    List.concat_map
+      (fun p ->
+        match Catalog.find db.catalog p with
+        | Some c -> Schema.field_names (Catalog.all_fields db.catalog c)
+        | None -> raise (Schema_error (Printf.sprintf "unknown parent class %s" p)))
+      decl.c_parents
+  in
+  let own = List.map (fun (f : Ast.field_decl) -> f.fd_name) decl.c_fields in
+  let decl = Rewrite.class_decl decl ~all_field_names:(parent_fields @ own) in
+  let cls = Catalog.define db.catalog decl in
+  (match Typecheck.check_class db.catalog cls with
+  | () -> ()
+  | exception e ->
+      (* A class that fails typechecking must not stay registered: restore
+         the catalog from its last persisted state. *)
+      db.catalog <-
+        (match Kv.get db Keys.catalog with
+        | Some s -> Catalog.decode s
+        | None -> Catalog.create ());
+      raise e);
+  ignore (with_txn_no_drain db (fun txn -> txn.catalog_dirty <- true));
+  cls
+
+let define db source =
+  let tops = Ode_lang.Parser.program source in
+  List.map
+    (function
+      | Ast.TClass decl -> define_class db decl
+      | _ -> raise (Schema_error "define: only class declarations are allowed here"))
+    tops
+
+let create_cluster db name =
+  require_no_txn db "create_cluster";
+  Catalog.create_cluster db.catalog name;
+  ignore (with_txn_no_drain db (fun txn -> txn.catalog_dirty <- true))
+
+let create_index db ~cls ~field =
+  require_no_txn db "create_index";
+  Catalog.add_index db.catalog ~cls ~field;
+  let idx_id =
+    match Store.index_ids db ~cls ~field with Some i -> i | None -> assert false
+  in
+  (* Backfill from every object in the cluster hierarchy. *)
+  ignore
+    (with_txn_no_drain db (fun txn ->
+         txn.catalog_dirty <- true;
+         let classes = Catalog.subclasses db.catalog cls in
+         List.iter
+           (fun cname ->
+             match Catalog.find db.catalog cname with
+             | None -> ()
+             | Some c ->
+                 Kv.iter_prefix db (Keys.header_prefix_class c.Schema.id) (fun key _ ->
+                     let oid = Keys.oid_of_header_key key in
+                     (match Store.get_field db (Some txn) oid field with
+                     | Some v ->
+                         Store.write txn
+                           (Keys.index_entry ~idx_id ~valkey:(Value.index_key v) ~oid)
+                           ""
+                     | None -> ());
+                     true))
+           classes))
+
+let catalog db = db.catalog
+
+(* -- objects ------------------------------------------------------------------------ *)
+
+let pnew txn cname inits =
+  let cls = Catalog.find_exn txn.tdb.catalog cname in
+  Store.create txn cls inits
+
+let pdelete txn oid = Store.delete_object txn oid
+let get txn oid = Store.get_fields txn.tdb (Some txn) oid
+
+let get_field txn oid fname =
+  match Store.get_field txn.tdb (Some txn) oid fname with
+  | Some v -> v
+  | None -> raise Not_found
+
+let set_field txn oid fname v = Store.update_fields txn oid [ (fname, v) ]
+let update txn oid fields = Store.update_fields txn oid fields
+let exists db ?txn oid = Store.exists db (match txn with Some t -> Some t | None -> db.active) oid
+
+let class_name_of db oid =
+  Option.map (fun (c : Schema.cls) -> c.Schema.name) (Store.class_of db oid)
+
+let is_instance db oid super =
+  match class_name_of db oid with
+  | Some sub -> Catalog.is_subclass db.catalog ~sub ~super
+  | None -> false
+
+let call txn oid m args = Runtime.call_method txn.tdb (Some txn) (Value.Ref oid) m args
+let eval txn ?(vars = []) e = Runtime.eval txn.tdb (Some txn) ~vars e
+
+(* -- versions -------------------------------------------------------------------------- *)
+
+let newversion txn oid = Store.new_version txn oid
+
+let header_exn txn oid =
+  match Store.get_header txn.tdb (Some txn) oid with
+  | Some h -> h
+  | None -> raise Not_found
+
+let versions txn oid = (header_exn txn oid).Store.hversions
+let current_version txn oid = (header_exn txn oid).Store.hcurrent
+let get_version txn vr = Store.get_fields_v txn.tdb (Some txn) vr
+let pdelete_version txn vr = Store.delete_version txn vr
+
+(* -- triggers --------------------------------------------------------------------------- *)
+
+let activate txn oid tname args = Triggers.activate txn oid tname args
+let deactivate txn tid = Triggers.deactivate txn tid
+
+let advance_time db n =
+  require_no_txn db "advance_time";
+  if n < 0 then invalid_arg "advance_time: negative step";
+  with_txn_no_drain db (fun txn ->
+      db.meta.clock <- db.meta.clock + n;
+      txn.meta_dirty <- true);
+  let expired = Triggers.expired db in
+  if expired <> [] then begin
+    with_txn_no_drain db (fun txn ->
+        List.iter (fun (a : activation) -> Triggers.deactivate txn a.tid) expired);
+    List.iter
+      (fun a -> Queue.add { f_act = a; f_kind = Timed_out } db.action_queue)
+      (List.sort (fun a b -> Int.compare a.tid b.tid) expired)
+  end;
+  drain db
+
+let now db = db.meta.clock
+let set_action_printer db p = db.printer <- p
+
+(* -- roots ---------------------------------------------------------------------------- *)
+
+let set_root txn name v =
+  let b = Buffer.create 16 in
+  Value.encode b v;
+  Store.write txn (Keys.root name) (Buffer.contents b)
+
+let root txn name =
+  match Store.read txn.tdb (Some txn) (Keys.root name) with
+  | None -> None
+  | Some s -> Some (Value.decode (Ode_util.Codec.cursor s))
+
+let root_exn txn name =
+  match root txn name with Some v -> v | None -> raise Not_found

@@ -1,0 +1,118 @@
+(** The ODE database: the top-level façade.
+
+    A database lives in a directory (four files: object heap, key directory,
+    secondary indexes, write-ahead log) or entirely in memory. Opening a
+    directory replays the committed tail of the WAL, so a crash at any point
+    loses at most the uncommitted transaction (see DESIGN.md).
+
+    Typical EDSL use:
+    {[
+      let db = Database.open_ "mydb" in
+      ignore (Database.define db "class item { name: string; qty: int; };");
+      Database.create_cluster db "item";
+      Database.with_txn db (fun txn ->
+          let oid = Database.pnew txn "item" [ ("name", Str "bolt"); ("qty", Int 40) ] in
+          Database.set_root txn "first" (Ref oid));
+      Database.close db
+    ]} *)
+
+open Types
+
+type t = db
+(** Schema errors are reported as {!Ode_model.Catalog.Schema_error}. *)
+
+(** {1 Lifecycle} *)
+
+val open_ : ?pool_pages:int -> ?wal_checkpoint_bytes:int -> string -> t
+(** Open (creating if needed) the database stored in a directory. *)
+
+val open_in_memory : ?pool_pages:int -> unit -> t
+(** A volatile database: same engine, same WAL protocol, no files. *)
+
+val close : t -> unit
+(** Checkpoint and release. Aborts any active transaction. *)
+
+val checkpoint : t -> unit
+
+(** {1 Schema (DDL — outside transactions, autocommitted)} *)
+
+val define_class : t -> Ode_lang.Ast.class_decl -> Ode_model.Schema.cls
+(** Typechecks the declaration (constraints, trigger conditions, method
+    bodies), rewrites bare member names to [this.f], registers and persists
+    it. *)
+
+val define : t -> string -> Ode_model.Schema.cls list
+(** Parse and define class declarations from source text. *)
+
+val create_cluster : t -> string -> unit
+(** Create the type extent; required before [pnew] (paper §2.5). *)
+
+val create_index : t -> cls:string -> field:string -> unit
+(** Create a secondary index and backfill it from existing objects. *)
+
+val catalog : t -> Ode_model.Catalog.t
+
+(** {1 Transactions} *)
+
+val with_txn : t -> (txn -> 'a) -> 'a
+(** Run, commit, then execute any trigger actions fired by the commit, each
+    as its own transaction (weak coupling, paper §6). On exception the
+    transaction is aborted and the exception re-raised. *)
+
+val begin_txn : t -> txn
+val commit : txn -> unit
+(** Commit and drain trigger actions. *)
+
+val abort : txn -> unit
+
+(** {1 Objects (within a transaction)} *)
+
+val pnew : txn -> string -> (string * Ode_model.Value.t) list -> Ode_model.Oid.t
+val pdelete : txn -> Ode_model.Oid.t -> unit
+val get : txn -> Ode_model.Oid.t -> (string * Ode_model.Value.t) list option
+val get_field : txn -> Ode_model.Oid.t -> string -> Ode_model.Value.t
+(** Raises [Not_found] on a dead object or unknown field. *)
+
+val set_field : txn -> Ode_model.Oid.t -> string -> Ode_model.Value.t -> unit
+val update : txn -> Ode_model.Oid.t -> (string * Ode_model.Value.t) list -> unit
+
+val exists : t -> ?txn:txn -> Ode_model.Oid.t -> bool
+val class_name_of : t -> Ode_model.Oid.t -> string option
+val is_instance : t -> Ode_model.Oid.t -> string -> bool
+(** Subclass-aware dynamic type test: the paper's [p is persistent C*]. *)
+
+val call : txn -> Ode_model.Oid.t -> string -> Ode_model.Value.t list -> Ode_model.Value.t
+(** Invoke a method with dynamic dispatch. *)
+
+val eval : txn -> ?vars:(string * Ode_model.Value.t) list -> Ode_lang.Ast.expr -> Ode_model.Value.t
+
+(** {1 Versions (paper §4)} *)
+
+val newversion : txn -> Ode_model.Oid.t -> int
+val versions : txn -> Ode_model.Oid.t -> int list
+val current_version : txn -> Ode_model.Oid.t -> int
+val get_version : txn -> Ode_model.Oid.vref -> (string * Ode_model.Value.t) list option
+val pdelete_version : txn -> Ode_model.Oid.vref -> unit
+
+(** {1 Triggers (paper §6)} *)
+
+val activate : txn -> Ode_model.Oid.t -> string -> Ode_model.Value.t list -> int
+(** Returns the trigger id. *)
+
+val deactivate : txn -> int -> unit
+
+val advance_time : t -> int -> unit
+(** Advance the logical clock; timed triggers whose deadline passed fire
+    their timeout actions (each as its own transaction). Must be called
+    outside a transaction. *)
+
+val now : t -> int
+
+val set_action_printer : t -> (string -> unit) -> unit
+(** Where [print] statements in trigger actions write (default stdout). *)
+
+(** {1 Named roots} *)
+
+val set_root : txn -> string -> Ode_model.Value.t -> unit
+val root : txn -> string -> Ode_model.Value.t option
+val root_exn : txn -> string -> Ode_model.Value.t

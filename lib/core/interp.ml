@@ -1,0 +1,105 @@
+module Ast = Ode_lang.Ast
+module Oid = Ode_model.Oid
+module Value = Ode_model.Value
+module Catalog = Ode_model.Catalog
+module Eval = Ode_model.Eval
+open Types
+
+type env = {
+  mutable vars : (string * Value.t) list;
+  print : string -> unit;
+  this : Value.t option;
+}
+
+let env ?(print = print_string) ?this () = { vars = []; print; this }
+
+let define_var e name v = e.vars <- (name, v) :: List.remove_assoc name e.vars
+let lookup_var e name = List.assoc_opt name e.vars
+let all_vars e = e.vars
+
+exception Returned of Value.t
+
+let err fmt = Format.kasprintf (fun s -> raise (Eval.Error s)) fmt
+
+let eval_expr txn env e =
+  Runtime.eval txn.tdb (Some txn) ~vars:env.vars ?this:env.this e
+
+let as_oid what (v : Value.t) =
+  match v with
+  | Ref oid -> oid
+  | v -> err "%s expects an object, got %a" what Value.pp v
+
+let rec exec_stmt txn env (s : Ast.stmt) =
+  let db = txn.tdb in
+  let ev e = eval_expr txn env e in
+  match s with
+  | SExpr (Call (None, "setroot", [ name_e; val_e ])) -> (
+      (* Named persistent roots, writable from scripts (used by dumps). *)
+      match ev name_e with
+      | Value.Str name ->
+          let buf = Buffer.create 16 in
+          Value.encode buf (ev val_e);
+          Store.write txn (Keys.root name) (Buffer.contents buf)
+      | v -> err "setroot expects a string name, got %a" Value.pp v)
+  | SExpr e -> ignore (ev e)
+  | SPrint es ->
+      let parts =
+        List.map
+          (fun e -> match ev e with Value.Str s -> s | v -> Value.to_string v)
+          es
+      in
+      env.print (String.concat " " parts ^ "\n")
+  | SAssign (x, e) -> define_var env x (ev e)
+  | SSetField (o, f, e) ->
+      let oid = as_oid "field update" (ev o) in
+      Store.update_fields txn oid [ (f, ev e) ]
+  | SNew (tgt, cname, inits) ->
+      let cls = Catalog.find_exn db.catalog cname in
+      let values = List.map (fun (f, e) -> (f, ev e)) inits in
+      let oid = Store.create txn cls values in
+      (match tgt with Some x -> define_var env x (Value.Ref oid) | None -> ())
+  | SDelete e -> Store.delete_object txn (as_oid "pdelete" (ev e))
+  | SForall q ->
+      (* The loop variable is scoped to the loop (shadowing any outer binding
+         of the same name); all other assignments made by the body persist,
+         so accumulator loops like [total := total + x.age] work. *)
+      let outer = List.assoc_opt q.q_var env.vars in
+      Query.run db ~txn ~env:env.vars ~var:q.q_var ~cls:q.q_cls ~deep:q.q_deep
+        ?suchthat:q.q_suchthat ?by:q.q_by
+        (fun oid ->
+          define_var env q.q_var (Value.Ref oid);
+          exec_stmts txn env q.q_body);
+      env.vars <- List.remove_assoc q.q_var env.vars;
+      (match outer with Some v -> define_var env q.q_var v | None -> ())
+  | SIf (c, then_, else_) ->
+      if Eval.truthy (ev c) then exec_stmts txn env then_ else exec_stmts txn env else_
+  | SNewVersion e -> ignore (Store.new_version txn (as_oid "newversion" (ev e)))
+  | SActivate (tgt, recv, name, args) ->
+      let oid = as_oid "activate" (ev recv) in
+      let tid = Triggers.activate txn oid name (List.map ev args) in
+      (match tgt with Some x -> define_var env x (Value.Int tid) | None -> ())
+  | SDeactivate e -> (
+      match ev e with
+      | Value.Int tid -> Triggers.deactivate txn tid
+      | v -> err "deactivate expects a trigger id, got %a" Value.pp v)
+  | SInsert (e, f, obj) ->
+      let oid = as_oid "insert into" (ev obj) in
+      let v = ev e in
+      (match Store.get_field db (Some txn) oid f with
+      | Some (Value.VSet _ as s) -> Store.update_fields txn oid [ (f, Value.set_add v s) ]
+      | Some (Value.VList vs) -> Store.update_fields txn oid [ (f, Value.VList (vs @ [ v ])) ]
+      | Some other -> err "insert into %s: not a set or list (%a)" f Value.pp other
+      | None -> err "insert into: no field %s" f)
+  | SRemove (e, f, obj) ->
+      let oid = as_oid "remove from" (ev obj) in
+      let v = ev e in
+      (match Store.get_field db (Some txn) oid f with
+      | Some (Value.VSet _ as s) -> Store.update_fields txn oid [ (f, Value.set_remove v s) ]
+      | Some (Value.VList vs) ->
+          Store.update_fields txn oid
+            [ (f, Value.VList (List.filter (fun x -> not (Value.equal x v)) vs)) ]
+      | Some other -> err "remove from %s: not a set or list (%a)" f Value.pp other
+      | None -> err "remove from: no field %s" f)
+  | SReturn e -> raise (Returned (ev e))
+
+and exec_stmts txn env ss = List.iter (exec_stmt txn env) ss

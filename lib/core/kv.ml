@@ -1,0 +1,63 @@
+(* The committed key-value store: a B+tree directory mapping logical keys to
+   heap record ids. Payloads of any size live in the heap; the directory
+   keeps keys ordered so class extents and index ranges scan in key order. *)
+
+module Heap = Ode_storage.Heap
+module Bptree = Ode_index.Bptree
+open Types
+
+let encode_rid (rid : Heap.rid) =
+  let b = Buffer.create 6 in
+  Heap.encode_rid b rid;
+  Buffer.contents b
+
+let decode_rid s = Heap.decode_rid (Ode_util.Codec.cursor s)
+
+let get db key =
+  match Bptree.find db.kv_dir key with
+  | None -> None
+  | Some rid -> Heap.get db.kv_heap (decode_rid rid)
+
+let mem db key = Bptree.mem db.kv_dir key
+
+let put db key payload =
+  let fresh () =
+    let rid = Heap.insert db.kv_heap payload in
+    Bptree.insert db.kv_dir key (encode_rid rid)
+  in
+  match Bptree.find db.kv_dir key with
+  | None -> fresh ()
+  | Some rid_s -> (
+      let rid = decode_rid rid_s in
+      (* After a crash mid-apply the directory can point at a dead or torn
+         record; recovery replays the Put, which must then insert afresh. *)
+      match Heap.get db.kv_heap rid with
+      | Some _ ->
+          let rid' = Heap.update db.kv_heap rid payload in
+          if not (Heap.rid_equal rid rid') then Bptree.insert db.kv_dir key (encode_rid rid')
+      | None | (exception Ode_util.Codec.Corrupt _) -> fresh ())
+
+let delete db key =
+  match Bptree.find db.kv_dir key with
+  | None -> ()
+  | Some rid_s ->
+      ignore (Heap.delete db.kv_heap (decode_rid rid_s));
+      ignore (Bptree.delete db.kv_dir key)
+
+(* [f key payload]; return false to stop. *)
+let iter_prefix db prefix f =
+  (* Collect the matching directory entries first: the callback may mutate
+     the tree (e.g. a fixpoint query inserting objects mid-scan), and B+tree
+     iteration is not stable under concurrent splits. *)
+  let entries = ref [] in
+  Bptree.iter_prefix db.kv_dir prefix (fun k rid ->
+      entries := (k, rid) :: !entries;
+      true);
+  let rec go = function
+    | [] -> ()
+    | (k, rid_s) :: rest -> (
+        match Heap.get db.kv_heap (decode_rid rid_s) with
+        | None -> go rest (* deleted since collection *)
+        | Some payload -> if f k payload then go rest)
+  in
+  go (List.rev !entries)

@@ -1,0 +1,21 @@
+(** The committed key-value store: a B+tree directory mapping logical keys
+    (see {!Keys}) to heap record ids, with payloads in the heap.
+
+    This is the *committed* state only — transactions overlay it with their
+    write set (see {!Store.read}). Keys are ordered, so class extents and
+    index ranges scan in key order. All operations are idempotent with
+    respect to crash-recovery replay: {!put} tolerates a directory entry
+    pointing at a dead or torn heap record (it re-inserts). *)
+
+open Types
+
+val get : db -> string -> string option
+val mem : db -> string -> bool
+val put : db -> string -> string -> unit
+val delete : db -> string -> unit
+
+val iter_prefix : db -> string -> (string -> string -> bool) -> unit
+(** [iter_prefix db p f] visits entries whose key starts with [p] in key
+    order; [f] returns [false] to stop. The matching directory entries are
+    collected before any payload is fetched, so the callback may safely
+    mutate the store mid-scan. *)

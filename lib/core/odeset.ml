@@ -1,0 +1,52 @@
+module Value = Ode_model.Value
+
+let empty = Value.VSet []
+let of_list = Value.set_of_list
+
+let to_list = function
+  | Value.VSet vs -> vs
+  | v -> invalid_arg (Fmt.str "odeset: not a set: %a" Value.pp v)
+
+let add = Value.set_add
+let remove = Value.set_remove
+let mem = Value.set_mem
+let cardinal s = List.length (to_list s)
+let union a b = List.fold_left (fun acc v -> add v acc) a (to_list b)
+let diff a b = List.fold_left (fun acc v -> remove v acc) a (to_list b)
+let inter a b = of_list (List.filter (fun v -> mem v b) (to_list a))
+let subset a b = List.for_all (fun v -> mem v b) (to_list a)
+let iter f s = List.iter f (to_list s)
+
+type worklist = {
+  queue : Value.t Queue.t;
+  visited : (Value.t, unit) Hashtbl.t; (* everything ever enqueued *)
+}
+
+let worklist s =
+  let w = { queue = Queue.create (); visited = Hashtbl.create 64 } in
+  iter
+    (fun v ->
+      Hashtbl.replace w.visited v ();
+      Queue.add v w.queue)
+    s;
+  w
+
+let insert w v =
+  if Hashtbl.mem w.visited v then false
+  else begin
+    Hashtbl.replace w.visited v ();
+    Queue.add v w.queue;
+    true
+  end
+
+let iter_fix w f =
+  let rec go () =
+    match Queue.take_opt w.queue with
+    | None -> ()
+    | Some v ->
+        f v;
+        go ()
+  in
+  go ()
+
+let seen w = of_list (Hashtbl.fold (fun v () acc -> v :: acc) w.visited [])

@@ -1,0 +1,49 @@
+(** Sets with iteration-sees-inserts semantics (paper §2.6 and §3.2).
+
+    O++ sets are values ([set<stockitem*> items]) manipulated with insert /
+    remove / membership and iterated with [forall]. The distinctive
+    semantics is that "we allow iteration to also be performed over the
+    elements that are added during the iteration, which allows the
+    expression of recursive queries": {!iter_fix} is that worklist loop, and
+    is how transitive closure / parts-explosion queries are written.
+
+    This module operates on {!Ode_model.Value.t} sets so the same functions
+    serve set-valued object fields and transient sets. *)
+
+module Value = Ode_model.Value
+
+val empty : Value.t
+val of_list : Value.t list -> Value.t
+val to_list : Value.t -> Value.t list
+val add : Value.t -> Value.t -> Value.t
+val remove : Value.t -> Value.t -> Value.t
+val mem : Value.t -> Value.t -> bool
+val cardinal : Value.t -> int
+val union : Value.t -> Value.t -> Value.t
+val diff : Value.t -> Value.t -> Value.t
+val inter : Value.t -> Value.t -> Value.t
+val subset : Value.t -> Value.t -> bool
+
+val iter : (Value.t -> unit) -> Value.t -> unit
+(** Plain iteration over a snapshot, in {!Value.compare} order. *)
+
+(** {1 Fixpoint iteration} *)
+
+type worklist
+(** A mutable iteration state seeded from a set; insertions during iteration
+    are visited exactly once each. *)
+
+val worklist : Value.t -> worklist
+
+val insert : worklist -> Value.t -> bool
+(** [insert w v] adds [v] to the iteration if never seen; returns whether it
+    was new. *)
+
+val iter_fix : worklist -> (Value.t -> unit) -> unit
+(** Drain the worklist: the body may {!insert}; iteration ends when no
+    unvisited element remains (the least fixpoint of the body's
+    insertions). *)
+
+val seen : worklist -> Value.t
+(** Every element ever inserted, as a set: after {!iter_fix} this is the
+    closure. *)

@@ -1,0 +1,176 @@
+module Ast = Ode_lang.Ast
+module Value = Ode_model.Value
+module Catalog = Ode_model.Catalog
+module Eval = Ode_model.Eval
+open Types
+
+type access =
+  | Full_scan
+  | Index_eq of { idx_id : int; field : string; value : Value.t }
+  | Index_range of {
+      idx_id : int;
+      field : string;
+      lo : (Value.t * bool) option;
+      hi : (Value.t * bool) option;
+    }
+
+type plan = {
+  p_cls : string;
+  p_deep : bool;
+  p_classes : string list;
+  p_access : access;
+  p_residual : Ast.expr option;
+  p_var : string;
+}
+
+(* -- conjunct analysis ------------------------------------------------------ *)
+
+let rec conjuncts (e : Ast.expr) =
+  match e with
+  | Binop (And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let rec conjoin = function
+  | [] -> None
+  | [ e ] -> Some e
+  | e :: rest -> ( match conjoin rest with Some r -> Some (Ast.Binop (And, e, r)) | None -> Some e)
+
+(* An expression is constant for the scan if it never mentions the loop
+   variable or [this]; such expressions are evaluated once up front. *)
+let rec closed_for var (e : Ast.expr) =
+  match e with
+  | Var x -> x <> var
+  | This -> false
+  | Null | Int _ | Float _ | Bool _ | Str _ -> true
+  | Field (b, _) -> closed_for var b
+  | Binop (_, a, b) -> closed_for var a && closed_for var b
+  | Unop (_, a) -> closed_for var a
+  | Call (recv, _, args) ->
+      Option.fold ~none:true ~some:(closed_for var) recv && List.for_all (closed_for var) args
+  | Is (a, _) -> closed_for var a
+  | SetLit es | ListLit es -> List.for_all (closed_for var) es
+
+(* A sargable conjunct: [var.field OP closed-expr] (or mirrored). Returns
+   (field, op-normalized-with-field-on-the-left, constant value). *)
+type sarg = { s_field : string; s_op : Ast.binop; s_const : Value.t }
+
+let flip_op : Ast.binop -> Ast.binop = function
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+  | op -> op
+
+let as_sarg db txn env var (e : Ast.expr) =
+  let eval_const c =
+    match Runtime.eval db txn ~vars:env c with v -> Some v | exception Eval.Error _ -> None
+  in
+  match e with
+  | Binop (((Eq | Lt | Le | Gt | Ge) as op), Field (Var v, f), c) when v = var && closed_for var c
+    -> (
+      match eval_const c with
+      | Some value -> Some { s_field = f; s_op = op; s_const = value }
+      | None -> None)
+  | Binop (((Eq | Lt | Le | Gt | Ge) as op), c, Field (Var v, f)) when v = var && closed_for var c
+    -> (
+      match eval_const c with
+      | Some value -> Some { s_field = f; s_op = flip_op op; s_const = value }
+      | None -> None)
+  | _ -> None
+
+(* -- plan construction ----------------------------------------------------------- *)
+
+let indexable_value (v : Value.t) =
+  match v with Null | Int _ | Float _ | Bool _ | Str _ | Ref _ -> true | _ -> false
+
+let plan db ?(env = []) ~var ~cls ~deep ~suchthat () =
+  let _ = Catalog.find_exn db.catalog cls in
+  let classes = if deep then Catalog.subclasses db.catalog cls else [ cls ] in
+  let indexed = Catalog.indexes_on db.catalog cls in
+  let txn = db.active in
+  match suchthat with
+  | None ->
+      { p_cls = cls; p_deep = deep; p_classes = classes; p_access = Full_scan; p_residual = None; p_var = var }
+  | Some e ->
+      let cs = conjuncts e in
+      let tagged = List.map (fun c -> (c, as_sarg db txn env var c)) cs in
+      (* Prefer an equality probe; otherwise combine the range conjuncts on
+         one indexed field. *)
+      let indexed_sargs =
+        List.filter_map
+          (fun (c, s) ->
+            match s with
+            | Some s when List.mem s.s_field indexed && indexable_value s.s_const -> Some (c, s)
+            | _ -> None)
+          tagged
+      in
+      let pick_index field =
+        (* The index may be declared on an ancestor: find it up the lineage. *)
+        let ancestors =
+          List.map
+            (fun (a : Ode_model.Schema.cls) -> a.Ode_model.Schema.name)
+            (Catalog.lineage db.catalog (Catalog.find_exn db.catalog cls))
+        in
+        let rec go i = function
+          | [] -> None
+          | (icls, f) :: rest ->
+              if f = field && List.mem icls ancestors then Some i else go (i + 1) rest
+        in
+        go 0 (Catalog.indexes db.catalog)
+      in
+      let eq = List.find_opt (fun (_, s) -> s.s_op = Ast.Eq) indexed_sargs in
+      let access, used =
+        match eq with
+        | Some (c, s) -> (
+            match pick_index s.s_field with
+            | Some idx_id -> (Index_eq { idx_id; field = s.s_field; value = s.s_const }, [ c ])
+            | None -> (Full_scan, []))
+        | None -> (
+            (* Gather range bounds on the first indexed field that has any. *)
+            match indexed_sargs with
+            | [] -> (Full_scan, [])
+            | (_, s0) :: _ -> (
+                let field = s0.s_field in
+                let same = List.filter (fun (_, s) -> s.s_field = field) indexed_sargs in
+                (* Bounds narrow the scan; the conjuncts stay in the residual,
+                   so an imperfect bound combination can never produce wrong
+                   results, only a wider scan. *)
+                let lo, hi =
+                  List.fold_left
+                    (fun (lo, hi) (_, s) ->
+                      match s.s_op with
+                      | Ast.Gt -> (Some (s.s_const, false), hi)
+                      | Ast.Ge -> (Some (s.s_const, true), hi)
+                      | Ast.Lt -> (lo, Some (s.s_const, false))
+                      | Ast.Le -> (lo, Some (s.s_const, true))
+                      | _ -> (lo, hi))
+                    (None, None) same
+                in
+                match pick_index field with
+                | Some idx_id when lo <> None || hi <> None ->
+                    (Index_range { idx_id; field; lo; hi }, [])
+                | _ -> (Full_scan, [])))
+      in
+      let residual = conjoin (List.filter (fun c -> not (List.memq c used)) cs) in
+      { p_cls = cls; p_deep = deep; p_classes = classes; p_access = access; p_residual = residual; p_var = var }
+
+let explain p =
+  let b = Buffer.create 64 in
+  (match p.p_access with
+  | Full_scan ->
+      Buffer.add_string b
+        (Printf.sprintf "full scan of cluster %s%s" p.p_cls (if p.p_deep then " (deep)" else ""))
+  | Index_eq { field; value; _ } ->
+      Buffer.add_string b (Printf.sprintf "index probe %s(%s) = %s" p.p_cls field (Value.to_string value))
+  | Index_range { field; lo; hi; _ } ->
+      let bound (v, incl) op = Printf.sprintf "%s%s %s" op (if incl then "=" else "") (Value.to_string v) in
+      let parts =
+        List.filter_map Fun.id
+          [ Option.map (fun x -> bound x ">") lo; Option.map (fun x -> bound x "<") hi ]
+      in
+      Buffer.add_string b
+        (Printf.sprintf "index range %s(%s) %s" p.p_cls field (String.concat " and " parts)));
+  (match p.p_residual with
+  | Some e -> Buffer.add_string b (" — residual: " ^ Ode_lang.Pp.expr_to_string e)
+  | None -> ());
+  Buffer.contents b

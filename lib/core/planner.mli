@@ -1,0 +1,45 @@
+(** Access-path selection for [forall ... suchthat] iteration.
+
+    The paper notes the [suchthat] and [by] clauses "can be used to
+    advantage in query optimization" (§3.1); this planner does exactly that:
+    it splits the [suchthat] expression into conjuncts, looks for a
+    sargable conjunct ([var.field OP constant]) on an indexed field, and
+    turns it into a point or range probe of the secondary index, with the
+    remaining conjuncts as a residual filter. *)
+
+open Types
+
+type access =
+  | Full_scan
+  | Index_eq of { idx_id : int; field : string; value : Ode_model.Value.t }
+  | Index_range of {
+      idx_id : int;
+      field : string;
+      lo : (Ode_model.Value.t * bool) option;  (** bound, inclusive *)
+      hi : (Ode_model.Value.t * bool) option;
+    }
+
+type plan = {
+  p_cls : string;             (** root class of the iteration *)
+  p_deep : bool;              (** include subclass clusters (paper §3.1.1) *)
+  p_classes : string list;    (** concrete clusters the scan will accept *)
+  p_access : access;
+  p_residual : Ode_lang.Ast.expr option;  (** checked per candidate object *)
+  p_var : string;             (** the loop variable the residual binds *)
+}
+
+val plan :
+  db ->
+  ?env:(string * Ode_model.Value.t) list ->
+  var:string ->
+  cls:string ->
+  deep:bool ->
+  suchthat:Ode_lang.Ast.expr option ->
+  unit ->
+  plan
+(** Raises {!Ode_model.Catalog.Schema_error} for an unknown class. [env]
+    supplies outer loop bindings so join conjuncts become probes. *)
+
+val explain : plan -> string
+(** Human-readable plan, e.g.
+    ["index range person(age): 30 < age — residual: (x.name != \"\")"]. *)

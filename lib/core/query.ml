@@ -1,0 +1,295 @@
+module Ast = Ode_lang.Ast
+module Oid = Ode_model.Oid
+module Value = Ode_model.Value
+module Schema = Ode_model.Schema
+module Catalog = Ode_model.Catalog
+module Eval = Ode_model.Eval
+module Bptree = Ode_index.Bptree
+open Types
+
+let class_ids db classes =
+  List.filter_map
+    (fun name -> Option.map (fun (c : Schema.cls) -> c.Schema.id) (Catalog.find db.catalog name))
+    classes
+
+(* Does the (live) object [oid] belong to one of the accepted clusters? *)
+let accept_class ids (oid : Oid.t) = List.mem oid.cls ids
+
+(* Committed extent of one class, in creation order. *)
+let committed_candidates db cls_id f =
+  Kv.iter_prefix db (Keys.header_prefix_class cls_id) (fun key _ ->
+      f (Keys.oid_of_header_key key);
+      true)
+
+(* Transaction-local additions: objects created (or touched — their state may
+   newly match an indexed predicate) in the active transaction. *)
+let txn_candidates txn ids f =
+  match txn with
+  | None -> ()
+  | Some t ->
+      List.iter (fun oid -> if accept_class ids oid then f oid) (List.rev t.created);
+      Hashtbl.iter (fun oid () -> if accept_class ids oid then f oid) t.touched
+
+let index_candidates db (access : Planner.access) f =
+  match access with
+  | Planner.Full_scan -> invalid_arg "index_candidates: full scan"
+  | Planner.Index_eq { idx_id; value; _ } ->
+      let prefix = Keys.index_tree_key (Keys.index_value_prefix ~idx_id ~valkey:(Value.index_key value)) in
+      Bptree.iter_prefix db.idx prefix (fun key _ ->
+          f (Keys.oid_of_index_key key);
+          true)
+  | Planner.Index_range { idx_id; lo; hi; _ } ->
+      let tree_prefix = Keys.index_tree_key (Keys.index_prefix ~idx_id) in
+      let lo_key =
+        match lo with
+        | None -> Some tree_prefix
+        | Some (v, incl) ->
+            let vk = tree_prefix ^ Value.index_key v in
+            if incl then Some vk
+            else
+              (* strictly greater: skip every entry with this exact value *)
+              Ode_util.Key.succ_prefix vk
+      in
+      let hi_key =
+        match hi with
+        | None -> Ode_util.Key.succ_prefix tree_prefix
+        | Some (v, incl) ->
+            let vk = tree_prefix ^ Value.index_key v in
+            if incl then Ode_util.Key.succ_prefix vk else Some vk
+      in
+      let lo_key = Option.value lo_key ~default:tree_prefix in
+      Bptree.iter_range db.idx ~lo:lo_key ?hi:hi_key (fun key _ ->
+          f (Keys.oid_of_index_key key);
+          true)
+
+(* [by x.f asc] over a single cluster with an index on [f] can stream in
+   index order instead of materializing and sorting — but only when the
+   transaction has no pending writes on that cluster (a dirty write set
+   would have to be merge-sorted in; we fall back to sorting then). *)
+let index_order_plan db txn (plan : Planner.plan) by =
+  match (by, plan.p_classes) with
+  | Some (Ast.Field (Ast.Var v, f), order), [ only_cls ] when v = plan.p_var -> (
+      let txn_dirty =
+        match txn with
+        | None -> false
+        | Some t -> Hashtbl.length t.writes > 0
+      in
+      if txn_dirty then None
+      else
+        match (plan.p_access, Store.index_ids db ~cls:only_cls ~field:f) with
+        | (Planner.Full_scan | Planner.Index_range _), None -> (
+            (* the index may be declared on an ancestor *)
+            let cls = Catalog.find_exn db.catalog only_cls in
+            let rec pick i = function
+              | [] -> None
+              | (icls, fld) :: rest ->
+                  if fld = f && Catalog.is_subclass db.catalog ~sub:only_cls ~super:icls then
+                    Some i
+                  else pick (i + 1) rest
+            in
+            match pick 0 (Catalog.indexes db.catalog) with
+            | Some idx_id -> Some (idx_id, order, cls.Schema.id)
+            | None -> None)
+        | (Planner.Full_scan | Planner.Index_range _), Some idx_id ->
+            let cls = Catalog.find_exn db.catalog only_cls in
+            Some (idx_id, order, cls.Schema.id)
+        | Planner.Index_eq _, _ -> None)
+  | _ -> None
+
+let run db ?txn ?(env = []) ~var ~cls ?(deep = false) ?suchthat ?filter ?by ?(fixpoint = false) body
+    =
+  let txn = match txn with Some t -> Some t | None -> db.active in
+  if fixpoint && by <> None then invalid_arg "query: fixpoint iteration cannot be ordered";
+  let plan = Planner.plan db ~env ~var ~cls ~deep ~suchthat () in
+  let ids = class_ids db plan.p_classes in
+  let hooks = Runtime.hooks db txn in
+  let accept oid =
+    Ode_util.Stats.incr_objects_scanned ();
+    accept_class ids oid
+    && Store.exists db txn oid
+    && (match suchthat with
+       | None -> true
+       | Some e -> (
+           let vars = (var, Value.Ref oid) :: env in
+           match Eval.eval hooks ~vars ~this:None e with
+           | v -> ( try Eval.truthy v with Eval.Error _ -> false)
+           | exception Eval.Error _ -> false))
+    && match filter with None -> true | Some f -> f oid
+  in
+  let use_index = match plan.p_access with Planner.Full_scan -> false | _ -> not fixpoint in
+  let emit_in_order f =
+    if use_index then begin
+      (* Index entries reflect committed state only; candidates are always
+         re-verified against the transaction's view, and txn-local objects
+         are appended as extra candidates. *)
+      let seen = Hashtbl.create 64 in
+      let once oid =
+        if not (Hashtbl.mem seen oid) then begin
+          Hashtbl.replace seen oid ();
+          if accept oid then f oid
+        end
+      in
+      index_candidates db plan.p_access once;
+      txn_candidates txn ids once
+    end
+    else begin
+      List.iter (fun cid -> committed_candidates db cid (fun oid -> if accept oid then f oid)) ids;
+      match txn with
+      | None -> ()
+      | Some t ->
+          List.iter
+            (fun oid -> if accept_class ids oid && accept oid then f oid)
+            (List.rev t.created)
+    end
+  in
+  match by with
+  | Some (key_expr, order) -> (
+      match index_order_plan db txn plan by with
+      | Some (idx_id, ord, cls_id) ->
+          (* Stream the index in key order; entries for other classes of a
+             shared ancestor index are filtered by the oid's class id. *)
+          let tree_prefix = Keys.index_tree_key (Keys.index_prefix ~idx_id) in
+          let step f key _ =
+            let oid = Keys.oid_of_index_key key in
+            if oid.Oid.cls = cls_id && accept oid then f oid;
+            true
+          in
+          (match ord with
+          | Ast.Asc -> Bptree.iter_prefix db.idx tree_prefix (step body)
+          | Ast.Desc -> Bptree.iter_prefix_rev db.idx tree_prefix (step body))
+      | None ->
+          let rows = ref [] in
+          emit_in_order (fun oid ->
+              let vars = (var, Value.Ref oid) :: env in
+              let k =
+                match Eval.eval hooks ~vars ~this:None key_expr with
+                | v -> v
+                | exception Eval.Error _ -> Value.Null
+              in
+              rows := (k, oid) :: !rows);
+          let cmp (a, _) (b, _) =
+            match order with Ast.Asc -> Value.compare a b | Ast.Desc -> Value.compare b a
+          in
+          List.iter (fun (_, oid) -> body oid) (List.stable_sort cmp (List.rev !rows)))
+  | None ->
+      if not fixpoint then emit_in_order body
+      else begin
+        (* Fixpoint semantics: the body may pnew into the cluster; newly
+           created objects are fed back into the iteration until quiescence. *)
+        let t =
+          match txn with
+          | Some t -> t
+          | None -> invalid_arg "query: fixpoint iteration requires a transaction"
+        in
+        let processed = Hashtbl.create 64 in
+        let process oid =
+          if not (Hashtbl.mem processed oid) then begin
+            Hashtbl.replace processed oid ();
+            if accept oid then body oid
+          end
+        in
+        List.iter (fun cid -> committed_candidates db cid process) ids;
+        let rec drain () =
+          let fresh =
+            List.filter
+              (fun oid -> accept_class ids oid && not (Hashtbl.mem processed oid))
+              (List.rev t.created)
+          in
+          if fresh <> [] then begin
+            List.iter process fresh;
+            drain ()
+          end
+        in
+        drain ()
+      end
+
+let fold db ?txn ?env ~var ~cls ?deep ?suchthat ?filter ?by ~init f =
+  let acc = ref init in
+  run db ?txn ?env ~var ~cls ?deep ?suchthat ?filter ?by (fun oid -> acc := f !acc oid);
+  !acc
+
+let to_list db ?txn ?env ~var ~cls ?deep ?suchthat ?filter ?by () =
+  List.rev (fold db ?txn ?env ~var ~cls ?deep ?suchthat ?filter ?by ~init:[] (fun acc o -> o :: acc))
+
+let count db ?txn ?deep ?suchthat ~var ~cls () =
+  fold db ?txn ~var ~cls ?deep ?suchthat ~init:0 (fun n _ -> n + 1)
+
+let join2 db ?txn ~outer:(ovar, ocls) ~inner:(ivar, icls) ?deep ?suchthat body =
+  let txn = match txn with Some t -> Some t | None -> db.active in
+  run db ?txn ~var:ovar ~cls:ocls ?deep (fun o ->
+      run db ?txn
+        ~env:[ (ovar, Value.Ref o) ]
+        ~var:ivar ~cls:icls ?deep ?suchthat
+        (fun i -> body o i))
+
+let explain db ?env ~var ~cls ?(deep = false) ?suchthat () =
+  Planner.explain (Planner.plan db ?env ~var ~cls ~deep ~suchthat ())
+
+(* -- aggregates ------------------------------------------------------------- *)
+
+(* The paper's §3.1 loops ("average income of all persons") packaged as
+   combinators: evaluate [expr] for every qualifying object and combine.
+   Null results of [expr] are skipped, like SQL aggregates skip NULL. *)
+
+let eval_key db txn hooks env var key_expr oid =
+  ignore db;
+  ignore txn;
+  let vars = (var, Value.Ref oid) :: env in
+  match Eval.eval hooks ~vars ~this:None key_expr with
+  | v -> v
+  | exception Eval.Error _ -> Value.Null
+
+let aggregate db ?txn ?(env = []) ~var ~cls ?deep ?suchthat ~expr ~init ~combine () =
+  let txn = match txn with Some t -> Some t | None -> db.active in
+  let hooks = Runtime.hooks db txn in
+  let acc = ref init in
+  run db ?txn ~env ~var ~cls ?deep ?suchthat (fun oid ->
+      match eval_key db txn hooks env var expr oid with
+      | Value.Null -> ()
+      | v -> acc := combine !acc v);
+  !acc
+
+let as_float = function
+  | Value.Int n -> float_of_int n
+  | Value.Float f -> f
+  | v -> raise (Eval.Error (Fmt.str "aggregate over non-numeric value %a" Value.pp v))
+
+let sum db ?txn ?env ~var ~cls ?deep ?suchthat ~expr () =
+  aggregate db ?txn ?env ~var ~cls ?deep ?suchthat ~expr ~init:0.0
+    ~combine:(fun acc v -> acc +. as_float v)
+    ()
+
+let average db ?txn ?env ~var ~cls ?deep ?suchthat ~expr () =
+  let total, n =
+    aggregate db ?txn ?env ~var ~cls ?deep ?suchthat ~expr ~init:(0.0, 0)
+      ~combine:(fun (t, n) v -> (t +. as_float v, n + 1))
+      ()
+  in
+  if n = 0 then None else Some (total /. float_of_int n)
+
+let minimum db ?txn ?env ~var ~cls ?deep ?suchthat ~expr () =
+  aggregate db ?txn ?env ~var ~cls ?deep ?suchthat ~expr ~init:None
+    ~combine:(fun acc v ->
+      match acc with Some m when Value.compare m v <= 0 -> acc | _ -> Some v)
+    ()
+
+let maximum db ?txn ?env ~var ~cls ?deep ?suchthat ~expr () =
+  aggregate db ?txn ?env ~var ~cls ?deep ?suchthat ~expr ~init:None
+    ~combine:(fun acc v ->
+      match acc with Some m when Value.compare m v >= 0 -> acc | _ -> Some v)
+    ()
+
+(* [group_count db ~expr ...] — how many objects per value of [expr]; the
+   building block of the paper's per-class reports. *)
+let group_count db ?txn ?env ~var ~cls ?deep ?suchthat ~expr () =
+  let groups : (Value.t, int) Hashtbl.t = Hashtbl.create 16 in
+  let (_ : int) =
+    aggregate db ?txn ?env ~var ~cls ?deep ?suchthat ~expr ~init:0
+      ~combine:(fun n v ->
+        Hashtbl.replace groups v (1 + Option.value (Hashtbl.find_opt groups v) ~default:0);
+        n + 1)
+      ()
+  in
+  List.sort
+    (fun (a, _) (b, _) -> Value.compare a b)
+    (Hashtbl.fold (fun v n acc -> (v, n) :: acc) groups [])

@@ -1,0 +1,143 @@
+(** Cluster iteration — the paper's [forall x in C suchthat e by e'] (§3).
+
+    Iteration visits the cluster (type extent) of a class; with [~deep:true]
+    it also visits every subcluster, mirroring the class hierarchy
+    (§3.1.1). The [suchthat] predicate is planned through {!Planner} (index
+    probe when possible, full scan otherwise) but is always re-evaluated
+    per candidate against the transaction's own view, so index staleness
+    with respect to uncommitted updates never produces wrong answers.
+
+    With [~fixpoint:true], objects inserted into the cluster by the loop
+    body are themselves visited — the paper's mechanism for expressing
+    recursive (least-fixpoint) queries (§3.2). Fixpoint iteration requires
+    an active transaction and is incompatible with [by]. *)
+
+open Types
+
+val run :
+  db ->
+  ?txn:txn ->
+  ?env:(string * Ode_model.Value.t) list ->
+  var:string ->
+  cls:string ->
+  ?deep:bool ->
+  ?suchthat:Ode_lang.Ast.expr ->
+  ?filter:(Ode_model.Oid.t -> bool) ->
+  ?by:Ode_lang.Ast.expr * Ode_lang.Ast.order ->
+  ?fixpoint:bool ->
+  (Ode_model.Oid.t -> unit) ->
+  unit
+(** [txn] defaults to the database's active transaction, if any. [env]
+    provides outer loop variables (for join inner loops). [filter] is an
+    extra OCaml-side predicate for EDSL users. *)
+
+val fold :
+  db ->
+  ?txn:txn ->
+  ?env:(string * Ode_model.Value.t) list ->
+  var:string ->
+  cls:string ->
+  ?deep:bool ->
+  ?suchthat:Ode_lang.Ast.expr ->
+  ?filter:(Ode_model.Oid.t -> bool) ->
+  ?by:Ode_lang.Ast.expr * Ode_lang.Ast.order ->
+  init:'a ->
+  ('a -> Ode_model.Oid.t -> 'a) ->
+  'a
+
+val to_list :
+  db ->
+  ?txn:txn ->
+  ?env:(string * Ode_model.Value.t) list ->
+  var:string ->
+  cls:string ->
+  ?deep:bool ->
+  ?suchthat:Ode_lang.Ast.expr ->
+  ?filter:(Ode_model.Oid.t -> bool) ->
+  ?by:Ode_lang.Ast.expr * Ode_lang.Ast.order ->
+  unit ->
+  Ode_model.Oid.t list
+
+val count :
+  db ->
+  ?txn:txn ->
+  ?deep:bool ->
+  ?suchthat:Ode_lang.Ast.expr ->
+  var:string ->
+  cls:string ->
+  unit ->
+  int
+
+val join2 :
+  db ->
+  ?txn:txn ->
+  outer:string * string ->
+  inner:string * string ->
+  ?deep:bool ->
+  ?suchthat:Ode_lang.Ast.expr ->
+  (Ode_model.Oid.t -> Ode_model.Oid.t -> unit) ->
+  unit
+(** [join2 db ~outer:(x, C1) ~inner:(y, C2) ~suchthat f] — the paper's
+    multiple-loop-variable [forall]: nested iteration where the inner loop
+    is planned with the outer binding known, so an equi-join conjunct
+    [y.f == x.g] becomes an index probe per outer row when [C2(f)] is
+    indexed. *)
+
+val explain :
+  db ->
+  ?env:(string * Ode_model.Value.t) list ->
+  var:string ->
+  cls:string ->
+  ?deep:bool ->
+  ?suchthat:Ode_lang.Ast.expr ->
+  unit ->
+  string
+(** The plan {!Planner.explain} would execute right now. *)
+
+(** {1 Aggregates}
+
+    The paper's §3.1 aggregate loops ("average income of all persons"),
+    packaged: [expr] is evaluated per qualifying object with the loop
+    variable bound; [Null] results are skipped (like SQL aggregates skip
+    NULL). *)
+
+val aggregate :
+  db ->
+  ?txn:txn ->
+  ?env:(string * Ode_model.Value.t) list ->
+  var:string ->
+  cls:string ->
+  ?deep:bool ->
+  ?suchthat:Ode_lang.Ast.expr ->
+  expr:Ode_lang.Ast.expr ->
+  init:'a ->
+  combine:('a -> Ode_model.Value.t -> 'a) ->
+  unit ->
+  'a
+
+val sum :
+  db -> ?txn:txn -> ?env:(string * Ode_model.Value.t) list -> var:string -> cls:string ->
+  ?deep:bool -> ?suchthat:Ode_lang.Ast.expr -> expr:Ode_lang.Ast.expr -> unit -> float
+(** Raises {!Ode_model.Eval.Error} when [expr] yields a non-numeric,
+    non-null value. *)
+
+val average :
+  db -> ?txn:txn -> ?env:(string * Ode_model.Value.t) list -> var:string -> cls:string ->
+  ?deep:bool -> ?suchthat:Ode_lang.Ast.expr -> expr:Ode_lang.Ast.expr -> unit -> float option
+(** [None] when no object qualifies. *)
+
+val minimum :
+  db -> ?txn:txn -> ?env:(string * Ode_model.Value.t) list -> var:string -> cls:string ->
+  ?deep:bool -> ?suchthat:Ode_lang.Ast.expr -> expr:Ode_lang.Ast.expr -> unit ->
+  Ode_model.Value.t option
+
+val maximum :
+  db -> ?txn:txn -> ?env:(string * Ode_model.Value.t) list -> var:string -> cls:string ->
+  ?deep:bool -> ?suchthat:Ode_lang.Ast.expr -> expr:Ode_lang.Ast.expr -> unit ->
+  Ode_model.Value.t option
+
+val group_count :
+  db -> ?txn:txn -> ?env:(string * Ode_model.Value.t) list -> var:string -> cls:string ->
+  ?deep:bool -> ?suchthat:Ode_lang.Ast.expr -> expr:Ode_lang.Ast.expr -> unit ->
+  (Ode_model.Value.t * int) list
+(** Objects per distinct value of [expr], sorted by value. *)

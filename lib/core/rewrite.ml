@@ -1,0 +1,99 @@
+(* Implicit-this rewriting.
+
+   In class bodies the paper writes constraints and trigger conditions over
+   bare member names ("constraint: qty >= 0"). At class-definition time we
+   rewrite such occurrences to explicit [this.f] so the evaluator needs no
+   scope rules: a bare identifier that names a field of the class (and is
+   not shadowed by a parameter or loop variable) becomes a field access. *)
+
+module Ast = Ode_lang.Ast
+
+let rec expr ~fields ~bound (e : Ast.expr) : Ast.expr =
+  let go e = expr ~fields ~bound e in
+  match e with
+  | Var x when (not (List.mem x bound)) && List.mem x fields -> Field (This, x)
+  | Null | Int _ | Float _ | Bool _ | Str _ | Var _ | This -> e
+  | Field (b, f) -> Field (go b, f)
+  | Binop (op, a, b) -> Binop (op, go a, go b)
+  | Unop (op, a) -> Unop (op, go a)
+  | Call (recv, name, args) -> Call (Option.map go recv, name, List.map go args)
+  | Is (a, c) -> Is (go a, c)
+  | SetLit es -> SetLit (List.map go es)
+  | ListLit es -> ListLit (List.map go es)
+
+let rec stmt ~fields ~bound (s : Ast.stmt) : Ast.stmt =
+  let ge e = expr ~fields ~bound e in
+  let gs ss = stmts ~fields ~bound ss in
+  match s with
+  | SExpr e -> SExpr (ge e)
+  | SPrint es -> SPrint (List.map ge es)
+  | SAssign (x, e) when (not (List.mem x bound)) && List.mem x fields ->
+      (* Assignment to a bare member name updates the object's field. *)
+      SSetField (This, x, ge e)
+  | SAssign (x, e) -> SAssign (x, ge e)
+  | SSetField (o, f, e) -> SSetField (ge o, f, ge e)
+  | SNew (tgt, c, inits) -> SNew (tgt, c, List.map (fun (f, e) -> (f, ge e)) inits)
+  | SDelete e -> SDelete (ge e)
+  | SForall q ->
+      let bound' = q.q_var :: bound in
+      SForall
+        {
+          q with
+          q_suchthat = Option.map (expr ~fields ~bound:bound') q.q_suchthat;
+          q_by = Option.map (fun (e, o) -> (expr ~fields ~bound:bound' e, o)) q.q_by;
+          q_body = stmts ~fields ~bound:bound' q.q_body;
+        }
+  | SIf (c, t, e) -> SIf (ge c, gs t, gs e)
+  | SNewVersion e -> SNewVersion (ge e)
+  | SActivate (tgt, recv, name, args) -> SActivate (tgt, ge recv, name, List.map ge args)
+  | SDeactivate e -> SDeactivate (ge e)
+  | SInsert (e, f, obj) -> SInsert (ge e, f, ge obj)
+  | SRemove (e, f, obj) -> SRemove (ge e, f, ge obj)
+  | SReturn e -> SReturn (ge e)
+
+and stmts ~fields ~bound ss =
+  (* Assignments introduce shell variables; once assigned, a name shadows a
+     field for the rest of the block. *)
+  let rec go bound = function
+    | [] -> []
+    | s :: rest ->
+        let s' = stmt ~fields ~bound s in
+        let bound' =
+          match s with
+          | Ast.SAssign (x, _) when (not (List.mem x bound)) && List.mem x fields ->
+              bound (* rewritten to a field update; binds nothing *)
+          | Ast.SAssign (x, _) | Ast.SNew (Some x, _, _) -> x :: bound
+          | _ -> bound
+        in
+        s' :: go bound' rest
+  in
+  go bound ss
+
+(* Rewrite every schema-embedded expression of a class declaration. *)
+let class_decl (d : Ast.class_decl) ~all_field_names : Ast.class_decl =
+  let fields = all_field_names in
+  {
+    d with
+    c_methods =
+      List.map
+        (fun (m : Ast.method_decl) ->
+          let bound = List.map (fun (p : Ast.field_decl) -> p.fd_name) m.m_params in
+          { m with m_body = expr ~fields ~bound m.m_body })
+        d.c_methods;
+    c_constraints =
+      List.map
+        (fun (k : Ast.constraint_decl) -> { k with k_expr = expr ~fields ~bound:[] k.k_expr })
+        d.c_constraints;
+    c_triggers =
+      List.map
+        (fun (g : Ast.trigger_decl) ->
+          let bound = List.map (fun (p : Ast.field_decl) -> p.fd_name) g.g_params in
+          {
+            g with
+            g_within = Option.map (expr ~fields ~bound) g.g_within;
+            g_cond = expr ~fields ~bound g.g_cond;
+            g_action = stmts ~fields ~bound g.g_action;
+            g_timeout = stmts ~fields ~bound g.g_timeout;
+          })
+        d.c_triggers;
+  }

@@ -1,0 +1,25 @@
+(** Binding the expression evaluator to a live database.
+
+    Builds {!Ode_model.Eval.hooks} whose object access goes through the
+    given transaction's write set, whose dynamic class tests consult the
+    catalog, and whose method calls dispatch on the receiver's runtime
+    class (most-derived definition wins). Also provides the database-level
+    builtins: version navigation ([vref vnum vprev vnext current
+    nversions]), the logical clock ([now()]), and named roots
+    ([getroot]). *)
+
+open Types
+
+val hooks : db -> txn option -> Ode_model.Eval.hooks
+
+val call_method :
+  db -> txn option -> Ode_model.Value.t -> string -> Ode_model.Value.t list -> Ode_model.Value.t
+(** Raises {!Ode_model.Eval.Error} on unknown method / arity mismatch. *)
+
+val eval :
+  db ->
+  txn option ->
+  ?vars:(string * Ode_model.Value.t) list ->
+  ?this:Ode_model.Value.t ->
+  Ode_lang.Ast.expr ->
+  Ode_model.Value.t

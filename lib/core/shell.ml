@@ -1,0 +1,118 @@
+module Ast = Ode_lang.Ast
+module Value = Ode_model.Value
+module Schema = Ode_model.Schema
+module Catalog = Ode_model.Catalog
+open Types
+
+type t = {
+  db : Database.t;
+  env : Interp.env;
+  mutable txn : txn option; (* explicit transaction opened with [begin;] *)
+  print : string -> unit;
+}
+
+let create ?(print = print_string) db =
+  Database.set_action_printer db print;
+  { db; env = Interp.env ~print (); txn = None; print }
+
+let database t = t.db
+
+(* Run [f] in the explicit transaction if one is open, else autocommit. *)
+let in_txn t f =
+  match t.txn with
+  | Some txn -> f txn
+  | None -> Database.with_txn t.db f
+
+let rec exec_top t (top : Ast.top) =
+  match top with
+  | TClass decl -> ignore (Database.define_class t.db decl)
+  | TCreateCluster c -> Database.create_cluster t.db c
+  | TCreateIndex (c, f) -> Database.create_index t.db ~cls:c ~field:f
+  | TBegin -> (
+      match t.txn with
+      | Some _ -> failwith "a transaction is already open"
+      | None -> t.txn <- Some (Database.begin_txn t.db))
+  | TCommit -> (
+      match t.txn with
+      | None -> failwith "no open transaction"
+      | Some txn ->
+          t.txn <- None;
+          Database.commit txn)
+  | TAbort -> (
+      match t.txn with
+      | None -> failwith "no open transaction"
+      | Some txn ->
+          t.txn <- None;
+          Database.abort txn)
+  | TShowClasses ->
+      List.iter
+        (fun (c : Schema.cls) ->
+          let parents =
+            match c.parents with [] -> "" | ps -> " : " ^ String.concat ", " ps
+          in
+          let cluster = if c.cluster_created then "  [cluster]" else "" in
+          t.print (Printf.sprintf "class %s%s%s\n" c.name parents cluster))
+        (Catalog.all (Database.catalog t.db))
+  | TShowStats ->
+      t.print (Fmt.str "%a\n" Ode_util.Stats.pp (Ode_util.Stats.snapshot ()))
+  | TVerify -> (
+      if t.txn <> None then failwith "verify requires no open transaction"
+      else
+        match Verify.run t.db with
+        | Ok () -> t.print "ok\n"
+        | Error ps ->
+            List.iter (fun p -> t.print ("problem: " ^ p ^ "\n")) ps;
+            failwith (Printf.sprintf "integrity check found %d problems" (List.length ps)))
+  | TDump ->
+      if t.txn <> None then failwith "dump requires no open transaction"
+      else t.print (Dump.export t.db)
+  | TLoad path ->
+      let source =
+        try In_channel.with_open_text path In_channel.input_all
+        with Sys_error msg -> failwith ("load: " ^ msg)
+      in
+      List.iter (exec_top t) (Ode_lang.Parser.program source)
+  | TExplain q ->
+      let text =
+        in_txn t (fun _txn ->
+            Query.explain t.db ~var:q.q_var ~cls:q.q_cls ~deep:q.q_deep ?suchthat:q.q_suchthat ())
+      in
+      t.print (text ^ "\n")
+  | TAdvance e -> (
+      let v = in_txn t (fun txn -> Interp.eval_expr txn t.env e) in
+      match v with
+      | Value.Int n ->
+          if t.txn <> None then failwith "advance time requires no open transaction"
+          else Database.advance_time t.db n
+      | v -> failwith (Fmt.str "advance time expects an int, got %a" Value.pp v))
+  | TStmt s -> in_txn t (fun txn -> Interp.exec_stmt txn t.env s)
+
+let exec t source =
+  let tops = Ode_lang.Parser.program source in
+  List.iter (exec_top t) tops
+
+let render_error = function
+  | Ode_lang.Parser.Parse_error (msg, off) -> Printf.sprintf "parse error at %d: %s" off msg
+  | Ode_lang.Lexer.Lex_error (msg, off) -> Printf.sprintf "lex error at %d: %s" off msg
+  | Catalog.Schema_error msg -> "schema error: " ^ msg
+  | Ode_model.Typecheck.Error msg -> "type error: " ^ msg
+  | Ode_model.Eval.Error msg -> "error: " ^ msg
+  | Store.Type_error msg -> "type error: " ^ msg
+  | Store.No_cluster c -> Printf.sprintf "no cluster exists for class %s (use: create cluster %s;)" c c
+  | Triggers.Trigger_error msg -> "trigger error: " ^ msg
+  | Constraint_violation { cls; cname; oid } ->
+      Fmt.str "constraint %s.%s violated by object %a (transaction aborted)" cls cname
+        Ode_model.Oid.pp oid
+  | Failure msg -> msg
+  | e -> Printexc.to_string e
+
+let exec_catching t source =
+  match exec t source with
+  | () -> Ok ()
+  | exception (Constraint_violation _ as e) ->
+      (* The commit already aborted the transaction. *)
+      t.txn <- None;
+      Error (render_error e)
+  | exception e -> Error (render_error e)
+
+let vars t = Interp.all_vars t.env

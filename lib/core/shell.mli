@@ -1,0 +1,28 @@
+(** Top-level driver for the surface language: the O++ "program".
+
+    Executes parsed top-level forms against a database: class definitions,
+    cluster/index creation, transaction control ([begin;] / [commit;] /
+    [abort;]), [explain], logical-clock advancement, and plain statements.
+    Statements outside an explicit transaction are autocommitted (each
+    statement is its own transaction, as the paper's programs-as-transactions
+    model degenerates to for single statements). *)
+
+type t
+
+val create : ?print:(string -> unit) -> Database.t -> t
+(** [print] receives all shell output (default stdout). *)
+
+val database : t -> Database.t
+
+val exec_top : t -> Ode_lang.Ast.top -> unit
+
+val exec : t -> string -> unit
+(** Parse and execute a whole program. Exceptions propagate after aborting
+    any open transaction on parse errors only; runtime errors leave an
+    explicit transaction open for the user to [abort;]. *)
+
+val exec_catching : t -> string -> (unit, string) result
+(** Like {!exec} but rendering any error as a message (for the REPL). *)
+
+val vars : t -> (string * Ode_model.Value.t) list
+(** Current shell variable bindings. *)

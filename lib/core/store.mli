@@ -1,0 +1,79 @@
+(** Object storage through the transactional overlay.
+
+    All reads go write-set-first, so a transaction sees its own effects; all
+    mutations are buffered in the write set and hit the disk structures only
+    at commit (deferred apply). {!apply_op} is the single routine that moves
+    a logical operation into the committed structures — commit and crash
+    recovery both call it, which is what makes recovery trivially correct.
+
+    Objects: a header record tracks the class, the current version number
+    and the version list; each version's fields are a separate record. An
+    unversioned object simply has one version, 0 (persistence and versioning
+    compose, paper §4: "all persistent objects can have versions"). *)
+
+open Types
+
+exception Type_error of string
+exception No_cluster of string
+(** pnew into a class whose cluster was never created (paper §2.5). *)
+
+type header = { hcls : int; hcurrent : int; hversions : int list (* ascending *) }
+
+val decode_header : string -> header
+(** Used by the integrity checker. *)
+
+(** {1 Raw overlay access} *)
+
+val read : db -> txn option -> string -> string option
+val write : txn -> string -> string -> unit
+val remove : txn -> string -> unit
+
+(** {1 Reading objects} *)
+
+val get_header : db -> txn option -> Ode_model.Oid.t -> header option
+val exists : db -> txn option -> Ode_model.Oid.t -> bool
+val class_of : db -> Ode_model.Oid.t -> Ode_model.Schema.cls option
+(** From the oid alone; does not check liveness. *)
+
+val get_fields : db -> txn option -> Ode_model.Oid.t -> (string * Ode_model.Value.t) list option
+(** Fields of the current version. *)
+
+val get_fields_v :
+  db -> txn option -> Ode_model.Oid.vref -> (string * Ode_model.Value.t) list option
+
+val get_field : db -> txn option -> Ode_model.Oid.t -> string -> Ode_model.Value.t option
+val get_field_v : db -> txn option -> Ode_model.Oid.vref -> string -> Ode_model.Value.t option
+
+(** {1 Mutating objects (buffered in the transaction)} *)
+
+val create : txn -> Ode_model.Schema.cls -> (string * Ode_model.Value.t) list -> Ode_model.Oid.t
+(** Allocate an oid, fill unspecified fields with type defaults, check value
+    conformance (raises {!Type_error} on mismatch, {!No_cluster} if the
+    cluster does not exist). *)
+
+val update_fields : txn -> Ode_model.Oid.t -> (string * Ode_model.Value.t) list -> unit
+(** Partial update of the current version. *)
+
+val delete_object : txn -> Ode_model.Oid.t -> unit
+(** Remove the object and all its versions (pdelete). *)
+
+val new_version : txn -> Ode_model.Oid.t -> int
+(** Copy the current version as a new one, which becomes current; returns
+    the new version number. *)
+
+val delete_version : txn -> Ode_model.Oid.vref -> unit
+(** Delete one version. Deleting the current version promotes its
+    predecessor; deleting the last remaining version deletes the object. *)
+
+(** {1 Index plumbing} *)
+
+val applicable_indexes : db -> Ode_model.Schema.cls -> (int * string) list
+(** (index id, field name) pairs whose declaring class is an ancestor. *)
+
+val index_ids : db -> cls:string -> field:string -> int option
+
+(** {1 Commit/recovery} *)
+
+val apply_op : db -> string -> op -> unit
+(** Apply one logical operation to the committed structures (KV or index
+    tree). Idempotent. *)

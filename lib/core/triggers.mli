@@ -1,0 +1,61 @@
+(** Triggers (paper §6).
+
+    Triggers are declared in classes and *activated* per object; an
+    activation carries argument values and returns a trigger id usable for
+    explicit deactivation. Kinds:
+
+    - once-only (default): fires whenever its condition holds at the end of
+      a transaction that touched the object (including the activating one),
+      then deactivates;
+    - [perpetual]: stays active; edge-triggered — fires when the condition
+      *becomes* true across a transaction (the paper: "An active trigger
+      fires when its condition becomes true"), which keeps self-touching
+      actions from firing forever;
+    - timed ([within t]): if the condition does not come true by the
+      logical-clock deadline, the [timeout] action runs instead.
+
+    A firing only schedules its action; actions run as their own
+    transactions after the triggering one commits (weak coupling), so
+    actions of aborted transactions never run — see
+    {!Database.with_txn}. *)
+
+open Types
+
+exception Trigger_error of string
+
+(** {1 Activation} *)
+
+val activate : txn -> Ode_model.Oid.t -> string -> Ode_model.Value.t list -> int
+(** Returns the trigger id. Raises {!Trigger_error} for an unknown trigger,
+    arity mismatch, or a dead object. *)
+
+val deactivate : txn -> int -> unit
+
+val find_decl :
+  db -> Ode_model.Oid.t -> string -> Ode_model.Schema.trigger * string
+(** The declaration (resolved up the lineage) and its declaring class. *)
+
+(** {1 Commit pipeline (used by {!Txn})} *)
+
+val evaluate : txn -> firing list
+(** Evaluate conditions for the committing transaction's touched objects;
+    buffers bookkeeping writes (once-only deactivation, removal of
+    activations on deleted objects) into the transaction. *)
+
+val sync_after_commit : db -> txn -> unit
+(** Fold the committed transaction's trigger writes into the in-memory
+    activation tables. *)
+
+val expired : db -> activation list
+(** Active timed activations whose deadline has passed (used by
+    {!Database.advance_time}). *)
+
+val load_all : db -> unit
+(** Rebuild the in-memory activation tables from the store (open time). *)
+
+(**/**)
+
+val encode_activation : activation -> string
+val decode_activation : string -> activation
+val register : db -> activation -> unit
+val unregister : db -> int -> unit

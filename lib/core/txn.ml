@@ -1,0 +1,101 @@
+module Wal = Ode_storage.Wal
+module Heap = Ode_storage.Heap
+module Bptree = Ode_index.Bptree
+open Types
+
+let begin_ db =
+  if db.closed then raise Db_closed;
+  (match db.active with
+  | Some _ -> invalid_arg "txn: a transaction is already active"
+  | None -> ());
+  let txn =
+    {
+      xid = db.next_xid;
+      tdb = db;
+      writes = Hashtbl.create 64;
+      created = [];
+      touched = Hashtbl.create 32;
+      tstate = `Active;
+      catalog_dirty = false;
+      meta_dirty = false;
+    }
+  in
+  db.next_xid <- db.next_xid + 1;
+  db.active <- Some txn;
+  txn
+
+let active db = db.active
+
+let active_exn db =
+  match db.active with Some t -> t | None -> raise No_active_txn
+
+let require_active txn =
+  match txn.tstate with
+  | `Active -> ()
+  | `Committed -> raise (Txn_aborted "transaction already committed")
+  | `Aborted -> raise (Txn_aborted "transaction already aborted")
+
+let abort txn =
+  require_active txn;
+  txn.tstate <- `Aborted;
+  txn.tdb.active <- None
+
+let checkpoint db =
+  Heap.flush db.kv_heap;
+  Bptree.flush db.kv_dir;
+  Bptree.flush db.idx;
+  Wal.append db.wal Wal.Checkpoint;
+  Wal.sync db.wal;
+  Wal.reset db.wal
+
+let wal_bytes db = Wal.size_bytes db.wal
+
+let encode_meta (m : meta) =
+  let b = Buffer.create 16 in
+  Ode_util.Codec.put_int b m.next_tid;
+  Ode_util.Codec.put_int b m.clock;
+  Buffer.contents b
+
+let decode_meta s =
+  let c = Ode_util.Codec.cursor s in
+  let next_tid = Ode_util.Codec.get_int c in
+  let clock = Ode_util.Codec.get_int c in
+  { next_tid; clock }
+
+let commit txn =
+  require_active txn;
+  let db = txn.tdb in
+  (* 1. Integrity: a violation aborts and rolls back (trivially, since
+        nothing was applied). *)
+  (match Constraints.check_txn txn with
+  | () -> ()
+  | exception e ->
+      abort txn;
+      raise e);
+  (* 2. Trigger conditions over the post-state; bookkeeping writes (once-only
+        deactivations etc.) join this transaction. *)
+  let firings = Triggers.evaluate txn in
+  (* 3. Engine metadata modified by this transaction. *)
+  if txn.catalog_dirty then
+    Hashtbl.replace txn.writes Keys.catalog (Put (Ode_model.Catalog.encode db.catalog));
+  if txn.meta_dirty then Hashtbl.replace txn.writes Keys.meta (Put (encode_meta db.meta));
+  (* 4. Log and make durable. *)
+  if Hashtbl.length txn.writes > 0 then begin
+    Wal.append db.wal (Wal.Begin txn.xid);
+    Hashtbl.iter
+      (fun key op ->
+        match op with
+        | Put payload -> Wal.append db.wal (Wal.Put (txn.xid, key, payload))
+        | Del -> Wal.append db.wal (Wal.Delete (txn.xid, key)))
+      txn.writes;
+    Wal.append db.wal (Wal.Commit txn.xid);
+    Wal.sync db.wal;
+    (* 5. Apply to the committed structures. *)
+    Hashtbl.iter (fun key op -> Store.apply_op db key op) txn.writes;
+    Triggers.sync_after_commit db txn
+  end;
+  txn.tstate <- `Committed;
+  db.active <- None;
+  (* 6. Bound recovery time. *)
+  if Wal.size_bytes db.wal > db.wal_auto_checkpoint then checkpoint db;
+  firings

@@ -1,0 +1,36 @@
+(** Transactions.
+
+    The paper treats "any O++ program that interacts with the database" as a
+    single transaction; here transactions are explicit and the engine runs
+    them one at a time (concurrency control is out of the paper's scope and
+    ours). The engine is deferred-apply: effects live in a write set until
+    commit, when constraints are checked, trigger conditions evaluated, the
+    logical operations logged and fsynced, and only then applied to the
+    disk structures. Abort simply discards the write set.
+
+    Commit returns the trigger firings to run as follow-up transactions
+    (weak coupling); {!Database.with_txn} drains them. *)
+
+open Types
+
+val begin_ : db -> txn
+(** Raises [Invalid_argument] if a transaction is already active. *)
+
+val active : db -> txn option
+val active_exn : db -> txn
+
+val commit : txn -> firing list
+(** Raises {!Types.Constraint_violation} after auto-aborting if a constraint
+    fails. *)
+
+val abort : txn -> unit
+
+val checkpoint : db -> unit
+(** Flush every pool, sync the disks, and reset the WAL. *)
+
+val wal_bytes : db -> int
+
+(**/**)
+
+val encode_meta : meta -> string
+val decode_meta : string -> meta

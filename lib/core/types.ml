@@ -1,0 +1,63 @@
+(* Internal shared state of the database engine.
+
+   Exposed record fields are an implementation detail of the [Ode] library;
+   external code should use the {!Database}, {!Txn}, {!Store} and {!Query}
+   interfaces. *)
+
+module Oid = Ode_model.Oid
+module Value = Ode_model.Value
+
+(* A pending logical write: last-wins per key within one transaction. *)
+type op = Put of string | Del
+
+type activation = {
+  tid : int;
+  aoid : Oid.t;                  (* object the trigger is attached to *)
+  tcls : string;                 (* class declaring the trigger *)
+  tname : string;
+  targs : Value.t list;
+  perpetual : bool;
+  deadline : int option;         (* logical-clock deadline of a timed trigger *)
+  mutable active : bool;
+}
+
+type firing_kind = Fired | Timed_out
+
+type firing = { f_act : activation; f_kind : firing_kind }
+
+type meta = { mutable next_tid : int; mutable clock : int }
+
+type txn = {
+  xid : int;
+  tdb : db;
+  writes : (string, op) Hashtbl.t;          (* logical key -> final state *)
+  mutable created : Oid.t list;             (* reverse creation order *)
+  touched : (Oid.t, unit) Hashtbl.t;        (* objects written (for constraints/triggers) *)
+  mutable tstate : [ `Active | `Committed | `Aborted ];
+  mutable catalog_dirty : bool;             (* DDL or oid allocation happened *)
+  mutable meta_dirty : bool;
+}
+
+and db = {
+  dbdir : string option;                    (* None = in-memory *)
+  kv_heap : Ode_storage.Heap.t;             (* record payloads *)
+  kv_dir : Ode_index.Bptree.t;              (* logical key -> heap rid *)
+  idx : Ode_index.Bptree.t;                 (* secondary index entries *)
+  wal : Ode_storage.Wal.t;
+  mutable catalog : Ode_model.Catalog.t;
+  mutable meta : meta;
+  mutable next_xid : int;
+  mutable active : txn option;              (* at most one active transaction *)
+  activations : (int, activation) Hashtbl.t;
+  by_oid : (Oid.t, int list) Hashtbl.t;     (* object -> activation tids *)
+  action_queue : firing Queue.t;            (* weakly-coupled trigger actions *)
+  mutable draining : bool;
+  mutable wal_auto_checkpoint : int;        (* bytes; checkpoint when exceeded *)
+  mutable closed : bool;
+  mutable printer : string -> unit;         (* trigger-action [print] output *)
+}
+
+exception Constraint_violation of { cls : string; cname : string; oid : Oid.t }
+exception Txn_aborted of string
+exception No_active_txn
+exception Db_closed

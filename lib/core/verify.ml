@@ -1,0 +1,129 @@
+module Oid = Ode_model.Oid
+module Value = Ode_model.Value
+module Schema = Ode_model.Schema
+module Catalog = Ode_model.Catalog
+module Bptree = Ode_index.Bptree
+open Types
+
+let run db =
+  let problems = ref [] in
+  let bad fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+
+  (* 1. Object headers and versions. *)
+  let headers : (Oid.t, Store.header) Hashtbl.t = Hashtbl.create 256 in
+  Kv.iter_prefix db "H" (fun key payload ->
+      let oid = Keys.oid_of_header_key key in
+      (match Store.decode_header payload with
+      | h ->
+          Hashtbl.replace headers oid h;
+          if Catalog.find_by_id db.catalog h.Store.hcls = None then
+            bad "object %a: unknown class id %d" Oid.pp oid h.Store.hcls;
+          if oid.Oid.cls <> h.Store.hcls then
+            bad "object %a: header class %d disagrees with oid" Oid.pp oid h.Store.hcls;
+          if not (List.mem h.Store.hcurrent h.Store.hversions) then
+            bad "object %a: current version %d not in version list" Oid.pp oid h.Store.hcurrent;
+          if List.length (List.sort_uniq Int.compare h.Store.hversions)
+             <> List.length h.Store.hversions
+          then bad "object %a: duplicate version numbers" Oid.pp oid;
+          List.iter
+            (fun ver ->
+              match Kv.get db (Keys.version oid ver) with
+              | Some _ -> ()
+              | None -> bad "object %a: version %d record missing" Oid.pp oid ver)
+            h.Store.hversions
+      | exception _ -> bad "object %a: header does not decode" Oid.pp oid);
+      true);
+
+  (* 2. Orphan version records. *)
+  Kv.iter_prefix db "V" (fun key _ ->
+      (* key = 'V' ++ 16-byte oid ++ 8-byte version *)
+      if String.length key = 25 then begin
+        let oid = Oid.of_key (String.sub key 1 16) in
+        match Hashtbl.find_opt headers oid with
+        | None -> bad "version record for dead object %a" Oid.pp oid
+        | Some h ->
+            let ver =
+              let v = ref 0L in
+              String.iter
+                (fun ch -> v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code ch)))
+                (String.sub key 17 8);
+              Int64.to_int (Int64.logxor !v Int64.min_int)
+            in
+            if not (List.mem ver h.Store.hversions) then
+              bad "object %a: orphan version record %d" Oid.pp oid ver
+      end
+      else bad "malformed version key (%d bytes)" (String.length key);
+      true);
+
+  (* 3. Index entries point at live, matching objects... *)
+  let index_entries = Hashtbl.create 256 in
+  Bptree.iter_range db.idx (fun key _ ->
+      (* key = 8-byte idx id ++ value key ++ 16-byte oid key (no 'I' tag) *)
+      if String.length key < 25 then bad "malformed index key"
+      else begin
+        let idx_id =
+          let v = ref 0L in
+          String.iter
+            (fun ch -> v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code ch)))
+            (String.sub key 0 8);
+          Int64.to_int (Int64.logxor !v Int64.min_int)
+        in
+        let oid = Keys.oid_of_index_key key in
+        let valkey = String.sub key 8 (String.length key - 24) in
+        Hashtbl.replace index_entries (idx_id, valkey, oid) ();
+        match List.nth_opt (Catalog.indexes db.catalog) idx_id with
+        | None -> bad "index entry for unknown index id %d" idx_id
+        | Some (_, field) -> (
+            match Hashtbl.find_opt headers oid with
+            | None -> bad "index %d: entry for dead object %a" idx_id Oid.pp oid
+            | Some _ -> (
+                match Store.get_field db None oid field with
+                | Some v when Value.index_key v = valkey -> ()
+                | Some v ->
+                    bad "index %d: stale entry for %a (field %s now %a)" idx_id Oid.pp oid field
+                      Value.pp v
+                | None -> bad "index %d: object %a lacks field %s" idx_id Oid.pp oid field))
+      end;
+      true);
+
+  (* ... and every object is covered by every applicable index. *)
+  Hashtbl.iter
+    (fun oid _ ->
+      match Catalog.find_by_id db.catalog oid.Oid.cls with
+      | None -> ()
+      | Some cls ->
+          List.iter
+            (fun (idx_id, field) ->
+              match Store.get_field db None oid field with
+              | Some v ->
+                  if not (Hashtbl.mem index_entries (idx_id, Value.index_key v, oid)) then
+                    bad "index %d: missing entry for %a (%s = %a)" idx_id Oid.pp oid field
+                      Value.pp v
+              | None -> ())
+            (Store.applicable_indexes db cls))
+    headers;
+
+  (* 4. Trigger activations. *)
+  Kv.iter_prefix db Keys.trigger_prefix (fun _ payload ->
+      (match Triggers.decode_activation payload with
+      | a ->
+          if a.active && not (Hashtbl.mem headers a.aoid) then
+            bad "activation %d attached to dead object %a" a.tid Oid.pp a.aoid;
+          (match Catalog.find db.catalog a.tcls with
+          | None -> bad "activation %d: unknown declaring class %s" a.tid a.tcls
+          | Some cls ->
+              if Catalog.find_trigger db.catalog cls a.tname = None then
+                bad "activation %d: class %s has no trigger %s" a.tid a.tcls a.tname)
+      | exception _ -> bad "activation record does not decode");
+      true);
+
+  (* 5. Structural checks of the trees. *)
+  (match Bptree.check db.kv_dir with Ok () -> () | Error e -> bad "directory tree: %s" e);
+  (match Bptree.check db.idx with Ok () -> () | Error e -> bad "index tree: %s" e);
+
+  match !problems with [] -> Ok () | ps -> Error (List.rev ps)
+
+let run_exn db =
+  match run db with
+  | Ok () -> ()
+  | Error ps -> failwith ("integrity check failed:\n  " ^ String.concat "\n  " ps)

@@ -1,0 +1,19 @@
+(** Offline integrity checking.
+
+    Walks every persistent structure and cross-checks them: directory
+    entries must resolve to live heap records, object headers must be
+    consistent (known class, current version present, every listed version
+    record stored, no orphan versions), secondary index entries must point
+    at live objects whose field value matches the entry, every object must
+    be covered by every applicable index, and trigger activations must
+    reference live objects and declared triggers.
+
+    Used by tests (especially crash-recovery tests, where it proves that
+    replay reconstructed a coherent database) and available to operators via
+    {!run}. Must be called outside a transaction. *)
+
+val run : Types.db -> (unit, string list) result
+(** [Ok ()] or the list of every inconsistency found. *)
+
+val run_exn : Types.db -> unit
+(** Raises [Failure] with a joined message on any inconsistency. *)

@@ -1,0 +1,434 @@
+module Codec = Ode_util.Codec
+module Pool = Ode_storage.Buffer_pool
+
+let magic = "ODEBPT01"
+let max_entry = 1024
+
+(* Serialized-node budget. Nodes are (de)serialized whole; a node splits when
+   its serialized size would exceed this. *)
+let node_capacity = Ode_storage.Page.size - 16
+
+type node =
+  | Leaf of { mutable entries : (string * string) array; mutable next : int }
+  | Internal of { mutable keys : string array; mutable children : int array }
+(* Internal invariant: length children = length keys + 1; subtree children.(i)
+   holds keys < keys.(i); children.(i+1) holds keys >= keys.(i). *)
+
+type t = {
+  pool : Pool.t;
+  mutable root : int;
+  mutable count : int;
+  (* Decoded-node cache: every mutation goes through [write_node], which
+     refreshes the entry, so the cache never goes stale. Bounded by periodic
+     reset. *)
+  node_cache : (int, node) Hashtbl.t;
+}
+
+let cache_limit = 8192
+
+(* -- node (de)serialization ------------------------------------------------ *)
+
+let node_size = function
+  | Leaf l ->
+      Array.fold_left (fun acc (k, v) -> acc + 4 + String.length k + String.length v) 7 l.entries
+  | Internal n ->
+      Array.fold_left (fun acc k -> acc + 2 + String.length k + 4) 7 n.keys
+
+let serialize node =
+  let b = Buffer.create 512 in
+  (match node with
+  | Leaf l ->
+      Codec.put_u8 b 0;
+      Codec.put_u16 b (Array.length l.entries);
+      Codec.put_u32 b l.next;
+      Array.iter
+        (fun (k, v) ->
+          Codec.put_u16 b (String.length k);
+          Codec.put_raw b k;
+          Codec.put_u16 b (String.length v);
+          Codec.put_raw b v)
+        l.entries
+  | Internal n ->
+      Codec.put_u8 b 1;
+      Codec.put_u16 b (Array.length n.keys);
+      Codec.put_u32 b n.children.(0);
+      Array.iteri
+        (fun i k ->
+          Codec.put_u16 b (String.length k);
+          Codec.put_raw b k;
+          Codec.put_u32 b n.children.(i + 1))
+        n.keys);
+  Buffer.contents b
+
+let deserialize s =
+  let c = Codec.cursor s in
+  match Codec.get_u8 c with
+  | 0 ->
+      let n = Codec.get_u16 c in
+      let next = Codec.get_u32 c in
+      let entries =
+        Array.init n (fun _ ->
+            let klen = Codec.get_u16 c in
+            let k = Codec.get_raw c klen in
+            let vlen = Codec.get_u16 c in
+            let v = Codec.get_raw c vlen in
+            (k, v))
+      in
+      Leaf { entries; next }
+  | 1 ->
+      let n = Codec.get_u16 c in
+      let first = Codec.get_u32 c in
+      let keys = Array.make n "" in
+      let children = Array.make (n + 1) first in
+      for i = 0 to n - 1 do
+        let klen = Codec.get_u16 c in
+        keys.(i) <- Codec.get_raw c klen;
+        children.(i + 1) <- Codec.get_u32 c
+      done;
+      Internal { keys; children }
+  | k -> raise (Codec.Corrupt (Printf.sprintf "bptree: bad node kind %d" k))
+
+let read_node t page =
+  match Hashtbl.find_opt t.node_cache page with
+  | Some n -> n
+  | None ->
+      let n =
+        Pool.with_page t.pool page (fun f ->
+            let data = Pool.data f in
+            let c = Codec.cursor (Bytes.to_string data) in
+            let len = Codec.get_u16 c in
+            deserialize (Codec.get_raw c len))
+      in
+      if Hashtbl.length t.node_cache >= cache_limit then Hashtbl.reset t.node_cache;
+      Hashtbl.replace t.node_cache page n;
+      n
+
+let write_node t page node =
+  let s = serialize node in
+  assert (String.length s <= node_capacity);
+  Pool.with_page t.pool page (fun f ->
+      let data = Pool.data f in
+      let b = Buffer.create (String.length s + 2) in
+      Codec.put_u16 b (String.length s);
+      Codec.put_raw b s;
+      let out = Buffer.contents b in
+      Bytes.blit_string out 0 data 0 (String.length out);
+      Pool.mark_dirty t.pool f);
+  if Hashtbl.length t.node_cache >= cache_limit then Hashtbl.reset t.node_cache;
+  Hashtbl.replace t.node_cache page node
+
+let alloc_node t node =
+  let f = Pool.allocate t.pool in
+  let page = Pool.page_no f in
+  Pool.unpin t.pool f;
+  write_node t page node;
+  page
+
+(* -- header ----------------------------------------------------------------- *)
+
+let write_header t =
+  Pool.with_page t.pool 0 (fun f ->
+      let data = Pool.data f in
+      Bytes.fill data 0 Ode_storage.Page.size '\000';
+      Bytes.blit_string magic 0 data 0 8;
+      let b = Buffer.create 16 in
+      Codec.put_u32 b t.root;
+      Codec.put_i64 b (Int64.of_int t.count);
+      Bytes.blit_string (Buffer.contents b) 0 data 8 12;
+      Pool.mark_dirty t.pool f)
+
+let attach pool =
+  if Pool.page_count pool = 0 then begin
+    let f = Pool.allocate pool in
+    assert (Pool.page_no f = 0);
+    Pool.unpin pool f;
+    let t = { pool; root = 0; count = 0; node_cache = Hashtbl.create 256 } in
+    let root = alloc_node t (Leaf { entries = [||]; next = 0 }) in
+    t.root <- root;
+    write_header t;
+    t
+  end
+  else
+    Pool.with_page pool 0 (fun f ->
+        let data = Pool.data f in
+        if Bytes.sub_string data 0 8 <> magic then invalid_arg "bptree: bad magic";
+        let c = Codec.cursor ~pos:8 (Bytes.to_string data) in
+        let root = Codec.get_u32 c in
+        let count = Int64.to_int (Codec.get_i64 c) in
+        { pool; root; count; node_cache = Hashtbl.create 256 })
+
+(* -- search helpers ---------------------------------------------------------- *)
+
+(* Index of the child to descend into for [key]. *)
+let child_index keys key =
+  let n = Array.length keys in
+  let rec bs lo hi =
+    (* smallest i with key < keys.(i); descend child i *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if String.compare key keys.(mid) < 0 then bs lo mid else bs (mid + 1) hi
+  in
+  bs 0 n
+
+(* Position of [key] in a sorted entry array: Ok i if present, Error i for
+   the insertion point. *)
+let entry_index entries key =
+  let n = Array.length entries in
+  let rec bs lo hi =
+    if lo >= hi then Error lo
+    else
+      let mid = (lo + hi) / 2 in
+      let c = String.compare key (fst entries.(mid)) in
+      if c = 0 then Ok mid else if c < 0 then bs lo mid else bs (mid + 1) hi
+  in
+  bs 0 n
+
+let rec find_leaf t page key =
+  match read_node t page with
+  | Leaf _ as l -> (page, l)
+  | Internal n -> find_leaf t n.children.(child_index n.keys key) key
+
+(* -- public: lookup ----------------------------------------------------------- *)
+
+let find t key =
+  Ode_util.Stats.incr_index_probes ();
+  match find_leaf t t.root key with
+  | _, Leaf l -> (
+      match entry_index l.entries key with
+      | Ok i -> Some (snd l.entries.(i))
+      | Error _ -> None)
+  | _ -> assert false
+
+let mem t key = find t key <> None
+
+(* -- public: insert ----------------------------------------------------------- *)
+
+let array_insert arr i x =
+  let n = Array.length arr in
+  Array.init (n + 1) (fun j -> if j < i then arr.(j) else if j = i then x else arr.(j - 1))
+
+let array_remove arr i =
+  let n = Array.length arr in
+  Array.init (n - 1) (fun j -> if j < i then arr.(j) else arr.(j + 1))
+
+(* Insert below [page]; if the node split, return (separator, right page). *)
+let rec insert_at t page key value =
+  match read_node t page with
+  | Leaf l ->
+      let entries =
+        match entry_index l.entries key with
+        | Ok i ->
+            let e = Array.copy l.entries in
+            e.(i) <- (key, value);
+            e
+        | Error i ->
+            t.count <- t.count + 1;
+            array_insert l.entries i (key, value)
+      in
+      let node = Leaf { entries; next = l.next } in
+      if node_size node <= node_capacity then begin
+        write_node t page node;
+        None
+      end
+      else begin
+        let n = Array.length entries in
+        let mid = n / 2 in
+        let left = Array.sub entries 0 mid in
+        let right = Array.sub entries mid (n - mid) in
+        let right_page = alloc_node t (Leaf { entries = right; next = l.next }) in
+        write_node t page (Leaf { entries = left; next = right_page });
+        Some (fst right.(0), right_page)
+      end
+  | Internal n -> (
+      let ci = child_index n.keys key in
+      match insert_at t n.children.(ci) key value with
+      | None -> None
+      | Some (sep, right_page) ->
+          let keys = array_insert n.keys ci sep in
+          let children = array_insert n.children (ci + 1) right_page in
+          let node = Internal { keys; children } in
+          if node_size node <= node_capacity then begin
+            write_node t page node;
+            None
+          end
+          else begin
+            (* Split internal: middle key moves up. *)
+            let k = Array.length keys in
+            let mid = k / 2 in
+            let up = keys.(mid) in
+            let lkeys = Array.sub keys 0 mid in
+            let rkeys = Array.sub keys (mid + 1) (k - mid - 1) in
+            let lchildren = Array.sub children 0 (mid + 1) in
+            let rchildren = Array.sub children (mid + 1) (k - mid) in
+            let right_page = alloc_node t (Internal { keys = rkeys; children = rchildren }) in
+            write_node t page (Internal { keys = lkeys; children = lchildren });
+            Some (up, right_page)
+          end)
+
+let insert t key value =
+  if key = "" then invalid_arg "bptree: empty key";
+  if String.length key + String.length value > max_entry then
+    invalid_arg "bptree: entry too large";
+  Ode_util.Stats.incr_index_probes ();
+  (match insert_at t t.root key value with
+  | None -> ()
+  | Some (sep, right) ->
+      let root = alloc_node t (Internal { keys = [| sep |]; children = [| t.root; right |] }) in
+      t.root <- root);
+  write_header t
+
+(* -- public: delete ------------------------------------------------------------ *)
+
+let delete t key =
+  Ode_util.Stats.incr_index_probes ();
+  let page, node = find_leaf t t.root key in
+  match node with
+  | Leaf l -> (
+      match entry_index l.entries key with
+      | Error _ -> false
+      | Ok i ->
+          write_node t page (Leaf { entries = array_remove l.entries i; next = l.next });
+          t.count <- t.count - 1;
+          write_header t;
+          true)
+  | Internal _ -> assert false
+
+(* -- public: range scans --------------------------------------------------------- *)
+
+let iter_range t ?lo ?hi ?(inclusive_hi = false) f =
+  Ode_util.Stats.incr_index_probes ();
+  let start_key = Option.value lo ~default:"" in
+  let page, _ = find_leaf t t.root start_key in
+  let below_hi k =
+    match hi with
+    | None -> true
+    | Some h ->
+        let c = String.compare k h in
+        if inclusive_hi then c <= 0 else c < 0
+  in
+  let above_lo k = match lo with None -> true | Some l -> String.compare k l >= 0 in
+  let rec walk page =
+    if page <> 0 then
+      match read_node t page with
+      | Internal _ -> assert false
+      | Leaf l ->
+          let continue = ref true in
+          let i = ref 0 in
+          let n = Array.length l.entries in
+          while !continue && !i < n do
+            let k, v = l.entries.(!i) in
+            if not (below_hi k) then continue := false
+            else begin
+              if above_lo k then continue := f k v;
+              incr i
+            end;
+            ()
+          done;
+          if !continue && !i >= n then walk l.next
+  in
+  walk page
+
+(* Reverse-order scan. Leaves are only forward-linked, so this walks the
+   tree top-down visiting children right-to-left; bounds prune subtrees. *)
+let iter_range_rev t ?lo ?hi ?(inclusive_hi = false) f =
+  Ode_util.Stats.incr_index_probes ();
+  let below_hi k =
+    match hi with
+    | None -> true
+    | Some h ->
+        let c = String.compare k h in
+        if inclusive_hi then c <= 0 else c < 0
+  in
+  let above_lo k = match lo with None -> true | Some l -> String.compare k l >= 0 in
+  let exception Stop in
+  let rec walk page =
+    match read_node t page with
+    | Leaf l ->
+        for i = Array.length l.entries - 1 downto 0 do
+          let k, v = l.entries.(i) in
+          if below_hi k && above_lo k then if not (f k v) then raise Stop
+        done
+    | Internal n ->
+        for i = Array.length n.children - 1 downto 0 do
+          (* child i spans [keys.(i-1), keys.(i)); prune with the bounds *)
+          let child_min = if i = 0 then None else Some n.keys.(i - 1) in
+          let child_max = if i = Array.length n.keys then None else Some n.keys.(i) in
+          let overlaps_lo =
+            match (lo, child_max) with
+            | Some l, Some cmax -> String.compare cmax l > 0
+            | _ -> true
+          in
+          let overlaps_hi =
+            match (hi, child_min) with
+            | Some h, Some cmin ->
+                if inclusive_hi then String.compare cmin h <= 0 else String.compare cmin h < 0
+            | _ -> true
+          in
+          if overlaps_lo && overlaps_hi then walk n.children.(i)
+        done
+  in
+  try walk t.root with Stop -> ()
+
+let iter_prefix_rev t prefix f =
+  match Ode_util.Key.succ_prefix prefix with
+  | Some hi -> iter_range_rev t ~lo:prefix ~hi f
+  | None -> iter_range_rev t ~lo:prefix f
+
+let iter_prefix t prefix f =
+  match Ode_util.Key.succ_prefix prefix with
+  | Some hi -> iter_range t ~lo:prefix ~hi f
+  | None -> iter_range t ~lo:prefix f
+
+let count t = t.count
+let page_count t = Pool.page_count t.pool
+let flush t = Pool.flush_all t.pool
+
+let rec node_height t page =
+  match read_node t page with
+  | Leaf _ -> 1
+  | Internal n -> 1 + node_height t n.children.(0)
+
+let height t = node_height t t.root
+
+(* -- structural check -------------------------------------------------------------- *)
+
+let check t =
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let exception Bad of string in
+  (* Verify key order inside every node, separator bounds, and count. *)
+  let seen = ref 0 in
+  let rec go page ~lo ~hi =
+    match read_node t page with
+    | Leaf l ->
+        Array.iter
+          (fun (k, _) ->
+            incr seen;
+            (match lo with
+            | Some l0 when String.compare k l0 < 0 -> raise (Bad "leaf key below bound")
+            | _ -> ());
+            match hi with
+            | Some h0 when String.compare k h0 >= 0 -> raise (Bad "leaf key above bound")
+            | _ -> ())
+          l.entries;
+        let rec sorted i =
+          i >= Array.length l.entries - 1
+          || String.compare (fst l.entries.(i)) (fst l.entries.(i + 1)) < 0 && sorted (i + 1)
+        in
+        if not (sorted 0) then raise (Bad "leaf unsorted")
+    | Internal n ->
+        let rec sorted i =
+          i >= Array.length n.keys - 1
+          || String.compare n.keys.(i) n.keys.(i + 1) < 0 && sorted (i + 1)
+        in
+        if not (sorted 0) then raise (Bad "internal unsorted");
+        Array.iteri
+          (fun i child ->
+            let lo' = if i = 0 then lo else Some n.keys.(i - 1) in
+            let hi' = if i = Array.length n.keys then hi else Some n.keys.(i) in
+            go child ~lo:lo' ~hi:hi')
+          n.children
+  in
+  match go t.root ~lo:None ~hi:None with
+  | () -> if !seen <> t.count then fail "count mismatch: header %d, found %d" t.count !seen else Ok ()
+  | exception Bad msg -> Error msg

@@ -1,0 +1,52 @@
+(** Disk-backed B+tree mapping byte-string keys to byte-string values.
+
+    Keys are unique (inserting an existing key replaces its value); callers
+    needing duplicates append a discriminator to the key (see {!Key}).
+    Deletion is lazy: entries are removed but nodes are not rebalanced,
+    which is fine for the workloads this engine targets and keeps rids of
+    sibling entries stable during scans.
+
+    The tree owns its pager: page 0 is a header holding the root page number
+    and the entry count. *)
+
+type t
+
+val attach : Ode_storage.Buffer_pool.t -> t
+(** Open the tree stored in the pool's disk, formatting an empty tree on an
+    empty disk. *)
+
+val insert : t -> string -> string -> unit
+(** [insert t key value]. Raises [Invalid_argument] if [key]+[value] exceed
+    {!max_entry} bytes or the key is empty. *)
+
+val find : t -> string -> string option
+val mem : t -> string -> bool
+
+val delete : t -> string -> bool
+(** Remove a key; false if absent. *)
+
+val iter_range :
+  t -> ?lo:string -> ?hi:string -> ?inclusive_hi:bool -> (string -> string -> bool) -> unit
+(** [iter_range t ~lo ~hi f] visits entries with [lo <= key < hi] (or
+    [<= hi] when [inclusive_hi] is true) in key order; [f] returns [false]
+    to stop early. Omitted bounds are open. *)
+
+val iter_prefix : t -> string -> (string -> string -> bool) -> unit
+(** Visit all entries whose key starts with the given prefix. *)
+
+val iter_range_rev :
+  t -> ?lo:string -> ?hi:string -> ?inclusive_hi:bool -> (string -> string -> bool) -> unit
+(** Like {!iter_range} but in descending key order (top-down right-to-left
+    walk; leaves carry no back pointers). *)
+
+val iter_prefix_rev : t -> string -> (string -> string -> bool) -> unit
+
+val count : t -> int
+val height : t -> int
+val page_count : t -> int
+val flush : t -> unit
+val max_entry : int
+
+val check : t -> (unit, string) result
+(** Structural check: key order within and across nodes, separator
+    consistency, leaf chain completeness. For tests. *)

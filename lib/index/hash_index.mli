@@ -1,0 +1,37 @@
+(** Disk-backed linear-hashing index: byte-string keys to byte-string
+    values, point lookups only.
+
+    This is the classic Litwin linear-hashing scheme: the bucket array grows
+    one bucket at a time (split pointer + level), so there is no global
+    rehash; each bucket is a chain of slotted pages. The engine's planner
+    uses the {!Bptree} for secondary indexes because it also serves range
+    scans and ordered iteration; this structure exists as the substrate
+    alternative (benchmark E14 measures the trade-off: cheaper point probes,
+    no ranges).
+
+    Keys are unique; inserting an existing key replaces its value. *)
+
+type t
+
+val attach : Ode_storage.Buffer_pool.t -> t
+(** Open (or format) the index stored in the pool's disk. *)
+
+val insert : t -> string -> string -> unit
+(** Raises [Invalid_argument] for an empty key or an entry over
+    {!max_entry} bytes. *)
+
+val find : t -> string -> string option
+val mem : t -> string -> bool
+val delete : t -> string -> bool
+val count : t -> int
+val bucket_count : t -> int
+val page_count : t -> int
+val flush : t -> unit
+val max_entry : int
+
+val iter : t -> (string -> string -> unit) -> unit
+(** Visit every entry (no meaningful order). *)
+
+val check : t -> (unit, string) result
+(** Structural check: every key hashes to the bucket that stores it and the
+    header count matches; for tests. *)

@@ -1,0 +1,125 @@
+(* Abstract syntax of the O++-like surface language.
+
+   This covers the linguistic facilities of the paper: class declarations
+   with multiple inheritance, constraints and triggers (once-only, perpetual
+   and timed); persistent object creation/deletion; versioning primitives;
+   and the [forall x in cluster suchthat ... by ...] iteration statement,
+   including deep (hierarchy) iteration.
+
+   The same AST serves the shell, trigger actions, method bodies, and the
+   constraint/suchthat expressions embedded in schemas. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+  | In  (* set/list membership *)
+
+type unop = Neg | Not
+
+type expr =
+  | Null
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of string
+  | Var of string
+  | This
+  | Field of expr * string           (* e.f — dereferences object refs *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of expr option * string * expr list  (* receiver.m(args) / builtin(args) *)
+  | Is of expr * string              (* e is C — dynamic (sub)class test *)
+  | SetLit of expr list
+  | ListLit of expr list
+
+type order = Asc | Desc
+
+type forall = {
+  q_var : string;
+  q_cls : string;
+  q_deep : bool;                     (* forall x in C* : include subclasses *)
+  q_suchthat : expr option;
+  q_by : (expr * order) option;
+  q_body : stmt list;
+}
+
+and stmt =
+  | SExpr of expr
+  | SPrint of expr list
+  | SAssign of string * expr                       (* x := e *)
+  | SSetField of expr * string * expr              (* e.f := e' *)
+  | SNew of string option * string * (string * expr) list  (* [x :=] pnew C { f = e, ... } *)
+  | SDelete of expr                                (* pdelete e *)
+  | SForall of forall
+  | SIf of expr * stmt list * stmt list
+  | SNewVersion of expr                            (* newversion e *)
+  | SActivate of string option * expr * string * expr list (* [x :=] activate e.T(args) *)
+  | SDeactivate of expr                            (* deactivate tid *)
+  | SInsert of expr * string * expr                (* insert e into s.f — set member add *)
+  | SRemove of expr * string * expr                (* remove e from s.f *)
+  | SReturn of expr
+
+type type_expr =
+  | TyInt
+  | TyFloat
+  | TyBool
+  | TyString
+  | TyRef of string
+  | TySet of type_expr
+  | TyList of type_expr
+
+type field_decl = {
+  fd_name : string;
+  fd_type : type_expr;
+  fd_default : expr option;  (* member initializer: [qty: int = 100;] *)
+}
+
+type method_decl = {
+  m_name : string;
+  m_params : field_decl list;
+  m_ret : type_expr;
+  m_body : expr;                    (* expression-bodied methods *)
+}
+
+type constraint_decl = { k_name : string; k_expr : expr }
+
+type trigger_decl = {
+  g_name : string;
+  g_params : field_decl list;
+  g_perpetual : bool;
+  g_within : expr option;           (* timed trigger deadline (logical clock) *)
+  g_cond : expr;
+  g_action : stmt list;
+  g_timeout : stmt list;            (* action when the deadline passes first *)
+}
+
+type class_decl = {
+  c_name : string;
+  c_parents : string list;
+  c_fields : field_decl list;
+  c_methods : method_decl list;
+  c_constraints : constraint_decl list;
+  c_triggers : trigger_decl list;
+}
+
+type top =
+  | TClass of class_decl
+  | TCreateCluster of string
+  | TCreateIndex of string * string
+  | TStmt of stmt
+  | TBegin
+  | TCommit
+  | TAbort
+  | TShowClasses
+  | TShowStats                       (* engine work counters *)
+  | TVerify                          (* offline integrity check *)
+  | TDump                            (* logical export as a script *)
+  | TLoad of string                  (* source another script file *)
+  | TExplain of forall
+  | TAdvance of expr                 (* advance logical time (timed triggers) *)
+
+(* Structural equality is derived; the AST carries no annotations. *)
+let equal_expr (a : expr) (b : expr) = a = b
+let equal_stmt (a : stmt) (b : stmt) = a = b
+let equal_class_decl (a : class_decl) (b : class_decl) = a = b

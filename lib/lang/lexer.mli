@@ -1,0 +1,21 @@
+(** Hand-written lexer for the O++-like surface language. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string        (** keywords: class, forall, suchthat, by, ... *)
+  | PUNCT of string     (** operators and delimiters: {, }, :=, ==>, ... *)
+  | EOF
+
+exception Lex_error of string * int
+(** message and byte offset *)
+
+val keywords : string list
+
+val tokenize : string -> (token * int) list
+(** Token stream with byte offsets; always ends with [EOF]. Comments are
+    [//] to end of line and [/* ... */]. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,155 @@
+open Ast
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+  | In -> "in"
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec pp_expr ppf = function
+  | Null -> Fmt.string ppf "null"
+  | Int n -> if n < 0 then Fmt.pf ppf "(-%d)" (-n) else Fmt.int ppf n
+  | Float f ->
+      (* Keep a decimal point so the lexer reads it back as a float. *)
+      let s = Printf.sprintf "%.17g" f in
+      if String.contains s '.' || String.contains s 'e' || String.contains s 'n' then
+        Fmt.string ppf s
+      else Fmt.pf ppf "%s.0" s
+  | Bool true -> Fmt.string ppf "true"
+  | Bool false -> Fmt.string ppf "false"
+  | Str s -> Fmt.pf ppf "\"%s\"" (escape s)
+  | Var x -> Fmt.string ppf x
+  | This -> Fmt.string ppf "this"
+  | Field (e, f) -> Fmt.pf ppf "%a.%s" pp_expr e f
+  | Binop (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Unop (Neg, e) -> Fmt.pf ppf "(-%a)" pp_expr e
+  | Unop (Not, e) -> Fmt.pf ppf "(!%a)" pp_expr e
+  | Call (None, f, a) -> Fmt.pf ppf "%s(%a)" f pp_args a
+  | Call (Some r, f, a) -> Fmt.pf ppf "%a.%s(%a)" pp_expr r f pp_args a
+  | Is (e, c) -> Fmt.pf ppf "(%a is %s)" pp_expr e c
+  | SetLit es -> Fmt.pf ppf "{%a}" pp_args es
+  | ListLit es -> Fmt.pf ppf "[%a]" pp_args es
+
+and pp_args ppf es = Fmt.(list ~sep:(any ", ") pp_expr) ppf es
+
+let rec pp_type ppf = function
+  | TyInt -> Fmt.string ppf "int"
+  | TyFloat -> Fmt.string ppf "float"
+  | TyBool -> Fmt.string ppf "bool"
+  | TyString -> Fmt.string ppf "string"
+  | TyRef c -> Fmt.pf ppf "ref %s" c
+  | TySet t -> Fmt.pf ppf "set<%a>" pp_type t
+  | TyList t -> Fmt.pf ppf "list<%a>" pp_type t
+
+let pp_order ppf = function Asc -> Fmt.string ppf "asc" | Desc -> Fmt.string ppf "desc"
+
+let rec pp_stmt ppf = function
+  | SExpr e -> Fmt.pf ppf "%a;" pp_expr e
+  | SPrint es -> Fmt.pf ppf "print %a;" pp_args es
+  | SAssign (x, e) -> Fmt.pf ppf "%s := %a;" x pp_expr e
+  | SSetField (o, f, e) -> Fmt.pf ppf "%a.%s := %a;" pp_expr o f pp_expr e
+  | SNew (tgt, c, inits) ->
+      let pp_init ppf (f, e) = Fmt.pf ppf "%s = %a" f pp_expr e in
+      (match tgt with
+      | Some x -> Fmt.pf ppf "%s := pnew %s { %a };" x c Fmt.(list ~sep:(any ", ") pp_init) inits
+      | None -> Fmt.pf ppf "pnew %s { %a };" c Fmt.(list ~sep:(any ", ") pp_init) inits)
+  | SDelete e -> Fmt.pf ppf "pdelete %a;" pp_expr e
+  | SForall q -> pp_forall ppf q
+  | SIf (c, t, []) -> Fmt.pf ppf "if (%a) { %a }" pp_expr c pp_stmts t
+  | SIf (c, t, e) -> Fmt.pf ppf "if (%a) { %a } else { %a }" pp_expr c pp_stmts t pp_stmts e
+  | SNewVersion e -> Fmt.pf ppf "newversion %a;" pp_expr e
+  | SActivate (tgt, recv, name, a) -> (
+      match tgt with
+      | Some x -> Fmt.pf ppf "%s := activate %a.%s(%a);" x pp_expr recv name pp_args a
+      | None -> Fmt.pf ppf "activate %a.%s(%a);" pp_expr recv name pp_args a)
+  | SDeactivate e -> Fmt.pf ppf "deactivate %a;" pp_expr e
+  | SInsert (e, f, obj) -> Fmt.pf ppf "insert %a into %a.%s;" pp_expr e pp_expr obj f
+  | SRemove (e, f, obj) -> Fmt.pf ppf "remove %a from %a.%s;" pp_expr e pp_expr obj f
+  | SReturn e -> Fmt.pf ppf "return %a;" pp_expr e
+
+and pp_stmts ppf ss = Fmt.(list ~sep:sp pp_stmt) ppf ss
+
+and pp_forall ppf q =
+  Fmt.pf ppf "forall %s in %s%s" q.q_var q.q_cls (if q.q_deep then "*" else "");
+  (match q.q_suchthat with Some e -> Fmt.pf ppf " suchthat %a" pp_expr e | None -> ());
+  (match q.q_by with Some (e, o) -> Fmt.pf ppf " by %a %a" pp_expr e pp_order o | None -> ());
+  Fmt.pf ppf " { %a }" pp_stmts q.q_body
+
+let pp_field ppf f =
+  match f.fd_default with
+  | None -> Fmt.pf ppf "%s : %a;" f.fd_name pp_type f.fd_type
+  | Some e -> Fmt.pf ppf "%s : %a = %a;" f.fd_name pp_type f.fd_type pp_expr e
+let pp_param ppf f = Fmt.pf ppf "%s : %a" f.fd_name pp_type f.fd_type
+let pp_params ppf ps = Fmt.(list ~sep:(any ", ") pp_param) ppf ps
+
+let pp_class ppf c =
+  Fmt.pf ppf "class %s" c.c_name;
+  (match c.c_parents with
+  | [] -> ()
+  | ps -> Fmt.pf ppf " : %s" (String.concat ", " ps));
+  Fmt.pf ppf " {@\n";
+  List.iter (fun f -> Fmt.pf ppf "  %a@\n" pp_field f) c.c_fields;
+  List.iter
+    (fun m ->
+      Fmt.pf ppf "  method %s(%a) : %a = %a;@\n" m.m_name pp_params m.m_params pp_type m.m_ret
+        pp_expr m.m_body)
+    c.c_methods;
+  List.iter (fun k -> Fmt.pf ppf "  constraint %s : %a;@\n" k.k_name pp_expr k.k_expr) c.c_constraints;
+  List.iter
+    (fun g ->
+      Fmt.pf ppf "  trigger %s%s(%a) : "
+        (if g.g_perpetual then "perpetual " else "")
+        g.g_name pp_params g.g_params;
+      (match g.g_within with Some e -> Fmt.pf ppf "within %a : " pp_expr e | None -> ());
+      Fmt.pf ppf "%a ==> { %a }" pp_expr g.g_cond pp_stmts g.g_action;
+      (match g.g_timeout with [] -> () | ts -> Fmt.pf ppf " timeout { %a }" pp_stmts ts);
+      Fmt.pf ppf ";@\n")
+    c.c_triggers;
+  Fmt.pf ppf "};"
+
+let pp_top ppf = function
+  | TClass c -> pp_class ppf c
+  | TCreateCluster c -> Fmt.pf ppf "create cluster %s;" c
+  | TCreateIndex (c, f) -> Fmt.pf ppf "create index on %s(%s);" c f
+  | TStmt s -> pp_stmt ppf s
+  | TBegin -> Fmt.string ppf "begin;"
+  | TCommit -> Fmt.string ppf "commit;"
+  | TAbort -> Fmt.string ppf "abort;"
+  | TShowClasses -> Fmt.string ppf "show classes;"
+  | TShowStats -> Fmt.string ppf "show stats;"
+  | TVerify -> Fmt.string ppf "verify;"
+  | TDump -> Fmt.string ppf "dump;"
+  | TLoad path -> Fmt.pf ppf "load \"%s\";" (escape path)
+  | TExplain q ->
+      Fmt.pf ppf "explain forall %s in %s%s" q.q_var q.q_cls (if q.q_deep then "*" else "");
+      (match q.q_suchthat with Some e -> Fmt.pf ppf " suchthat %a" pp_expr e | None -> ());
+      (match q.q_by with Some (e, o) -> Fmt.pf ppf " by %a %a" pp_expr e pp_order o | None -> ());
+      Fmt.string ppf ";"
+  | TAdvance e -> Fmt.pf ppf "advance time %a;" pp_expr e
+
+let expr_to_string e = Fmt.str "%a" pp_expr e
+let stmts_to_string ss = Fmt.str "%a" pp_stmts ss
+let class_to_string c = Fmt.str "%a" pp_class c

@@ -1,0 +1,16 @@
+(** Pretty-printer producing parseable source.
+
+    The catalog persists class declarations, constraints and trigger bodies
+    as source text, so [Parser.expr (expr_to_string e)] must reproduce [e]
+    exactly; expressions are printed fully parenthesized to make the
+    round-trip trivially correct. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_type : Format.formatter -> Ast.type_expr -> unit
+val pp_class : Format.formatter -> Ast.class_decl -> unit
+val pp_top : Format.formatter -> Ast.top -> unit
+
+val expr_to_string : Ast.expr -> string
+val stmts_to_string : Ast.stmt list -> string
+val class_to_string : Ast.class_decl -> string

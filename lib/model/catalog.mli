@@ -1,0 +1,72 @@
+(** The class registry and hierarchy resolution.
+
+    Classes are defined once and never redefined (the paper leaves schema
+    evolution out of scope, and so do we). The catalog computes the class
+    linearization used for field layout, gathers inherited constraints and
+    triggers, resolves method dispatch, and answers subclass queries for
+    deep-extent iteration and the [is] operator.
+
+    The catalog also records which clusters exist and which secondary
+    indexes were created, and serializes the whole schema (as surface
+    syntax) for persistence. *)
+
+exception Schema_error of string
+
+type t
+
+val create : unit -> t
+
+val define : t -> Ode_lang.Ast.class_decl -> Schema.cls
+(** Add a class. Raises {!Schema_error} on: duplicate class name, unknown
+    parent, a field name inherited from two unrelated classes or clashing
+    with an own field, or an unknown class referenced by a field type. *)
+
+val find : t -> string -> Schema.cls option
+val find_exn : t -> string -> Schema.cls
+val find_by_id : t -> int -> Schema.cls option
+val all : t -> Schema.cls list
+(** All classes in definition order. *)
+
+val lineage : t -> Schema.cls -> Schema.cls list
+(** Ancestors (base classes first, each once) ending with the class itself;
+    this is the field layout order. *)
+
+val all_fields : t -> Schema.cls -> Schema.field list
+(** Inherited fields first, own fields last. *)
+
+val all_constraints : t -> Schema.cls -> Schema.constr list
+(** Every constraint an object of this class must satisfy, including
+    inherited ones (paper §5: constraint-based specialization). *)
+
+val find_method : t -> Schema.cls -> string -> Schema.meth option
+(** Most-derived definition wins (dynamic dispatch). *)
+
+val find_trigger : t -> Schema.cls -> string -> Schema.trigger option
+
+val is_subclass : t -> sub:string -> super:string -> bool
+(** Reflexive and transitive. *)
+
+val subclasses : t -> string -> string list
+(** The class and all its (transitive) subclasses, in definition order:
+    the classes whose clusters a deep-extent scan visits (paper §3.1.1). *)
+
+(** {1 Cluster and index metadata} *)
+
+val create_cluster : t -> string -> unit
+(** Raises {!Schema_error} if the class is unknown or the cluster exists. *)
+
+val has_cluster : t -> Schema.cls -> bool
+
+val add_index : t -> cls:string -> field:string -> unit
+(** Raises {!Schema_error} if unknown class/field, non-indexable field type,
+    or duplicate index. *)
+
+val indexes : t -> (string * string) list
+val indexes_on : t -> string -> string list
+(** Indexed field names of a class (indexes declared on the class itself or
+    inherited from an ancestor). *)
+
+(** {1 Persistence} *)
+
+val encode : t -> string
+val decode : string -> t

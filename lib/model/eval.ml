@@ -1,0 +1,172 @@
+module Ast = Ode_lang.Ast
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type hooks = {
+  get_field : Oid.t -> string -> Value.t option;
+  get_field_v : Oid.vref -> string -> Value.t option;
+  class_of : Oid.t -> string option;
+  is_subclass : sub:string -> super:string -> bool;
+  call_method : Value.t -> string -> Value.t list -> Value.t;
+  builtin : string -> Value.t list -> Value.t option;
+}
+
+let null_hooks =
+  {
+    get_field = (fun _ _ -> error "no database attached");
+    get_field_v = (fun _ _ -> error "no database attached");
+    class_of = (fun _ -> None);
+    is_subclass = (fun ~sub:_ ~super:_ -> false);
+    call_method = (fun _ m _ -> error "unknown method %s" m);
+    builtin = (fun _ _ -> None);
+  }
+
+let truthy : Value.t -> bool = function
+  | Bool b -> b
+  | Null -> false
+  | v -> error "condition is not boolean: %a" Value.pp v
+
+(* -- arithmetic ------------------------------------------------------------ *)
+
+let arith op_name fi ff (a : Value.t) (b : Value.t) : Value.t =
+  match (a, b) with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> Int (fi x y)
+  | (Int _ | Float _), (Int _ | Float _) ->
+      let f = function Value.Int n -> float_of_int n | Value.Float f -> f | _ -> assert false in
+      Float (ff (f a) (f b))
+  | _ -> error "cannot apply %s to %a and %a" op_name Value.pp a Value.pp b
+
+let add (a : Value.t) (b : Value.t) : Value.t =
+  match (a, b) with
+  | Str x, Str y -> Str (x ^ y)
+  | VList x, VList y -> VList (x @ y)
+  | VSet _, VSet y -> List.fold_left (fun acc v -> Value.set_add v acc) a y
+  | _ -> arith "+" ( + ) ( +. ) a b
+
+let sub (a : Value.t) (b : Value.t) : Value.t =
+  match (a, b) with
+  | VSet _, VSet y -> List.fold_left (fun acc v -> Value.set_remove v acc) a y
+  | _ -> arith "-" ( - ) ( -. ) a b
+
+let div (a : Value.t) (b : Value.t) : Value.t =
+  match (a, b) with
+  | _, Int 0 -> error "division by zero"
+  | _, Float 0.0 -> error "division by zero"
+  | Int x, Int y -> Int (x / y)
+  | _ -> arith "/" ( / ) ( /. ) a b
+
+let modulo (a : Value.t) (b : Value.t) : Value.t =
+  match (a, b) with
+  | Int _, Int 0 -> error "modulo by zero"
+  | Int x, Int y -> Int (x mod y)
+  | _ -> error "%% needs integers, got %a and %a" Value.pp a Value.pp b
+
+let ordered op (a : Value.t) (b : Value.t) : Value.t =
+  match (a, b) with
+  | Null, _ | _, Null -> Bool false
+  | (Int _ | Float _), (Int _ | Float _)
+  | Str _, Str _
+  | Bool _, Bool _ ->
+      Bool (op (Value.compare a b) 0)
+  | _ -> error "cannot order %a and %a" Value.pp a Value.pp b
+
+(* -- builtins ----------------------------------------------------------------- *)
+
+let size : Value.t -> Value.t = function
+  | Str s -> Int (String.length s)
+  | VList vs | VSet vs -> Int (List.length vs)
+  | v -> error "size: not a string, set or list: %a" Value.pp v
+
+let local_builtin name (args : Value.t list) : Value.t option =
+  match (name, args) with
+  | "abs", [ Int n ] -> Some (Int (abs n))
+  | "abs", [ Float f ] -> Some (Float (Float.abs f))
+  | "size", [ v ] -> Some (size v)
+  | "min", [ a; b ] -> Some (if Value.compare a b <= 0 then a else b)
+  | "max", [ a; b ] -> Some (if Value.compare a b >= 0 then a else b)
+  | "int", [ Float f ] -> Some (Int (int_of_float f))
+  | "int", [ Int n ] -> Some (Int n)
+  | "float", [ Int n ] -> Some (Float (float_of_int n))
+  | "float", [ Float f ] -> Some (Float f)
+  | "str", [ v ] -> Some (Str (Value.to_string v))
+  | ("abs" | "size" | "min" | "max" | "int" | "float" | "str"), _ ->
+      error "builtin %s: wrong arguments" name
+  | _ -> None
+
+(* -- evaluation ------------------------------------------------------------------ *)
+
+let rec eval hooks ~vars ~this (e : Ast.expr) : Value.t =
+  let go e = eval hooks ~vars ~this e in
+  match e with
+  | Null -> Value.Null
+  | Int n -> Int n
+  | Float f -> Float f
+  | Bool b -> Bool b
+  | Str s -> Str s
+  | This -> ( match this with Some v -> v | None -> error "no 'this' in scope")
+  | Var x -> (
+      match List.assoc_opt x vars with
+      | Some v -> v
+      | None -> error "unbound variable %s" x)
+  | Field (e, f) -> (
+      match go e with
+      | Null -> Null
+      | Ref oid -> (
+          match hooks.get_field oid f with
+          | Some v -> v
+          | None -> error "object %a has no field %s" Oid.pp oid f)
+      | Vref vr -> (
+          match hooks.get_field_v vr f with
+          | Some v -> v
+          | None -> error "version %a has no field %s" Oid.pp_vref vr f)
+      | v -> error "cannot access field %s of %a" f Value.pp v)
+  | Unop (Neg, e) -> (
+      match go e with
+      | Int n -> Int (-n)
+      | Float f -> Float (-.f)
+      | Null -> Null
+      | v -> error "cannot negate %a" Value.pp v)
+  | Unop (Not, e) -> Bool (not (truthy (go e)))
+  | Binop (And, a, b) -> Bool (truthy (go a) && truthy (go b))
+  | Binop (Or, a, b) -> Bool (truthy (go a) || truthy (go b))
+  | Binop (Eq, a, b) -> Bool (Value.equal (go a) (go b))
+  | Binop (Ne, a, b) -> Bool (not (Value.equal (go a) (go b)))
+  | Binop (Lt, a, b) -> ordered ( < ) (go a) (go b)
+  | Binop (Le, a, b) -> ordered ( <= ) (go a) (go b)
+  | Binop (Gt, a, b) -> ordered ( > ) (go a) (go b)
+  | Binop (Ge, a, b) -> ordered ( >= ) (go a) (go b)
+  | Binop (Add, a, b) -> add (go a) (go b)
+  | Binop (Sub, a, b) -> sub (go a) (go b)
+  | Binop (Mul, a, b) -> arith "*" ( * ) ( *. ) (go a) (go b)
+  | Binop (Div, a, b) -> div (go a) (go b)
+  | Binop (Mod, a, b) -> modulo (go a) (go b)
+  | Binop (In, a, b) -> (
+      let x = go a in
+      match go b with
+      | VSet vs | VList vs -> Bool (List.exists (Value.equal x) vs)
+      | v -> error "'in' needs a set or list, got %a" Value.pp v)
+  | Is (e, cls) -> (
+      match go e with
+      | Ref oid | Vref { oid; _ } -> (
+          match hooks.class_of oid with
+          | Some name -> Bool (hooks.is_subclass ~sub:name ~super:cls)
+          | None -> Bool false)
+      | Null -> Bool false
+      | v -> error "'is' needs an object reference, got %a" Value.pp v)
+  | SetLit es -> Value.set_of_list (List.map go es)
+  | ListLit es -> VList (List.map go es)
+  | Call (None, name, args) -> (
+      let vals = List.map go args in
+      match local_builtin name vals with
+      | Some v -> v
+      | None -> (
+          match hooks.builtin name vals with
+          | Some v -> v
+          | None -> error "unknown function %s" name))
+  | Call (Some recv, name, args) ->
+      let r = go recv in
+      let vals = List.map go args in
+      hooks.call_method r name vals

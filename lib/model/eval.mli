@@ -1,0 +1,39 @@
+(** Expression evaluator.
+
+    Evaluation is parameterized by hooks so the same evaluator serves
+    constraints, trigger conditions, [suchthat]/[by] clauses and method
+    bodies: the database layer supplies object dereferencing (through the
+    active transaction's write set), dynamic class tests and method
+    dispatch.
+
+    Null semantics (documented in README): field access through a null
+    reference yields [Null]; [==]/[!=] treat [Null] as an ordinary value;
+    ordered comparisons and arithmetic involving [Null] yield [false] /
+    [Null] respectively, so a [suchthat] clause never aborts a scan because
+    of a missing reference. *)
+
+exception Error of string
+
+type hooks = {
+  get_field : Oid.t -> string -> Value.t option;
+  (** Field of the current version, read through the active transaction. *)
+  get_field_v : Oid.vref -> string -> Value.t option;
+  class_of : Oid.t -> string option;
+  is_subclass : sub:string -> super:string -> bool;
+  call_method : Value.t -> string -> Value.t list -> Value.t;
+  (** Dynamic dispatch on the receiver; raises {!Error} if unresolvable. *)
+  builtin : string -> Value.t list -> Value.t option;
+  (** Extra builtins supplied by the database layer (version navigation
+      etc.); [None] means unknown. *)
+}
+
+val null_hooks : hooks
+(** Hooks that fail on any object access: for evaluating closed
+    expressions. *)
+
+val eval :
+  hooks -> vars:(string * Value.t) list -> this:Value.t option -> Ode_lang.Ast.expr -> Value.t
+
+val truthy : Value.t -> bool
+(** [true] iff the value is [Bool true]; [Bool false] and [Null] are false;
+    anything else raises {!Error} (conditions must be boolean). *)

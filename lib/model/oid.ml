@@ -1,0 +1,50 @@
+module Codec = Ode_util.Codec
+module Key = Ode_util.Key
+
+type t = { cls : int; num : int }
+type vref = { oid : t; ver : int }
+
+let compare a b =
+  match Int.compare a.cls b.cls with 0 -> Int.compare a.num b.num | c -> c
+
+let equal a b = compare a b = 0
+let hash a = Hashtbl.hash (a.cls, a.num)
+let pp ppf a = Format.fprintf ppf "#%d:%d" a.cls a.num
+
+let compare_vref a b =
+  match compare a.oid b.oid with 0 -> Int.compare a.ver b.ver | c -> c
+
+let equal_vref a b = compare_vref a b = 0
+let pp_vref ppf a = Format.fprintf ppf "%a@v%d" pp a.oid a.ver
+
+let encode b a =
+  Codec.put_u32 b a.cls;
+  Codec.put_int b a.num
+
+let decode c =
+  let cls = Codec.get_u32 c in
+  let num = Codec.get_int c in
+  { cls; num }
+
+let encode_vref b v =
+  encode b v.oid;
+  Codec.put_u32 b v.ver
+
+let decode_vref c =
+  let oid = decode c in
+  let ver = Codec.get_u32 c in
+  { oid; ver }
+
+let key a = Key.concat [ Key.of_int a.cls; Key.of_int a.num ]
+let key_class_prefix cls = Key.of_int cls
+
+let of_key s =
+  if String.length s <> 16 then invalid_arg "oid: bad key length";
+  let dec off =
+    let v = ref 0L in
+    for i = 0 to 7 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[off + i]))
+    done;
+    Int64.to_int (Int64.logxor !v Int64.min_int)
+  in
+  { cls = dec 0; num = dec 8 }

@@ -1,0 +1,35 @@
+(** Object identities.
+
+    Every persistent object is identified by a unique object id carrying its
+    class. Ids are never reused. A {!vref} names one specific version of a
+    versioned object, whereas an {!t} used as a reference is a *generic*
+    reference that always denotes the current version (paper §4). *)
+
+type t = { cls : int; num : int }
+(** [cls] is the catalog class id, [num] a per-class sequence number. *)
+
+type vref = { oid : t; ver : int }
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val compare_vref : vref -> vref -> int
+val equal_vref : vref -> vref -> bool
+val pp_vref : Format.formatter -> vref -> unit
+
+val encode : Buffer.t -> t -> unit
+val decode : Ode_util.Codec.cursor -> t
+val encode_vref : Buffer.t -> vref -> unit
+val decode_vref : Ode_util.Codec.cursor -> vref
+
+val key : t -> string
+(** Order-preserving directory key: objects of one class are contiguous and
+    sorted by allocation order, so a key-range scan of a class prefix is
+    exactly the paper's cluster iteration order. *)
+
+val key_class_prefix : int -> string
+(** Directory key prefix covering every object of a class. *)
+
+val of_key : string -> t

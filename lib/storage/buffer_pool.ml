@@ -1,0 +1,77 @@
+type frame = {
+  no : int;
+  buf : bytes;
+  mutable pins : int;
+  mutable dirty : bool;
+}
+
+type t = {
+  disk : Disk.t;
+  cap : int;
+  frames : frame Ode_util.Lru.t;
+}
+
+exception Pool_exhausted
+
+let data f = f.buf
+let page_no f = f.no
+let create ?(capacity = 256) disk = { disk; cap = capacity; frames = Ode_util.Lru.create capacity }
+let disk t = t.disk
+let capacity t = t.cap
+let page_count t = Disk.page_count t.disk
+
+let write_back t f =
+  if f.dirty then begin
+    Disk.write t.disk f.no f.buf;
+    f.dirty <- false
+  end
+
+let make_room t =
+  if Ode_util.Lru.length t.frames >= t.cap then
+    match Ode_util.Lru.evict t.frames (fun _ f -> f.pins = 0) with
+    | Some (_, victim) -> write_back t victim
+    | None -> raise Pool_exhausted
+
+let pin t n =
+  match Ode_util.Lru.find t.frames n with
+  | Some f ->
+      Ode_util.Stats.incr_pool_hits ();
+      f.pins <- f.pins + 1;
+      f
+  | None ->
+      Ode_util.Stats.incr_pool_misses ();
+      make_room t;
+      let buf = Disk.read t.disk n in
+      let f = { no = n; buf; pins = 1; dirty = false } in
+      Ode_util.Lru.add t.frames n f;
+      f
+
+let unpin _t f =
+  assert (f.pins > 0);
+  f.pins <- f.pins - 1
+
+let with_page t n fn =
+  let f = pin t n in
+  Fun.protect ~finally:(fun () -> unpin t f) (fun () -> fn f)
+
+let mark_dirty _t f = f.dirty <- true
+
+let allocate t =
+  make_room t;
+  let n = Disk.allocate t.disk in
+  let buf = Disk.read t.disk n in
+  let f = { no = n; buf; pins = 1; dirty = false } in
+  Ode_util.Lru.add t.frames n f;
+  f
+
+let flush_all t =
+  Ode_util.Lru.iter t.frames (fun _ f -> write_back t f);
+  Disk.sync t.disk
+
+let drop_cache t =
+  let rec go () =
+    match Ode_util.Lru.evict t.frames (fun _ f -> f.pins = 0 && not f.dirty) with
+    | Some _ -> go ()
+    | None -> ()
+  in
+  go ()

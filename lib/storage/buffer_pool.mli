@@ -1,0 +1,47 @@
+(** A fixed-capacity page cache over a {!Disk.t}.
+
+    Callers pin pages to work on them and unpin when done; only unpinned
+    pages are eviction candidates (LRU). Dirty pages are written back on
+    eviction and on {!flush_all}. *)
+
+type t
+
+exception Pool_exhausted
+(** Raised when every frame is pinned and a new page is requested. *)
+
+type frame
+(** A cached page. The underlying bytes are shared: mutating them requires
+    calling {!mark_dirty}. *)
+
+val data : frame -> bytes
+val page_no : frame -> int
+
+val create : ?capacity:int -> Disk.t -> t
+(** [create disk] wraps [disk] with a pool of [capacity] frames
+    (default 256). *)
+
+val disk : t -> Disk.t
+val capacity : t -> int
+
+val pin : t -> int -> frame
+(** [pin t n] returns page [n], loading it if needed, and increments its pin
+    count. *)
+
+val unpin : t -> frame -> unit
+
+val with_page : t -> int -> (frame -> 'a) -> 'a
+(** Pin, apply, unpin (also on exceptions). *)
+
+val mark_dirty : t -> frame -> unit
+
+val allocate : t -> frame
+(** Extend the disk by one fresh, zeroed, formatted-blank page and return it
+    pinned. *)
+
+val page_count : t -> int
+
+val flush_all : t -> unit
+(** Write back every dirty frame and sync the disk. *)
+
+val drop_cache : t -> unit
+(** Forget all unpinned clean frames (used by tests to force re-reads). *)

@@ -1,0 +1,94 @@
+type backend =
+  | File of { fd : Unix.file_descr; mutable pages : int }
+  | Memory of { mutable arr : bytes array; mutable used : int }
+
+type t = { backend : backend }
+
+let open_file path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let len = (Unix.fstat fd).Unix.st_size in
+  if len mod Page.size <> 0 then begin
+    Unix.close fd;
+    invalid_arg (Printf.sprintf "disk: %s is not page-aligned (%d bytes)" path len)
+  end;
+  { backend = File { fd; pages = len / Page.size } }
+
+let in_memory () = { backend = Memory { arr = Array.make 8 Bytes.empty; used = 0 } }
+let is_memory t = match t.backend with Memory _ -> true | File _ -> false
+let page_count t = match t.backend with File f -> f.pages | Memory m -> m.used
+
+let check_range t n ~extend =
+  let count = page_count t in
+  let limit = if extend then count else count - 1 in
+  if n < 0 || n > limit then
+    invalid_arg (Printf.sprintf "disk: page %d out of range (count %d)" n count)
+
+(* The engine is single-threaded, so seek-then-read positioned I/O is safe. *)
+let pread fd buf off =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let rec go pos =
+    if pos < Page.size then begin
+      let k = Unix.read fd buf pos (Page.size - pos) in
+      if k = 0 then invalid_arg "disk: short read" else go (pos + k)
+    end
+  in
+  go 0
+
+let pwrite fd buf off =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let rec go pos =
+    if pos < Page.size then begin
+      let k = Unix.write fd buf pos (Page.size - pos) in
+      go (pos + k)
+    end
+  in
+  go 0
+
+let read_into t n buf =
+  check_range t n ~extend:false;
+  Ode_util.Stats.incr_pages_read ();
+  match t.backend with
+  | File f -> pread f.fd buf (n * Page.size)
+  | Memory m -> Bytes.blit m.arr.(n) 0 buf 0 Page.size
+
+let read t n =
+  let buf = Bytes.create Page.size in
+  read_into t n buf;
+  buf
+
+let write t n page =
+  check_range t n ~extend:true;
+  assert (Bytes.length page = Page.size);
+  Ode_util.Stats.incr_pages_written ();
+  match t.backend with
+  | File f ->
+      pwrite f.fd page (n * Page.size);
+      if n = f.pages then f.pages <- f.pages + 1
+  | Memory m ->
+      if n = m.used then begin
+        if m.used = Array.length m.arr then begin
+          let bigger = Array.make (2 * Array.length m.arr) Bytes.empty in
+          Array.blit m.arr 0 bigger 0 m.used;
+          m.arr <- bigger
+        end;
+        m.arr.(n) <- Bytes.copy page;
+        m.used <- m.used + 1
+      end
+      else Bytes.blit page 0 m.arr.(n) 0 Page.size
+
+let allocate t =
+  let n = page_count t in
+  let zero = Bytes.make Page.size '\000' in
+  write t n zero;
+  n
+
+let sync t = match t.backend with File f -> Unix.fsync f.fd | Memory _ -> ()
+
+let truncate t n =
+  match t.backend with
+  | File f ->
+      Unix.ftruncate f.fd (n * Page.size);
+      f.pages <- min f.pages n
+  | Memory m -> m.used <- min m.used n
+
+let close t = match t.backend with File f -> Unix.close f.fd | Memory _ -> ()

@@ -1,0 +1,40 @@
+(** Page-granular storage backends.
+
+    Two implementations: a Unix file (random access, fsync-able) and an
+    in-memory store (for tests and throwaway databases). Pages are numbered
+    from 0 and are always {!Page.size} bytes. *)
+
+type t
+
+val open_file : string -> t
+(** [open_file path] opens (creating if absent) a page file. *)
+
+val in_memory : unit -> t
+(** A volatile backend backed by a growable array. *)
+
+val is_memory : t -> bool
+
+val page_count : t -> int
+(** Number of allocated pages. *)
+
+val read : t -> int -> bytes
+(** [read t n] returns a fresh buffer with page [n]'s contents. Raises
+    [Invalid_argument] when [n] is out of range. *)
+
+val read_into : t -> int -> bytes -> unit
+(** Like {!read} but fills the caller's buffer. *)
+
+val write : t -> int -> bytes -> unit
+(** [write t n page] persists [page] at index [n]. [n] may be at most
+    [page_count t] (writing at [page_count] extends the file). *)
+
+val allocate : t -> int
+(** Extend by one zeroed page, returning its index. *)
+
+val sync : t -> unit
+(** Flush OS buffers (no-op in memory). *)
+
+val truncate : t -> int -> unit
+(** [truncate t n] drops pages at index [n] and beyond. *)
+
+val close : t -> unit

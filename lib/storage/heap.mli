@@ -1,0 +1,40 @@
+(** Heap files: unordered collections of variable-length records.
+
+    A heap owns a whole pager. Page 0 is a header page; all other pages are
+    slotted data pages. Records larger than a page are split into chunks
+    chained by record id. Record ids ([rid]) name the head record and remain
+    valid until the record is deleted; {!update} may move a record and then
+    returns its new rid (callers keeping long-lived references must go
+    through a directory, as the object store does). *)
+
+type t
+
+type rid = { page : int; slot : int }
+
+val pp_rid : Format.formatter -> rid -> unit
+val rid_equal : rid -> rid -> bool
+val encode_rid : Buffer.t -> rid -> unit
+val decode_rid : Ode_util.Codec.cursor -> rid
+
+val attach : Buffer_pool.t -> t
+(** [attach pool] opens the heap stored in [pool]'s disk, formatting a fresh
+    header if the disk is empty. Raises [Invalid_argument] on a foreign
+    file. *)
+
+val pool : t -> Buffer_pool.t
+
+val insert : t -> string -> rid
+val get : t -> rid -> string option
+val delete : t -> rid -> bool
+
+val update : t -> rid -> string -> rid
+(** Replace the record's payload. Returns the (possibly new) rid; the old
+    rid is dead if the record moved. The rid must be live. *)
+
+val iter : t -> (rid -> string -> unit) -> unit
+(** Visit every live record, reassembling chunked ones. Order is physical
+    (page, then slot). *)
+
+val record_count : t -> int
+val page_count : t -> int
+val flush : t -> unit

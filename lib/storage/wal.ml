@@ -1,0 +1,156 @@
+module Codec = Ode_util.Codec
+
+type record =
+  | Begin of int
+  | Commit of int
+  | Put of int * string * string
+  | Delete of int * string
+  | Checkpoint
+
+type sink =
+  | File of { fd : Unix.file_descr; mutable wpos : int }
+  | Memory of Buffer.t
+
+type t = { sink : sink; pending : Buffer.t }
+
+(* -- record codec -------------------------------------------------------- *)
+
+let encode_record r =
+  let b = Buffer.create 64 in
+  (match r with
+  | Begin tx ->
+      Codec.put_u8 b 1;
+      Codec.put_int b tx
+  | Commit tx ->
+      Codec.put_u8 b 2;
+      Codec.put_int b tx
+  | Put (tx, k, v) ->
+      Codec.put_u8 b 3;
+      Codec.put_int b tx;
+      Codec.put_string b k;
+      Codec.put_string b v
+  | Delete (tx, k) ->
+      Codec.put_u8 b 4;
+      Codec.put_int b tx;
+      Codec.put_string b k
+  | Checkpoint -> Codec.put_u8 b 5);
+  Buffer.contents b
+
+let decode_record s =
+  let c = Codec.cursor s in
+  match Codec.get_u8 c with
+  | 1 -> Begin (Codec.get_int c)
+  | 2 -> Commit (Codec.get_int c)
+  | 3 ->
+      let tx = Codec.get_int c in
+      let k = Codec.get_string c in
+      let v = Codec.get_string c in
+      Put (tx, k, v)
+  | 4 ->
+      let tx = Codec.get_int c in
+      Delete (tx, Codec.get_string c)
+  | 5 -> Checkpoint
+  | n -> raise (Codec.Corrupt (Printf.sprintf "wal: bad tag %d" n))
+
+(* -- framing ------------------------------------------------------------- *)
+
+let frame body =
+  let b = Buffer.create (String.length body + 12) in
+  Codec.put_u32 b (String.length body);
+  Codec.put_i64 b (Codec.fnv64 body);
+  Codec.put_raw b body;
+  Buffer.contents b
+
+(* Scan intact frames from [contents], calling [f] on each decoded record;
+   returns the byte offset just past the last intact frame. *)
+let scan contents f =
+  let len = String.length contents in
+  let rec go off =
+    if off + 12 > len then off
+    else
+      let c = Codec.cursor ~pos:off contents in
+      let blen = Codec.get_u32 c in
+      if off + 12 + blen > len then off
+      else
+        let sum = Codec.get_i64 c in
+        let body = Codec.get_raw c blen in
+        if Codec.fnv64 body <> sum then off
+        else begin
+          (match f with Some fn -> fn (decode_record body) | None -> ());
+          go (off + 12 + blen)
+        end
+  in
+  go 0
+
+(* -- construction --------------------------------------------------------- *)
+
+let read_all fd =
+  let len = (Unix.fstat fd).Unix.st_size in
+  let buf = Bytes.create len in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  let rec fill pos =
+    if pos < len then
+      let k = Unix.read fd buf pos (len - pos) in
+      if k = 0 then pos else fill (pos + k)
+    else pos
+  in
+  let got = fill 0 in
+  Bytes.sub_string buf 0 got
+
+let open_file path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let contents = read_all fd in
+  let intact = scan contents None in
+  (* Drop any torn tail so future appends start at a clean boundary. *)
+  if intact < String.length contents then Unix.ftruncate fd intact;
+  ignore (Unix.lseek fd intact Unix.SEEK_SET);
+  { sink = File { fd; wpos = intact }; pending = Buffer.create 4096 }
+
+let in_memory () = { sink = Memory (Buffer.create 4096); pending = Buffer.create 4096 }
+
+let append t r =
+  Ode_util.Stats.incr_wal_appends ();
+  Buffer.add_string t.pending (frame (encode_record r))
+
+let sync t =
+  Ode_util.Stats.incr_wal_syncs ();
+  let data = Buffer.contents t.pending in
+  Buffer.clear t.pending;
+  match t.sink with
+  | Memory b -> Buffer.add_string b data
+  | File f ->
+      if String.length data > 0 then begin
+        ignore (Unix.lseek f.fd f.wpos Unix.SEEK_SET);
+        let bytes = Bytes.of_string data in
+        let rec put pos =
+          if pos < Bytes.length bytes then
+            put (pos + Unix.write f.fd bytes pos (Bytes.length bytes - pos))
+        in
+        put 0;
+        f.wpos <- f.wpos + String.length data
+      end;
+      Unix.fsync f.fd
+
+let contents t =
+  match t.sink with
+  | Memory b -> Buffer.contents b
+  | File f ->
+      ignore f.wpos;
+      read_all f.fd
+
+let replay t f = ignore (scan (contents t) (Some f))
+
+let reset t =
+  Buffer.clear t.pending;
+  match t.sink with
+  | Memory b -> Buffer.clear b
+  | File f ->
+      Unix.ftruncate f.fd 0;
+      f.wpos <- 0;
+      Unix.fsync f.fd
+
+let size_bytes t =
+  (match t.sink with Memory b -> Buffer.length b | File f -> f.wpos)
+  + Buffer.length t.pending
+
+let close t = match t.sink with Memory _ -> () | File f -> Unix.close f.fd

@@ -1,0 +1,48 @@
+(** Write-ahead log of logical redo records.
+
+    The engine runs deferred-apply transactions: a transaction's effects are
+    buffered, encoded as logical records, appended here and fsynced at
+    commit, and only then applied to the heap and indexes. Recovery replays
+    the committed suffix after the last checkpoint; logical records are
+    idempotent so replay over partially applied state is safe.
+
+    On-disk format: a stream of frames [u32 len][i64 fnv64][body]. A torn or
+    corrupt tail terminates replay silently (those records were never
+    acknowledged as committed unless a later intact frame exists, which the
+    append-then-sync protocol rules out). *)
+
+type record =
+  | Begin of int                          (** txn id *)
+  | Commit of int
+  | Put of int * string * string          (** txn, key, payload *)
+  | Delete of int * string                (** txn, key *)
+  | Checkpoint                            (** all prior effects are on disk *)
+
+type t
+
+val open_file : string -> t
+(** Open or create a log file; the write cursor is positioned after the last
+    intact frame. *)
+
+val in_memory : unit -> t
+
+val append : t -> record -> unit
+(** Buffered append; durable only after {!sync}. *)
+
+val sync : t -> unit
+(** Flush buffered frames and fsync. *)
+
+val replay : t -> (record -> unit) -> unit
+(** Feed every intact record from the start of the log, in order. *)
+
+val reset : t -> unit
+(** Truncate the log to empty (used after a checkpoint). *)
+
+val size_bytes : t -> int
+
+val close : t -> unit
+
+(**/**)
+
+val encode_record : record -> string
+val decode_record : string -> record

@@ -1,0 +1,58 @@
+(** Binary encoding and decoding of primitive values.
+
+    All multi-byte quantities are little-endian. Encoders append to a
+    {!Buffer.t}; decoders read from a string through a mutable cursor.
+    Decoding past the end of the input, or reading malformed data, raises
+    {!Corrupt}. *)
+
+exception Corrupt of string
+(** Raised when decoding encounters truncated or malformed input. *)
+
+(** {1 Encoding} *)
+
+val put_u8 : Buffer.t -> int -> unit
+(** [put_u8 b n] appends the low byte of [n]. *)
+
+val put_u16 : Buffer.t -> int -> unit
+val put_u32 : Buffer.t -> int -> unit
+
+val put_i64 : Buffer.t -> int64 -> unit
+
+val put_int : Buffer.t -> int -> unit
+(** [put_int b n] appends a native OCaml int as a signed 64-bit value. *)
+
+val put_float : Buffer.t -> float -> unit
+(** IEEE-754 bit pattern, 8 bytes. *)
+
+val put_bool : Buffer.t -> bool -> unit
+
+val put_string : Buffer.t -> string -> unit
+(** Length-prefixed (u32) byte string. *)
+
+val put_raw : Buffer.t -> string -> unit
+(** Appends the bytes with no length prefix. *)
+
+(** {1 Decoding} *)
+
+type cursor
+(** A read position within an immutable string. *)
+
+val cursor : ?pos:int -> string -> cursor
+val pos : cursor -> int
+val remaining : cursor -> int
+val at_end : cursor -> bool
+
+val get_u8 : cursor -> int
+val get_u16 : cursor -> int
+val get_u32 : cursor -> int
+val get_i64 : cursor -> int64
+val get_int : cursor -> int
+val get_float : cursor -> float
+val get_bool : cursor -> bool
+val get_string : cursor -> string
+val get_raw : cursor -> int -> string
+
+(** {1 Checksums} *)
+
+val fnv64 : string -> int64
+(** FNV-1a 64-bit hash, used as a WAL record checksum. *)

@@ -1,0 +1,44 @@
+let of_int n =
+  let v = Int64.logxor (Int64.of_int n) Int64.min_int in
+  let b = Buffer.create 8 in
+  for i = 7 downto 0 do
+    Buffer.add_char b (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL)))
+  done;
+  Buffer.contents b
+
+let of_float f =
+  let bits = Int64.bits_of_float f in
+  (* Positive values: set the sign bit so they sort above negatives.
+     Negative values: complement all bits so magnitude order reverses. *)
+  let v = if Int64.compare bits 0L >= 0 then Int64.logxor bits Int64.min_int else Int64.lognot bits in
+  let b = Buffer.create 8 in
+  for i = 7 downto 0 do
+    Buffer.add_char b (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL)))
+  done;
+  Buffer.contents b
+
+let of_string s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      if ch = '\000' then Buffer.add_string b "\000\255" else Buffer.add_char b ch)
+    s;
+  Buffer.add_string b "\000\000";
+  Buffer.contents b
+
+let of_bool v = if v then "\001" else "\000"
+let concat = String.concat ""
+
+let succ_prefix p =
+  let b = Bytes.of_string p in
+  let rec bump i =
+    if i < 0 then None
+    else if Bytes.get b i = '\255' then begin
+      bump (i - 1)
+    end
+    else begin
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) + 1));
+      Some (Bytes.sub_string b 0 (i + 1))
+    end
+  in
+  bump (Bytes.length b - 1)

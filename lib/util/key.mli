@@ -1,0 +1,27 @@
+(** Order-preserving key encodings.
+
+    B+tree keys are byte strings compared lexicographically; these encoders
+    map typed values to byte strings such that byte order equals value
+    order, and composite keys compare field by field. *)
+
+val of_int : int -> string
+(** 8 bytes, big-endian, sign bit flipped: byte order = integer order. *)
+
+val of_float : float -> string
+(** IEEE-754 total-order trick: positive floats get their sign bit set,
+    negative floats are fully complemented. NaN sorts above everything. *)
+
+val of_string : string -> string
+(** Escaped so that a composite key never compares past a component
+    boundary: 0x00 becomes 0x00 0xff, and the component ends with
+    0x00 0x00. *)
+
+val of_bool : bool -> string
+
+val concat : string list -> string
+(** Join already-encoded components. *)
+
+val succ_prefix : string -> string option
+(** [succ_prefix p] is the smallest string greater than every string with
+    prefix [p], or [None] if [p] is all 0xff. Used to turn prefix scans into
+    range scans. *)

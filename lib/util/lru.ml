@@ -1,0 +1,85 @@
+(* Doubly-linked recency list + hashtable from key to node. The list head is
+   the least recently used entry, the tail the most recent. *)
+
+type 'a node = {
+  key : int;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  cap : int;
+  tbl : (int, 'a node) Hashtbl.t;
+  mutable head : 'a node option; (* least recent *)
+  mutable tail : 'a node option; (* most recent *)
+}
+
+let create cap = { cap; tbl = Hashtbl.create (max 16 cap); head = None; tail = None }
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+let mem t k = Hashtbl.mem t.tbl k
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_tail t n =
+  n.prev <- t.tail;
+  n.next <- None;
+  (match t.tail with Some old -> old.next <- Some n | None -> t.head <- Some n);
+  t.tail <- Some n
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some n ->
+      unlink t n;
+      push_tail t n;
+      Some n.value
+
+let peek t k =
+  match Hashtbl.find_opt t.tbl k with None -> None | Some n -> Some n.value
+
+let add t k v =
+  match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+      n.value <- v;
+      unlink t n;
+      push_tail t n
+  | None ->
+      let n = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.replace t.tbl k n;
+      push_tail t n
+
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl k
+
+let evict t ok =
+  let rec scan = function
+    | None -> None
+    | Some n ->
+        if ok n.key n.value then begin
+          unlink t n;
+          Hashtbl.remove t.tbl n.key;
+          Some (n.key, n.value)
+        end
+        else scan n.next
+  in
+  scan t.head
+
+let iter t f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        let next = n.next in
+        f n.key n.value;
+        go next
+  in
+  go t.head

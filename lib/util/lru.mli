@@ -1,0 +1,34 @@
+(** A mutable LRU map with integer keys.
+
+    Used by the buffer pool to pick eviction victims. The structure keeps
+    entries in recency order; [use] refreshes an entry, [evict] removes the
+    least recently used entry satisfying a predicate. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity] makes an empty LRU that considers itself full beyond
+    [capacity] entries (capacity is advisory; the structure never drops
+    entries on its own). *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val mem : 'a t -> int -> bool
+
+val find : 'a t -> int -> 'a option
+(** [find t k] returns the value and refreshes recency. *)
+
+val peek : 'a t -> int -> 'a option
+(** Like [find] but without touching recency. *)
+
+val add : 'a t -> int -> 'a -> unit
+(** [add t k v] inserts or replaces the binding and marks it most recent. *)
+
+val remove : 'a t -> int -> unit
+
+val evict : 'a t -> (int -> 'a -> bool) -> (int * 'a) option
+(** [evict t ok] removes and returns the least recently used binding for
+    which [ok k v] holds, or [None] if none qualifies. *)
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** Iterate from least to most recently used. *)

@@ -1,0 +1,71 @@
+type snapshot = {
+  pages_read : int;
+  pages_written : int;
+  pool_hits : int;
+  pool_misses : int;
+  wal_appends : int;
+  wal_syncs : int;
+  index_probes : int;
+  objects_scanned : int;
+  objects_fetched : int;
+  constraints_checked : int;
+  triggers_fired : int;
+}
+
+let zero =
+  {
+    pages_read = 0;
+    pages_written = 0;
+    pool_hits = 0;
+    pool_misses = 0;
+    wal_appends = 0;
+    wal_syncs = 0;
+    index_probes = 0;
+    objects_scanned = 0;
+    objects_fetched = 0;
+    constraints_checked = 0;
+    triggers_fired = 0;
+  }
+
+let cur = ref zero
+
+let incr_pages_read () = cur := { !cur with pages_read = !cur.pages_read + 1 }
+let incr_pages_written () = cur := { !cur with pages_written = !cur.pages_written + 1 }
+let incr_pool_hits () = cur := { !cur with pool_hits = !cur.pool_hits + 1 }
+let incr_pool_misses () = cur := { !cur with pool_misses = !cur.pool_misses + 1 }
+let incr_wal_appends () = cur := { !cur with wal_appends = !cur.wal_appends + 1 }
+let incr_wal_syncs () = cur := { !cur with wal_syncs = !cur.wal_syncs + 1 }
+let incr_index_probes () = cur := { !cur with index_probes = !cur.index_probes + 1 }
+let incr_objects_scanned () = cur := { !cur with objects_scanned = !cur.objects_scanned + 1 }
+let incr_objects_fetched () = cur := { !cur with objects_fetched = !cur.objects_fetched + 1 }
+
+let incr_constraints_checked () =
+  cur := { !cur with constraints_checked = !cur.constraints_checked + 1 }
+
+let incr_triggers_fired () = cur := { !cur with triggers_fired = !cur.triggers_fired + 1 }
+
+let snapshot () = !cur
+let reset () = cur := zero
+
+let diff a b =
+  {
+    pages_read = a.pages_read - b.pages_read;
+    pages_written = a.pages_written - b.pages_written;
+    pool_hits = a.pool_hits - b.pool_hits;
+    pool_misses = a.pool_misses - b.pool_misses;
+    wal_appends = a.wal_appends - b.wal_appends;
+    wal_syncs = a.wal_syncs - b.wal_syncs;
+    index_probes = a.index_probes - b.index_probes;
+    objects_scanned = a.objects_scanned - b.objects_scanned;
+    objects_fetched = a.objects_fetched - b.objects_fetched;
+    constraints_checked = a.constraints_checked - b.constraints_checked;
+    triggers_fired = a.triggers_fired - b.triggers_fired;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "pages r/w %d/%d  pool hit/miss %d/%d  wal app/sync %d/%d  probes %d  \
+     scanned %d  fetched %d  constraints %d  fired %d"
+    s.pages_read s.pages_written s.pool_hits s.pool_misses s.wal_appends
+    s.wal_syncs s.index_probes s.objects_scanned s.objects_fetched
+    s.constraints_checked s.triggers_fired

@@ -1,0 +1,44 @@
+(** Global operation counters.
+
+    Every layer of the system bumps these counters; benchmarks snapshot them
+    around a workload to report how much physical and logical work each
+    strategy performed (pages touched, index probes, objects scanned, ...).
+    Counters are process-global and single-threaded, like the rest of the
+    engine. *)
+
+type snapshot = {
+  pages_read : int;       (** pages fetched from a disk backend *)
+  pages_written : int;    (** pages written to a disk backend *)
+  pool_hits : int;        (** buffer-pool hits *)
+  pool_misses : int;      (** buffer-pool misses *)
+  wal_appends : int;      (** WAL records appended *)
+  wal_syncs : int;        (** WAL flushes *)
+  index_probes : int;     (** B+tree descents *)
+  objects_scanned : int;  (** objects visited by iteration *)
+  objects_fetched : int;  (** object payload fetches *)
+  constraints_checked : int;
+  triggers_fired : int;
+}
+
+val zero : snapshot
+
+(* Incrementers, called by the owning layer. *)
+val incr_pages_read : unit -> unit
+val incr_pages_written : unit -> unit
+val incr_pool_hits : unit -> unit
+val incr_pool_misses : unit -> unit
+val incr_wal_appends : unit -> unit
+val incr_wal_syncs : unit -> unit
+val incr_index_probes : unit -> unit
+val incr_objects_scanned : unit -> unit
+val incr_objects_fetched : unit -> unit
+val incr_constraints_checked : unit -> unit
+val incr_triggers_fired : unit -> unit
+
+val snapshot : unit -> snapshot
+val reset : unit -> unit
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] is the component-wise difference. *)
+
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,91 @@
+module Db = Ode.Database
+module Query = Ode.Query
+module Value = Ode_model.Value
+module Parser = Ode_lang.Parser
+
+let setup () =
+  let db = Tutil.open_university () in
+  Db.with_txn db (fun txn ->
+      let mk cls name age income extra =
+        ignore
+          (Db.pnew txn cls
+             ([ ("name", Value.Str name); ("age", Value.Int age); ("income", Value.Int income) ]
+             @ extra))
+      in
+      mk "person" "a" 30 100 [];
+      mk "person" "b" 40 300 [];
+      mk "student" "c" 20 50 [ ("gpa", Value.Float 3.0) ];
+      mk "faculty" "d" 50 900 [ ("salary", Value.Int 900) ]);
+  db
+
+let e = Parser.expr
+
+let sums_and_averages () =
+  let db = setup () in
+  Db.with_txn db (fun _ ->
+      Alcotest.(check (float 1e-9)) "sum shallow" 400.0
+        (Query.sum db ~var:"p" ~cls:"person" ~expr:(e "p.income") ());
+      Alcotest.(check (float 1e-9)) "sum deep" 1350.0
+        (Query.sum db ~var:"p" ~cls:"person" ~deep:true ~expr:(e "p.income") ());
+      Alcotest.(check (option (float 1e-9))) "avg with filter" (Some 600.0)
+        (Query.average db ~var:"p" ~cls:"person" ~deep:true
+           ~suchthat:(e "p.income >= 300") ~expr:(e "p.income") ());
+      Alcotest.(check (option (float 1e-9))) "avg of empty" None
+        (Query.average db ~var:"p" ~cls:"person" ~suchthat:(e "p.age > 99") ~expr:(e "p.income") ()));
+  Db.close db
+
+let min_max () =
+  let db = setup () in
+  Db.with_txn db (fun _ ->
+      Tutil.check_bool "min" true
+        (Query.minimum db ~var:"p" ~cls:"person" ~deep:true ~expr:(e "p.age") ()
+        = Some (Value.Int 20));
+      Tutil.check_bool "max over strings" true
+        (Query.maximum db ~var:"p" ~cls:"person" ~deep:true ~expr:(e "p.name") ()
+        = Some (Value.Str "d")));
+  Db.close db
+
+let expr_aggregates_use_methods () =
+  let db = setup () in
+  (* Aggregate over a computed expression, not just a field. *)
+  Db.with_txn db (fun _ ->
+      Alcotest.(check (float 1e-9)) "sum of expr" (2.0 *. 1350.0)
+        (Query.sum db ~var:"p" ~cls:"person" ~deep:true ~expr:(e "p.income * 2") ()));
+  Db.close db
+
+let grouping () =
+  let db = setup () in
+  Db.with_txn db (fun _ ->
+      let groups =
+        Query.group_count db ~var:"p" ~cls:"person" ~deep:true
+          ~expr:(e "p.age >= 40") ()
+      in
+      Tutil.check_bool "two groups" true
+        (groups = [ (Value.Bool false, 2); (Value.Bool true, 2) ]));
+  Db.close db
+
+let null_skipped () =
+  let db = Db.open_in_memory () in
+  ignore (Db.define db "class n8 { link: ref n8; v: int; };");
+  Db.create_cluster db "n8";
+  Db.with_txn db (fun txn ->
+      let a = Db.pnew txn "n8" [ ("v", Value.Int 10) ] in
+      (* b.link.v is null for objects with no link *)
+      ignore (Db.pnew txn "n8" [ ("v", Value.Int 20); ("link", Value.Ref a) ]));
+  Db.with_txn db (fun _ ->
+      (* only the linked object contributes link.v = 10 *)
+      Alcotest.(check (float 1e-9)) "nulls skipped" 10.0
+        (Query.sum db ~var:"x" ~cls:"n8" ~expr:(e "x.link.v") ()));
+  Db.close db
+
+let suite =
+  [
+    ( "aggregates",
+      [
+        Alcotest.test_case "sum and average" `Quick sums_and_averages;
+        Alcotest.test_case "min and max" `Quick min_max;
+        Alcotest.test_case "computed expressions" `Quick expr_aggregates_use_methods;
+        Alcotest.test_case "group_count" `Quick grouping;
+        Alcotest.test_case "null results skipped" `Quick null_skipped;
+      ] );
+  ]

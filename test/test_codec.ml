@@ -1,0 +1,86 @@
+module Codec = Ode_util.Codec
+
+let roundtrip_unit () =
+  let b = Buffer.create 64 in
+  Codec.put_u8 b 0xab;
+  Codec.put_u16 b 0xbeef;
+  Codec.put_u32 b 0xdeadbeef;
+  Codec.put_int b (-42);
+  Codec.put_int b max_int;
+  Codec.put_float b 3.25;
+  Codec.put_bool b true;
+  Codec.put_bool b false;
+  Codec.put_string b "hello\000world";
+  Codec.put_raw b "tail";
+  let c = Codec.cursor (Buffer.contents b) in
+  Tutil.check_int "u8" 0xab (Codec.get_u8 c);
+  Tutil.check_int "u16" 0xbeef (Codec.get_u16 c);
+  Tutil.check_int "u32" 0xdeadbeef (Codec.get_u32 c);
+  Tutil.check_int "int neg" (-42) (Codec.get_int c);
+  Tutil.check_int "int max" max_int (Codec.get_int c);
+  Alcotest.(check (float 0.0)) "float" 3.25 (Codec.get_float c);
+  Tutil.check_bool "bool t" true (Codec.get_bool c);
+  Tutil.check_bool "bool f" false (Codec.get_bool c);
+  Tutil.check_string "string" "hello\000world" (Codec.get_string c);
+  Tutil.check_string "raw" "tail" (Codec.get_raw c 4);
+  Tutil.check_bool "at end" true (Codec.at_end c)
+
+let truncated () =
+  let c = Codec.cursor "ab" in
+  match
+    ignore (Codec.get_u16 c);
+    Codec.get_u16 c
+  with
+  | _ -> Alcotest.fail "expected Corrupt on truncated input"
+  | exception Codec.Corrupt _ -> ()
+
+let bad_bool () =
+  let c = Codec.cursor "\007" in
+  (match Codec.get_bool c with
+  | _ -> Alcotest.fail "expected Corrupt"
+  | exception Codec.Corrupt _ -> ())
+
+let string_prefix_independent () =
+  (* Two strings encoded back to back decode independently. *)
+  let b = Buffer.create 16 in
+  Codec.put_string b "";
+  Codec.put_string b "x";
+  let c = Codec.cursor (Buffer.contents b) in
+  Tutil.check_string "empty" "" (Codec.get_string c);
+  Tutil.check_string "x" "x" (Codec.get_string c)
+
+let fnv_distinct () =
+  Tutil.check_bool "hash differs" true (Codec.fnv64 "abc" <> Codec.fnv64 "abd");
+  Tutil.check_bool "hash stable" true (Codec.fnv64 "abc" = Codec.fnv64 "abc")
+
+let prop_int_roundtrip =
+  QCheck.Test.make ~name:"int roundtrip" ~count:500 QCheck.int (fun n ->
+      let b = Buffer.create 8 in
+      Codec.put_int b n;
+      Codec.get_int (Codec.cursor (Buffer.contents b)) = n)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"string roundtrip" ~count:500 QCheck.string (fun s ->
+      let b = Buffer.create 8 in
+      Codec.put_string b s;
+      Codec.get_string (Codec.cursor (Buffer.contents b)) = s)
+
+let prop_float_roundtrip =
+  QCheck.Test.make ~name:"float roundtrip" ~count:500 QCheck.float (fun f ->
+      let b = Buffer.create 8 in
+      Codec.put_float b f;
+      let f' = Codec.get_float (Codec.cursor (Buffer.contents b)) in
+      Int64.bits_of_float f = Int64.bits_of_float f')
+
+let suite =
+  [
+    ( "codec",
+      [
+        Alcotest.test_case "roundtrip all types" `Quick roundtrip_unit;
+        Alcotest.test_case "truncated input raises" `Quick truncated;
+        Alcotest.test_case "bad bool raises" `Quick bad_bool;
+        Alcotest.test_case "strings are framed" `Quick string_prefix_independent;
+        Alcotest.test_case "fnv64 behaves" `Quick fnv_distinct;
+      ] );
+    Tutil.qsuite "codec.props" [ prop_int_roundtrip; prop_string_roundtrip; prop_float_roundtrip ];
+  ]

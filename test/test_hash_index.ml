@@ -1,0 +1,102 @@
+module H = Ode_index.Hash_index
+module Disk = Ode_storage.Disk
+module Pool = Ode_storage.Buffer_pool
+
+let mk () = H.attach (Pool.create ~capacity:256 (Disk.in_memory ()))
+let assert_ok t = match H.check t with Ok () -> () | Error e -> Alcotest.fail e
+
+let basic () =
+  let t = mk () in
+  H.insert t "a" "1";
+  H.insert t "b" "2";
+  Alcotest.(check (option string)) "find a" (Some "1") (H.find t "a");
+  Alcotest.(check (option string)) "miss" None (H.find t "zz");
+  H.insert t "a" "1'";
+  Alcotest.(check (option string)) "replaced" (Some "1'") (H.find t "a");
+  Tutil.check_int "count" 2 (H.count t);
+  Tutil.check_bool "delete" true (H.delete t "a");
+  Tutil.check_bool "delete miss" false (H.delete t "a");
+  Tutil.check_int "count after" 1 (H.count t);
+  assert_ok t
+
+let grows_by_splitting () =
+  let t = mk () in
+  let n = 5_000 in
+  for i = 0 to n - 1 do
+    H.insert t (Printf.sprintf "key-%d" i) (string_of_int i)
+  done;
+  Tutil.check_bool "buckets grew" true (H.bucket_count t > 16);
+  Tutil.check_int "count" n (H.count t);
+  for i = 0 to n - 1 do
+    if H.find t (Printf.sprintf "key-%d" i) <> Some (string_of_int i) then
+      Alcotest.failf "lost key %d (buckets %d)" i (H.bucket_count t)
+  done;
+  assert_ok t
+
+let iter_covers_everything () =
+  let t = mk () in
+  for i = 0 to 499 do
+    H.insert t (Printf.sprintf "k%d" i) ""
+  done;
+  let seen = ref 0 in
+  H.iter t (fun _ _ -> incr seen);
+  Tutil.check_int "all entries" 500 !seen
+
+let persistence () =
+  let dir = Tutil.temp_dir "hash" in
+  let path = Filename.concat dir "h.idx" in
+  let d = Disk.open_file path in
+  let t = H.attach (Pool.create ~capacity:64 d) in
+  for i = 0 to 2_000 do
+    H.insert t (Printf.sprintf "key-%d" i) (string_of_int (i * 3))
+  done;
+  H.flush t;
+  Disk.close d;
+  let d2 = Disk.open_file path in
+  let t2 = H.attach (Pool.create ~capacity:64 d2) in
+  Tutil.check_int "count persisted" 2_001 (H.count t2);
+  Alcotest.(check (option string)) "value persisted" (Some "4500") (H.find t2 "key-1500");
+  assert_ok t2;
+  Disk.close d2
+
+let prop_model =
+  let ops_gen =
+    QCheck.Gen.(
+      list_size (int_bound 300)
+        (frequency
+           [
+             (6, map2 (fun k v -> `Insert (k mod 200, v mod 1000)) nat nat);
+             (3, map (fun k -> `Delete (k mod 200)) nat);
+           ]))
+  in
+  QCheck.Test.make ~name:"hash index matches model" ~count:50 (QCheck.make ops_gen) (fun ops ->
+      let t = mk () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Insert (k, v) ->
+              let ks = Printf.sprintf "k%d" k and vs = string_of_int v in
+              H.insert t ks vs;
+              Hashtbl.replace model ks vs
+          | `Delete k ->
+              let ks = Printf.sprintf "k%d" k in
+              let was = Hashtbl.mem model ks in
+              if H.delete t ks <> was then QCheck.Test.fail_report "delete mismatch";
+              Hashtbl.remove model ks)
+        ops;
+      (match H.check t with Ok () -> () | Error e -> QCheck.Test.fail_report e);
+      Hashtbl.fold (fun k v ok -> ok && H.find t k = Some v) model true
+      && H.count t = Hashtbl.length model)
+
+let suite =
+  [
+    ( "hash_index",
+      [
+        Alcotest.test_case "basic ops" `Quick basic;
+        Alcotest.test_case "grows by splitting" `Quick grows_by_splitting;
+        Alcotest.test_case "iter covers everything" `Quick iter_covers_everything;
+        Alcotest.test_case "persists across reopen" `Quick persistence;
+      ] );
+    Tutil.qsuite "hash_index.props" [ prop_model ];
+  ]

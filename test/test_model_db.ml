@@ -1,0 +1,158 @@
+(* Model-based testing of the transactional engine.
+
+   Random sequences of transactions (each a list of create/update/delete/
+   newversion operations, ending in commit or abort) run against both the
+   real database and a trivial pure model. After every transaction the
+   visible state must match exactly: extents, field values, version lists,
+   and indexed query results. This is the strongest single check that
+   deferred apply, the write-set overlay, index maintenance and abort
+   semantics compose correctly. *)
+
+module Db = Ode.Database
+module Query = Ode.Query
+module Value = Ode_model.Value
+module Oid = Ode_model.Oid
+module Parser = Ode_lang.Parser
+
+type op =
+  | Create of int            (* field value *)
+  | Update of int * int      (* object pick, new value *)
+  | Delete of int            (* object pick *)
+  | New_version of int       (* object pick *)
+  | Delete_version of int    (* object pick; deletes the oldest version *)
+
+type txn_script = { ops : op list; commit : bool }
+
+(* -- generator ------------------------------------------------------------ *)
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun k -> Create (k mod 40)) nat);
+        (4, map2 (fun p k -> Update (p, k mod 40)) nat nat);
+        (2, map (fun p -> Delete p) nat);
+        (2, map (fun p -> New_version p) nat);
+        (1, map (fun p -> Delete_version p) nat);
+      ])
+
+let txn_gen =
+  QCheck.Gen.(
+    map2
+      (fun ops commit -> { ops; commit })
+      (list_size (int_range 1 8) op_gen)
+      (frequency [ (4, return true); (1, return false) ]))
+
+let script_gen = QCheck.Gen.(list_size (int_range 1 25) txn_gen)
+
+let print_script s =
+  String.concat "; "
+    (List.map
+       (fun t ->
+         Printf.sprintf "[%s]%s"
+           (String.concat ","
+              (List.map
+                 (function
+                   | Create k -> Printf.sprintf "C%d" k
+                   | Update (p, k) -> Printf.sprintf "U%d=%d" p k
+                   | Delete p -> Printf.sprintf "D%d" p
+                   | New_version p -> Printf.sprintf "V%d" p
+                   | Delete_version p -> Printf.sprintf "X%d" p)
+                 t.ops))
+           (if t.commit then "!" else "?"))
+       s)
+
+(* -- the model ------------------------------------------------------------- *)
+
+type mobj = { mutable mk : int; mutable mversions : int }
+
+let run_script script =
+  let db = Db.open_in_memory () in
+  ignore (Db.define db "class m { k: int; };");
+  Db.create_cluster db "m";
+  Db.create_index db ~cls:"m" ~field:"k";
+  (* committed model state; oid order tracked for deterministic picks *)
+  let model : (Oid.t * mobj) list ref = ref [] in
+  let ok = ref true in
+  let fail _fmt = ok := false in
+  List.iter
+    (fun t ->
+      (* Run one transaction against a scratch copy of the model. *)
+      let scratch = List.map (fun (o, m) -> (o, { mk = m.mk; mversions = m.mversions })) !model in
+      let scratch = ref scratch in
+      let pick p = if !scratch = [] then None else Some (List.nth !scratch (p mod List.length !scratch)) in
+      let txn = Db.begin_txn db in
+      List.iter
+        (fun op ->
+          match op with
+          | Create k ->
+              let oid = Db.pnew txn "m" [ ("k", Int k) ] in
+              scratch := !scratch @ [ (oid, { mk = k; mversions = 1 }) ]
+          | Update (p, k) -> (
+              match pick p with
+              | Some (oid, m) ->
+                  Db.set_field txn oid "k" (Int k);
+                  m.mk <- k
+              | None -> ())
+          | Delete p -> (
+              match pick p with
+              | Some (oid, _) ->
+                  Db.pdelete txn oid;
+                  scratch := List.filter (fun (o, _) -> not (Oid.equal o oid)) !scratch
+              | None -> ())
+          | New_version p -> (
+              match pick p with
+              | Some (oid, m) ->
+                  ignore (Db.newversion txn oid);
+                  m.mversions <- m.mversions + 1
+              | None -> ())
+          | Delete_version p -> (
+              match pick p with
+              | Some (oid, m) ->
+                  let versions = Db.versions txn oid in
+                  let oldest = List.fold_left min (List.hd versions) versions in
+                  Db.pdelete_version txn { oid; ver = oldest };
+                  if m.mversions = 1 then
+                    scratch := List.filter (fun (o, _) -> not (Oid.equal o oid)) !scratch
+                  else m.mversions <- m.mversions - 1
+              | None -> ()))
+        t.ops;
+      if t.commit then begin
+        Db.commit txn;
+        model := !scratch
+      end
+      else Db.abort txn;
+      (* Compare visible committed state. *)
+      Db.with_txn db (fun txn ->
+          let extent = Query.to_list db ~var:"x" ~cls:"m" () in
+          if List.length extent <> List.length !model then fail "extent size";
+          List.iter
+            (fun (oid, m) ->
+              (match Db.get_field txn oid "k" with
+              | Value.Int k when k = m.mk -> ()
+              | v -> fail (Value.to_string v));
+              if List.length (Db.versions txn oid) <> m.mversions then fail "versions")
+            !model;
+          (* Indexed counts agree with the model for a few values. *)
+          for k = 0 to 9 do
+            let via_index =
+              Query.count db ~var:"x" ~cls:"m"
+                ~suchthat:(Parser.expr (Printf.sprintf "x.k == %d" (k * 4)))
+                ()
+            in
+            let in_model =
+              List.length (List.filter (fun (_, m) -> m.mk = k * 4) !model)
+            in
+            if via_index <> in_model then fail "index count"
+          done))
+    script;
+  (match Ode.Verify.run db with Ok () -> () | Error _ -> ok := false);
+  Db.close db;
+  !ok
+
+let prop_model =
+  QCheck.Test.make ~name:"database matches reference model" ~count:40
+    (QCheck.make ~print:print_script script_gen)
+    run_script
+
+let suite = [ Tutil.qsuite "model.props" [ prop_model ] ]

@@ -1,0 +1,75 @@
+module S = Ode.Odeset
+module Value = Ode_model.Value
+
+let int n = Value.Int n
+let s123 = S.of_list [ int 1; int 2; int 3 ]
+
+let basics () =
+  Tutil.check_int "cardinal" 3 (S.cardinal s123);
+  Tutil.check_bool "mem" true (S.mem (int 2) s123);
+  Tutil.check_value "add" (S.of_list [ int 1; int 2; int 3; int 4 ]) (S.add (int 4) s123);
+  Tutil.check_value "remove" (S.of_list [ int 1; int 3 ]) (S.remove (int 2) s123);
+  Tutil.check_value "union" (S.of_list [ int 1; int 2; int 3; int 4 ]) (S.union s123 (S.of_list [ int 3; int 4 ]));
+  Tutil.check_value "inter" (S.of_list [ int 2; int 3 ]) (S.inter s123 (S.of_list [ int 2; int 3; int 9 ]));
+  Tutil.check_value "diff" (S.of_list [ int 1 ]) (S.diff s123 (S.of_list [ int 2; int 3 ]));
+  Tutil.check_bool "subset" true (S.subset (S.of_list [ int 1 ]) s123);
+  Tutil.check_bool "not subset" false (S.subset s123 (S.of_list [ int 1 ]))
+
+let iteration_order () =
+  let seen = ref [] in
+  S.iter (fun v -> seen := v :: !seen) (S.of_list [ int 3; int 1; int 2 ]);
+  Tutil.check_values "value order" [ int 1; int 2; int 3 ] (List.rev !seen)
+
+let fixpoint_closure () =
+  (* Transitive closure of n -> 2n, 3n below 50, starting from {1}. *)
+  let w = S.worklist (S.of_list [ int 1 ]) in
+  let visited = ref 0 in
+  S.iter_fix w (fun v ->
+      incr visited;
+      match v with
+      | Value.Int n ->
+          if 2 * n < 50 then ignore (S.insert w (int (2 * n)));
+          if 3 * n < 50 then ignore (S.insert w (int (3 * n)))
+      | _ -> ());
+  let closure = S.seen w in
+  (* {1,2,3,4,6,8,9,12,16,18,24,27,32,36,48} *)
+  Tutil.check_int "closure size" 15 (S.cardinal closure);
+  Tutil.check_int "each visited once" 15 !visited;
+  Tutil.check_bool "27 reached" true (S.mem (int 27) closure);
+  Tutil.check_bool "5 not reached" false (S.mem (int 5) closure)
+
+let insert_dedup () =
+  let w = S.worklist S.empty in
+  Tutil.check_bool "first" true (S.insert w (int 1));
+  Tutil.check_bool "dup" false (S.insert w (int 1));
+  let n = ref 0 in
+  S.iter_fix w (fun _ -> incr n);
+  Tutil.check_int "visited once" 1 !n
+
+let prop_union_comm =
+  let arb = QCheck.(list (int_range 0 20)) in
+  QCheck.Test.make ~name:"union is commutative and idempotent" ~count:300 (QCheck.pair arb arb)
+    (fun (a, b) ->
+      let sa = S.of_list (List.map int a) and sb = S.of_list (List.map int b) in
+      Value.equal (S.union sa sb) (S.union sb sa)
+      && Value.equal (S.union sa sa) sa
+      && S.subset sa (S.union sa sb))
+
+let prop_demorgan =
+  let arb = QCheck.(list (int_range 0 15)) in
+  QCheck.Test.make ~name:"diff/inter laws" ~count:300 (QCheck.pair arb arb) (fun (a, b) ->
+      let sa = S.of_list (List.map int a) and sb = S.of_list (List.map int b) in
+      (* (a - b) ∪ (a ∩ b) = a *)
+      Value.equal (S.union (S.diff sa sb) (S.inter sa sb)) sa)
+
+let suite =
+  [
+    ( "odeset",
+      [
+        Alcotest.test_case "basic operations" `Quick basics;
+        Alcotest.test_case "iteration order" `Quick iteration_order;
+        Alcotest.test_case "fixpoint closure" `Quick fixpoint_closure;
+        Alcotest.test_case "worklist dedups" `Quick insert_dedup;
+      ] );
+    Tutil.qsuite "odeset.props" [ prop_union_comm; prop_demorgan ];
+  ]

@@ -1,0 +1,127 @@
+module Page = Ode_storage.Page
+
+let fresh_invariants () =
+  let p = Page.create () in
+  (match Page.check p with Ok () -> () | Error e -> Alcotest.fail e);
+  Tutil.check_int "no slots" 0 (Page.nslots p);
+  Tutil.check_int "no live" 0 (Page.live_count p);
+  Tutil.check_bool "lots of space" true (Page.free_space p > 4000)
+
+let insert_get () =
+  let p = Page.create () in
+  let s1 = Option.get (Page.insert p "hello") in
+  let s2 = Option.get (Page.insert p "world") in
+  Alcotest.(check (option string)) "get 1" (Some "hello") (Page.get p s1);
+  Alcotest.(check (option string)) "get 2" (Some "world") (Page.get p s2);
+  Alcotest.(check (option string)) "dead slot" None (Page.get p 99)
+
+let delete_reuses_slot () =
+  let p = Page.create () in
+  let s1 = Option.get (Page.insert p "aaa") in
+  let _s2 = Option.get (Page.insert p "bbb") in
+  Tutil.check_bool "delete ok" true (Page.delete p s1);
+  Tutil.check_bool "double delete" false (Page.delete p s1);
+  let s3 = Option.get (Page.insert p "ccc") in
+  Tutil.check_int "slot reused" s1 s3;
+  Tutil.check_int "nslots stable" 2 (Page.nslots p)
+
+let update_in_place_and_grow () =
+  let p = Page.create () in
+  let s = Option.get (Page.insert p "short") in
+  Tutil.check_bool "shrink" true (Page.update p s "s");
+  Alcotest.(check (option string)) "shrunk" (Some "s") (Page.get p s);
+  Tutil.check_bool "grow" true (Page.update p s (String.make 100 'x'));
+  Alcotest.(check (option string)) "grown" (Some (String.make 100 'x')) (Page.get p s);
+  (match Page.check p with Ok () -> () | Error e -> Alcotest.fail e)
+
+let update_too_big_fails_atomically () =
+  let p = Page.create () in
+  let s = Option.get (Page.insert p "keep me") in
+  (* Fill the page almost completely. *)
+  let rec fill () =
+    match Page.insert p (String.make 200 'f') with Some _ -> fill () | None -> ()
+  in
+  fill ();
+  let huge = String.make 4000 'z' in
+  Tutil.check_bool "no room" false (Page.update p s huge);
+  Alcotest.(check (option string)) "old value intact" (Some "keep me") (Page.get p s);
+  match Page.check p with Ok () -> () | Error e -> Alcotest.fail e
+
+let max_record_fits () =
+  let p = Page.create () in
+  let r = String.make Page.max_record 'm' in
+  (match Page.insert p r with
+  | Some s -> Alcotest.(check (option string)) "read back" (Some r) (Page.get p s)
+  | None -> Alcotest.fail "max_record should fit an empty page");
+  Tutil.check_bool "over max rejected" true (Page.insert (Page.create ()) (String.make (Page.max_record + 1) 'm') = None)
+
+let compaction_recovers_space () =
+  let p = Page.create () in
+  (* Alternate inserts, delete half, then a big record must still fit. *)
+  let slots = ref [] in
+  for i = 0 to 15 do
+    match Page.insert p (String.make 200 (Char.chr (Char.code 'a' + (i mod 26)))) with
+    | Some s -> slots := s :: !slots
+    | None -> ()
+  done;
+  List.iteri (fun i s -> if i mod 2 = 0 then ignore (Page.delete p s)) !slots;
+  let free = Page.free_space p in
+  (match Page.insert p (String.make (free - 8) 'Z') with
+  | Some _ -> ()
+  | None -> Alcotest.fail "compaction should have made room");
+  match Page.check p with Ok () -> () | Error e -> Alcotest.fail e
+
+let iter_sees_live_only () =
+  let p = Page.create () in
+  let s1 = Option.get (Page.insert p "a") in
+  let _ = Option.get (Page.insert p "b") in
+  ignore (Page.delete p s1);
+  let seen = ref [] in
+  Page.iter p (fun _ d -> seen := d :: !seen);
+  Tutil.check_string_list "only live" [ "b" ] !seen
+
+(* Model test: random operations mirrored in a Hashtbl. *)
+let ops_gen =
+  QCheck.Gen.(
+    list_size (int_bound 120)
+      (frequency
+         [
+           (5, map (fun n -> `Insert (String.make (1 + (n mod 300)) 'x')) nat);
+           (2, map (fun i -> `Delete i) (int_bound 40));
+           (2, map2 (fun i n -> `Update (i, String.make (1 + (n mod 300)) 'u')) (int_bound 40) nat);
+         ]))
+
+let prop_model =
+  QCheck.Test.make ~name:"page matches model under random ops" ~count:200
+    (QCheck.make ops_gen) (fun ops ->
+      let p = Page.create () in
+      let model : (int, string) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Insert data -> (
+              match Page.insert p data with
+              | Some s -> Hashtbl.replace model s data
+              | None -> ())
+          | `Delete s -> if Page.delete p s then Hashtbl.remove model s
+          | `Update (s, data) -> if Page.update p s data then Hashtbl.replace model s data)
+        ops;
+      (match Page.check p with Ok () -> () | Error e -> QCheck.Test.fail_report e);
+      Hashtbl.fold (fun s data ok -> ok && Page.get p s = Some data) model true
+      && Page.live_count p = Hashtbl.length model)
+
+let suite =
+  [
+    ( "page",
+      [
+        Alcotest.test_case "fresh page invariants" `Quick fresh_invariants;
+        Alcotest.test_case "insert and get" `Quick insert_get;
+        Alcotest.test_case "delete reuses slots" `Quick delete_reuses_slot;
+        Alcotest.test_case "update shrink and grow" `Quick update_in_place_and_grow;
+        Alcotest.test_case "oversized update is atomic" `Quick update_too_big_fails_atomically;
+        Alcotest.test_case "max record" `Quick max_record_fits;
+        Alcotest.test_case "compaction recovers space" `Quick compaction_recovers_space;
+        Alcotest.test_case "iter skips dead" `Quick iter_sees_live_only;
+      ] );
+    Tutil.qsuite "page.props" [ prop_model ];
+  ]

@@ -1,0 +1,102 @@
+(* Access-path selection: which plans the planner picks for which
+   predicates. *)
+
+module Db = Ode.Database
+module Planner = Ode.Planner
+module Value = Ode_model.Value
+module Parser = Ode_lang.Parser
+
+let setup () =
+  let db = Db.open_in_memory () in
+  ignore
+    (Db.define db
+       {|class item { sku: int; qty: int; name: string; tagset: set<int>; };
+         class special : item { rank: int; };|});
+  Db.create_cluster db "item";
+  Db.create_cluster db "special";
+  Db.create_index db ~cls:"item" ~field:"qty";
+  Db.create_index db ~cls:"special" ~field:"rank";
+  db
+
+let plan db ?env ?(cls = "item") ?(deep = false) src =
+  Planner.plan db ?env ~var:"x" ~cls ~deep ~suchthat:(Some (Parser.expr src)) ()
+
+let is_full p = match p.Planner.p_access with Planner.Full_scan -> true | _ -> false
+let is_eq p = match p.Planner.p_access with Planner.Index_eq _ -> true | _ -> false
+let is_range p = match p.Planner.p_access with Planner.Index_range _ -> true | _ -> false
+
+let picks_eq_probe () =
+  let db = setup () in
+  Tutil.check_bool "eq on indexed" true (is_eq (plan db "x.qty == 5"));
+  Tutil.check_bool "mirrored eq" true (is_eq (plan db "5 == x.qty"));
+  Tutil.check_bool "eq wins over range" true (is_eq (plan db "x.qty > 1 && x.qty == 5"));
+  Db.close db
+
+let picks_range () =
+  let db = setup () in
+  Tutil.check_bool "gt" true (is_range (plan db "x.qty > 5"));
+  Tutil.check_bool "both bounds" true (is_range (plan db "x.qty >= 2 && x.qty < 9"));
+  (match (plan db "x.qty >= 2 && x.qty < 9").Planner.p_access with
+  | Planner.Index_range { lo = Some (Value.Int 2, true); hi = Some (Value.Int 9, false); _ } -> ()
+  | _ -> Alcotest.fail "bounds mis-extracted");
+  Db.close db
+
+let falls_back_to_scan () =
+  let db = setup () in
+  Tutil.check_bool "unindexed field" true (is_full (plan db "x.sku == 5"));
+  Tutil.check_bool "non-sargable" true (is_full (plan db "x.qty + 1 == 6"));
+  Tutil.check_bool "disjunction" true (is_full (plan db "x.qty == 5 || x.qty == 6"));
+  Tutil.check_bool "ne" true (is_full (plan db "x.qty != 5"));
+  Tutil.check_bool "var on both sides" true (is_full (plan db "x.qty == x.sku"));
+  Db.close db
+
+let constant_folding () =
+  let db = setup () in
+  (* The comparand may be any closed expression. *)
+  Tutil.check_bool "computed constant" true (is_eq (plan db "x.qty == 2 + 3"));
+  (* ... including outer loop variables supplied via env. *)
+  let env = [ ("y", Value.Int 7) ] in
+  Tutil.check_bool "env var" true (is_eq (plan db ~env "x.qty == y"));
+  (* Without the binding it cannot be evaluated: full scan. *)
+  Tutil.check_bool "unbound comparand" true (is_full (plan db "x.qty == y"));
+  Db.close db
+
+let inherited_index_used () =
+  let db = setup () in
+  (* special inherits item's qty index. *)
+  Tutil.check_bool "inherited" true (is_eq (plan db ~cls:"special" "x.qty == 1"));
+  Tutil.check_bool "own" true (is_eq (plan db ~cls:"special" "x.rank == 1"));
+  (* item must NOT use special's rank index (rank is not its field). *)
+  (match plan db ~cls:"item" "x.qty == 1 && x.name == \"a\"" with
+  | p ->
+      Tutil.check_bool "residual keeps extra conjunct" true (p.Planner.p_residual <> None));
+  Db.close db
+
+let deep_plan_classes () =
+  let db = setup () in
+  let p = plan db ~deep:true "x.qty > 1" in
+  Tutil.check_string_list "hierarchy clusters" [ "item"; "special" ] p.Planner.p_classes;
+  Db.close db
+
+let explain_strings () =
+  let db = setup () in
+  let ex ?cls src = Planner.explain (plan db ?cls src) in
+  Tutil.check_bool "probe text" true
+    (String.length (ex "x.qty == 5") >= 11 && String.sub (ex "x.qty == 5") 0 11 = "index probe");
+  Tutil.check_bool "scan text" true
+    (String.length (ex "x.sku == 5") >= 9 && String.sub (ex "x.sku == 5") 0 9 = "full scan");
+  Db.close db
+
+let suite =
+  [
+    ( "planner",
+      [
+        Alcotest.test_case "equality probes" `Quick picks_eq_probe;
+        Alcotest.test_case "range bounds" `Quick picks_range;
+        Alcotest.test_case "scan fallbacks" `Quick falls_back_to_scan;
+        Alcotest.test_case "constant folding and env" `Quick constant_folding;
+        Alcotest.test_case "inherited indexes" `Quick inherited_index_used;
+        Alcotest.test_case "deep plans expand classes" `Quick deep_plan_classes;
+        Alcotest.test_case "explain strings" `Quick explain_strings;
+      ] );
+  ]

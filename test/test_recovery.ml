@@ -1,0 +1,180 @@
+(* Durability and crash recovery.
+
+   "Crash" simulation: a database directory is copied while the engine still
+   has dirty pages in its buffer pools — the copy contains exactly what a
+   real crash would leave behind (synced WAL, arbitrarily stale data files).
+   Opening the copy must recover every committed transaction. *)
+
+module Db = Ode.Database
+module Value = Ode_model.Value
+module Parser = Ode_lang.Parser
+
+let int n = Value.Int n
+
+let setup dir =
+  let db = Db.open_ dir in
+  ignore (Db.define db "class acct { owner: string; balance: int; };");
+  Db.create_cluster db "acct";
+  db
+
+let crash_copy src =
+  let dst = Tutil.temp_dir "crash" in
+  Sys.rmdir dst;
+  Tutil.copy_dir src dst;
+  dst
+
+let survives_clean_close () =
+  let dir = Tutil.temp_dir "rec" in
+  let db = setup dir in
+  let a = Db.with_txn db (fun txn -> Db.pnew txn "acct" [ ("owner", Value.Str "ann"); ("balance", int 10) ]) in
+  Db.close db;
+  let db2 = Db.open_ dir in
+  Db.with_txn db2 (fun txn -> Tutil.check_value "balance" (int 10) (Db.get_field txn a "balance"));
+  Db.close db2
+
+let survives_crash_without_close () =
+  let dir = Tutil.temp_dir "rec" in
+  let db = setup dir in
+  let a = Db.with_txn db (fun txn -> Db.pnew txn "acct" [ ("owner", Value.Str "bo"); ("balance", int 1) ]) in
+  for i = 2 to 20 do
+    Db.with_txn db (fun txn -> Db.set_field txn a "balance" (int i))
+  done;
+  (* Crash now: data files may be stale, WAL is synced. *)
+  let snap = crash_copy dir in
+  let db2 = Db.open_ snap in
+  Db.with_txn db2 (fun txn ->
+      Tutil.check_value "last committed balance" (int 20) (Db.get_field txn a "balance"));
+  Db.close db2;
+  Db.close db
+
+let uncommitted_work_is_lost () =
+  let dir = Tutil.temp_dir "rec" in
+  let db = setup dir in
+  let a = Db.with_txn db (fun txn -> Db.pnew txn "acct" [ ("owner", Value.Str "c"); ("balance", int 5) ]) in
+  (* An open transaction at crash time. *)
+  let txn = Db.begin_txn db in
+  Db.set_field txn a "balance" (int 999);
+  let ghost = Ode.Store.create txn (Ode_model.Catalog.find_exn (Db.catalog db) "acct") [] in
+  let snap = crash_copy dir in
+  Db.abort txn;
+  let db2 = Db.open_ snap in
+  Db.with_txn db2 (fun txn2 ->
+      Tutil.check_value "update lost" (int 5) (Db.get_field txn2 a "balance");
+      Tutil.check_bool "creation lost" false (Db.exists db2 ~txn:txn2 ghost));
+  Db.close db2;
+  Db.close db
+
+let recovery_covers_everything () =
+  (* Objects, versions, roots, indexes, trigger activations, schema — all
+     through one crash. *)
+  let dir = Tutil.temp_dir "rec" in
+  let db = Db.open_ dir in
+  ignore
+    (Db.define db
+       {|class gadget { label: string; qty: int;
+           trigger low(n: int): qty < n ==> { print "low"; }; };|});
+  Db.create_cluster db "gadget";
+  Db.create_index db ~cls:"gadget" ~field:"qty";
+  let g =
+    Db.with_txn db (fun txn ->
+        let g = Db.pnew txn "gadget" [ ("label", Value.Str "g"); ("qty", int 10) ] in
+        ignore (Db.newversion txn g);
+        Db.set_field txn g "qty" (int 20);
+        Db.set_root txn "the-gadget" (Value.Ref g);
+        ignore (Db.activate txn g "low" [ int 5 ]);
+        g)
+  in
+  let snap = crash_copy dir in
+  let db2 = Db.open_ snap in
+  let log = Buffer.create 16 in
+  Db.set_action_printer db2 (Buffer.add_string log);
+  Db.with_txn db2 (fun txn ->
+      Tutil.check_value "root" (Value.Ref g) (Db.root_exn txn "the-gadget");
+      Tutil.check_bool "versions" true (Db.versions txn g = [ 0; 1 ]);
+      let via_index =
+        Ode.Query.count db2 ~var:"x" ~cls:"gadget" ~suchthat:(Parser.expr "x.qty == 20") ()
+      in
+      Tutil.check_int "index recovered" 1 via_index);
+  (* The persisted activation still fires. *)
+  Db.with_txn db2 (fun txn -> Db.set_field txn g "qty" (int 1));
+  Tutil.check_bool "trigger recovered" true (String.trim (Buffer.contents log) = "low");
+  Db.close db2;
+  Db.close db
+
+let oid_counters_recover () =
+  (* New oids after recovery must not collide with pre-crash ones. *)
+  let dir = Tutil.temp_dir "rec" in
+  let db = setup dir in
+  let a = Db.with_txn db (fun txn -> Db.pnew txn "acct" [ ("owner", Value.Str "x") ]) in
+  let snap = crash_copy dir in
+  let db2 = Db.open_ snap in
+  let b = Db.with_txn db2 (fun txn -> Db.pnew txn "acct" [ ("owner", Value.Str "y") ]) in
+  Tutil.check_bool "fresh oid" false (Ode_model.Oid.equal a b);
+  Tutil.check_int "extent complete" 2
+    (Db.with_txn db2 (fun _ -> Ode.Query.count db2 ~var:"x" ~cls:"acct" ()));
+  Db.close db2;
+  Db.close db
+
+let checkpoint_bounds_wal () =
+  let dir = Tutil.temp_dir "rec" in
+  let db = setup dir in
+  for i = 1 to 50 do
+    Db.with_txn db (fun txn -> ignore (Db.pnew txn "acct" [ ("balance", int i) ]))
+  done;
+  Db.checkpoint db;
+  Tutil.check_int "wal empty after checkpoint" 0 (Ode.Txn.wal_bytes db);
+  (* Data survives a crash right after the checkpoint. *)
+  let snap = crash_copy dir in
+  let db2 = Db.open_ snap in
+  Tutil.check_int "all rows" 50 (Db.with_txn db2 (fun _ -> Ode.Query.count db2 ~var:"x" ~cls:"acct" ()));
+  Db.close db2;
+  Db.close db
+
+let repeated_crashes () =
+  (* Crash-recover-crash-recover: recovery must be idempotent. *)
+  let dir = Tutil.temp_dir "rec" in
+  let db = setup dir in
+  let a = Db.with_txn db (fun txn -> Db.pnew txn "acct" [ ("balance", int 1) ]) in
+  Db.with_txn db (fun txn -> Db.set_field txn a "balance" (int 2));
+  let snap1 = crash_copy dir in
+  Db.close db;
+  let db1 = Db.open_ snap1 in
+  Db.with_txn db1 (fun txn -> Db.set_field txn a "balance" (int 3));
+  let snap2 = crash_copy snap1 in
+  Db.close db1;
+  let db2 = Db.open_ snap2 in
+  (* Open twice more without any writes. *)
+  Db.close db2;
+  let db3 = Db.open_ snap2 in
+  Db.with_txn db3 (fun txn -> Tutil.check_value "final state" (int 3) (Db.get_field txn a "balance"));
+  Tutil.check_int "no duplicates" 1 (Db.with_txn db3 (fun _ -> Ode.Query.count db3 ~var:"x" ~cls:"acct" ()));
+  Db.close db3
+
+let big_objects_survive () =
+  let dir = Tutil.temp_dir "rec" in
+  let db = Db.open_ dir in
+  ignore (Db.define db "class blob { data: string; };");
+  Db.create_cluster db "blob";
+  let payload = String.init 30_000 (fun i -> Char.chr (32 + (i mod 90))) in
+  let b = Db.with_txn db (fun txn -> Db.pnew txn "blob" [ ("data", Value.Str payload) ]) in
+  let snap = crash_copy dir in
+  let db2 = Db.open_ snap in
+  Db.with_txn db2 (fun txn ->
+      Tutil.check_value "chunked payload recovered" (Value.Str payload) (Db.get_field txn b "data"));
+  Db.close db2;
+  Db.close db
+
+let suite =
+  [
+    ( "recovery",
+      [
+        Alcotest.test_case "clean close round-trip" `Quick survives_clean_close;
+        Alcotest.test_case "crash without close" `Quick survives_crash_without_close;
+        Alcotest.test_case "uncommitted work is lost" `Quick uncommitted_work_is_lost;
+        Alcotest.test_case "all state kinds recover" `Quick recovery_covers_everything;
+        Alcotest.test_case "oid counters recover" `Quick oid_counters_recover;
+        Alcotest.test_case "checkpoint bounds the wal" `Quick checkpoint_bounds_wal;
+        Alcotest.test_case "repeated crashes are idempotent" `Quick repeated_crashes;
+        Alcotest.test_case "chunked objects survive" `Quick big_objects_survive;
+      ] );
+  ]

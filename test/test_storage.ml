@@ -1,0 +1,314 @@
+(* Disk backends, buffer pool, WAL and heap files. *)
+
+module Disk = Ode_storage.Disk
+module Pool = Ode_storage.Buffer_pool
+module Wal = Ode_storage.Wal
+module Heap = Ode_storage.Heap
+module Page = Ode_storage.Page
+
+(* -- disk -------------------------------------------------------------- *)
+
+let mem_disk_rw () =
+  let d = Disk.in_memory () in
+  Tutil.check_int "empty" 0 (Disk.page_count d);
+  let n = Disk.allocate d in
+  Tutil.check_int "first page" 0 n;
+  let page = Bytes.make Page.size 'q' in
+  Disk.write d 0 page;
+  Alcotest.(check bytes) "read back" page (Disk.read d 0)
+
+let file_disk_rw () =
+  let dir = Tutil.temp_dir "disk" in
+  let path = Filename.concat dir "pages" in
+  let d = Disk.open_file path in
+  let n0 = Disk.allocate d in
+  let n1 = Disk.allocate d in
+  Tutil.check_int "sequential alloc" 1 (n1 - n0);
+  let page = Bytes.make Page.size 'z' in
+  Disk.write d n1 page;
+  Disk.sync d;
+  Disk.close d;
+  let d2 = Disk.open_file path in
+  Tutil.check_int "count persisted" 2 (Disk.page_count d2);
+  Alcotest.(check bytes) "data persisted" page (Disk.read d2 n1);
+  Disk.close d2
+
+let disk_range_checks () =
+  let d = Disk.in_memory () in
+  (match Disk.read d 0 with
+  | _ -> Alcotest.fail "read past end should raise"
+  | exception Invalid_argument _ -> ());
+  match Disk.write d 5 (Bytes.make Page.size ' ') with
+  | _ -> Alcotest.fail "write past end+1 should raise"
+  | exception Invalid_argument _ -> ()
+
+let disk_truncate () =
+  let d = Disk.in_memory () in
+  ignore (Disk.allocate d);
+  ignore (Disk.allocate d);
+  Disk.truncate d 1;
+  Tutil.check_int "truncated" 1 (Disk.page_count d)
+
+(* -- buffer pool -------------------------------------------------------- *)
+
+let pool_hit_miss () =
+  let d = Disk.in_memory () in
+  let p = Pool.create ~capacity:2 d in
+  let f = Pool.allocate p in
+  Pool.unpin p f;
+  let before = Ode_util.Stats.snapshot () in
+  Pool.with_page p 0 (fun _ -> ());
+  let after = Ode_util.Stats.snapshot () in
+  Tutil.check_int "pool hit" 1 Ode_util.Stats.((diff after before).pool_hits)
+
+let pool_eviction_writes_back () =
+  let d = Disk.in_memory () in
+  let p = Pool.create ~capacity:2 d in
+  for _ = 1 to 3 do
+    let f = Pool.allocate p in
+    Bytes.set (Pool.data f) 0 'D';
+    Pool.mark_dirty p f;
+    Pool.unpin p f
+  done;
+  (* Page 0 was evicted to make room; its dirty byte must be on disk. *)
+  Tutil.check_bool "written back" true (Bytes.get (Disk.read d 0) 0 = 'D')
+
+let pool_exhaustion () =
+  let d = Disk.in_memory () in
+  let p = Pool.create ~capacity:1 d in
+  let f = Pool.allocate p in
+  (match Pool.allocate p with
+  | _ -> Alcotest.fail "expected Pool_exhausted"
+  | exception Pool.Pool_exhausted -> ());
+  Pool.unpin p f
+
+let pool_flush_all () =
+  let d = Disk.in_memory () in
+  let p = Pool.create ~capacity:4 d in
+  let f = Pool.allocate p in
+  Bytes.set (Pool.data f) 10 'F';
+  Pool.mark_dirty p f;
+  Pool.unpin p f;
+  Pool.flush_all p;
+  Tutil.check_bool "flushed" true (Bytes.get (Disk.read d 0) 10 = 'F')
+
+(* -- wal ------------------------------------------------------------------ *)
+
+let wal_records =
+  [
+    Wal.Begin 1;
+    Wal.Put (1, "key-a", "payload-a");
+    Wal.Delete (1, "key-b");
+    Wal.Commit 1;
+    Wal.Checkpoint;
+  ]
+
+let wal_roundtrip_memory () =
+  let w = Wal.in_memory () in
+  List.iter (Wal.append w) wal_records;
+  Wal.sync w;
+  let got = ref [] in
+  Wal.replay w (fun r -> got := r :: !got);
+  Alcotest.(check int) "count" (List.length wal_records) (List.length !got);
+  Tutil.check_bool "order and content" true (List.rev !got = wal_records)
+
+let wal_roundtrip_file () =
+  let dir = Tutil.temp_dir "wal" in
+  let path = Filename.concat dir "wal.log" in
+  let w = Wal.open_file path in
+  List.iter (Wal.append w) wal_records;
+  Wal.sync w;
+  Wal.close w;
+  let w2 = Wal.open_file path in
+  let got = ref [] in
+  Wal.replay w2 (fun r -> got := r :: !got);
+  Tutil.check_bool "persisted" true (List.rev !got = wal_records);
+  Wal.close w2
+
+let wal_torn_tail_ignored () =
+  let dir = Tutil.temp_dir "wal" in
+  let path = Filename.concat dir "wal.log" in
+  let w = Wal.open_file path in
+  Wal.append w (Wal.Put (1, "k", "v"));
+  Wal.sync w;
+  Wal.close w;
+  (* Simulate a torn write: garbage appended after the intact frame. *)
+  let oc = Out_channel.open_gen [ Open_append; Open_binary ] 0o644 path in
+  Out_channel.output_string oc "\042\000\000\000GARBAGE";
+  Out_channel.close oc;
+  let w2 = Wal.open_file path in
+  let got = ref [] in
+  Wal.replay w2 (fun r -> got := r :: !got);
+  Tutil.check_int "only intact frame" 1 (List.length !got);
+  (* And new appends after reopening are readable. *)
+  Wal.append w2 (Wal.Commit 1);
+  Wal.sync w2;
+  let got2 = ref [] in
+  Wal.replay w2 (fun r -> got2 := r :: !got2);
+  Tutil.check_int "append after truncation" 2 (List.length !got2);
+  Wal.close w2
+
+let wal_reset () =
+  let w = Wal.in_memory () in
+  Wal.append w (Wal.Begin 7);
+  Wal.sync w;
+  Wal.reset w;
+  let n = ref 0 in
+  Wal.replay w (fun _ -> incr n);
+  Tutil.check_int "empty after reset" 0 !n
+
+let wal_unsynced_not_replayed () =
+  let w = Wal.in_memory () in
+  Wal.append w (Wal.Begin 9);
+  (* no sync *)
+  let n = ref 0 in
+  Wal.replay w (fun _ -> incr n);
+  Tutil.check_int "pending buffer invisible" 0 !n
+
+(* -- heap ------------------------------------------------------------------ *)
+
+let heap_mem () = Heap.attach (Pool.create ~capacity:64 (Disk.in_memory ()))
+
+let heap_basic () =
+  let h = heap_mem () in
+  let r1 = Heap.insert h "alpha" in
+  let r2 = Heap.insert h "beta" in
+  Alcotest.(check (option string)) "get 1" (Some "alpha") (Heap.get h r1);
+  Alcotest.(check (option string)) "get 2" (Some "beta") (Heap.get h r2);
+  Tutil.check_int "count" 2 (Heap.record_count h);
+  Tutil.check_bool "delete" true (Heap.delete h r1);
+  Alcotest.(check (option string)) "gone" None (Heap.get h r1);
+  Tutil.check_int "count after delete" 1 (Heap.record_count h)
+
+let heap_large_records () =
+  let h = heap_mem () in
+  let big = String.init 20_000 (fun i -> Char.chr (i mod 256)) in
+  let r = Heap.insert h big in
+  Alcotest.(check (option string)) "chunked roundtrip" (Some big) (Heap.get h r);
+  let bigger = String.make 50_000 'Q' in
+  let r2 = Heap.update h r bigger in
+  Alcotest.(check (option string)) "chunked update" (Some bigger) (Heap.get h r2);
+  Tutil.check_bool "delete frees" true (Heap.delete h r2);
+  Alcotest.(check (option string)) "gone" None (Heap.get h r2)
+
+let heap_update_moves () =
+  let h = heap_mem () in
+  let r = Heap.insert h "small" in
+  (* Fill the page so growth forces relocation. *)
+  for _ = 1 to 30 do
+    ignore (Heap.insert h (String.make 120 'f'))
+  done;
+  let r' = Heap.update h r (String.make 3000 'G') in
+  Alcotest.(check (option string)) "moved value" (Some (String.make 3000 'G')) (Heap.get h r')
+
+let heap_iter () =
+  let h = heap_mem () in
+  let data = [ "one"; "two"; "three"; String.make 9000 'L' ] in
+  List.iter (fun d -> ignore (Heap.insert h d)) data;
+  let seen = ref [] in
+  Heap.iter h (fun _ d -> seen := d :: !seen);
+  Alcotest.(check int) "all records, chunks hidden" 4 (List.length !seen);
+  Tutil.check_bool "payloads intact" true
+    (List.sort compare !seen = List.sort compare data)
+
+let heap_persistence () =
+  let dir = Tutil.temp_dir "heap" in
+  let path = Filename.concat dir "data.heap" in
+  let d = Disk.open_file path in
+  let pool = Pool.create ~capacity:32 d in
+  let h = Heap.attach pool in
+  let r = Heap.insert h "persistent" in
+  let big = String.make 12_345 'B' in
+  let rbig = Heap.insert h big in
+  Heap.flush h;
+  Disk.close d;
+  let d2 = Disk.open_file path in
+  let h2 = Heap.attach (Pool.create ~capacity:32 d2) in
+  Alcotest.(check (option string)) "small persisted" (Some "persistent") (Heap.get h2 r);
+  Alcotest.(check (option string)) "large persisted" (Some big) (Heap.get h2 rbig);
+  Tutil.check_int "count rebuilt" 2 (Heap.record_count h2);
+  Disk.close d2
+
+let prop_heap_model =
+  let ops_gen =
+    QCheck.Gen.(
+      list_size (int_bound 150)
+        (frequency
+           [
+             (6, map (fun n -> `Insert (n mod 6000)) nat);
+             (2, map (fun i -> `Delete i) (int_bound 60));
+             (2, map2 (fun i n -> `Update (i, n mod 6000)) (int_bound 60) nat);
+           ]))
+  in
+  QCheck.Test.make ~name:"heap matches model" ~count:60 (QCheck.make ops_gen) (fun ops ->
+      let h = heap_mem () in
+      let model = Hashtbl.create 16 in
+      let handles = Array.make 64 None in
+      let tag = ref 0 in
+      List.iter
+        (fun op ->
+          incr tag;
+          match op with
+          | `Insert len ->
+              let data = Printf.sprintf "%d:%s" !tag (String.make len 'd') in
+              let r = Heap.insert h data in
+              let slot = !tag mod 64 in
+              (match handles.(slot) with
+              | Some (old_r, _) when Hashtbl.mem model old_r -> ()
+              | _ -> ());
+              handles.(slot) <- Some (r, data);
+              Hashtbl.replace model r data
+          | `Delete i -> (
+              match handles.(i) with
+              | Some (r, _) when Hashtbl.mem model r ->
+                  ignore (Heap.delete h r);
+                  Hashtbl.remove model r;
+                  handles.(i) <- None
+              | _ -> ())
+          | `Update (i, len) -> (
+              match handles.(i) with
+              | Some (r, _) when Hashtbl.mem model r ->
+                  let data = Printf.sprintf "%d:%s" !tag (String.make len 'u') in
+                  let r' = Heap.update h r data in
+                  Hashtbl.remove model r;
+                  Hashtbl.replace model r' data;
+                  handles.(i) <- Some (r', data)
+              | _ -> ()))
+        ops;
+      Hashtbl.fold (fun r data ok -> ok && Heap.get h r = Some data) model true
+      && Heap.record_count h = Hashtbl.length model)
+
+let suite =
+  [
+    ( "disk",
+      [
+        Alcotest.test_case "memory read/write" `Quick mem_disk_rw;
+        Alcotest.test_case "file read/write persists" `Quick file_disk_rw;
+        Alcotest.test_case "range checks" `Quick disk_range_checks;
+        Alcotest.test_case "truncate" `Quick disk_truncate;
+      ] );
+    ( "buffer_pool",
+      [
+        Alcotest.test_case "hit/miss accounting" `Quick pool_hit_miss;
+        Alcotest.test_case "eviction writes back dirty pages" `Quick pool_eviction_writes_back;
+        Alcotest.test_case "exhaustion when all pinned" `Quick pool_exhaustion;
+        Alcotest.test_case "flush_all" `Quick pool_flush_all;
+      ] );
+    ( "wal",
+      [
+        Alcotest.test_case "memory roundtrip" `Quick wal_roundtrip_memory;
+        Alcotest.test_case "file roundtrip" `Quick wal_roundtrip_file;
+        Alcotest.test_case "torn tail ignored" `Quick wal_torn_tail_ignored;
+        Alcotest.test_case "reset empties" `Quick wal_reset;
+        Alcotest.test_case "unsynced appends invisible" `Quick wal_unsynced_not_replayed;
+      ] );
+    ( "heap",
+      [
+        Alcotest.test_case "insert/get/delete" `Quick heap_basic;
+        Alcotest.test_case "large records chunk" `Quick heap_large_records;
+        Alcotest.test_case "update may move" `Quick heap_update_moves;
+        Alcotest.test_case "iter reassembles" `Quick heap_iter;
+        Alcotest.test_case "persists across reopen" `Quick heap_persistence;
+      ] );
+    Tutil.qsuite "heap.props" [ prop_heap_model ];
+  ]

@@ -1,0 +1,250 @@
+(* The integrity verifier, logical dump/load, the index-order by-clause
+   optimization, and the root builtins. *)
+
+module Db = Ode.Database
+module Query = Ode.Query
+module Value = Ode_model.Value
+module Parser = Ode_lang.Parser
+
+let int n = Value.Int n
+let str s = Value.Str s
+
+(* A database exercising every state kind. *)
+let build_rich () =
+  let db = Db.open_in_memory () in
+  ignore
+    (Db.define db
+       {|
+       class tag { label: string; };
+       class note {
+         title: string;
+         weight: int;
+         tags: set<ref tag>;
+         link: ref note;
+         trigger hot(n: int): weight > n ==> { print "hot"; };
+       };
+       |});
+  Db.create_cluster db "tag";
+  Db.create_cluster db "note";
+  Db.create_index db ~cls:"note" ~field:"weight";
+  Db.with_txn db (fun txn ->
+      let t1 = Db.pnew txn "tag" [ ("label", str "work") ] in
+      let t2 = Db.pnew txn "tag" [ ("label", str "home") ] in
+      let n1 =
+        Db.pnew txn "note"
+          [ ("title", str "first"); ("weight", int 5); ("tags", Value.set_of_list [ Ref t1 ]) ]
+      in
+      let n2 =
+        Db.pnew txn "note"
+          [
+            ("title", str "second");
+            ("weight", int 9);
+            ("tags", Value.set_of_list [ Ref t1; Ref t2 ]);
+            ("link", Ref n1);
+          ]
+      in
+      (* a version history *)
+      ignore (Db.newversion txn n1);
+      Db.set_field txn n1 "weight" (int 7);
+      (* cyclic reference *)
+      Db.set_field txn n1 "link" (Value.Ref n2);
+      Db.set_root txn "inbox" (Value.Ref n2);
+      ignore (Db.activate txn n1 "hot" [ int 100 ]));
+  db
+
+(* -- verifier ---------------------------------------------------------- *)
+
+let verify_clean () =
+  let db = build_rich () in
+  (match Ode.Verify.run db with
+  | Ok () -> ()
+  | Error ps -> Alcotest.failf "unexpected problems: %s" (String.concat "; " ps));
+  Db.close db
+
+let verify_after_crash () =
+  let dir = Tutil.temp_dir "vfy" in
+  let db = Db.open_ dir in
+  ignore (Db.define db "class k { v: int; };");
+  Db.create_cluster db "k";
+  Db.create_index db ~cls:"k" ~field:"v";
+  for i = 1 to 200 do
+    Db.with_txn db (fun txn -> ignore (Db.pnew txn "k" [ ("v", int i) ]))
+  done;
+  let snap = Tutil.temp_dir "vfy2" in
+  Sys.rmdir snap;
+  Tutil.copy_dir dir snap;
+  let db2 = Db.open_ snap in
+  Ode.Verify.run_exn db2;
+  Db.close db2;
+  Db.close db
+
+let verify_detects_corruption () =
+  let db = Db.open_in_memory () in
+  ignore (Db.define db "class z { v: int; };");
+  Db.create_cluster db "z";
+  let o = Db.with_txn db (fun txn -> Db.pnew txn "z" [ ("v", int 1) ]) in
+  (* Surgically delete the version record behind the header's back. *)
+  Ode.Kv.delete db (Ode.Keys.version o 0);
+  (match Ode.Verify.run db with
+  | Ok () -> Alcotest.fail "corruption not detected"
+  | Error ps ->
+      Tutil.check_bool "mentions the missing version" true
+        (List.exists (fun p -> String.length p > 0 && String.sub p 0 6 = "object") ps));
+  Db.close db
+
+(* -- dump/load ----------------------------------------------------------- *)
+
+let dump_roundtrip () =
+  let db = build_rich () in
+  let script = Ode.Dump.export db in
+  let db2 = Db.open_in_memory () in
+  Ode.Dump.import db2 script;
+  Ode.Verify.run_exn db2;
+  (* Same extents. *)
+  let count d cls = Db.with_txn d (fun _ -> Query.count d ~var:"x" ~cls ()) in
+  Tutil.check_int "tags" (count db "tag") (count db2 "tag");
+  Tutil.check_int "notes" (count db "note") (count db2 "note");
+  (* Same data (modulo oids): compare title->weight maps. *)
+  let snapshot d =
+    Db.with_txn d (fun txn ->
+        List.sort compare
+          (List.map
+             (fun oid ->
+               ( Value.to_string (Db.get_field txn oid "title"),
+                 Value.to_string (Db.get_field txn oid "weight"),
+                 (match Db.get_field txn oid "tags" with Value.VSet l -> List.length l | _ -> -1),
+                 List.length (Db.versions txn oid) ))
+             (Query.to_list d ~var:"x" ~cls:"note" ())))
+  in
+  Tutil.check_bool "note contents match" true (snapshot db = snapshot db2);
+  (* Root present and pointing at the right object. *)
+  Db.with_txn db2 (fun txn ->
+      match Db.root_exn txn "inbox" with
+      | Value.Ref o -> Tutil.check_value "root title" (str "second") (Db.get_field txn o "title")
+      | v -> Alcotest.failf "bad root %s" (Value.to_string v));
+  (* Activations were re-armed: firing still works. *)
+  let log = Buffer.create 16 in
+  Db.set_action_printer db2 (Buffer.add_string log);
+  Db.with_txn db2 (fun txn ->
+      Query.run db2 ~txn ~var:"x" ~cls:"note"
+        ~suchthat:(Parser.expr "x.title == \"first\"")
+        (fun o -> Db.set_field txn o "weight" (int 1000)));
+  Tutil.check_string "trigger survived dump" "hot\n" (Buffer.contents log);
+  Db.close db;
+  Db.close db2
+
+let dump_version_history () =
+  let db = Db.open_in_memory () in
+  ignore (Db.define db "class d { v: int; };");
+  Db.create_cluster db "d";
+  let o = Db.with_txn db (fun txn -> Db.pnew txn "d" [ ("v", int 0) ]) in
+  Db.with_txn db (fun txn ->
+      for i = 1 to 3 do
+        ignore (Db.newversion txn o);
+        Db.set_field txn o "v" (int i)
+      done);
+  let db2 = Db.open_in_memory () in
+  Ode.Dump.import db2 (Ode.Dump.export db);
+  Db.with_txn db2 (fun txn ->
+      let o2 = List.hd (Query.to_list db2 ~var:"x" ~cls:"d" ()) in
+      Tutil.check_int "versions replayed" 4 (List.length (Db.versions txn o2));
+      Tutil.check_value "current" (int 3) (Db.get_field txn o2 "v");
+      Tutil.check_value "v1 state" (int 1)
+        (List.assoc "v" (Option.get (Db.get_version txn { oid = o2; ver = 1 }))));
+  Db.close db;
+  Db.close db2
+
+(* -- index-order by ------------------------------------------------------- *)
+
+let by_index_order_matches_sort () =
+  let db = Db.open_in_memory () in
+  ignore (Db.define db "class s { k: int; };");
+  Db.create_cluster db "s";
+  let rng = Ode_util.Prng.create 4 in
+  Db.with_txn db (fun txn ->
+      for _ = 1 to 500 do
+        ignore (Db.pnew txn "s" [ ("k", int (Ode_util.Prng.int rng 100)) ])
+      done);
+  let by order = (Parser.expr "x.k", order) in
+  let keys d order =
+    Db.with_txn d (fun txn ->
+        List.map
+          (fun o -> Db.get_field txn o "k")
+          (Query.to_list d ~var:"x" ~cls:"s" ~by:(by order) ()))
+  in
+  let before_asc = keys db Ode_lang.Ast.Asc in
+  let before_desc = keys db Ode_lang.Ast.Desc in
+  Db.create_index db ~cls:"s" ~field:"k";
+  let after_asc = keys db Ode_lang.Ast.Asc in
+  let after_desc = keys db Ode_lang.Ast.Desc in
+  Tutil.check_values "asc agrees" before_asc after_asc;
+  Tutil.check_values "desc agrees" before_desc after_desc;
+  (* With a dirty transaction the engine must fall back to sorting (and see
+     the txn's writes). *)
+  Db.with_txn db (fun txn ->
+      ignore (Db.pnew txn "s" [ ("k", int (-5)) ]);
+      let ks =
+        List.map (fun o -> Db.get_field txn o "k") (Query.to_list db ~var:"x" ~cls:"s" ~by:(by Ode_lang.Ast.Asc) ())
+      in
+      Tutil.check_value "txn-created first" (int (-5)) (List.hd ks);
+      Tutil.check_int "all rows" 501 (List.length ks));
+  Db.close db
+
+let by_with_suchthat_and_index_order () =
+  let db = Db.open_in_memory () in
+  ignore (Db.define db "class t2 { k: int; grp: int; };");
+  Db.create_cluster db "t2";
+  Db.with_txn db (fun txn ->
+      for i = 1 to 100 do
+        ignore (Db.pnew txn "t2" [ ("k", int (101 - i)); ("grp", int (i mod 3)) ])
+      done);
+  Db.create_index db ~cls:"t2" ~field:"k";
+  let got =
+    Db.with_txn db (fun txn ->
+        List.map
+          (fun o -> match Db.get_field txn o "k" with Value.Int k -> k | _ -> -1)
+          (Query.to_list db ~var:"x" ~cls:"t2" ~suchthat:(Parser.expr "x.grp == 0")
+             ~by:(Parser.expr "x.k", Ode_lang.Ast.Asc) ()))
+  in
+  let rec sorted = function a :: (b :: _ as r) -> a <= b && sorted r | _ -> true in
+  Tutil.check_bool "filtered and sorted" true (sorted got && List.length got = 33);
+  Db.close db
+
+(* -- root builtins ----------------------------------------------------------- *)
+
+let root_builtins () =
+  let db = Db.open_in_memory () in
+  let out = Buffer.create 32 in
+  let shell = Ode.Shell.create ~print:(Buffer.add_string out) db in
+  Ode.Shell.exec shell
+    {|
+    class c3 { v: int; };
+    create cluster c3;
+    x := pnew c3 { v = 42 };
+    setroot("main", x);
+    y := getroot("main");
+    print y.v, getroot("missing");
+    |};
+  Tutil.check_string "root round-trip" "42 null\n" (Buffer.contents out);
+  Db.close db
+
+let suite =
+  [
+    ( "verify",
+      [
+        Alcotest.test_case "clean database passes" `Quick verify_clean;
+        Alcotest.test_case "recovered database passes" `Quick verify_after_crash;
+        Alcotest.test_case "corruption is detected" `Quick verify_detects_corruption;
+      ] );
+    ( "dump",
+      [
+        Alcotest.test_case "export/import round-trip" `Quick dump_roundtrip;
+        Alcotest.test_case "version history replayed" `Quick dump_version_history;
+      ] );
+    ( "query.by_index",
+      [
+        Alcotest.test_case "index order matches sort" `Quick by_index_order_matches_sort;
+        Alcotest.test_case "with suchthat" `Quick by_with_suchthat_and_index_order;
+      ] );
+    ("roots", [ Alcotest.test_case "setroot/getroot builtins" `Quick root_builtins ]);
+  ]

@@ -1,0 +1,254 @@
+(* Triggers (paper §6): once-only vs perpetual, weak coupling, deactivation,
+   timed triggers, cascades, and abort semantics. *)
+
+module Db = Ode.Database
+module Value = Ode_model.Value
+module Parser = Ode_lang.Parser
+
+let int n = Value.Int n
+
+(* A database whose trigger actions append to [log]. *)
+let setup () =
+  let db = Db.open_in_memory () in
+  let log = Buffer.create 64 in
+  Db.set_action_printer db (Buffer.add_string log);
+  ignore
+    (Db.define db
+       {|class item {
+           name: string;
+           qty: int;
+           trigger reorder(n: int): qty <= n ==> { print "reorder", name; };
+           trigger perpetual audit(): qty < 0 ==> { print "negative", name; };
+           trigger expedite(): within 5 : qty > 100 ==> { print "arrived", name; }
+                    timeout { print "late", name; };
+         };|});
+  Db.create_cluster db "item";
+  (db, log)
+
+let lines log = String.split_on_char '\n' (String.trim (Buffer.contents log))
+let no_output log = String.trim (Buffer.contents log) = ""
+
+let fires_when_condition_becomes_true () =
+  let db, log = setup () in
+  let i =
+    Db.with_txn db (fun txn ->
+        let i = Db.pnew txn "item" [ ("name", Value.Str "bolt"); ("qty", int 100) ] in
+        ignore (Db.activate txn i "reorder" [ int 10 ]);
+        i)
+  in
+  Tutil.check_bool "armed but silent" true (no_output log);
+  Db.with_txn db (fun txn -> Db.set_field txn i "qty" (int 5));
+  Tutil.check_string_list "fired after commit" [ "reorder bolt" ] (lines log);
+  (* Once-only: further matching updates stay silent. *)
+  Db.with_txn db (fun txn -> Db.set_field txn i "qty" (int 1));
+  Tutil.check_string_list "once-only" [ "reorder bolt" ] (lines log);
+  Db.close db
+
+let fires_if_already_true_at_activation () =
+  let db, log = setup () in
+  Db.with_txn db (fun txn ->
+      let i = Db.pnew txn "item" [ ("name", Value.Str "low"); ("qty", int 1) ] in
+      ignore (Db.activate txn i "reorder" [ int 10 ]));
+  Tutil.check_string_list "fires at activating commit" [ "reorder low" ] (lines log);
+  Db.close db
+
+let perpetual_keeps_firing () =
+  let db, log = setup () in
+  let i =
+    Db.with_txn db (fun txn ->
+        let i = Db.pnew txn "item" [ ("name", Value.Str "odd"); ("qty", int 5) ] in
+        ignore (Db.activate txn i "audit" []);
+        i)
+  in
+  (* Perpetual triggers are edge-triggered ("fires when its condition
+     becomes true"): each false→true transition fires, staying true does
+     not. *)
+  Db.with_txn db (fun txn -> Db.set_field txn i "qty" (int (-1)));
+  Db.with_txn db (fun txn -> Db.set_field txn i "qty" (int (-2)));
+  Tutil.check_string_list "no refire while still true" [ "negative odd" ] (lines log);
+  Db.with_txn db (fun txn -> Db.set_field txn i "qty" (int 5));
+  Db.with_txn db (fun txn -> Db.set_field txn i "qty" (int (-3)));
+  Tutil.check_string_list "fires on each transition" [ "negative odd"; "negative odd" ] (lines log);
+  Db.close db
+
+let reactivation_rearms_once_only () =
+  let db, log = setup () in
+  let i =
+    Db.with_txn db (fun txn ->
+        let i = Db.pnew txn "item" [ ("name", Value.Str "re"); ("qty", int 100) ] in
+        ignore (Db.activate txn i "reorder" [ int 10 ]);
+        i)
+  in
+  Db.with_txn db (fun txn -> Db.set_field txn i "qty" (int 5));
+  Db.with_txn db (fun txn -> ignore (Db.activate txn i "reorder" [ int 10 ]));
+  (* Condition already true at reactivation: fires again immediately. *)
+  Tutil.check_string_list "re-armed" [ "reorder re"; "reorder re" ] (lines log);
+  Db.close db
+
+let deactivate_silences () =
+  let db, log = setup () in
+  let i, tid =
+    Db.with_txn db (fun txn ->
+        let i = Db.pnew txn "item" [ ("name", Value.Str "x"); ("qty", int 100) ] in
+        let tid = Db.activate txn i "reorder" [ int 10 ] in
+        (i, tid))
+  in
+  Db.with_txn db (fun txn -> Db.deactivate txn tid);
+  Db.with_txn db (fun txn -> Db.set_field txn i "qty" (int 0));
+  Tutil.check_bool "silent" true (no_output log);
+  Db.close db
+
+let aborted_txn_fires_nothing () =
+  let db, log = setup () in
+  let i =
+    Db.with_txn db (fun txn ->
+        let i = Db.pnew txn "item" [ ("name", Value.Str "a"); ("qty", int 100) ] in
+        ignore (Db.activate txn i "reorder" [ int 10 ]);
+        i)
+  in
+  let txn = Db.begin_txn db in
+  Db.set_field txn i "qty" (int 0);
+  Db.abort txn;
+  Tutil.check_bool "weak coupling respects abort" true (no_output log);
+  (* And the trigger is still armed for a real commit. *)
+  Db.with_txn db (fun txn -> Db.set_field txn i "qty" (int 0));
+  Tutil.check_string_list "armed" [ "reorder a" ] (lines log);
+  Db.close db
+
+let deleted_object_drops_activations () =
+  let db, log = setup () in
+  let i =
+    Db.with_txn db (fun txn ->
+        let i = Db.pnew txn "item" [ ("name", Value.Str "d"); ("qty", int 100) ] in
+        ignore (Db.activate txn i "reorder" [ int 10 ]);
+        i)
+  in
+  Db.with_txn db (fun txn -> Db.pdelete txn i);
+  Tutil.check_bool "no firing on delete" true (no_output log);
+  Db.close db
+
+let action_self_touch_does_not_loop () =
+  (* A perpetual action that leaves its own condition true must not fire
+     itself forever: edge-triggering stops it after one firing. *)
+  let db = Db.open_in_memory () in
+  let log = Buffer.create 64 in
+  Db.set_action_printer db (Buffer.add_string log);
+  ignore
+    (Db.define db
+       {|class cnt {
+           v: int;
+           trigger perpetual bump(): v > 0 ==> { this.v := this.v + 1; print "bumped", str(this.v); };
+         };|});
+  Db.create_cluster db "cnt";
+  Db.with_txn db (fun txn ->
+      let c = Db.pnew txn "cnt" [ ("v", int 0) ] in
+      ignore (Db.activate txn c "bump" []);
+      Db.set_field txn c "v" (int 1));
+  Tutil.check_string_list "one firing only" [ "bumped 2" ] (lines log);
+  Db.close db
+
+let action_cascade_across_objects () =
+  (* Cascades still work when each firing is a genuine transition: a chain
+     of dominoes, each trigger toppling the next object. *)
+  let db = Db.open_in_memory () in
+  let log = Buffer.create 64 in
+  Db.set_action_printer db (Buffer.add_string log);
+  ignore
+    (Db.define db
+       {|class domino {
+           n: int; fallen: bool; next: ref domino;
+           trigger topple(): fallen ==>
+             { print "domino", str(n);
+               if (next != null) { next.fallen := true; }; };
+         };|});
+  Db.create_cluster db "domino";
+  Db.with_txn db (fun txn ->
+      let d3 = Db.pnew txn "domino" [ ("n", int 3) ] in
+      let d2 = Db.pnew txn "domino" [ ("n", int 2); ("next", Value.Ref d3) ] in
+      let d1 = Db.pnew txn "domino" [ ("n", int 1); ("next", Value.Ref d2) ] in
+      ignore (Db.activate txn d1 "topple" []);
+      ignore (Db.activate txn d2 "topple" []);
+      ignore (Db.activate txn d3 "topple" []);
+      Db.set_field txn d1 "fallen" (Value.Bool true));
+  Tutil.check_string_list "chain reaction" [ "domino 1"; "domino 2"; "domino 3" ] (lines log);
+  Db.close db
+
+let timed_trigger_timeout () =
+  let db, log = setup () in
+  Db.with_txn db (fun txn ->
+      let i = Db.pnew txn "item" [ ("name", Value.Str "t"); ("qty", int 1) ] in
+      ignore (Db.activate txn i "expedite" []));
+  Db.advance_time db 3;
+  Tutil.check_bool "before deadline: silent" true (no_output log);
+  Db.advance_time db 3;
+  Tutil.check_string_list "timeout action" [ "late t" ] (lines log);
+  (* Only once. *)
+  Db.advance_time db 10;
+  Tutil.check_string_list "timeout once" [ "late t" ] (lines log);
+  Db.close db
+
+let timed_trigger_satisfied_before_deadline () =
+  let db, log = setup () in
+  let i =
+    Db.with_txn db (fun txn ->
+        let i = Db.pnew txn "item" [ ("name", Value.Str "ok"); ("qty", int 1) ] in
+        ignore (Db.activate txn i "expedite" []);
+        i)
+  in
+  Db.with_txn db (fun txn -> Db.set_field txn i "qty" (int 500));
+  Tutil.check_string_list "normal action" [ "arrived ok" ] (lines log);
+  Db.advance_time db 10;
+  Tutil.check_string_list "no timeout after firing" [ "arrived ok" ] (lines log);
+  Db.close db
+
+let activations_persist () =
+  let dir = Tutil.temp_dir "trig" in
+  let db = Db.open_ dir in
+  ignore
+    (Db.define db
+       {|class it { qty: int; trigger low(n: int): qty < n ==> { print "low!"; }; };|});
+  Db.create_cluster db "it";
+  let i =
+    Db.with_txn db (fun txn ->
+        let i = Db.pnew txn "it" [ ("qty", int 100) ] in
+        ignore (Db.activate txn i "low" [ int 10 ]);
+        i)
+  in
+  Db.close db;
+  let db2 = Db.open_ dir in
+  let log = Buffer.create 16 in
+  Db.set_action_printer db2 (Buffer.add_string log);
+  Db.with_txn db2 (fun txn -> Db.set_field txn i "qty" (int 5));
+  Tutil.check_string_list "fired after reopen" [ "low!" ] (lines log);
+  Db.close db2
+
+let trigger_params_used_in_condition () =
+  let db, log = setup () in
+  Db.with_txn db (fun txn ->
+      let a = Db.pnew txn "item" [ ("name", Value.Str "a"); ("qty", int 7) ] in
+      let b = Db.pnew txn "item" [ ("name", Value.Str "b"); ("qty", int 7) ] in
+      ignore (Db.activate txn a "reorder" [ int 5 ]);
+      ignore (Db.activate txn b "reorder" [ int 10 ]));
+  (* qty=7: below b's threshold only. *)
+  Tutil.check_string_list "parameterized" [ "reorder b" ] (lines log);
+  Db.close db
+
+let suite =
+  [
+    ( "triggers",
+      [
+        Alcotest.test_case "fires when condition becomes true" `Quick fires_when_condition_becomes_true;
+        Alcotest.test_case "fires if already true at activation" `Quick fires_if_already_true_at_activation;
+        Alcotest.test_case "perpetual keeps firing" `Quick perpetual_keeps_firing;
+        Alcotest.test_case "reactivation re-arms once-only" `Quick reactivation_rearms_once_only;
+        Alcotest.test_case "deactivate silences" `Quick deactivate_silences;
+        Alcotest.test_case "aborted txn fires nothing" `Quick aborted_txn_fires_nothing;
+        Alcotest.test_case "deleting object drops activations" `Quick deleted_object_drops_activations;
+        Alcotest.test_case "self-touching action does not loop" `Quick action_self_touch_does_not_loop;
+        Alcotest.test_case "cascades across objects" `Quick action_cascade_across_objects;
+        Alcotest.test_case "timed trigger timeout" `Quick timed_trigger_timeout;
+        Alcotest.test_case "timed trigger satisfied early" `Quick timed_trigger_satisfied_before_deadline;
+        Alcotest.test_case "activations persist" `Quick activations_persist;
+        Alcotest.test_case "parameterized conditions" `Quick trigger_params_used_in_condition;
+      ] );
+  ]

@@ -1,0 +1,145 @@
+(* LRU, PRNG and order-preserving key encodings. *)
+
+module Lru = Ode_util.Lru
+module Prng = Ode_util.Prng
+module Key = Ode_util.Key
+
+(* -- lru -------------------------------------------------------------- *)
+
+let lru_basic () =
+  let t = Lru.create 4 in
+  Lru.add t 1 "a";
+  Lru.add t 2 "b";
+  Lru.add t 3 "c";
+  Tutil.check_int "len" 3 (Lru.length t);
+  Alcotest.(check (option string)) "find" (Some "a") (Lru.find t 1);
+  Alcotest.(check (option string)) "miss" None (Lru.find t 9);
+  Lru.remove t 2;
+  Tutil.check_bool "removed" false (Lru.mem t 2)
+
+let lru_eviction_order () =
+  let t = Lru.create 3 in
+  Lru.add t 1 "a";
+  Lru.add t 2 "b";
+  Lru.add t 3 "c";
+  (* Touch 1 so 2 becomes the LRU. *)
+  ignore (Lru.find t 1);
+  (match Lru.evict t (fun _ _ -> true) with
+  | Some (k, _) -> Tutil.check_int "evicts LRU" 2 k
+  | None -> Alcotest.fail "nothing evicted");
+  (* Predicate can skip entries. *)
+  match Lru.evict t (fun k _ -> k <> 3) with
+  | Some (k, _) -> Tutil.check_int "skips pinned" 1 k
+  | None -> Alcotest.fail "nothing evicted"
+
+let lru_replace_refreshes () =
+  let t = Lru.create 2 in
+  Lru.add t 1 "a";
+  Lru.add t 2 "b";
+  Lru.add t 1 "a2";
+  (match Lru.evict t (fun _ _ -> true) with
+  | Some (k, _) -> Tutil.check_int "2 is LRU after 1 re-add" 2 k
+  | None -> Alcotest.fail "nothing evicted");
+  Alcotest.(check (option string)) "value replaced" (Some "a2") (Lru.peek t 1)
+
+let lru_iter_order () =
+  let t = Lru.create 8 in
+  List.iter (fun k -> Lru.add t k (string_of_int k)) [ 5; 6; 7 ];
+  ignore (Lru.find t 5);
+  let order = ref [] in
+  Lru.iter t (fun k _ -> order := k :: !order);
+  Alcotest.(check (list int)) "LRU to MRU" [ 6; 7; 5 ] (List.rev !order)
+
+(* -- prng ------------------------------------------------------------- *)
+
+let prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Tutil.check_bool "same stream" true (Prng.next a = Prng.next b)
+  done
+
+let prng_int_range () =
+  let r = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int r 17 in
+    Tutil.check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let prng_shuffle_permutes () =
+  let r = Prng.create 3 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 Fun.id) sorted;
+  Tutil.check_bool "actually shuffled" true (arr <> Array.init 50 Fun.id)
+
+let prng_float_range () =
+  let r = Prng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Prng.float r 2.5 in
+    Tutil.check_bool "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+(* -- keys ------------------------------------------------------------- *)
+
+let prop_int_order =
+  QCheck.Test.make ~name:"int keys preserve order" ~count:1000
+    QCheck.(pair int int)
+    (fun (a, b) -> compare (Key.of_int a) (Key.of_int b) = compare a b)
+
+let prop_float_order =
+  let finite = QCheck.float in
+  QCheck.Test.make ~name:"float keys preserve order" ~count:1000
+    QCheck.(pair finite finite)
+    (fun (a, b) ->
+      QCheck.assume (Float.is_finite a && Float.is_finite b);
+      compare (Key.of_float a) (Key.of_float b) = compare a b)
+
+let prop_string_order =
+  QCheck.Test.make ~name:"string keys preserve order" ~count:1000
+    QCheck.(pair string string)
+    (fun (a, b) -> compare (Key.of_string a) (Key.of_string b) = compare a b)
+
+let prop_composite_boundary =
+  (* A component never bleeds into its neighbour: ("ab","c") vs ("a","bc"). *)
+  QCheck.Test.make ~name:"composite keys compare per component" ~count:1000
+    QCheck.(pair (pair string string) (pair string string))
+    (fun ((a1, a2), (b1, b2)) ->
+      let ka = Key.concat [ Key.of_string a1; Key.of_string a2 ] in
+      let kb = Key.concat [ Key.of_string b1; Key.of_string b2 ] in
+      compare ka kb = compare (a1, a2) (b1, b2))
+
+let prop_succ_prefix =
+  QCheck.Test.make ~name:"succ_prefix bounds all extensions" ~count:1000
+    QCheck.(pair string (string_of_size (QCheck.Gen.return 3)))
+    (fun (p, ext) ->
+      match Key.succ_prefix p with
+      | None -> String.for_all (fun c -> c = '\255') p
+      | Some s -> compare (p ^ ext) s < 0 && compare p s < 0)
+
+let neg_float_order () =
+  Tutil.check_bool "-1.0 < 1.0" true (compare (Key.of_float (-1.0)) (Key.of_float 1.0) < 0);
+  Tutil.check_bool "-2.0 < -1.0" true (compare (Key.of_float (-2.0)) (Key.of_float (-1.0)) < 0);
+  Tutil.check_bool "0.0 < 1e300" true (compare (Key.of_float 0.0) (Key.of_float 1e300) < 0)
+
+let suite =
+  [
+    ( "lru",
+      [
+        Alcotest.test_case "basic ops" `Quick lru_basic;
+        Alcotest.test_case "eviction order" `Quick lru_eviction_order;
+        Alcotest.test_case "replace refreshes recency" `Quick lru_replace_refreshes;
+        Alcotest.test_case "iter order" `Quick lru_iter_order;
+      ] );
+    ( "prng",
+      [
+        Alcotest.test_case "deterministic" `Quick prng_deterministic;
+        Alcotest.test_case "int range" `Quick prng_int_range;
+        Alcotest.test_case "shuffle permutes" `Quick prng_shuffle_permutes;
+        Alcotest.test_case "float range" `Quick prng_float_range;
+      ] );
+    ("keys", [ Alcotest.test_case "negative floats order" `Quick neg_float_order ]);
+    Tutil.qsuite "keys.props"
+      [ prop_int_order; prop_float_order; prop_string_order; prop_composite_boundary; prop_succ_prefix ];
+  ]

@@ -1,0 +1,133 @@
+module Value = Ode_model.Value
+module Oid = Ode_model.Oid
+
+let v_int n = Value.Int n
+let v_str s = Value.Str s
+
+let oid cls num : Oid.t = { cls; num }
+
+let compare_total_order () =
+  (* Constructor rank keeps unlike types ordered deterministically. *)
+  Tutil.check_bool "null < bool" true (Value.compare Value.Null (Value.Bool false) < 0);
+  Tutil.check_bool "bool < int" true (Value.compare (Value.Bool true) (v_int 0) < 0);
+  Tutil.check_bool "int/float mix" true (Value.compare (v_int 1) (Value.Float 1.5) < 0);
+  Tutil.check_bool "int = float" true (Value.compare (v_int 2) (Value.Float 2.0) = 0);
+  Tutil.check_bool "refs by oid" true
+    (Value.compare (Value.Ref (oid 0 1)) (Value.Ref (oid 0 2)) < 0)
+
+let set_normalization () =
+  let s = Value.set_of_list [ v_int 3; v_int 1; v_int 3; v_int 2 ] in
+  Tutil.check_value "sorted, deduped" (Value.VSet [ v_int 1; v_int 2; v_int 3 ]) s;
+  let s2 = Value.set_add (v_int 2) s in
+  Tutil.check_value "add existing is idempotent" s s2;
+  let s3 = Value.set_add (v_int 0) s in
+  Tutil.check_value "add keeps order" (Value.VSet [ v_int 0; v_int 1; v_int 2; v_int 3 ]) s3;
+  let s4 = Value.set_remove (v_int 1) s in
+  Tutil.check_value "remove" (Value.VSet [ v_int 2; v_int 3 ]) s4;
+  Tutil.check_bool "mem" true (Value.set_mem (v_int 2) s);
+  Tutil.check_bool "not mem" false (Value.set_mem (v_int 9) s4)
+
+let value_gen =
+  let open QCheck.Gen in
+  let base =
+    oneof
+      [
+        return Value.Null;
+        map (fun n -> Value.Int n) int;
+        map (fun b -> Value.Bool b) bool;
+        map (fun f -> Value.Float f) (float_bound_exclusive 1e6);
+        map (fun s -> Value.Str s) (string_size (int_bound 12));
+        map2 (fun c n -> Value.Ref (oid (abs c mod 8) (abs n mod 1000))) int int;
+        map2 (fun c n -> Value.Vref { oid = oid (abs c mod 8) (abs n mod 1000); ver = abs n mod 5 }) int int;
+      ]
+  in
+  let container =
+    oneof
+      [
+        base;
+        map (fun vs -> Value.VList vs) (list_size (int_bound 5) base);
+        map (fun vs -> Value.set_of_list vs) (list_size (int_bound 5) base);
+      ]
+  in
+  container
+
+let arb_value = QCheck.make ~print:Value.to_string value_gen
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"value encode/decode roundtrip" ~count:500 arb_value (fun v ->
+      let b = Buffer.create 32 in
+      Value.encode b v;
+      Value.equal v (Value.decode (Ode_util.Codec.cursor (Buffer.contents b))))
+
+let prop_fields_roundtrip =
+  QCheck.Test.make ~name:"fields encode/decode roundtrip" ~count:300
+    QCheck.(list (pair (string_of_size (QCheck.Gen.int_bound 8)) arb_value))
+    (fun fields ->
+      let fields = List.map (fun (n, v) -> (n, v)) fields in
+      let decoded = Value.fields_decode (Value.fields_encode fields) in
+      List.length decoded = List.length fields
+      && List.for_all2 (fun (n, v) (n', v') -> n = n' && Value.equal v v') fields decoded)
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"compare is antisymmetric" ~count:500 (QCheck.pair arb_value arb_value)
+    (fun (a, b) -> Value.compare a b = -Value.compare b a)
+
+let prop_compare_trans =
+  QCheck.Test.make ~name:"sorting is stable under compare" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_bound 20) arb_value)
+    (fun vs ->
+      let sorted = List.sort Value.compare vs in
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> Value.compare a b <= 0 && nondecreasing rest
+        | _ -> true
+      in
+      nondecreasing sorted)
+
+let indexable_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun n -> Value.Int n) (int_range (-100000) 100000);
+        map (fun f -> Value.Float f) (float_bound_exclusive 1e6);
+        map (fun b -> Value.Bool b) bool;
+        map (fun s -> Value.Str s) (string_size (int_bound 12));
+      ])
+
+let prop_index_key_order =
+  QCheck.Test.make ~name:"index keys order like values" ~count:1000
+    (QCheck.make ~print:Value.to_string indexable_gen |> fun a -> QCheck.pair a a)
+    (fun (a, b) ->
+      let sign n = compare n 0 in
+      (* Only comparable when both are numeric or same constructor. *)
+      let comparable =
+        match (a, b) with
+        | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) -> true
+        | Value.Str _, Value.Str _ | Value.Bool _, Value.Bool _ | Value.Null, Value.Null -> true
+        | _ -> false
+      in
+      QCheck.assume comparable;
+      sign (compare (Value.index_key a) (Value.index_key b)) = sign (Value.compare a b))
+
+let index_key_rejects_containers () =
+  match Value.index_key (Value.VSet [ v_str "x" ]) with
+  | _ -> Alcotest.fail "sets must not be indexable"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    ( "value",
+      [
+        Alcotest.test_case "total order across types" `Quick compare_total_order;
+        Alcotest.test_case "set normalization" `Quick set_normalization;
+        Alcotest.test_case "index_key rejects containers" `Quick index_key_rejects_containers;
+      ] );
+    Tutil.qsuite "value.props"
+      [
+        prop_roundtrip;
+        prop_fields_roundtrip;
+        prop_compare_antisym;
+        prop_compare_trans;
+        prop_index_key_order;
+      ];
+  ]

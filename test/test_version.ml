@@ -1,0 +1,162 @@
+(* Linear versioning (paper §4): newversion, generic vs specific references,
+   vprev/vnext navigation, version deletion. *)
+
+module Db = Ode.Database
+module Value = Ode_model.Value
+module Oid = Ode_model.Oid
+module Parser = Ode_lang.Parser
+
+let int n = Value.Int n
+
+let setup () =
+  let db = Db.open_in_memory () in
+  ignore (Db.define db "class doc { body: string; rev: int; };");
+  Db.create_cluster db "doc";
+  db
+
+let newversion_becomes_current () =
+  let db = setup () in
+  Db.with_txn db (fun txn ->
+      let d = Db.pnew txn "doc" [ ("body", Value.Str "v0"); ("rev", int 0) ] in
+      Tutil.check_int "initial version list" 1 (List.length (Db.versions txn d));
+      let v1 = Db.newversion txn d in
+      Tutil.check_int "new number" 1 v1;
+      Tutil.check_int "current moved" 1 (Db.current_version txn d);
+      (* The new current starts as a copy. *)
+      Tutil.check_value "copied" (Value.Str "v0") (Db.get_field txn d "body");
+      (* Updates hit the current version only. *)
+      Db.set_field txn d "body" (Value.Str "v1");
+      Tutil.check_value "old frozen" (Value.Str "v0")
+        (List.assoc "body" (Option.get (Db.get_version txn { oid = d; ver = 0 })));
+      Tutil.check_value "generic ref sees current" (Value.Str "v1") (Db.get_field txn d "body"));
+  Db.close db
+
+let navigation_builtins () =
+  let db = setup () in
+  Db.with_txn db (fun txn ->
+      let d = Db.pnew txn "doc" [ ("rev", int 0) ] in
+      for i = 1 to 3 do
+        ignore (Db.newversion txn d);
+        Db.set_field txn d "rev" (int i)
+      done;
+      let vars = [ ("d", Value.Ref d) ] in
+      let ev src = Db.eval txn ~vars (Parser.expr src) in
+      Tutil.check_value "nversions" (int 4) (ev "nversions(d)");
+      Tutil.check_value "vnum current" (int 3) (ev "vnum(d)");
+      Tutil.check_value "vprev of generic" (int 2) (ev "vprev(d).rev");
+      Tutil.check_value "vprev chain" (int 1) (ev "vprev(vprev(d)).rev");
+      Tutil.check_value "vnext" (int 2) (ev "vnext(vprev(vprev(d))).rev");
+      Tutil.check_value "vnext at tip" Value.Null (ev "vnext(vref(d, 3))");
+      Tutil.check_value "vprev at root" Value.Null (ev "vprev(vref(d, 0))");
+      Tutil.check_value "specific ref" (int 1) (ev "vref(d, 1).rev");
+      Tutil.check_value "missing version" Value.Null (ev "vref(d, 9)");
+      Tutil.check_value "current of vref" (int 3) (ev "current(vref(d, 0)).rev"));
+  Db.close db
+
+let delete_old_version () =
+  let db = setup () in
+  Db.with_txn db (fun txn ->
+      let d = Db.pnew txn "doc" [ ("rev", int 0) ] in
+      ignore (Db.newversion txn d);
+      Db.set_field txn d "rev" (int 1);
+      ignore (Db.newversion txn d);
+      Db.set_field txn d "rev" (int 2);
+      Db.pdelete_version txn { oid = d; ver = 1 };
+      Tutil.check_bool "list shrunk" true (Db.versions txn d = [ 0; 2 ]);
+      Tutil.check_int "current intact" 2 (Db.current_version txn d);
+      (* vprev skips the deleted one. *)
+      Tutil.check_value "vprev skips" (int 0)
+        (Db.eval txn ~vars:[ ("d", Value.Ref d) ] (Parser.expr "vprev(d).rev")));
+  Db.close db
+
+let delete_current_promotes () =
+  let db = setup () in
+  Db.with_txn db (fun txn ->
+      let d = Db.pnew txn "doc" [ ("rev", int 0) ] in
+      ignore (Db.newversion txn d);
+      Db.set_field txn d "rev" (int 1);
+      Db.pdelete_version txn { oid = d; ver = 1 };
+      Tutil.check_int "previous promoted" 0 (Db.current_version txn d);
+      Tutil.check_value "state restored" (int 0) (Db.get_field txn d "rev"));
+  Db.close db
+
+let delete_last_version_deletes_object () =
+  let db = setup () in
+  Db.with_txn db (fun txn ->
+      let d = Db.pnew txn "doc" [] in
+      Db.pdelete_version txn { oid = d; ver = 0 };
+      Tutil.check_bool "object gone" false (Db.exists db ~txn d));
+  Db.close db
+
+let versions_persist () =
+  let dir = Tutil.temp_dir "vers" in
+  let db = Db.open_ dir in
+  ignore (Db.define db "class doc { body: string; rev: int; };");
+  Db.create_cluster db "doc";
+  let d =
+    Db.with_txn db (fun txn ->
+        let d = Db.pnew txn "doc" [ ("rev", int 0) ] in
+        ignore (Db.newversion txn d);
+        Db.set_field txn d "rev" (int 1);
+        d)
+  in
+  Db.close db;
+  let db2 = Db.open_ dir in
+  Db.with_txn db2 (fun txn ->
+      Tutil.check_bool "versions persisted" true (Db.versions txn d = [ 0; 1 ]);
+      Tutil.check_value "old readable" (int 0)
+        (List.assoc "rev" (Option.get (Db.get_version txn { oid = d; ver = 0 })));
+      Tutil.check_value "current readable" (int 1) (Db.get_field txn d "rev"));
+  Db.close db2
+
+let index_follows_current_version () =
+  let db = Db.open_in_memory () in
+  ignore (Db.define db "class item { qty: int; };");
+  Db.create_cluster db "item";
+  Db.create_index db ~cls:"item" ~field:"qty";
+  let d = Db.with_txn db (fun txn -> Db.pnew txn "item" [ ("qty", int 5) ]) in
+  Db.with_txn db (fun txn ->
+      ignore (Db.newversion txn d);
+      Db.set_field txn d "qty" (int 50));
+  let count q =
+    Db.with_txn db (fun _ ->
+        Ode.Query.count db ~var:"x" ~cls:"item" ~suchthat:(Parser.expr q) ())
+  in
+  Tutil.check_int "new value indexed" 1 (count "x.qty == 50");
+  Tutil.check_int "old value not indexed" 0 (count "x.qty == 5");
+  (* Deleting the current version must re-index the promoted one. *)
+  Db.with_txn db (fun txn -> Db.pdelete_version txn { oid = d; ver = 1 });
+  Tutil.check_int "promoted value indexed" 1 (count "x.qty == 5");
+  Tutil.check_int "dead value gone" 0 (count "x.qty == 50");
+  Db.close db
+
+let vref_values_storable () =
+  (* Specific version references are first-class values (paper: "specific
+     reference to a particular version"). *)
+  let db = Db.open_in_memory () in
+  ignore (Db.define db "class doc2 { rev: int; }; class pin { target: ref doc2; };");
+  Db.create_cluster db "doc2";
+  Db.create_cluster db "pin";
+  Db.with_txn db (fun txn ->
+      let d = Db.pnew txn "doc2" [ ("rev", int 0) ] in
+      ignore (Db.newversion txn d);
+      Db.set_field txn d "rev" (int 1);
+      let p = Db.pnew txn "pin" [ ("target", Value.Vref { oid = d; ver = 0 }) ] in
+      Tutil.check_value "pinned version read" (int 0)
+        (Db.eval txn ~vars:[ ("p", Value.Ref p) ] (Parser.expr "p.target.rev")));
+  Db.close db
+
+let suite =
+  [
+    ( "version",
+      [
+        Alcotest.test_case "newversion becomes current" `Quick newversion_becomes_current;
+        Alcotest.test_case "navigation builtins" `Quick navigation_builtins;
+        Alcotest.test_case "delete old version" `Quick delete_old_version;
+        Alcotest.test_case "delete current promotes" `Quick delete_current_promotes;
+        Alcotest.test_case "delete last version deletes object" `Quick delete_last_version_deletes_object;
+        Alcotest.test_case "versions persist across reopen" `Quick versions_persist;
+        Alcotest.test_case "index follows current version" `Quick index_follows_current_version;
+        Alcotest.test_case "vrefs are storable values" `Quick vref_values_storable;
+      ] );
+  ]
