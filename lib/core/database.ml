@@ -53,12 +53,28 @@ let recover db =
   Wal.replay db.wal (function
     | Wal.Put (xid, key, payload) when Hashtbl.mem committed xid ->
         Store.apply_op db key (Put payload);
+        Ode_util.Stats.incr_recovery_replayed ();
         incr applied
     | Wal.Delete (xid, key) when Hashtbl.mem committed xid ->
         Store.apply_op db key Del;
+        Ode_util.Stats.incr_recovery_replayed ();
         incr applied
     | _ -> ());
   if !applied > 0 then Log.info (fun m -> m "recovery: replayed %d operations" !applied);
+  (* A crash between the heap flush and the directory flush can persist heap
+     records whose directory entry never reached disk; reclaim them so the
+     space is not leaked and Verify's dir<->heap cross-check holds. *)
+  let live = Hashtbl.create 256 in
+  Bptree.iter_range db.kv_dir (fun _ rid_s ->
+      Hashtbl.replace live rid_s ();
+      true);
+  let swept =
+    Heap.sweep_orphans db.kv_heap ~live:(fun rid -> Hashtbl.mem live (Kv.encode_rid rid))
+  in
+  if swept > 0 then begin
+    Ode_util.Stats.add_orphans_reclaimed swept;
+    Log.info (fun m -> m "recovery: reclaimed %d orphan heap records" swept)
+  end;
   Txn.checkpoint db
 
 let load_state db =
@@ -69,6 +85,12 @@ let load_state db =
   | Some s -> db.meta <- Txn.decode_meta s
   | None -> ());
   Triggers.load_all db
+
+let close_fds db =
+  Wal.close db.wal;
+  Disk.close (Buffer_pool.disk (Heap.pool db.kv_heap));
+  Disk.close (Buffer_pool.disk (Bptree.pool db.kv_dir));
+  Disk.close (Buffer_pool.disk (Bptree.pool db.idx))
 
 let open_ ?(pool_pages = 512) ?(wal_checkpoint_bytes = 8 * 1024 * 1024) dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -81,8 +103,17 @@ let open_ ?(pool_pages = 512) ?(wal_checkpoint_bytes = 8 * 1024 * 1024) dir =
       ~wal:(Wal.open_file (file "wal.log"))
       ~pool_pages ~wal_checkpoint_bytes
   in
-  recover db;
-  load_state db;
+  (match
+     recover db;
+     load_state db
+   with
+  | () -> ()
+  | exception e ->
+      (* Recovery can fail (corrupt file, injected crash): don't leak the
+         four file descriptors opened above. *)
+      (try close_fds db with _ -> ());
+      db.closed <- true;
+      raise e);
   db
 
 let open_in_memory ?(pool_pages = 4096) () =
@@ -100,8 +131,13 @@ let close db =
   if not db.closed then begin
     (match db.active with Some t -> Txn.abort t | None -> ());
     Txn.checkpoint db;
-    Wal.close db.wal;
-    Disk.close (Buffer_pool.disk (Heap.pool db.kv_heap));
+    close_fds db;
+    db.closed <- true
+  end
+
+let crash db =
+  if not db.closed then begin
+    close_fds db;
     db.closed <- true
   end
 
@@ -136,6 +172,10 @@ let run_firing db (f : firing) =
         in
         match with_txn_no_drain db run with
         | () -> ()
+        | exception (Ode_util.Failpoint.Crash _ as e) ->
+            (* Simulated process death is not an action failure: the whole
+               engine is dying, so weak coupling must not contain it. *)
+            raise e
         | exception e ->
             (* A failed action aborts only itself (weak coupling). *)
             Log.warn (fun m ->

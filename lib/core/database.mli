@@ -32,6 +32,11 @@ val open_in_memory : ?pool_pages:int -> unit -> t
 val close : t -> unit
 (** Checkpoint and release. Aborts any active transaction. *)
 
+val crash : t -> unit
+(** Simulate process death: release the file descriptors without
+    checkpointing or flushing anything. Whatever reached the files is what
+    recovery sees on the next {!open_}. For crash tests. *)
+
 val checkpoint : t -> unit
 
 (** {1 Schema (DDL — outside transactions, autocommitted)} *)

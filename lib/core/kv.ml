@@ -1,7 +1,16 @@
 (* The committed key-value store: a B+tree directory mapping logical keys to
    heap record ids. Payloads of any size live in the heap; the directory
-   keeps keys ordered so class extents and index ranges scan in key order. *)
+   keeps keys ordered so class extents and index ranges scan in key order.
 
+   Every heap record is prefixed with its owning key. Heap rids are physical
+   (page, slot) addresses that get reused, and after a crash the on-disk
+   directory is a patchwork of pages flushed at different commit points — a
+   stale entry can alias a slot that recovery's replay has since handed to a
+   different key. The embedded key makes every resolution self-verifying:
+   put, delete and get refuse to touch a record owned by another key, so a
+   stale alias can redirect nothing worse than its own directory entry. *)
+
+module Codec = Ode_util.Codec
 module Heap = Ode_storage.Heap
 module Bptree = Ode_index.Bptree
 open Types
@@ -11,18 +20,35 @@ let encode_rid (rid : Heap.rid) =
   Heap.encode_rid b rid;
   Buffer.contents b
 
-let decode_rid s = Heap.decode_rid (Ode_util.Codec.cursor s)
+let decode_rid s = Heap.decode_rid (Codec.cursor s)
+
+let encode_record key payload =
+  let b = Buffer.create (String.length key + String.length payload + 3) in
+  Codec.put_string b key;
+  Codec.put_raw b payload;
+  Buffer.contents b
+
+let decode_record key raw =
+  let c = Codec.cursor raw in
+  match Codec.get_string c with
+  | k when String.equal k key -> Some (Codec.get_raw c (Codec.remaining c))
+  | _ -> None
+  | exception _ -> None
 
 let get db key =
   match Bptree.find db.kv_dir key with
   | None -> None
-  | Some rid -> Heap.get db.kv_heap (decode_rid rid)
+  | Some rid -> (
+      match Heap.get db.kv_heap (decode_rid rid) with
+      | None -> None
+      | Some raw -> decode_record key raw)
 
 let mem db key = Bptree.mem db.kv_dir key
 
 let put db key payload =
+  let record = encode_record key payload in
   let fresh () =
-    let rid = Heap.insert db.kv_heap payload in
+    let rid = Heap.insert db.kv_heap record in
     Bptree.insert db.kv_dir key (encode_rid rid)
   in
   match Bptree.find db.kv_dir key with
@@ -30,18 +56,26 @@ let put db key payload =
   | Some rid_s -> (
       let rid = decode_rid rid_s in
       (* After a crash mid-apply the directory can point at a dead or torn
-         record; recovery replays the Put, which must then insert afresh. *)
+         record, or at a foreign one (stale alias); recovery replays the
+         Put, which must then insert afresh and leave the record alone. *)
       match Heap.get db.kv_heap rid with
-      | Some _ ->
-          let rid' = Heap.update db.kv_heap rid payload in
+      | Some raw when decode_record key raw <> None ->
+          let rid' = Heap.update db.kv_heap rid record in
           if not (Heap.rid_equal rid rid') then Bptree.insert db.kv_dir key (encode_rid rid')
-      | None | (exception Ode_util.Codec.Corrupt _) -> fresh ())
+      | Some _ | None | (exception Ode_util.Codec.Corrupt _) -> fresh ())
 
 let delete db key =
   match Bptree.find db.kv_dir key with
   | None -> ()
   | Some rid_s ->
-      ignore (Heap.delete db.kv_heap (decode_rid rid_s));
+      let rid = decode_rid rid_s in
+      (* Free the record only when this key owns it. A dead, torn or
+         foreign record stays (the orphan sweep reclaims carcasses), but
+         the directory entry must be dropped regardless or replayed Deletes
+         would fail forever. *)
+      (match Heap.get db.kv_heap rid with
+      | Some raw when decode_record key raw <> None -> ignore (Heap.delete db.kv_heap rid)
+      | Some _ | None | (exception Ode_util.Codec.Corrupt _) -> ());
       ignore (Bptree.delete db.kv_dir key)
 
 (* [f key payload]; return false to stop. *)
@@ -58,6 +92,9 @@ let iter_prefix db prefix f =
     | (k, rid_s) :: rest -> (
         match Heap.get db.kv_heap (decode_rid rid_s) with
         | None -> go rest (* deleted since collection *)
-        | Some payload -> if f k payload then go rest)
+        | Some raw -> (
+            match decode_record k raw with
+            | None -> go rest (* stale alias: not this key's record *)
+            | Some payload -> if f k payload then go rest))
   in
   go (List.rev !entries)

@@ -4,10 +4,22 @@
     This is the *committed* state only — transactions overlay it with their
     write set (see {!Store.read}). Keys are ordered, so class extents and
     index ranges scan in key order. All operations are idempotent with
-    respect to crash-recovery replay: {!put} tolerates a directory entry
-    pointing at a dead or torn heap record (it re-inserts). *)
+    respect to crash-recovery replay: {!put} and {!delete} tolerate a
+    directory entry pointing at a dead or torn heap record, and every heap
+    record carries its owning key, so a stale post-crash directory entry
+    that aliases a reused (page, slot) address can never redirect an
+    operation onto another key's record. *)
 
 open Types
+
+val encode_rid : Ode_storage.Heap.rid -> string
+val decode_rid : string -> Ode_storage.Heap.rid
+(** The directory's 6-byte rid value encoding (recovery and verification). *)
+
+val decode_record : string -> string -> string option
+(** [decode_record key raw] extracts the payload from a raw heap record if
+    it is owned by [key]; [None] means the record belongs to another key
+    (verification and stale-alias detection). *)
 
 val get : db -> string -> string option
 val mem : db -> string -> bool

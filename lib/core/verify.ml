@@ -9,6 +9,24 @@ let run db =
   let problems = ref [] in
   let bad fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
 
+  (* 0. Directory <-> heap: every directory entry resolves to a readable
+     heap record, and no heap record lacks a directory entry (recovery's
+     orphan sweep guarantees the latter after a crash). *)
+  let dir_entries = ref 0 in
+  Ode_index.Bptree.iter_range db.kv_dir (fun key rid_s ->
+      incr dir_entries;
+      (match Ode_storage.Heap.get db.kv_heap (Kv.decode_rid rid_s) with
+      | Some raw ->
+          if Kv.decode_record key raw = None then
+            bad "directory key %S points at a record owned by another key" key
+      | None -> bad "directory key %S points at a dead heap record" key
+      | exception Ode_util.Codec.Corrupt msg ->
+          bad "directory key %S: corrupt heap record (%s)" key msg);
+      true);
+  let heap_records = Ode_storage.Heap.record_count db.kv_heap in
+  if heap_records <> !dir_entries then
+    bad "heap has %d records but the directory has %d entries" heap_records !dir_entries;
+
   (* 1. Object headers and versions. *)
   let headers : (Oid.t, Store.header) Hashtbl.t = Hashtbl.create 256 in
   Kv.iter_prefix db "H" (fun key payload ->

@@ -92,6 +92,14 @@ let read_node t page =
   match Hashtbl.find_opt t.node_cache page with
   | Some n -> n
   | None ->
+      (* A node pointer past the end of the file means the tail was trimmed
+         (torn-write repair at open) or the page is rotten: surface it as
+         corruption, not as an out-of-range programming error. *)
+      if page < 0 || page >= Pool.page_count t.pool then
+        raise
+          (Codec.Corrupt
+             (Printf.sprintf "bptree: node pointer %d beyond end of file (%d pages; truncated?)"
+                page (Pool.page_count t.pool)));
       let n =
         Pool.with_page t.pool page (fun f ->
             let data = Pool.data f in
@@ -149,13 +157,31 @@ let attach pool =
     t
   end
   else
-    Pool.with_page pool 0 (fun f ->
-        let data = Pool.data f in
-        if Bytes.sub_string data 0 8 <> magic then invalid_arg "bptree: bad magic";
-        let c = Codec.cursor ~pos:8 (Bytes.to_string data) in
-        let root = Codec.get_u32 c in
-        let count = Int64.to_int (Codec.get_i64 c) in
-        { pool; root; count; node_cache = Hashtbl.create 256 })
+    let header =
+      Pool.with_page pool 0 (fun f ->
+          let data = Pool.data f in
+          let got = Bytes.sub_string data 0 8 in
+          if got = magic then begin
+            let c = Codec.cursor ~pos:8 (Bytes.to_string data) in
+            let root = Codec.get_u32 c in
+            let count = Int64.to_int (Codec.get_i64 c) in
+            `Ok (root, count)
+          end
+          else if String.for_all (fun ch -> ch = '\000') got then `Never_flushed
+          else invalid_arg "bptree: bad magic")
+    in
+    match header with
+    | `Ok (root, count) -> { pool; root; count; node_cache = Hashtbl.create 256 }
+    | `Never_flushed ->
+        (* A crash before the first flush left a stamped all-zero header:
+           the tree was never durably initialised. Rebuild it empty; any
+           other leftover pages are unreachable from the new root. *)
+        Ode_util.Stats.incr_pages_reformatted ();
+        let t = { pool; root = 0; count = 0; node_cache = Hashtbl.create 256 } in
+        let root = alloc_node t (Leaf { entries = [||]; next = 0 }) in
+        t.root <- root;
+        write_header t;
+        t
 
 (* -- search helpers ---------------------------------------------------------- *)
 
@@ -382,6 +408,7 @@ let iter_prefix t prefix f =
 
 let count t = t.count
 let page_count t = Pool.page_count t.pool
+let pool t = t.pool
 let flush t = Pool.flush_all t.pool
 
 let rec node_height t page =

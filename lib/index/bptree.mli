@@ -44,6 +44,10 @@ val iter_prefix_rev : t -> string -> (string -> string -> bool) -> unit
 val count : t -> int
 val height : t -> int
 val page_count : t -> int
+
+val pool : t -> Ode_storage.Buffer_pool.t
+(** The buffer pool the tree lives in (tests and recovery tooling). *)
+
 val flush : t -> unit
 val max_entry : int
 

@@ -4,13 +4,13 @@ module Page = Ode_storage.Page
 
 let magic = "ODEHASH1"
 let max_entry = 1024
-let max_buckets = (Page.size - 24) / 4
+let max_buckets = (Page.data_end - 24) / 4
 let split_threshold = 24 (* average entries per bucket before growing *)
 
 (* Bucket pages are raw: [u32 next][u16 nentries][u16 used] then packed
    entries [u16 klen][u16 vlen][key][val]. *)
 let bp_header = 8
-let bp_capacity = Page.size - bp_header
+let bp_capacity = Page.data_end - bp_header
 
 type t = {
   pool : Pool.t;

@@ -1,9 +1,14 @@
+module Failpoint = Ode_util.Failpoint
+
 type frame = {
   no : int;
   buf : bytes;
   mutable pins : int;
   mutable dirty : bool;
 }
+
+let fp_flush = Failpoint.site "pool.flush"
+let fp_evict = Failpoint.site "pool.evict"
 
 type t = {
   disk : Disk.t;
@@ -20,17 +25,35 @@ let disk t = t.disk
 let capacity t = t.cap
 let page_count t = Disk.page_count t.disk
 
-let write_back t f =
-  if f.dirty then begin
-    Disk.write t.disk f.no f.buf;
-    f.dirty <- false
-  end
+(* Persist every dirty frame as one crash-atomic batch (double-write
+   journalled and fsynced by the disk layer). Returns false when there was
+   nothing to write. Single-page write-back would let a crash persist an
+   arbitrary subset of a logical update; batching keeps the on-disk file at
+   a consistent flush boundary. *)
+let flush_dirty t =
+  let batch = ref [] in
+  Ode_util.Lru.iter t.frames (fun _ f -> if f.dirty then batch := (f.no, f.buf) :: !batch);
+  match !batch with
+  | [] -> false
+  | batch ->
+      Disk.write_batch t.disk batch;
+      Ode_util.Lru.iter t.frames (fun _ f -> f.dirty <- false);
+      true
 
 let make_room t =
   if Ode_util.Lru.length t.frames >= t.cap then
-    match Ode_util.Lru.evict t.frames (fun _ f -> f.pins = 0) with
-    | Some (_, victim) -> write_back t victim
-    | None -> raise Pool_exhausted
+    (* Prefer a clean victim; otherwise flush (one journalled batch) and
+       retry, so dirty pages never hit the disk one at a time. *)
+    match Ode_util.Lru.evict t.frames (fun _ f -> f.pins = 0 && not f.dirty) with
+    | Some _ -> ()
+    | None -> (
+        (match Failpoint.hit fp_evict with
+        | Some Failpoint.Crash_site -> Failpoint.crash fp_evict
+        | Some _ | None -> ());
+        ignore (flush_dirty t);
+        match Ode_util.Lru.evict t.frames (fun _ f -> f.pins = 0) with
+        | Some _ -> ()
+        | None -> raise Pool_exhausted)
 
 let pin t n =
   match Ode_util.Lru.find t.frames n with
@@ -65,8 +88,10 @@ let allocate t =
   f
 
 let flush_all t =
-  Ode_util.Lru.iter t.frames (fun _ f -> write_back t f);
-  Disk.sync t.disk
+  (match Failpoint.hit fp_flush with
+  | Some Failpoint.Crash_site -> Failpoint.crash fp_flush
+  | Some _ | None -> ());
+  if not (flush_dirty t) then Disk.sync t.disk
 
 let drop_cache t =
   let rec go () =

@@ -1,17 +1,212 @@
+(* Page-granular storage backends.
+
+   The file backend stamps an FNV-1a checksum into the trailer of every page
+   it writes and verifies it on every read, so torn or bit-flipped pages are
+   detected (Codec.Corrupt) instead of silently decoded. Multi-page flushes
+   go through a double-write journal: the batch is first written and fsynced
+   to a side file, then applied in place, so a crash anywhere in the middle
+   leaves either the journal (replayed at open) or the data file intact —
+   never a mix of old and new pages.
+
+   Failpoint sites cover every side-effecting step so the crash-torture
+   harness can kill the process between any two syscalls. *)
+
+module Stats = Ode_util.Stats
+module Codec = Ode_util.Codec
+module Failpoint = Ode_util.Failpoint
+
+type file = { fd : Unix.file_descr; journal : string; mutable pages : int }
+type mem = { mutable arr : bytes array; mutable used : int }
+
 type backend =
-  | File of { fd : Unix.file_descr; mutable pages : int }
-  | Memory of { mutable arr : bytes array; mutable used : int }
+  | File of file
+  | Memory of mem
 
 type t = { backend : backend }
 
-let open_file path =
-  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+let fp_write = Failpoint.site "disk.write"
+let fp_sync = Failpoint.site "disk.sync"
+let fp_journal_write = Failpoint.site "disk.journal.write"
+let fp_journal_clear = Failpoint.site "disk.journal.clear"
+
+(* -- resilient syscall wrappers ------------------------------------------ *)
+
+let rec retry f =
+  match f () with
+  | v -> v
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) ->
+      Stats.incr_io_retries ();
+      retry f
+
+let read_fully fd buf pos len =
+  let rec go pos len =
+    if len > 0 then begin
+      let k = retry (fun () -> Unix.read fd buf pos len) in
+      if k = 0 then invalid_arg "disk: short read";
+      go (pos + k) (len - k)
+    end
+  in
+  go pos len
+
+let write_fully fd buf pos len =
+  let rec go pos len =
+    if len > 0 then begin
+      let k = retry (fun () -> Unix.write fd buf pos len) in
+      if k = 0 then failwith "disk: write returned 0 bytes (device full?)";
+      go (pos + k) (len - k)
+    end
+  in
+  go pos len
+
+let pread fd buf off =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  read_fully fd buf 0 Page.size
+
+let pwrite ?(len = Page.size) fd buf off =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  write_fully fd buf 0 len
+
+(* -- page checksums ------------------------------------------------------- *)
+
+let checksum_off = Page.data_end
+
+let stamp page =
+  let sum = Codec.fnv64_bytes page ~pos:0 ~len:checksum_off in
+  Bytes.set_int64_le page checksum_off sum
+
+let checksum_ok page =
+  Bytes.get_int64_le page checksum_off
+  = Codec.fnv64_bytes page ~pos:0 ~len:checksum_off
+
+(* -- fault interpretation -------------------------------------------------
+   A faulted write simulates a crash in the middle of the syscall: persist a
+   prefix, or a corrupted image, then die. [Skip_effect] pretends the write
+   happened (lying hardware) and keeps running. *)
+
+let faulted_write site fd buf off = function
+  | Failpoint.Crash_site -> Failpoint.crash site
+  | Failpoint.Short_effect frac ->
+      let len = Bytes.length buf in
+      let keep = max 0 (min (len - 1) (int_of_float (frac *. float_of_int len))) in
+      if keep > 0 then pwrite ~len:keep fd buf off;
+      Failpoint.crash site
+  | Failpoint.Flip_bit bit ->
+      let mangled = Bytes.copy buf in
+      let byte = bit / 8 mod Bytes.length mangled in
+      Bytes.set mangled byte
+        (Char.chr (Char.code (Bytes.get mangled byte) lxor (1 lsl (bit mod 8))));
+      pwrite ~len:(Bytes.length mangled) fd mangled off;
+      Failpoint.crash site
+  | Failpoint.Skip_effect -> ()
+
+(* -- double-write journal -------------------------------------------------
+   Format: "ODEDWJ01" | u32 count | count * (u32 page_no | page image) |
+   i64 fnv64 over everything before the trailer. The journal is valid only
+   if complete and checksummed, so a torn journal write is indistinguishable
+   from no journal — and in both cases the data file is still intact. *)
+
+let journal_magic = "ODEDWJ01"
+
+let encode_journal batch =
+  let b = Buffer.create (List.length batch * (Page.size + 4) + 32) in
+  Codec.put_raw b journal_magic;
+  Codec.put_u32 b (List.length batch);
+  List.iter
+    (fun (no, page) ->
+      Codec.put_u32 b no;
+      Buffer.add_bytes b page)
+    batch;
+  let body = Buffer.contents b in
+  Codec.put_i64 b (Codec.fnv64 body);
+  Buffer.to_bytes b
+
+let decode_journal data =
+  let len = String.length data in
+  if len < String.length journal_magic + 4 + 8 then None
+  else if String.sub data 0 (String.length journal_magic) <> journal_magic then None
+  else
+    let c = Codec.cursor ~pos:(String.length journal_magic) data in
+    match
+      let count = Codec.get_u32 c in
+      let batch = ref [] in
+      for _ = 1 to count do
+        let no = Codec.get_u32 c in
+        let page = Codec.get_raw c Page.size in
+        batch := (no, page) :: !batch
+      done;
+      let body_len = Codec.pos c in
+      let sum = Codec.get_i64 c in
+      if sum <> Codec.fnv64 (String.sub data 0 body_len) then None
+      else Some (List.rev !batch)
+    with
+    | v -> v
+    | exception Codec.Corrupt _ -> None
+
+let read_whole fd =
   let len = (Unix.fstat fd).Unix.st_size in
-  if len mod Page.size <> 0 then begin
-    Unix.close fd;
-    invalid_arg (Printf.sprintf "disk: %s is not page-aligned (%d bytes)" path len)
-  end;
-  { backend = File { fd; pages = len / Page.size } }
+  let buf = Bytes.create len in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  let rec fill pos =
+    if pos >= len then pos
+    else
+      let k = retry (fun () -> Unix.read fd buf pos (len - pos)) in
+      if k = 0 then pos else fill (pos + k)
+  in
+  let got = fill 0 in
+  Bytes.sub_string buf 0 got
+
+(* Replay a complete journal into the data file (pages carry their stamped
+   checksums already), or discard a torn one. Idempotent: replaying twice is
+   harmless, and clearing before the data fsync is prevented by ordering. *)
+let recover_journal fd journal_path =
+  match Unix.openfile journal_path [ Unix.O_RDONLY ] 0o644 with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | jfd ->
+      let data = Fun.protect ~finally:(fun () -> Unix.close jfd) (fun () -> read_whole jfd) in
+      (match decode_journal data with
+      | Some batch ->
+          List.iter
+            (fun (no, page) ->
+              Stats.incr_journal_pages_restored ();
+              pwrite fd (Bytes.of_string page) (no * Page.size))
+            batch;
+          Unix.fsync fd
+      | None -> ());
+      Unix.unlink journal_path
+
+(* -- construction --------------------------------------------------------- *)
+
+let open_file path =
+  let journal = path ^ ".journal" in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  recover_journal fd journal;
+  let len = (Unix.fstat fd).Unix.st_size in
+  (* A sub-page tail can only be a torn extension write: drop it. *)
+  let len =
+    if len mod Page.size = 0 then len
+    else begin
+      let aligned = len - (len mod Page.size) in
+      Unix.ftruncate fd aligned;
+      aligned
+    end
+  in
+  (* Interior pages are protected by the journal, so a corrupt checksum can
+     only appear on trailing pages torn while extending the file. *)
+  let pages = ref (len / Page.size) in
+  let buf = Bytes.create Page.size in
+  let rec trim () =
+    if !pages > 0 then begin
+      pread fd buf ((!pages - 1) * Page.size);
+      if not (checksum_ok buf) then begin
+        Stats.incr_checksum_failures ();
+        decr pages;
+        Unix.ftruncate fd (!pages * Page.size);
+        trim ()
+      end
+    end
+  in
+  trim ();
+  { backend = File { fd; journal; pages = !pages } }
 
 let in_memory () = { backend = Memory { arr = Array.make 8 Bytes.empty; used = 0 } }
 let is_memory t = match t.backend with Memory _ -> true | File _ -> false
@@ -23,32 +218,18 @@ let check_range t n ~extend =
   if n < 0 || n > limit then
     invalid_arg (Printf.sprintf "disk: page %d out of range (count %d)" n count)
 
-(* The engine is single-threaded, so seek-then-read positioned I/O is safe. *)
-let pread fd buf off =
-  ignore (Unix.lseek fd off Unix.SEEK_SET);
-  let rec go pos =
-    if pos < Page.size then begin
-      let k = Unix.read fd buf pos (Page.size - pos) in
-      if k = 0 then invalid_arg "disk: short read" else go (pos + k)
-    end
-  in
-  go 0
-
-let pwrite fd buf off =
-  ignore (Unix.lseek fd off Unix.SEEK_SET);
-  let rec go pos =
-    if pos < Page.size then begin
-      let k = Unix.write fd buf pos (Page.size - pos) in
-      go (pos + k)
-    end
-  in
-  go 0
+(* -- reads ---------------------------------------------------------------- *)
 
 let read_into t n buf =
   check_range t n ~extend:false;
-  Ode_util.Stats.incr_pages_read ();
+  Stats.incr_pages_read ();
   match t.backend with
-  | File f -> pread f.fd buf (n * Page.size)
+  | File f ->
+      pread f.fd buf (n * Page.size);
+      if not (checksum_ok buf) then begin
+        Stats.incr_checksum_failures ();
+        raise (Codec.Corrupt (Printf.sprintf "disk: bad checksum on page %d" n))
+      end
   | Memory m -> Bytes.blit m.arr.(n) 0 buf 0 Page.size
 
 let read t n =
@@ -56,25 +237,80 @@ let read t n =
   read_into t n buf;
   buf
 
+(* -- writes --------------------------------------------------------------- *)
+
+let write_mem m n page =
+  if n = m.used then begin
+    if m.used = Array.length m.arr then begin
+      let bigger = Array.make (2 * Array.length m.arr) Bytes.empty in
+      Array.blit m.arr 0 bigger 0 m.used;
+      m.arr <- bigger
+    end;
+    m.arr.(n) <- Bytes.copy page;
+    m.used <- m.used + 1
+  end
+  else Bytes.blit page 0 m.arr.(n) 0 Page.size
+
+(* Write one page, interpreting an armed disk.write fault. The page buffer
+   is stamped in place (the trailer belongs to this layer). *)
+let write_page f n page =
+  stamp page;
+  (match Failpoint.hit fp_write with
+  | Some act -> faulted_write fp_write f.fd page (n * Page.size) act
+  | None -> pwrite f.fd page (n * Page.size));
+  if n = f.pages then f.pages <- f.pages + 1
+
 let write t n page =
   check_range t n ~extend:true;
   assert (Bytes.length page = Page.size);
-  Ode_util.Stats.incr_pages_written ();
+  Stats.incr_pages_written ();
   match t.backend with
-  | File f ->
-      pwrite f.fd page (n * Page.size);
-      if n = f.pages then f.pages <- f.pages + 1
-  | Memory m ->
-      if n = m.used then begin
-        if m.used = Array.length m.arr then begin
-          let bigger = Array.make (2 * Array.length m.arr) Bytes.empty in
-          Array.blit m.arr 0 bigger 0 m.used;
-          m.arr <- bigger
-        end;
-        m.arr.(n) <- Bytes.copy page;
-        m.used <- m.used + 1
-      end
-      else Bytes.blit page 0 m.arr.(n) 0 Page.size
+  | File f -> write_page f n page
+  | Memory m -> write_mem m n page
+
+let write_batch t batch =
+  match (t.backend, batch) with
+  | _, [] -> ()
+  | Memory m, _ ->
+      List.iter
+        (fun (n, page) ->
+          Stats.incr_pages_written ();
+          write_mem m n page)
+        batch
+  | File f, _ ->
+      List.iter
+        (fun (n, page) ->
+          check_range t n ~extend:false;
+          assert (Bytes.length page = Page.size))
+        batch;
+      List.iter (fun (_, page) -> stamp page) batch;
+      (* 1. Make the whole batch durable in the journal. *)
+      let image = encode_journal batch in
+      let jfd = Unix.openfile f.journal [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close jfd)
+        (fun () ->
+          (match Failpoint.hit fp_journal_write with
+          | Some act -> faulted_write fp_journal_write jfd image 0 act
+          | None -> pwrite ~len:(Bytes.length image) jfd image 0);
+          Unix.fsync jfd);
+      (* 2. Apply in place. A crash here is repaired from the journal. *)
+      List.iter
+        (fun (n, page) ->
+          Stats.incr_pages_written ();
+          match Failpoint.hit fp_write with
+          | Some act -> faulted_write fp_write f.fd page (n * Page.size) act
+          | None -> pwrite f.fd page (n * Page.size))
+        batch;
+      (match Failpoint.hit fp_sync with
+      | Some Failpoint.Crash_site -> Failpoint.crash fp_sync
+      | Some Failpoint.Skip_effect -> ()
+      | Some _ | None -> Unix.fsync f.fd);
+      (* 3. Only now is the journal obsolete. *)
+      (match Failpoint.hit fp_journal_clear with
+      | Some Failpoint.Crash_site -> Failpoint.crash fp_journal_clear
+      | Some Failpoint.Skip_effect -> ()
+      | Some _ | None -> ( try Unix.unlink f.journal with Unix.Unix_error _ -> ()))
 
 let allocate t =
   let n = page_count t in
@@ -82,7 +318,14 @@ let allocate t =
   write t n zero;
   n
 
-let sync t = match t.backend with File f -> Unix.fsync f.fd | Memory _ -> ()
+let sync t =
+  match t.backend with
+  | File f -> (
+      match Failpoint.hit fp_sync with
+      | Some Failpoint.Crash_site -> Failpoint.crash fp_sync
+      | Some Failpoint.Skip_effect -> ()
+      | Some _ | None -> Unix.fsync f.fd)
+  | Memory _ -> ()
 
 let truncate t n =
   match t.backend with

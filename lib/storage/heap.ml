@@ -1,4 +1,7 @@
 module Codec = Ode_util.Codec
+module Failpoint = Ode_util.Failpoint
+
+let fp_flush = Failpoint.site "heap.flush"
 
 type rid = { page : int; slot : int }
 
@@ -81,7 +84,13 @@ let write_header t =
 let check_header t =
   Buffer_pool.with_page t.pool 0 (fun f ->
       let got = Bytes.sub_string (Buffer_pool.data f) 0 (String.length magic) in
-      if got <> magic then invalid_arg "heap: bad magic")
+      if got = magic then `Ok
+      else if String.for_all (fun c -> c = '\000') got then
+        (* A crash between allocating page 0 and the first flush leaves a
+           stamped all-zero header: the file is new, never durably
+           initialised. Reinitialise rather than reject. *)
+        `Never_flushed
+      else invalid_arg "heap: bad magic")
 
 let attach pool =
   let t = { pool; fsm = Fsm.create (); records = 0 } in
@@ -92,11 +101,23 @@ let attach pool =
     write_header t
   end
   else begin
-    check_header t;
+    (match check_header t with
+    | `Ok -> ()
+    | `Never_flushed ->
+        Ode_util.Stats.incr_pages_reformatted ();
+        write_header t);
     (* Rebuild the free-space map and record count by scanning data pages. *)
     for n = 1 to Buffer_pool.page_count pool - 1 do
       Buffer_pool.with_page pool n (fun f ->
           let p = Buffer_pool.data f in
+          (match Page.check p with
+          | Ok () -> ()
+          | Error _ ->
+              (* Allocated but never flushed with real content (the crash
+                 happened before the batch that would have filled it). *)
+              Page.reset p;
+              Buffer_pool.mark_dirty pool f;
+              Ode_util.Stats.incr_pages_reformatted ());
           Fsm.set t.fsm n (Page.free_space p);
           Page.iter p (fun _ data ->
               if String.length data > 0 && Char.code data.[0] <> tag_chunk then
@@ -200,14 +221,18 @@ let free_chain t first =
   let rec go rid =
     match raw_get t rid with
     | None -> ()
-    | Some data ->
+    | Some data -> (
         let c = Codec.cursor data in
-        let tag = Codec.get_u8 c in
-        assert (tag = tag_chunk);
-        let has_next = Codec.get_bool c in
-        let next = decode_rid c in
-        ignore (raw_delete t rid);
-        if has_next then go next
+        match Codec.get_u8 c with
+        | tag when tag <> tag_chunk ->
+            (* Post-crash repair can leave a head whose chain rid now names
+               an unrelated record; stop rather than free it. *)
+            ()
+        | _ ->
+            let has_next = Codec.get_bool c in
+            let next = decode_rid c in
+            ignore (raw_delete t rid);
+            if has_next then go next)
   in
   go first
 
@@ -315,6 +340,28 @@ let iter t f =
       entries
   done
 
+(* Delete every head/inline record the caller does not recognise as live
+   (plus its overflow chain). Run after recovery: a crash between the heap
+   flush and the directory flush can persist records whose directory entry
+   never made it to disk. *)
+let sweep_orphans t ~live =
+  let victims = ref [] in
+  for n = 1 to Buffer_pool.page_count t.pool - 1 do
+    Buffer_pool.with_page t.pool n (fun f ->
+        Page.iter (Buffer_pool.data f) (fun slot data ->
+            if String.length data > 0 && Char.code data.[0] <> tag_chunk then begin
+              let rid = { page = n; slot } in
+              if not (live rid) then victims := rid :: !victims
+            end))
+  done;
+  List.iter (fun rid -> ignore (delete t rid)) !victims;
+  List.length !victims
+
 let record_count t = t.records
 let page_count t = Buffer_pool.page_count t.pool
-let flush t = Buffer_pool.flush_all t.pool
+
+let flush t =
+  (match Failpoint.hit fp_flush with
+  | Some Failpoint.Crash_site -> Failpoint.crash fp_flush
+  | Some _ | None -> ());
+  Buffer_pool.flush_all t.pool

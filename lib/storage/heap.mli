@@ -35,6 +35,12 @@ val iter : t -> (rid -> string -> unit) -> unit
 (** Visit every live record, reassembling chunked ones. Order is physical
     (page, then slot). *)
 
+val sweep_orphans : t -> live:(rid -> bool) -> int
+(** Delete every head/inline record for which [live rid] is false (freeing
+    overflow chains), returning how many were reclaimed. Used after crash
+    recovery to drop heap records whose directory entry never reached
+    disk. *)
+
 val record_count : t -> int
 val page_count : t -> int
 val flush : t -> unit

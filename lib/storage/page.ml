@@ -1,8 +1,13 @@
 let size = 4096
+
+(* The last [trailer_bytes] of every page are reserved for the disk layer's
+   checksum; the slotted layout never touches them. *)
+let trailer_bytes = 8
+let data_end = size - trailer_bytes
 let header_bytes = 8
 let slot_bytes = 4
 let dead = 0xffff
-let max_record = size - header_bytes - slot_bytes
+let max_record = data_end - header_bytes - slot_bytes
 
 type t = bytes
 
@@ -34,7 +39,7 @@ let reset p =
   Bytes.fill p 0 size '\000';
   set_nslots p 0;
   set_free_lo p header_bytes;
-  set_free_hi p size
+  set_free_hi p data_end
 
 let create () =
   let p = Bytes.create size in
@@ -67,7 +72,7 @@ let total_free p =
   for i = 0 to nslots p - 1 do
     if slot_pos p i <> dead then live_bytes := !live_bytes + slot_len p i
   done;
-  dead_bytes := size - free_hi p - !live_bytes;
+  dead_bytes := data_end - free_hi p - !live_bytes;
   gap + !dead_bytes
 
 let free_space p =
@@ -87,7 +92,7 @@ let compact p =
   (* Copy records into a scratch buffer, then lay them back down from the
      high end. *)
   let scratch = List.map (fun (i, pos, len) -> (i, Bytes.sub p pos len)) !entries in
-  let hi = ref size in
+  let hi = ref data_end in
   List.iter
     (fun (i, data) ->
       let len = Bytes.length data in
@@ -185,7 +190,7 @@ let check p =
   let lo = free_lo p and hi = free_hi p in
   let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
   if n < 0 || header_bytes + (n * slot_bytes) <> lo then fail "slot dir/free_lo mismatch"
-  else if lo > hi || hi > size then fail "free pointers out of order (%d,%d)" lo hi
+  else if lo > hi || hi > data_end then fail "free pointers out of order (%d,%d)" lo hi
   else
     let spans = ref [] in
     let bad = ref None in
@@ -193,7 +198,7 @@ let check p =
       let pos = slot_pos p i in
       if pos <> dead then begin
         let len = slot_len p i in
-        if pos < hi || pos + len > size then bad := Some (Printf.sprintf "slot %d out of data area" i)
+        if pos < hi || pos + len > data_end then bad := Some (Printf.sprintf "slot %d out of data area" i)
         else spans := (pos, pos + len) :: !spans
       end
     done;

@@ -10,11 +10,19 @@
       slot 0: [u16 off][u16 len]   -- off = 0xffff means dead slot
       slot 1: ...
       ... free space ...
-      record data, growing down from the end of the page
+      record data, growing down to [data_end]
+      [8-byte checksum trailer, owned by the disk layer]
     v} *)
 
 val size : int
 (** Page size in bytes (4096). *)
+
+val trailer_bytes : int
+(** Bytes reserved at the end of every page for the disk layer's checksum;
+    the slotted layout never uses them. *)
+
+val data_end : int
+(** First byte past the slotted data area ([size - trailer_bytes]). *)
 
 val max_record : int
 (** Largest record that fits in an empty page. *)

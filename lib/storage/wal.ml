@@ -1,4 +1,13 @@
 module Codec = Ode_util.Codec
+module Stats = Ode_util.Stats
+module Failpoint = Ode_util.Failpoint
+
+(* wal.sync covers the append of the pending batch (short/flipped/skipped
+   batches model torn log tails and lying disks); wal.fsync the durability
+   barrier itself; wal.reset the post-checkpoint truncation. *)
+let fp_sync = Failpoint.site "wal.sync"
+let fp_fsync = Failpoint.site "wal.fsync"
+let fp_reset = Failpoint.site "wal.reset"
 
 type record =
   | Begin of int
@@ -7,8 +16,10 @@ type record =
   | Delete of int * string
   | Checkpoint
 
+type file_sink = { fd : Unix.file_descr; mutable wpos : int }
+
 type sink =
-  | File of { fd : Unix.file_descr; mutable wpos : int }
+  | File of file_sink
   | Memory of Buffer.t
 
 type t = { sink : sink; pending : Buffer.t }
@@ -84,13 +95,20 @@ let scan contents f =
 
 (* -- construction --------------------------------------------------------- *)
 
+let rec retry f =
+  match f () with
+  | v -> v
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) ->
+      Stats.incr_io_retries ();
+      retry f
+
 let read_all fd =
   let len = (Unix.fstat fd).Unix.st_size in
   let buf = Bytes.create len in
   ignore (Unix.lseek fd 0 Unix.SEEK_SET);
   let rec fill pos =
     if pos < len then
-      let k = Unix.read fd buf pos (len - pos) in
+      let k = retry (fun () -> Unix.read fd buf pos (len - pos)) in
       if k = 0 then pos else fill (pos + k)
     else pos
   in
@@ -102,7 +120,10 @@ let open_file path =
   let contents = read_all fd in
   let intact = scan contents None in
   (* Drop any torn tail so future appends start at a clean boundary. *)
-  if intact < String.length contents then Unix.ftruncate fd intact;
+  if intact < String.length contents then begin
+    Stats.add_wal_torn_bytes (String.length contents - intact);
+    Unix.ftruncate fd intact
+  end;
   ignore (Unix.lseek fd intact Unix.SEEK_SET);
   { sink = File { fd; wpos = intact }; pending = Buffer.create 4096 }
 
@@ -112,24 +133,52 @@ let append t r =
   Ode_util.Stats.incr_wal_appends ();
   Buffer.add_string t.pending (frame (encode_record r))
 
+let write_fully fd bytes pos len =
+  let rec go pos len =
+    if len > 0 then begin
+      let k = retry (fun () -> Unix.write fd bytes pos len) in
+      if k = 0 then failwith "wal: write returned 0 bytes (device full?)";
+      go (pos + k) (len - k)
+    end
+  in
+  go pos len
+
+(* Append [bytes] at the write cursor, interpreting an armed wal.sync fault:
+   a short or bit-flipped batch models a torn log tail (then dies); a skipped
+   batch models a lying disk that acks without persisting (and lives on). *)
+let faulted_append f bytes =
+  let len = Bytes.length bytes in
+  ignore (Unix.lseek f.fd f.wpos Unix.SEEK_SET);
+  match Failpoint.hit fp_sync with
+  | None ->
+      write_fully f.fd bytes 0 len;
+      f.wpos <- f.wpos + len
+  | Some Failpoint.Crash_site -> Failpoint.crash fp_sync
+  | Some (Failpoint.Short_effect frac) ->
+      let keep = max 0 (min (len - 1) (int_of_float (frac *. float_of_int len))) in
+      if keep > 0 then write_fully f.fd bytes 0 keep;
+      Failpoint.crash fp_sync
+  | Some (Failpoint.Flip_bit bit) ->
+      let byte = bit / 8 mod len in
+      Bytes.set bytes byte
+        (Char.chr (Char.code (Bytes.get bytes byte) lxor (1 lsl (bit mod 8))));
+      write_fully f.fd bytes 0 len;
+      Failpoint.crash fp_sync
+  | Some Failpoint.Skip_effect -> f.wpos <- f.wpos + len
+
 let sync t =
-  Ode_util.Stats.incr_wal_syncs ();
+  Stats.incr_wal_syncs ();
   let data = Buffer.contents t.pending in
   Buffer.clear t.pending;
   match t.sink with
   | Memory b -> Buffer.add_string b data
-  | File f ->
-      if String.length data > 0 then begin
-        ignore (Unix.lseek f.fd f.wpos Unix.SEEK_SET);
-        let bytes = Bytes.of_string data in
-        let rec put pos =
-          if pos < Bytes.length bytes then
-            put (pos + Unix.write f.fd bytes pos (Bytes.length bytes - pos))
-        in
-        put 0;
-        f.wpos <- f.wpos + String.length data
-      end;
-      Unix.fsync f.fd
+  | File f -> (
+      if String.length data > 0 then faulted_append f (Bytes.of_string data);
+      match Failpoint.hit fp_fsync with
+      | Some Failpoint.Skip_effect -> ()
+      | Some Failpoint.Crash_site -> Failpoint.crash fp_fsync
+      | Some _ -> Failpoint.crash fp_fsync
+      | None -> Unix.fsync f.fd)
 
 let contents t =
   match t.sink with
@@ -144,10 +193,17 @@ let reset t =
   Buffer.clear t.pending;
   match t.sink with
   | Memory b -> Buffer.clear b
-  | File f ->
-      Unix.ftruncate f.fd 0;
-      f.wpos <- 0;
-      Unix.fsync f.fd
+  | File f -> (
+      match Failpoint.hit fp_reset with
+      | Some Failpoint.Crash_site -> Failpoint.crash fp_reset
+      | Some Failpoint.Skip_effect ->
+          (* Lost truncation: the old records stay and are replayed over
+             checkpointed state on recovery, which must be idempotent. *)
+          ()
+      | Some _ | None ->
+          Unix.ftruncate f.fd 0;
+          f.wpos <- 0;
+          Unix.fsync f.fd)
 
 let size_bytes t =
   (match t.sink with Memory b -> Buffer.length b | File f -> f.wpos)

@@ -90,3 +90,12 @@ let fnv64 s =
       h := Int64.mul !h prime)
     s;
   !h
+
+let fnv64_bytes b ~pos ~len =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  for i = pos to pos + len - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.unsafe_get b i)));
+    h := Int64.mul !h prime
+  done;
+  !h

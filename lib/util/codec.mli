@@ -56,3 +56,7 @@ val get_raw : cursor -> int -> string
 
 val fnv64 : string -> int64
 (** FNV-1a 64-bit hash, used as a WAL record checksum. *)
+
+val fnv64_bytes : bytes -> pos:int -> len:int -> int64
+(** Same hash over a byte-buffer slice, without copying. Used for page
+    checksums where the page image lives in a reusable [bytes]. *)

@@ -10,6 +10,13 @@ type snapshot = {
   objects_fetched : int;
   constraints_checked : int;
   triggers_fired : int;
+  wal_torn_bytes : int;
+  recovery_replayed : int;
+  checksum_failures : int;
+  orphans_reclaimed : int;
+  journal_pages_restored : int;
+  pages_reformatted : int;
+  io_retries : int;
 }
 
 let zero =
@@ -25,6 +32,13 @@ let zero =
     objects_fetched = 0;
     constraints_checked = 0;
     triggers_fired = 0;
+    wal_torn_bytes = 0;
+    recovery_replayed = 0;
+    checksum_failures = 0;
+    orphans_reclaimed = 0;
+    journal_pages_restored = 0;
+    pages_reformatted = 0;
+    io_retries = 0;
   }
 
 let cur = ref zero
@@ -44,6 +58,25 @@ let incr_constraints_checked () =
 
 let incr_triggers_fired () = cur := { !cur with triggers_fired = !cur.triggers_fired + 1 }
 
+let add_wal_torn_bytes n = cur := { !cur with wal_torn_bytes = !cur.wal_torn_bytes + n }
+
+let incr_recovery_replayed () =
+  cur := { !cur with recovery_replayed = !cur.recovery_replayed + 1 }
+
+let incr_checksum_failures () =
+  cur := { !cur with checksum_failures = !cur.checksum_failures + 1 }
+
+let add_orphans_reclaimed n =
+  cur := { !cur with orphans_reclaimed = !cur.orphans_reclaimed + n }
+
+let incr_journal_pages_restored () =
+  cur := { !cur with journal_pages_restored = !cur.journal_pages_restored + 1 }
+
+let incr_pages_reformatted () =
+  cur := { !cur with pages_reformatted = !cur.pages_reformatted + 1 }
+
+let incr_io_retries () = cur := { !cur with io_retries = !cur.io_retries + 1 }
+
 let snapshot () = !cur
 let reset () = cur := zero
 
@@ -60,6 +93,13 @@ let diff a b =
     objects_fetched = a.objects_fetched - b.objects_fetched;
     constraints_checked = a.constraints_checked - b.constraints_checked;
     triggers_fired = a.triggers_fired - b.triggers_fired;
+    wal_torn_bytes = a.wal_torn_bytes - b.wal_torn_bytes;
+    recovery_replayed = a.recovery_replayed - b.recovery_replayed;
+    checksum_failures = a.checksum_failures - b.checksum_failures;
+    orphans_reclaimed = a.orphans_reclaimed - b.orphans_reclaimed;
+    journal_pages_restored = a.journal_pages_restored - b.journal_pages_restored;
+    pages_reformatted = a.pages_reformatted - b.pages_reformatted;
+    io_retries = a.io_retries - b.io_retries;
   }
 
 let pp ppf s =
@@ -69,3 +109,11 @@ let pp ppf s =
     s.pages_read s.pages_written s.pool_hits s.pool_misses s.wal_appends
     s.wal_syncs s.index_probes s.objects_scanned s.objects_fetched
     s.constraints_checked s.triggers_fired
+
+let pp_recovery ppf s =
+  Format.fprintf ppf
+    "replayed %d  torn bytes %d  checksum failures %d  orphans reclaimed %d  \
+     journal pages restored %d  pages reformatted %d  io retries %d"
+    s.recovery_replayed s.wal_torn_bytes s.checksum_failures
+    s.orphans_reclaimed s.journal_pages_restored s.pages_reformatted
+    s.io_retries

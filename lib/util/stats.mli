@@ -18,6 +18,14 @@ type snapshot = {
   objects_fetched : int;  (** object payload fetches *)
   constraints_checked : int;
   triggers_fired : int;
+  wal_torn_bytes : int;       (** torn-tail bytes truncated at WAL open *)
+  recovery_replayed : int;    (** WAL operations re-applied during recovery *)
+  checksum_failures : int;    (** page/frame checksum mismatches detected *)
+  orphans_reclaimed : int;    (** unreachable heap records swept post-recovery *)
+  journal_pages_restored : int;
+      (** pages restored from the double-write journal at open *)
+  pages_reformatted : int;    (** crash-leftover pages reinitialised at attach *)
+  io_retries : int;           (** EINTR/EAGAIN syscall retries *)
 }
 
 val zero : snapshot
@@ -34,6 +42,13 @@ val incr_objects_scanned : unit -> unit
 val incr_objects_fetched : unit -> unit
 val incr_constraints_checked : unit -> unit
 val incr_triggers_fired : unit -> unit
+val add_wal_torn_bytes : int -> unit
+val incr_recovery_replayed : unit -> unit
+val incr_checksum_failures : unit -> unit
+val add_orphans_reclaimed : int -> unit
+val incr_journal_pages_restored : unit -> unit
+val incr_pages_reformatted : unit -> unit
+val incr_io_retries : unit -> unit
 
 val snapshot : unit -> snapshot
 val reset : unit -> unit
@@ -42,3 +57,7 @@ val diff : snapshot -> snapshot -> snapshot
 (** [diff later earlier] is the component-wise difference. *)
 
 val pp : Format.formatter -> snapshot -> unit
+(** Workload counters (pages, pool, WAL, probes, ...). *)
+
+val pp_recovery : Format.formatter -> snapshot -> unit
+(** Durability counters (replays, torn bytes, checksum failures, ...). *)

@@ -1,0 +1,522 @@
+(* Randomized crash-recovery torture (fault-injection failpoints).
+
+   Each iteration runs a random O++ workload against a file-backed database,
+   arms one failpoint (page writes, fsyncs, WAL appends, journal writes,
+   evictions...), catches the simulated crash, reopens from disk and checks
+   the durability invariant:
+
+     every acknowledged transaction is visible, no unacknowledged effect is,
+     and [Verify.run] finds a consistent database.
+
+   The only slack is the single in-doubt transaction executing when the
+   crash hit: the recovered state must equal one of its *admissible* states
+   — before the transaction, after its main effects, or after its trigger
+   action (which runs as its own transaction under weak coupling, so it can
+   be lost independently).
+
+   The workload covers inserts (including multi-page chunked records),
+   updates, deletes, named roots, a secondary index, and once-only triggers
+   whose actions mutate the database. Some iterations re-arm a failpoint
+   before reopening so recovery itself crashes and is retried (recovery must
+   be idempotent). Iterations where the failpoint never fires still simulate
+   power loss (close without checkpoint) and demand an exact state match.
+
+   Reproduce a failure with TORTURE_SEED=<seed> [TORTURE_ITERS=<n>]; each
+   failure message carries the iteration number and seed. *)
+
+module Db = Ode.Database
+module Query = Ode.Query
+module Verify = Ode.Verify
+module Value = Ode_model.Value
+module Failpoint = Ode_util.Failpoint
+module Prng = Ode_util.Prng
+module IM = Map.Make (Int)
+
+let iters =
+  match Sys.getenv_opt "TORTURE_ITERS" with Some s -> int_of_string s | None -> 200
+
+let seed0 =
+  match Sys.getenv_opt "TORTURE_SEED" with Some s -> int_of_string s | None -> 42
+
+let schema =
+  {|
+  class t {
+    tag: int;
+    grp: int;
+    payload: string;
+    flagged: int;
+    trigger mark(): flagged >= 0 ==> { this.flagged := this.flagged + 1; };
+  };
+|}
+
+(* -- model ----------------------------------------------------------------- *)
+
+(* The oracle: a pure map tag -> (payload, flagged) plus one named root,
+   mirroring what the workload does to class [t]. *)
+
+type op =
+  | Insert of int * string
+  | Update of int * string
+  | Remove of int
+  | SetRoot of int
+  | Activate of int
+
+type st = { objs : (string * int) IM.t; root : int option }
+
+let empty_state = { objs = IM.empty; root = None }
+
+let state_equal a b =
+  a.root = b.root
+  && IM.equal (fun (p1, f1) (p2, f2) -> String.equal p1 p2 && f1 = f2) a.objs b.objs
+
+let pp_state fmt st =
+  Format.fprintf fmt "root=%s objs={%s}"
+    (match st.root with None -> "-" | Some v -> string_of_int v)
+    (String.concat ", "
+       (List.rev
+          (IM.fold
+             (fun k (p, f) acc ->
+               Printf.sprintf "%d:#%08x/%dB+%d" k (Hashtbl.hash p) (String.length p) f
+               :: acc)
+             st.objs [])))
+
+let apply_main st ops =
+  List.fold_left
+    (fun st op ->
+      match op with
+      | Insert (tag, p) -> { st with objs = IM.add tag (p, 0) st.objs }
+      | Update (tag, p) ->
+          { st with objs = IM.update tag (Option.map (fun (_, f) -> (p, f))) st.objs }
+      | Remove tag -> { st with objs = IM.remove tag st.objs }
+      | SetRoot v -> { st with root = Some v }
+      | Activate _ -> st)
+    st ops
+
+(* Admissible post-crash states for a transaction that was in flight: before
+   it, after its main effects, and after each trigger-action transaction it
+   scheduled (actions run separately, in order, after the main commit). *)
+let admissible st ops =
+  let after_main = apply_main st ops in
+  let fire st tag =
+    { st with objs = IM.update tag (Option.map (fun (p, f) -> (p, f + 1))) st.objs }
+  in
+  let rec steps st = function
+    | [] -> []
+    | tag :: rest ->
+        let st' = fire st tag in
+        st' :: steps st' rest
+  in
+  let activations = List.filter_map (function Activate t -> Some t | _ -> None) ops in
+  st :: after_main :: steps after_main activations
+
+(* State after the transaction fully completes, trigger actions included. *)
+let final_state st ops =
+  match List.rev (admissible st ops) with last :: _ -> last | [] -> assert false
+
+(* -- workload -------------------------------------------------------------- *)
+
+let execute db oids ops =
+  Db.with_txn db (fun txn ->
+      List.iter
+        (fun op ->
+          match op with
+          | Insert (tag, p) ->
+              let oid =
+                Db.pnew txn "t"
+                  [
+                    ("tag", Value.Int tag);
+                    ("grp", Value.Int (tag mod 7));
+                    ("payload", Value.Str p);
+                    ("flagged", Value.Int 0);
+                  ]
+              in
+              Hashtbl.replace oids tag oid
+          | Update (tag, p) -> Db.set_field txn (Hashtbl.find oids tag) "payload" (Value.Str p)
+          | Remove tag -> Db.pdelete txn (Hashtbl.find oids tag)
+          | SetRoot v -> Db.set_root txn "last" (Value.Int v)
+          | Activate tag -> ignore (Db.activate txn (Hashtbl.find oids tag) "mark" []))
+        ops)
+
+(* Random ops for one transaction. Each tag is targeted by at most one op
+   and at most one trigger is activated, so the admissible-state chain stays
+   unambiguous. [pressure] biases towards large chunked payloads to fill the
+   buffer pool with dirty pages (the eviction failpoint needs that). *)
+let gen_ops rng st next_tag ~pressure =
+  let used = Hashtbl.create 8 in
+  let live () =
+    List.rev
+      (IM.fold (fun k _ acc -> if Hashtbl.mem used k then acc else k :: acc) st.objs [])
+  in
+  let pick_live () =
+    match live () with
+    | [] -> None
+    | l ->
+        let tag = List.nth l (Prng.int rng (List.length l)) in
+        Hashtbl.replace used tag ();
+        Some tag
+  in
+  let payload () =
+    if pressure then Prng.string rng (2000 + Prng.int rng 6000)
+    else if Prng.int rng 12 = 0 then Prng.string rng (2000 + Prng.int rng 10_000)
+    else Prng.string rng (1 + Prng.int rng 100)
+  in
+  let insert () =
+    let tag = !next_tag in
+    incr next_tag;
+    Hashtbl.replace used tag ();
+    Insert (tag, payload ())
+  in
+  let activated = ref false in
+  let n = 1 + Prng.int rng (if pressure then 3 else 5) in
+  List.init n (fun _ ->
+      match Prng.int rng 10 with
+      | 0 | 1 | 2 | 3 -> insert ()
+      | 4 | 5 -> (
+          match pick_live () with Some tag -> Update (tag, payload ()) | None -> insert ())
+      | 6 -> (
+          match pick_live () with
+          | Some tag -> Remove tag
+          | None -> SetRoot (Prng.int rng 1000))
+      | 7 -> SetRoot (Prng.int rng 1000)
+      | _ ->
+          if !activated then SetRoot (Prng.int rng 1000)
+          else (
+            match pick_live () with
+            | Some tag ->
+                activated := true;
+                Activate tag
+            | None -> SetRoot (Prng.int rng 1000)))
+
+(* -- per-site tuning ------------------------------------------------------- *)
+
+let all_sites =
+  [|
+    "disk.write";
+    "disk.sync";
+    "disk.journal.write";
+    "disk.journal.clear";
+    "wal.sync";
+    "wal.fsync";
+    "wal.reset";
+    "pool.flush";
+    "pool.evict";
+    "heap.flush";
+  |]
+
+(* (after_hits upper bound, explicit-checkpoint probability, pressure).
+   Bounds are scaled to how often each site is hit per iteration so the
+   failpoint usually fires somewhere in the middle of the workload. *)
+let profile = function
+  | "wal.sync" | "wal.fsync" -> (30, 0.15, false)
+  | "disk.write" -> (20, 0.2, false)
+  | "pool.flush" -> (6, 0.3, false)
+  | "disk.sync" -> (5, 0.3, false)
+  | "disk.journal.write" | "disk.journal.clear" -> (4, 0.3, false)
+  | "wal.reset" -> (3, 0.4, false)
+  | "heap.flush" -> (2, 0.4, false)
+  | "pool.evict" -> (2, 0.0, true)
+  | _ -> (5, 0.2, false)
+
+(* Partial-effect faults only make sense at sites that write an image. *)
+let gen_action rng = function
+  | "disk.write" | "disk.journal.write" | "wal.sync" -> (
+      match Prng.int rng 3 with
+      | 0 -> Failpoint.Crash_site
+      | 1 -> Failpoint.Short_effect (Prng.float rng 1.0)
+      | _ -> Failpoint.Flip_bit (Prng.int rng (4096 * 8)))
+  | _ -> Failpoint.Crash_site
+
+(* -- one iteration --------------------------------------------------------- *)
+
+let run_iteration ~iter ~seed ~site ~coverage =
+  let rng = Prng.create seed in
+  let dir = Tutil.temp_dir "torture" in
+  let range, ckpt_prob, pressure = profile site in
+  let wal_cp = if pressure then max_int else 2048 + Prng.int rng 16_384 in
+  let fail fmt =
+    Format.kasprintf
+      (fun s -> Alcotest.failf "iteration %d (seed %d, site %s): %s" iter seed site s)
+      fmt
+  in
+
+  (* Durable baseline, no failpoints armed yet. *)
+  let db = Db.open_ ~pool_pages:8 ~wal_checkpoint_bytes:wal_cp dir in
+  ignore (Db.define db schema);
+  Db.create_cluster db "t";
+  Db.create_index db ~cls:"t" ~field:"grp";
+  Db.checkpoint db;
+
+  Failpoint.arm site ~policy:(Failpoint.After_hits (Prng.int rng range))
+    ~action:(gen_action rng site);
+
+  let debug = Sys.getenv_opt "TORTURE_DEBUG" <> None in
+  let dbg fmt =
+    if debug then Format.eprintf (fmt ^^ "@.") else Format.ifprintf Format.err_formatter fmt
+  in
+  let pp_op fmt = function
+    | Insert (t, p) -> Format.fprintf fmt "ins %d (%dB)" t (String.length p)
+    | Update (t, p) -> Format.fprintf fmt "upd %d (%dB)" t (String.length p)
+    | Remove t -> Format.fprintf fmt "del %d" t
+    | SetRoot v -> Format.fprintf fmt "root %d" v
+    | Activate t -> Format.fprintf fmt "act %d" t
+  in
+  let pp_ops fmt ops =
+    Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") pp_op fmt ops
+  in
+  let model = ref empty_state in
+  let oids : (int, Ode_model.Oid.t) Hashtbl.t = Hashtbl.create 64 in
+  let next_tag = ref 0 in
+  let pending = ref None in
+  let in_doubt = ref None in
+  let ntxns = if pressure then 25 else 40 in
+  (try
+     for t = 1 to ntxns do
+       if ckpt_prob > 0.0 && Prng.float rng 1.0 < ckpt_prob then begin
+         dbg "txn %d: explicit checkpoint" t;
+         Db.checkpoint db
+       end;
+       let ops = gen_ops rng !model next_tag ~pressure in
+       dbg "txn %d: %a" t pp_ops ops;
+       pending := Some ops;
+       execute db oids ops;
+       model := final_state !model ops;
+       pending := None
+     done
+   with Failpoint.Crash s ->
+     dbg "CRASH at %s (in-doubt: %s)" s
+       (match !pending with
+       | None -> "-"
+       | Some ops -> Format.asprintf "%a" pp_ops ops);
+     Hashtbl.replace coverage s (1 + Option.value (Hashtbl.find_opt coverage s) ~default:0);
+     in_doubt := !pending);
+
+  (* Process death: drop everything that wasn't flushed. Iterations where
+     the failpoint never fired become plain power-loss tests. *)
+  Failpoint.clear ();
+  Db.crash db;
+
+  (* Sometimes crash recovery itself, then recover from *that*. *)
+  if (not pressure) && Prng.int rng 4 = 0 then
+    Failpoint.arm site
+      ~policy:(Failpoint.After_hits (Prng.int rng 3))
+      ~action:Failpoint.Crash_site;
+  let rec reopen tries =
+    match Db.open_ ~pool_pages:8 dir with
+    | db -> db
+    | exception Failpoint.Crash s ->
+        Hashtbl.replace coverage s (1 + Option.value (Hashtbl.find_opt coverage s) ~default:0);
+        Failpoint.clear ();
+        if tries >= 3 then fail "recovery kept crashing";
+        reopen (tries + 1)
+  in
+  let s0 = Ode_util.Stats.snapshot () in
+  let db2 = reopen 0 in
+  (* The recovery re-arm may not have fired; nothing past this point is a
+     simulated fault. *)
+  Failpoint.clear ();
+  (if debug then begin
+     let s1 = Ode_util.Stats.snapshot () in
+     dbg "recovery: replayed %d, orphans %d, journal restored %d, cksum fails %d, reformatted %d"
+       (s1.Ode_util.Stats.recovery_replayed - s0.Ode_util.Stats.recovery_replayed)
+       (s1.Ode_util.Stats.orphans_reclaimed - s0.Ode_util.Stats.orphans_reclaimed)
+       (s1.Ode_util.Stats.journal_pages_restored - s0.Ode_util.Stats.journal_pages_restored)
+       (s1.Ode_util.Stats.checksum_failures - s0.Ode_util.Stats.checksum_failures)
+       (s1.Ode_util.Stats.pages_reformatted - s0.Ode_util.Stats.pages_reformatted);
+     Hashtbl.iter
+       (fun tag oid ->
+         dbg "tag %d: header %b (oid %a)" tag
+           (Ode.Kv.mem db2 (Ode.Keys.header oid))
+           Ode_model.Oid.pp oid)
+       oids;
+     Ode_index.Bptree.iter_range db2.Ode.Types.kv_dir (fun key rid_s ->
+         let rid = Ode.Kv.decode_rid rid_s in
+         let status =
+           match Ode_storage.Heap.get db2.Ode.Types.kv_heap rid with
+           | Some p -> Printf.sprintf "ok (%dB)" (String.length p)
+           | None -> "DEAD"
+           | exception Ode_util.Codec.Corrupt m -> "CORRUPT " ^ m
+         in
+         dbg "dir %C.. (%d) -> %a %s" key.[0] (String.length key) Ode_storage.Heap.pp_rid rid
+           status;
+         true)
+   end);
+
+  let actual =
+    Db.with_txn db2 (fun txn ->
+        let objs =
+          List.fold_left
+            (fun m oid ->
+              let geti f =
+                match Db.get_field txn oid f with Value.Int i -> i | _ -> fail "non-int %s" f
+              in
+              let p =
+                match Db.get_field txn oid "payload" with
+                | Value.Str s -> s
+                | _ -> fail "non-string payload"
+              in
+              IM.add (geti "tag") (p, geti "flagged") m)
+            IM.empty
+            (Query.to_list db2 ~txn ~var:"x" ~cls:"t" ())
+        in
+        let root =
+          match Db.root txn "last" with
+          | Some (Value.Int v) -> Some v
+          | Some _ -> fail "non-int root"
+          | None -> None
+        in
+        { objs; root })
+  in
+  let candidates =
+    match !in_doubt with None -> [ !model ] | Some ops -> admissible !model ops
+  in
+  if not (List.exists (state_equal actual) candidates) then
+    fail "recovered state is not admissible@.  actual:   %a@.  expected one of:@.%s" pp_state
+      actual
+      (String.concat "\n"
+         (List.map (Format.asprintf "    %a" pp_state) candidates));
+  (match Verify.run db2 with
+  | Ok () -> ()
+  | Error ps -> fail "integrity check failed after recovery: %s" (String.concat "; " ps));
+  Db.close db2
+
+let torture () =
+  Failpoint.clear ();
+  let coverage = Hashtbl.create 16 in
+  for i = 0 to iters - 1 do
+    (* The site is derived from the seed (not the loop index) so a failure
+       reproduces exactly with TORTURE_SEED=<seed> TORTURE_ITERS=1; since
+       the seed increments per iteration the sites still round-robin. *)
+    let seed = seed0 + i in
+    let site = all_sites.(seed mod Array.length all_sites) in
+    run_iteration ~iter:i ~seed ~site ~coverage
+  done;
+  Failpoint.clear ();
+  (* Every registered site must have produced at least one simulated crash;
+     a site that never fires is dead instrumentation. *)
+  Array.iter
+    (fun site ->
+      if not (Hashtbl.mem coverage site) then
+        Alcotest.failf "failpoint site %s never crashed in %d iterations" site iters)
+    all_sites;
+  (* And the torture only means something if the sites actually exist. *)
+  Array.iter
+    (fun site ->
+      if not (List.mem site (Failpoint.sites ())) then
+        Alcotest.failf "failpoint site %s is not registered" site)
+    all_sites
+
+(* -- the harness must catch real bugs -------------------------------------- *)
+
+(* Deliberately broken storage: an fsync that lies (reports success, syncs
+   nothing — here the WAL batch is dropped wholesale). Acknowledged
+   transactions evaporate and the invariant check must notice. *)
+let lying_wal_sync () =
+  Failpoint.clear ();
+  let dir = Tutil.temp_dir "torture-lying" in
+  let db = Db.open_ ~wal_checkpoint_bytes:max_int dir in
+  ignore (Db.define db schema);
+  Db.create_cluster db "t";
+  Db.checkpoint db;
+  Failpoint.arm "wal.sync" ~policy:Failpoint.Always ~action:Failpoint.Skip_effect;
+  for i = 0 to 4 do
+    Db.with_txn db (fun txn ->
+        ignore
+          (Db.pnew txn "t"
+             [
+               ("tag", Value.Int i);
+               ("grp", Value.Int 0);
+               ("payload", Value.Str "durable, honest");
+               ("flagged", Value.Int 0);
+             ]))
+  done;
+  Failpoint.clear ();
+  Db.crash db;
+  let db2 = Db.open_ dir in
+  let survivors = List.length (Query.to_list db2 ~var:"x" ~cls:"t" ()) in
+  Db.close db2;
+  (* All five transactions were acknowledged; with a lying sync none
+     survive. This is the state mismatch the torture oracle reports. *)
+  Tutil.check_int "acked txns lost to lying fsync (harness detects the bug)" 0 survivors
+
+(* -- checksum detection of silent corruption ------------------------------- *)
+
+let page_size = Ode_storage.Page.size
+
+let flip_byte path off =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      let b = Bytes.create 1 in
+      if Unix.read fd b 0 1 <> 1 then failwith "flip_byte: short read";
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+      if Unix.write fd b 0 1 <> 1 then failwith "flip_byte: short write")
+
+(* A database big enough that page 1 of every file is interior (corruption
+   of a *trailing* page is indistinguishable from a torn allocation and is
+   deliberately truncated away, so we must hit the middle of the file). *)
+let build_flip_base dir =
+  let db = Db.open_ dir in
+  ignore (Db.define db schema);
+  Db.create_cluster db "t";
+  Db.create_index db ~cls:"t" ~field:"grp";
+  let rng = Prng.create 7 in
+  for batch = 0 to 19 do
+    Db.with_txn db (fun txn ->
+        for i = 0 to 19 do
+          let tag = (batch * 20) + i in
+          ignore
+            (Db.pnew txn "t"
+               [
+                 ("tag", Value.Int tag);
+                 ("grp", Value.Int (tag mod 7));
+                 ("payload", Value.Str (Prng.string rng (60 + Prng.int rng 200)));
+                 ("flagged", Value.Int 0);
+               ])
+        done)
+  done;
+  Db.close db
+
+let corruption_detected dir file =
+  let src = Filename.concat dir "base" in
+  let victim = Filename.concat dir ("flip-" ^ file) in
+  Tutil.copy_dir src victim;
+  let path = Filename.concat victim file in
+  let size = (Unix.stat path).Unix.st_size in
+  if size < 3 * page_size then
+    Alcotest.failf "%s too small (%d bytes) for an interior-page flip" file size;
+  flip_byte path (page_size + 1234);
+  (* Either opening (heap scan, directory walk) or verification (index walk)
+     must surface the corruption — silent acceptance is the failure. *)
+  match Db.open_ victim with
+  | exception Ode_util.Codec.Corrupt _ -> ()
+  | db -> (
+      match Verify.run db with
+      | exception Ode_util.Codec.Corrupt _ -> Db.close db
+      | Error _ -> Db.close db
+      | Ok () ->
+          Db.close db;
+          Alcotest.failf "flipped byte in %s went undetected" file)
+
+let checksum_catches_bit_rot () =
+  Failpoint.clear ();
+  let dir = Tutil.temp_dir "torture-flip" in
+  let base = Filename.concat dir "base" in
+  build_flip_base base;
+  corruption_detected dir "objects.heap";
+  corruption_detected dir "directory.bpt";
+  corruption_detected dir "indexes.bpt"
+
+let suite =
+  [
+    ( "crash_torture",
+      [
+        Alcotest.test_case
+          (Printf.sprintf "randomized torture (%d iterations, seed %d)" iters seed0)
+          `Slow torture;
+        Alcotest.test_case "lying wal sync is detected" `Quick lying_wal_sync;
+        Alcotest.test_case "checksums catch bit rot" `Quick checksum_catches_bit_rot;
+      ] );
+  ]
