@@ -108,5 +108,18 @@ let run_bechamel () =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> a <> "--") args in
+  let rec extract_json acc = function
+    | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | x :: rest -> extract_json (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json, args = extract_json [] args in
   if List.mem "--bechamel" args then run_bechamel ()
-  else run_tables (List.filter (fun a -> a <> "--bechamel") args)
+  else begin
+    run_tables (List.filter (fun a -> a <> "--bechamel") args);
+    (match json with Some file -> Report.write_json file | None -> ());
+    if !Report.guard_failures <> [] then begin
+      Printf.eprintf "bench guards failed: %s\n" (String.concat ", " !Report.guard_failures);
+      exit 1
+    end
+  end

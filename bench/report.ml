@@ -57,3 +57,54 @@ let ffloat f = Printf.sprintf "%.2f" f
 
 let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n" s) fmt
 let section title = Printf.printf "\n================ %s ================\n" title
+
+(* -- scaling, metrics, guards ------------------------------------------- *)
+
+(* BENCH_SCALE shrinks (or grows) every experiment's N — the CI smoke job
+   runs the suite at 0.1 so it finishes in seconds while still exercising
+   the same code paths and guards. *)
+let scale =
+  match Sys.getenv_opt "BENCH_SCALE" with
+  | Some s -> ( try float_of_string s with _ -> 1.0)
+  | None -> 1.0
+
+let scaled n = max 1 (int_of_float (float n *. scale))
+
+(* Named scalar results, accumulated across experiments and dumped as JSON
+   with --json FILE; the committed BENCH_*.json baselines are these. *)
+let metrics : (string * float) list ref = ref []
+let metric name v = metrics := (name, v) :: !metrics
+
+let guard_failures : string list ref = ref []
+
+(* A guarded metric: outside [lo, hi] the run still completes (every table
+   prints) but the process exits nonzero, failing the bench job. *)
+let guard name ?lo ?hi v =
+  metric name v;
+  let bad_lo = match lo with Some l -> v < l | None -> false in
+  let bad_hi = match hi with Some h -> v > h | None -> false in
+  let bounds =
+    Printf.sprintf "[%s, %s]"
+      (match lo with Some l -> Printf.sprintf "%.2f" l | None -> "-inf")
+      (match hi with Some h -> Printf.sprintf "%.2f" h | None -> "+inf")
+  in
+  if bad_lo || bad_hi then begin
+    guard_failures := name :: !guard_failures;
+    note "GUARD FAIL: %s = %.3f outside %s" name v bounds
+  end
+  else note "guard ok: %s = %.3f within %s" name v bounds
+
+let write_json path =
+  let oc = open_out path in
+  let finite v = match Float.classify_float v with FP_nan | FP_infinite -> false | _ -> true in
+  output_string oc "{\n";
+  let items = List.rev !metrics in
+  let last = List.length items - 1 in
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "  %S: %s%s\n" k
+        (if finite v then Printf.sprintf "%.6f" v else "null")
+        (if i = last then "" else ","))
+    items;
+  output_string oc "}\n";
+  close_out oc

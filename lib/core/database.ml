@@ -21,7 +21,8 @@ module Log = (val Logs.src_log log : Logs.LOG)
 
 (* -- lifecycle --------------------------------------------------------------- *)
 
-let make_db ~dbdir ~kv_disk ~dir_disk ~idx_disk ~wal ~pool_pages ~wal_checkpoint_bytes =
+let make_db ~dbdir ~kv_disk ~dir_disk ~idx_disk ~wal ~pool_pages ~wal_checkpoint_bytes
+    ~object_cache =
   let pool d = Buffer_pool.create ~capacity:pool_pages d in
   {
     dbdir;
@@ -38,11 +39,16 @@ let make_db ~dbdir ~kv_disk ~dir_disk ~idx_disk ~wal ~pool_pages ~wal_checkpoint
     action_queue = Queue.create ();
     draining = false;
     wal_auto_checkpoint = wal_checkpoint_bytes;
+    ocache = Ode_util.Lru.create (max 0 object_cache);
     closed = false;
     printer = print_string;
   }
 
 let recover db =
+  (* Wholesale cache invalidation: nothing decoded before the crash may
+     survive into the replayed store. ([Kv.put]/[Kv.delete] invalidate per
+     key during replay too; this is the belt to that suspenders.) *)
+  Ocache.clear db;
   (* Pass 1: which transactions committed. Pass 2: apply their operations in
      log order (idempotent logical redo). *)
   let committed = Hashtbl.create 16 in
@@ -92,7 +98,10 @@ let close_fds db =
   Disk.close (Buffer_pool.disk (Bptree.pool db.kv_dir));
   Disk.close (Buffer_pool.disk (Bptree.pool db.idx))
 
-let open_ ?(pool_pages = 512) ?(wal_checkpoint_bytes = 8 * 1024 * 1024) dir =
+let default_object_cache = 4096
+
+let open_ ?(pool_pages = 512) ?(wal_checkpoint_bytes = 8 * 1024 * 1024)
+    ?(object_cache = default_object_cache) dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let file name = Filename.concat dir name in
   let db =
@@ -101,7 +110,7 @@ let open_ ?(pool_pages = 512) ?(wal_checkpoint_bytes = 8 * 1024 * 1024) dir =
       ~dir_disk:(Disk.open_file (file "directory.bpt"))
       ~idx_disk:(Disk.open_file (file "indexes.bpt"))
       ~wal:(Wal.open_file (file "wal.log"))
-      ~pool_pages ~wal_checkpoint_bytes
+      ~pool_pages ~wal_checkpoint_bytes ~object_cache
   in
   (match
      recover db;
@@ -116,11 +125,11 @@ let open_ ?(pool_pages = 512) ?(wal_checkpoint_bytes = 8 * 1024 * 1024) dir =
       raise e);
   db
 
-let open_in_memory ?(pool_pages = 4096) () =
+let open_in_memory ?(pool_pages = 4096) ?(object_cache = default_object_cache) () =
   let db =
     make_db ~dbdir:None ~kv_disk:(Disk.in_memory ()) ~dir_disk:(Disk.in_memory ())
       ~idx_disk:(Disk.in_memory ()) ~wal:(Wal.in_memory ()) ~pool_pages
-      ~wal_checkpoint_bytes:(64 * 1024 * 1024)
+      ~wal_checkpoint_bytes:(64 * 1024 * 1024) ~object_cache
   in
   load_state db;
   db
@@ -333,7 +342,8 @@ let header_exn txn oid =
   | Some h -> h
   | None -> raise Not_found
 
-let versions txn oid = (header_exn txn oid).Store.hversions
+(* Stored newest-first; callers expect ascending. *)
+let versions txn oid = List.rev (header_exn txn oid).Store.hversions
 let current_version txn oid = (header_exn txn oid).Store.hcurrent
 let get_version txn vr = Store.get_fields_v txn.tdb (Some txn) vr
 let pdelete_version txn vr = Store.delete_version txn vr

@@ -23,10 +23,12 @@ type t = db
 
 (** {1 Lifecycle} *)
 
-val open_ : ?pool_pages:int -> ?wal_checkpoint_bytes:int -> string -> t
-(** Open (creating if needed) the database stored in a directory. *)
+val open_ : ?pool_pages:int -> ?wal_checkpoint_bytes:int -> ?object_cache:int -> string -> t
+(** Open (creating if needed) the database stored in a directory.
+    [object_cache] sizes the decoded-object cache in entries (decoded
+    headers and version field lists); 0 disables it. Default 4096. *)
 
-val open_in_memory : ?pool_pages:int -> unit -> t
+val open_in_memory : ?pool_pages:int -> ?object_cache:int -> unit -> t
 (** A volatile database: same engine, same WAL protocol, no files. *)
 
 val close : t -> unit
@@ -95,6 +97,8 @@ val eval : txn -> ?vars:(string * Ode_model.Value.t) list -> Ode_lang.Ast.expr -
 
 val newversion : txn -> Ode_model.Oid.t -> int
 val versions : txn -> Ode_model.Oid.t -> int list
+(** Version numbers in ascending (creation) order. *)
+
 val current_version : txn -> Ode_model.Oid.t -> int
 val get_version : txn -> Ode_model.Oid.vref -> (string * Ode_model.Value.t) list option
 val pdelete_version : txn -> Ode_model.Oid.vref -> unit

@@ -28,12 +28,29 @@ let encode_record key payload =
   Codec.put_raw b payload;
   Buffer.contents b
 
-let decode_record key raw =
-  let c = Codec.cursor raw in
-  match Codec.get_string c with
-  | k when String.equal k key -> Some (Codec.get_raw c (Codec.remaining c))
-  | _ -> None
-  | exception _ -> None
+(* Ownership test by offset arithmetic: compare the embedded key in place
+   without materialising it. Record layout is [u32 LE keylen][key][payload]. *)
+let record_owned key raw =
+  let rlen = String.length raw and klen = String.length key in
+  rlen >= 4 + klen
+  && Char.code raw.[0]
+     lor (Char.code raw.[1] lsl 8)
+     lor (Char.code raw.[2] lsl 16)
+     lor (Char.code raw.[3] lsl 24)
+     = klen
+  &&
+  let rec eq i = i >= klen || (String.unsafe_get raw (4 + i) = String.unsafe_get key i && eq (i + 1)) in
+  eq 0
+
+(* Zero-copy decode: one substring for the payload, no key copy, never
+   raises (a short or foreign record is just [None]). *)
+let decode_record_view key raw =
+  if record_owned key raw then
+    let skip = 4 + String.length key in
+    Some (String.sub raw skip (String.length raw - skip))
+  else None
+
+let decode_record = decode_record_view
 
 let get db key =
   match Bptree.find db.kv_dir key with
@@ -46,6 +63,9 @@ let get db key =
 let mem db key = Bptree.mem db.kv_dir key
 
 let put db key payload =
+  (* The single committed-write choke point (commit apply, recovery replay,
+     direct callers): a cached decode of this key is now stale. *)
+  Ocache.invalidate db key;
   let record = encode_record key payload in
   let fresh () =
     let rid = Heap.insert db.kv_heap record in
@@ -65,6 +85,7 @@ let put db key payload =
       | Some _ | None | (exception Ode_util.Codec.Corrupt _) -> fresh ())
 
 let delete db key =
+  Ocache.invalidate db key;
   match Bptree.find db.kv_dir key with
   | None -> ()
   | Some rid_s ->
@@ -78,23 +99,74 @@ let delete db key =
       | Some _ | None | (exception Ode_util.Codec.Corrupt _) -> ());
       ignore (Bptree.delete db.kv_dir key)
 
-(* [f key payload]; return false to stop. *)
+(* [f key payload]; return false to stop.
+
+   Default path: stream through a B+tree cursor — one leaf resident at a
+   time, and an early-exiting callback stops page reads immediately. The
+   cursor snapshots each leaf's entry array (arrays are copied on mutation),
+   so a split or delete racing the scan cannot corrupt it.
+
+   Collect-first fallback: when the active transaction already has pending
+   writes under the prefix, the scan's callback is likely interleaving
+   overlay reads and further writes against the same extent (e.g. a fixpoint
+   query inserting objects mid-scan). Materialising the directory entries up
+   front keeps that case on the historically stable footing. *)
+let pending_under_prefix db prefix =
+  match db.active with
+  | None -> false
+  | Some t ->
+      Hashtbl.length t.writes > 0
+      && Hashtbl.fold
+           (fun k _ acc -> acc || String.starts_with ~prefix k)
+           t.writes false
+
 let iter_prefix db prefix f =
-  (* Collect the matching directory entries first: the callback may mutate
-     the tree (e.g. a fixpoint query inserting objects mid-scan), and B+tree
-     iteration is not stable under concurrent splits. *)
-  let entries = ref [] in
-  Bptree.iter_prefix db.kv_dir prefix (fun k rid ->
-      entries := (k, rid) :: !entries;
-      true);
-  let rec go = function
-    | [] -> ()
-    | (k, rid_s) :: rest -> (
-        match Heap.get db.kv_heap (decode_rid rid_s) with
-        | None -> go rest (* deleted since collection *)
-        | Some raw -> (
-            match decode_record k raw with
-            | None -> go rest (* stale alias: not this key's record *)
-            | Some payload -> if f k payload then go rest))
+  let fetch k rid_s k_payload_fn =
+    match Heap.get db.kv_heap (decode_rid rid_s) with
+    | None -> true (* deleted since the directory entry was read *)
+    | Some raw -> (
+        match decode_record_view k raw with
+        | None -> true (* stale alias: not this key's record *)
+        | Some payload -> k_payload_fn payload)
   in
-  go (List.rev !entries)
+  if pending_under_prefix db prefix then begin
+    let entries = ref [] in
+    Bptree.iter_prefix db.kv_dir prefix (fun k rid ->
+        entries := (k, rid) :: !entries;
+        true);
+    let rec go = function
+      | [] -> ()
+      | (k, rid_s) :: rest -> if fetch k rid_s (fun payload -> f k payload) then go rest
+    in
+    go (List.rev !entries)
+  end
+  else
+    let cur = Bptree.cursor_prefix db.kv_dir prefix in
+    let rec go () =
+      match Bptree.cursor_next cur with
+      | None -> ()
+      | Some (k, rid_s) -> if fetch k rid_s (fun payload -> f k payload) then go ()
+    in
+    go ()
+
+(* [f key]; return false to stop. Like [iter_prefix] but never touches the
+   heap: only directory leaves are read, so the scan's working set is the
+   key tree, not the records. The directory can hold entries for records
+   that died since (deletes drop entries eagerly, but crash recovery may
+   leave strays), so callers must re-verify liveness per key — e.g. with
+   [get] — before trusting a candidate. *)
+let iter_prefix_keys db prefix f =
+  if pending_under_prefix db prefix then begin
+    let keys = ref [] in
+    Bptree.iter_prefix db.kv_dir prefix (fun k _ ->
+        keys := k :: !keys;
+        true);
+    let rec go = function [] -> () | k :: rest -> if f k then go rest in
+    go (List.rev !keys)
+  end
+  else
+    let cur = Bptree.cursor_prefix db.kv_dir prefix in
+    let rec go () =
+      match Bptree.cursor_next cur with None -> () | Some (k, _) -> if f k then go ()
+    in
+    go ()

@@ -21,6 +21,12 @@ val decode_record : string -> string -> string option
     it is owned by [key]; [None] means the record belongs to another key
     (verification and stale-alias detection). *)
 
+val decode_record_view : string -> string -> string option
+(** Same contract as {!decode_record} (of which it is the implementation):
+    the ownership check runs by offset arithmetic against the raw record, no
+    intermediate key copy, and a malformed record yields [None] instead of
+    raising. *)
+
 val get : db -> string -> string option
 val mem : db -> string -> bool
 val put : db -> string -> string -> unit
@@ -28,6 +34,16 @@ val delete : db -> string -> unit
 
 val iter_prefix : db -> string -> (string -> string -> bool) -> unit
 (** [iter_prefix db p f] visits entries whose key starts with [p] in key
-    order; [f] returns [false] to stop. The matching directory entries are
-    collected before any payload is fetched, so the callback may safely
-    mutate the store mid-scan. *)
+    order; [f] returns [false] to stop. Streams through a B+tree cursor
+    (O(1) memory, early exit stops page reads) unless the active transaction
+    has pending writes under [p], in which case the matching directory
+    entries are collected before any payload is fetched so the callback may
+    safely interleave further writes against the same extent. *)
+
+val iter_prefix_keys : db -> string -> (string -> bool) -> unit
+(** Like {!iter_prefix} but yields keys only and never reads the heap: the
+    scan's working set is the directory tree, not the records, so large
+    extents don't evict record pages from the buffer pool. A yielded key is
+    a candidate, not proof of a live record — callers must re-verify (e.g.
+    with {!get}) before trusting it. Same pending-write fallback as
+    {!iter_prefix}. *)

@@ -1,0 +1,47 @@
+(* Decoded-object cache.
+
+   An LRU over logical KV keys ('H' header keys and 'V' version keys) that
+   holds the *decoded* representation, so repeated predicate evaluation over
+   the same extent skips the B+tree descent, heap fetch and field decode.
+
+   Coherence contract:
+   - Only committed state is ever cached. Readers consult the active
+     transaction's write overlay first and never insert overlay data.
+   - [invalidate] is called from the committed-write choke point
+     ([Kv.put]/[Kv.delete]) which covers commit-apply, recovery replay and
+     every direct caller.
+   - [clear] wipes the cache wholesale on recovery/reopen so a pre-crash
+     entry can never be served against a replayed store. *)
+
+open Types
+module Lru = Ode_util.Lru
+module Stats = Ode_util.Stats
+
+let enabled db = Lru.capacity db.ocache > 0
+
+let find db key =
+  if not (enabled db) then None
+  else
+    match Lru.find db.ocache key with
+    | Some _ as hit ->
+        Stats.incr_obj_cache_hits ();
+        hit
+    | None ->
+        Stats.incr_obj_cache_misses ();
+        None
+
+let add db key v =
+  if enabled db then begin
+    Lru.add db.ocache key v;
+    while Lru.length db.ocache > Lru.capacity db.ocache do
+      ignore (Lru.evict db.ocache (fun _ _ -> true))
+    done
+  end
+
+let invalidate db key =
+  if enabled db && Lru.mem db.ocache key then begin
+    Lru.remove db.ocache key;
+    Stats.incr_obj_cache_invalidations ()
+  end
+
+let clear db = Lru.clear db.ocache

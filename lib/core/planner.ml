@@ -134,15 +134,35 @@ let plan db ?(env = []) ~var ~cls ~deep ~suchthat () =
                 let same = List.filter (fun (_, s) -> s.s_field = field) indexed_sargs in
                 (* Bounds narrow the scan; the conjuncts stay in the residual,
                    so an imperfect bound combination can never produce wrong
-                   results, only a wider scan. *)
+                   results, only a wider scan. Still, combine to the tightest
+                   bound: max of the lows, min of the highs, strict beating
+                   inclusive on ties (x > 10 && x > 5 must plan > 10). *)
+                let tighter_lo cur (v, incl) =
+                  match cur with
+                  | None -> Some (v, incl)
+                  | Some (v0, incl0) ->
+                      let c = Value.compare v v0 in
+                      if c > 0 then Some (v, incl)
+                      else if c < 0 then cur
+                      else Some (v0, incl0 && incl)
+                in
+                let tighter_hi cur (v, incl) =
+                  match cur with
+                  | None -> Some (v, incl)
+                  | Some (v0, incl0) ->
+                      let c = Value.compare v v0 in
+                      if c < 0 then Some (v, incl)
+                      else if c > 0 then cur
+                      else Some (v0, incl0 && incl)
+                in
                 let lo, hi =
                   List.fold_left
                     (fun (lo, hi) (_, s) ->
                       match s.s_op with
-                      | Ast.Gt -> (Some (s.s_const, false), hi)
-                      | Ast.Ge -> (Some (s.s_const, true), hi)
-                      | Ast.Lt -> (lo, Some (s.s_const, false))
-                      | Ast.Le -> (lo, Some (s.s_const, true))
+                      | Ast.Gt -> (tighter_lo lo (s.s_const, false), hi)
+                      | Ast.Ge -> (tighter_lo lo (s.s_const, true), hi)
+                      | Ast.Lt -> (lo, tighter_hi hi (s.s_const, false))
+                      | Ast.Le -> (lo, tighter_hi hi (s.s_const, true))
                       | _ -> (lo, hi))
                     (None, None) same
                 in

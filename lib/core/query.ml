@@ -15,9 +15,11 @@ let class_ids db classes =
 (* Does the (live) object [oid] belong to one of the accepted clusters? *)
 let accept_class ids (oid : Oid.t) = List.mem oid.cls ids
 
-(* Committed extent of one class, in creation order. *)
+(* Committed extent of one class, in creation order. Keys-only: the header
+   payload is never needed here, and [accept]'s [Store.exists] re-verifies
+   liveness per candidate, so the scan reads directory leaves only. *)
 let committed_candidates db cls_id f =
-  Kv.iter_prefix db (Keys.header_prefix_class cls_id) (fun key _ ->
+  Kv.iter_prefix_keys db (Keys.header_prefix_class cls_id) (fun key ->
       f (Keys.oid_of_header_key key);
       true)
 
@@ -213,6 +215,15 @@ let to_list db ?txn ?env ~var ~cls ?deep ?suchthat ?filter ?by () =
 
 let count db ?txn ?deep ?suchthat ~var ~cls () =
   fold db ?txn ~var ~cls ?deep ?suchthat ~init:0 (fun n _ -> n + 1)
+
+(* Early exit through the whole scan stack: the exception unwinds the
+   streaming cursor in [Kv.iter_prefix] (or the index walk), so no further
+   pages are read after the first match. *)
+let exists db ?txn ?env ?deep ?suchthat ~var ~cls () =
+  let exception Found in
+  match run db ?txn ?env ~var ~cls ?deep ?suchthat (fun _ -> raise Found) with
+  | () -> false
+  | exception Found -> true
 
 let join2 db ?txn ~outer:(ovar, ocls) ~inner:(ivar, icls) ?deep ?suchthat body =
   let txn = match txn with Some t -> Some t | None -> db.active in

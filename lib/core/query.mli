@@ -68,6 +68,19 @@ val count :
   unit ->
   int
 
+val exists :
+  db ->
+  ?txn:txn ->
+  ?env:(string * Ode_model.Value.t) list ->
+  ?deep:bool ->
+  ?suchthat:Ode_lang.Ast.expr ->
+  var:string ->
+  cls:string ->
+  unit ->
+  bool
+(** Is there at least one qualifying object? Stops scanning — and reading
+    pages — at the first match. *)
+
 val join2 :
   db ->
   ?txn:txn ->

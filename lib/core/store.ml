@@ -12,7 +12,7 @@ exception No_cluster of string
 
 let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
 
-type header = { hcls : int; hcurrent : int; hversions : int list }
+type header = Types.header = { hcls : int; hcurrent : int; hversions : int list }
 
 let encode_header h =
   let b = Buffer.create 24 in
@@ -47,20 +47,50 @@ let remove txn key = Hashtbl.replace txn.writes key Del
 
 (* -- object reads -------------------------------------------------------------- *)
 
+(* Reads go overlay -> decoded-object cache -> committed KV. The cache is
+   only consulted and only populated when the transaction has no pending
+   write for the key, so it never absorbs or serves uncommitted state. *)
+
+let pending txn key =
+  match txn with Some t -> Hashtbl.find_opt t.writes key | None -> None
+
 let get_header db txn oid =
-  match read db txn (Keys.header oid) with
-  | None -> None
-  | Some s -> Some (decode_header s)
+  let key = Keys.header oid in
+  match pending txn key with
+  | Some (Put s) -> Some (decode_header s)
+  | Some Del -> None
+  | None -> (
+      match Ocache.find db key with
+      | Some (Cheader h) -> Some h
+      | Some (Cfields _) | None -> (
+          match Kv.get db key with
+          | None -> None
+          | Some s ->
+              let h = decode_header s in
+              Ocache.add db key (Cheader h);
+              Some h))
 
 let exists db txn oid = get_header db txn oid <> None
 let class_of db (oid : Oid.t) = Catalog.find_by_id db.catalog oid.cls
 
 let get_fields_v db txn (vr : Oid.vref) =
-  match read db txn (Keys.version vr.oid vr.ver) with
-  | None -> None
-  | Some s ->
+  let key = Keys.version vr.oid vr.ver in
+  match pending txn key with
+  | Some (Put s) ->
       Ode_util.Stats.incr_objects_fetched ();
       Some (Value.fields_decode s)
+  | Some Del -> None
+  | None -> (
+      match Ocache.find db key with
+      | Some (Cfields fs) -> Some fs
+      | Some (Cheader _) | None -> (
+          match Kv.get db key with
+          | None -> None
+          | Some s ->
+              Ode_util.Stats.incr_objects_fetched ();
+              let fs = Value.fields_decode s in
+              Ocache.add db key (Cfields fs);
+              Some fs))
 
 let get_fields db txn oid =
   match get_header db txn oid with
@@ -225,10 +255,12 @@ let new_version txn oid =
     | Some fs -> fs
     | None -> type_error "object %a: missing current version" Oid.pp oid
   in
-  let next = List.fold_left max (-1) h.hversions + 1 in
+  (* [hversions] is newest-first, so the next version number is one past the
+     head — no list traversal or append. *)
+  let next = match h.hversions with [] -> 0 | newest :: _ -> newest + 1 in
   write txn (Keys.version oid next) (Value.fields_encode cur);
   write txn (Keys.header oid)
-    (encode_header { h with hcurrent = next; hversions = h.hversions @ [ next ] });
+    (encode_header { h with hcurrent = next; hversions = next :: h.hversions });
   (* The new version is current and has the same field values, so index
      entries are already correct. *)
   touch txn oid;
@@ -245,9 +277,10 @@ let delete_version txn (vr : Oid.vref) =
   | _ ->
       let cls = cls_of_header db h in
       if vr.ver = h.hcurrent then begin
-        (* Promote the newest remaining version; the index must now reflect
-           its field values instead of the deleted current's. *)
-        let new_current = List.fold_left max (List.hd remaining) remaining in
+        (* Promote the newest remaining version (the list is newest-first);
+           the index must now reflect its field values instead of the
+           deleted current's. *)
+        let new_current = List.hd remaining in
         let old_fields =
           match get_fields_v db (Some txn) { oid = vr.oid; ver = h.hcurrent } with
           | Some fs -> fs

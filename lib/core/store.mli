@@ -17,7 +17,11 @@ exception Type_error of string
 exception No_cluster of string
 (** pnew into a class whose cluster was never created (paper §2.5). *)
 
-type header = { hcls : int; hcurrent : int; hversions : int list (* ascending *) }
+type header = Types.header = {
+  hcls : int;
+  hcurrent : int;
+  hversions : int list;  (** newest-first *)
+}
 
 val decode_header : string -> header
 (** Used by the integrity checker. *)
@@ -29,6 +33,9 @@ val write : txn -> string -> string -> unit
 val remove : txn -> string -> unit
 
 (** {1 Reading objects} *)
+
+(** Reads consult the write overlay first, then the decoded-object cache
+    ({!Ocache}), then the committed KV (populating the cache on a miss). *)
 
 val get_header : db -> txn option -> Ode_model.Oid.t -> header option
 val exists : db -> txn option -> Ode_model.Oid.t -> bool

@@ -10,6 +10,15 @@ module Value = Ode_model.Value
 (* A pending logical write: last-wins per key within one transaction. *)
 type op = Put of string | Del
 
+(* Decoded object header as stored under the 'H' key. [hversions] is kept
+   newest-first so allocating the next version number is O(1). *)
+type header = { hcls : int; hcurrent : int; hversions : int list }
+
+(* An entry of the decoded-object cache: either a decoded header or the
+   decoded field list of one version. Both are immutable-by-convention —
+   readers never mutate what the cache hands out. *)
+type cached = Cheader of header | Cfields of (string * Value.t) list
+
 type activation = {
   tid : int;
   aoid : Oid.t;                  (* object the trigger is attached to *)
@@ -53,6 +62,8 @@ and db = {
   action_queue : firing Queue.t;            (* weakly-coupled trigger actions *)
   mutable draining : bool;
   mutable wal_auto_checkpoint : int;        (* bytes; checkpoint when exceeded *)
+  ocache : (string, cached) Ode_util.Lru.t; (* decoded objects by logical key;
+                                               capacity 0 disables the cache *)
   mutable closed : bool;
   mutable printer : string -> unit;         (* trigger-action [print] output *)
 }

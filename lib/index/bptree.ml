@@ -320,40 +320,78 @@ let delete t key =
           true)
   | Internal _ -> assert false
 
-(* -- public: range scans --------------------------------------------------------- *)
+(* -- public: streaming cursor ----------------------------------------------------- *)
 
-let iter_range t ?lo ?hi ?(inclusive_hi = false) f =
+(* A cursor holds one leaf's entry array plus the forward link to the next
+   leaf. Entry arrays are never mutated in place (inserts and deletes build
+   fresh arrays), so the snapshot stays valid even if the tree is written
+   between [next] calls — the cursor simply keeps walking the leaf chain it
+   seeked into. Page 0 is the tree header, so [cnext = 0] means "no further
+   leaf". *)
+type cursor = {
+  ct : t;
+  mutable centries : (string * string) array;
+  mutable cidx : int;
+  mutable cnext : int;
+  chi : string option;
+  cinclusive_hi : bool;
+}
+
+let cursor t ?lo ?hi ?(inclusive_hi = false) () =
   Ode_util.Stats.incr_index_probes ();
   let start_key = Option.value lo ~default:"" in
-  let page, _ = find_leaf t t.root start_key in
-  let below_hi k =
-    match hi with
-    | None -> true
-    | Some h ->
-        let c = String.compare k h in
-        if inclusive_hi then c <= 0 else c < 0
+  match find_leaf t t.root start_key with
+  | _, Internal _ -> assert false
+  | _, Leaf l ->
+      Ode_util.Stats.incr_cursor_pages_read ();
+      (* Both [Ok i] and [Error i] index the first entry >= start_key. *)
+      let idx = match entry_index l.entries start_key with Ok i -> i | Error i -> i in
+      { ct = t; centries = l.entries; cidx = idx; cnext = l.next; chi = hi; cinclusive_hi = inclusive_hi }
+
+let rec cursor_next cur =
+  if cur.cidx < Array.length cur.centries then begin
+    let (k, _) as entry = cur.centries.(cur.cidx) in
+    cur.cidx <- cur.cidx + 1;
+    let below_hi =
+      match cur.chi with
+      | None -> true
+      | Some h ->
+          let c = String.compare k h in
+          if cur.cinclusive_hi then c <= 0 else c < 0
+    in
+    if below_hi then Some entry
+    else begin
+      cur.centries <- [||];
+      cur.cnext <- 0;
+      None
+    end
+  end
+  else if cur.cnext = 0 then None
+  else
+    match read_node cur.ct cur.cnext with
+    | Internal _ -> assert false
+    | Leaf l ->
+        Ode_util.Stats.incr_cursor_pages_read ();
+        cur.centries <- l.entries;
+        cur.cidx <- 0;
+        cur.cnext <- l.next;
+        cursor_next cur
+
+let cursor_prefix t prefix =
+  match Ode_util.Key.succ_prefix prefix with
+  | Some hi -> cursor t ~lo:prefix ~hi ()
+  | None -> cursor t ~lo:prefix ()
+
+(* -- public: range scans --------------------------------------------------------- *)
+
+let iter_range t ?lo ?hi ?inclusive_hi f =
+  let cur = cursor t ?lo ?hi ?inclusive_hi () in
+  let rec go () =
+    match cursor_next cur with
+    | None -> ()
+    | Some (k, v) -> if f k v then go ()
   in
-  let above_lo k = match lo with None -> true | Some l -> String.compare k l >= 0 in
-  let rec walk page =
-    if page <> 0 then
-      match read_node t page with
-      | Internal _ -> assert false
-      | Leaf l ->
-          let continue = ref true in
-          let i = ref 0 in
-          let n = Array.length l.entries in
-          while !continue && !i < n do
-            let k, v = l.entries.(!i) in
-            if not (below_hi k) then continue := false
-            else begin
-              if above_lo k then continue := f k v;
-              incr i
-            end;
-            ()
-          done;
-          if !continue && !i >= n then walk l.next
-  in
-  walk page
+  go ()
 
 (* Reverse-order scan. Leaves are only forward-linked, so this walks the
    tree top-down visiting children right-to-left; bounds prune subtrees. *)

@@ -25,6 +25,24 @@ val mem : t -> string -> bool
 val delete : t -> string -> bool
 (** Remove a key; false if absent. *)
 
+type cursor
+(** A streaming scan position: one seek, then leaf-chain walks on demand.
+    O(1) memory — the cursor holds a single leaf's entries at a time — and
+    abandoning it early reads no further pages. The cursor snapshots each
+    leaf's entry array (arrays are copied on mutation, never updated in
+    place), so interleaved writes cannot corrupt an in-flight scan; entries
+    committed behind the cursor's position may or may not be observed. *)
+
+val cursor : t -> ?lo:string -> ?hi:string -> ?inclusive_hi:bool -> unit -> cursor
+(** Seek to the first entry [>= lo] (tree start when omitted). The scan
+    yields entries while [key < hi] ([<= hi] when [inclusive_hi]). *)
+
+val cursor_prefix : t -> string -> cursor
+(** Cursor over all keys starting with the given prefix. *)
+
+val cursor_next : cursor -> (string * string) option
+(** Next entry in key order, or [None] when the range is exhausted. *)
+
 val iter_range :
   t -> ?lo:string -> ?hi:string -> ?inclusive_hi:bool -> (string -> string -> bool) -> unit
 (** [iter_range t ~lo ~hi f] visits entries with [lo <= key < hi] (or

@@ -13,7 +13,7 @@ let fp_evict = Failpoint.site "pool.evict"
 type t = {
   disk : Disk.t;
   cap : int;
-  frames : frame Ode_util.Lru.t;
+  frames : (int, frame) Ode_util.Lru.t;
 }
 
 exception Pool_exhausted

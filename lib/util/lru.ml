@@ -1,18 +1,18 @@
 (* Doubly-linked recency list + hashtable from key to node. The list head is
    the least recently used entry, the tail the most recent. *)
 
-type 'a node = {
-  key : int;
+type ('k, 'a) node = {
+  key : 'k;
   mutable value : 'a;
-  mutable prev : 'a node option;
-  mutable next : 'a node option;
+  mutable prev : ('k, 'a) node option;
+  mutable next : ('k, 'a) node option;
 }
 
-type 'a t = {
+type ('k, 'a) t = {
   cap : int;
-  tbl : (int, 'a node) Hashtbl.t;
-  mutable head : 'a node option; (* least recent *)
-  mutable tail : 'a node option; (* most recent *)
+  tbl : ('k, ('k, 'a) node) Hashtbl.t;
+  mutable head : ('k, 'a) node option; (* least recent *)
+  mutable tail : ('k, 'a) node option; (* most recent *)
 }
 
 let create cap = { cap; tbl = Hashtbl.create (max 16 cap); head = None; tail = None }
@@ -73,6 +73,11 @@ let evict t ok =
         else scan n.next
   in
   scan t.head
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None
 
 let iter t f =
   let rec go = function

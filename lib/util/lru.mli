@@ -1,34 +1,38 @@
-(** A mutable LRU map with integer keys.
+(** A mutable LRU map over hashable keys.
 
-    Used by the buffer pool to pick eviction victims. The structure keeps
-    entries in recency order; [use] refreshes an entry, [evict] removes the
+    Used by the buffer pool to pick eviction victims (integer page keys) and
+    by the decoded-object cache (string logical keys). The structure keeps
+    entries in recency order; [find] refreshes an entry, [evict] removes the
     least recently used entry satisfying a predicate. *)
 
-type 'a t
+type ('k, 'a) t
 
-val create : int -> 'a t
+val create : int -> ('k, 'a) t
 (** [create capacity] makes an empty LRU that considers itself full beyond
     [capacity] entries (capacity is advisory; the structure never drops
     entries on its own). *)
 
-val capacity : 'a t -> int
-val length : 'a t -> int
-val mem : 'a t -> int -> bool
+val capacity : ('k, 'a) t -> int
+val length : ('k, 'a) t -> int
+val mem : ('k, 'a) t -> 'k -> bool
 
-val find : 'a t -> int -> 'a option
+val find : ('k, 'a) t -> 'k -> 'a option
 (** [find t k] returns the value and refreshes recency. *)
 
-val peek : 'a t -> int -> 'a option
+val peek : ('k, 'a) t -> 'k -> 'a option
 (** Like [find] but without touching recency. *)
 
-val add : 'a t -> int -> 'a -> unit
+val add : ('k, 'a) t -> 'k -> 'a -> unit
 (** [add t k v] inserts or replaces the binding and marks it most recent. *)
 
-val remove : 'a t -> int -> unit
+val remove : ('k, 'a) t -> 'k -> unit
 
-val evict : 'a t -> (int -> 'a -> bool) -> (int * 'a) option
+val evict : ('k, 'a) t -> ('k -> 'a -> bool) -> ('k * 'a) option
 (** [evict t ok] removes and returns the least recently used binding for
     which [ok k v] holds, or [None] if none qualifies. *)
 
-val iter : 'a t -> (int -> 'a -> unit) -> unit
+val clear : ('k, 'a) t -> unit
+(** Drop every entry. *)
+
+val iter : ('k, 'a) t -> ('k -> 'a -> unit) -> unit
 (** Iterate from least to most recently used. *)

@@ -17,6 +17,10 @@ type snapshot = {
   journal_pages_restored : int;
   pages_reformatted : int;
   io_retries : int;
+  obj_cache_hits : int;
+  obj_cache_misses : int;
+  obj_cache_invalidations : int;
+  cursor_pages_read : int;
 }
 
 let zero =
@@ -39,6 +43,10 @@ let zero =
     journal_pages_restored = 0;
     pages_reformatted = 0;
     io_retries = 0;
+    obj_cache_hits = 0;
+    obj_cache_misses = 0;
+    obj_cache_invalidations = 0;
+    cursor_pages_read = 0;
   }
 
 let cur = ref zero
@@ -77,6 +85,17 @@ let incr_pages_reformatted () =
 
 let incr_io_retries () = cur := { !cur with io_retries = !cur.io_retries + 1 }
 
+let incr_obj_cache_hits () = cur := { !cur with obj_cache_hits = !cur.obj_cache_hits + 1 }
+
+let incr_obj_cache_misses () =
+  cur := { !cur with obj_cache_misses = !cur.obj_cache_misses + 1 }
+
+let incr_obj_cache_invalidations () =
+  cur := { !cur with obj_cache_invalidations = !cur.obj_cache_invalidations + 1 }
+
+let incr_cursor_pages_read () =
+  cur := { !cur with cursor_pages_read = !cur.cursor_pages_read + 1 }
+
 let snapshot () = !cur
 let reset () = cur := zero
 
@@ -100,15 +119,21 @@ let diff a b =
     journal_pages_restored = a.journal_pages_restored - b.journal_pages_restored;
     pages_reformatted = a.pages_reformatted - b.pages_reformatted;
     io_retries = a.io_retries - b.io_retries;
+    obj_cache_hits = a.obj_cache_hits - b.obj_cache_hits;
+    obj_cache_misses = a.obj_cache_misses - b.obj_cache_misses;
+    obj_cache_invalidations = a.obj_cache_invalidations - b.obj_cache_invalidations;
+    cursor_pages_read = a.cursor_pages_read - b.cursor_pages_read;
   }
 
 let pp ppf s =
   Format.fprintf ppf
     "pages r/w %d/%d  pool hit/miss %d/%d  wal app/sync %d/%d  probes %d  \
-     scanned %d  fetched %d  constraints %d  fired %d"
+     scanned %d  fetched %d  constraints %d  fired %d  ocache hit/miss/inv \
+     %d/%d/%d  cursor pages %d"
     s.pages_read s.pages_written s.pool_hits s.pool_misses s.wal_appends
     s.wal_syncs s.index_probes s.objects_scanned s.objects_fetched
-    s.constraints_checked s.triggers_fired
+    s.constraints_checked s.triggers_fired s.obj_cache_hits s.obj_cache_misses
+    s.obj_cache_invalidations s.cursor_pages_read
 
 let pp_recovery ppf s =
   Format.fprintf ppf

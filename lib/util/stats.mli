@@ -26,6 +26,11 @@ type snapshot = {
       (** pages restored from the double-write journal at open *)
   pages_reformatted : int;    (** crash-leftover pages reinitialised at attach *)
   io_retries : int;           (** EINTR/EAGAIN syscall retries *)
+  obj_cache_hits : int;       (** decoded-object cache hits *)
+  obj_cache_misses : int;     (** decoded-object cache misses *)
+  obj_cache_invalidations : int;
+      (** cached objects dropped because a committed write touched them *)
+  cursor_pages_read : int;    (** B+tree leaves visited by streaming cursors *)
 }
 
 val zero : snapshot
@@ -49,6 +54,10 @@ val add_orphans_reclaimed : int -> unit
 val incr_journal_pages_restored : unit -> unit
 val incr_pages_reformatted : unit -> unit
 val incr_io_retries : unit -> unit
+val incr_obj_cache_hits : unit -> unit
+val incr_obj_cache_misses : unit -> unit
+val incr_obj_cache_invalidations : unit -> unit
+val incr_cursor_pages_read : unit -> unit
 
 val snapshot : unit -> snapshot
 val reset : unit -> unit

@@ -126,6 +126,96 @@ let reverse_range () =
       !n < 3);
   Tutil.check_int "stopped early" 3 !n
 
+let cursor_basics () =
+  let t = mk () in
+  for i = 0 to 99 do
+    Bptree.insert t (key i) (string_of_int i)
+  done;
+  (* Seek lands on the first entry >= lo even when lo is absent from the tree. *)
+  Bptree.delete t (key 10) |> ignore;
+  let cur = Bptree.cursor t ~lo:(key 10) ~hi:(key 14) () in
+  let got = ref [] in
+  let rec drain () =
+    match Bptree.cursor_next cur with
+    | Some (k, _) ->
+        got := k :: !got;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Tutil.check_string_list "half-open, seek past hole" [ key 11; key 12; key 13 ] (List.rev !got);
+  Tutil.check_bool "exhausted stays exhausted" true (Bptree.cursor_next cur = None);
+  let cur2 = Bptree.cursor t ~lo:(key 95) () in
+  let n = ref 0 in
+  while Bptree.cursor_next cur2 <> None do
+    incr n
+  done;
+  Tutil.check_int "open hi runs to the end" 5 !n
+
+let cursor_prefix () =
+  let t = mk () in
+  List.iter (fun k -> Bptree.insert t k "") [ "ap"; "apple"; "apricot"; "banana"; "ba" ];
+  let cur = Bptree.cursor_prefix t "ap" in
+  let got = ref [] in
+  let rec drain () =
+    match Bptree.cursor_next cur with
+    | Some (k, _) ->
+        got := k :: !got;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Tutil.check_string_list "ap-prefixed" [ "ap"; "apple"; "apricot" ] (List.rev !got)
+
+let cursor_early_exit_pages () =
+  let t = mk () in
+  let n = 5000 in
+  for i = 0 to n - 1 do
+    Bptree.insert t (key i) (string_of_int i)
+  done;
+  Tutil.check_bool "multi-leaf tree" true (Bptree.height t >= 2);
+  let pages_during fn =
+    let before = (Ode_util.Stats.snapshot ()).Ode_util.Stats.cursor_pages_read in
+    fn ();
+    (Ode_util.Stats.snapshot ()).Ode_util.Stats.cursor_pages_read - before
+  in
+  let full =
+    pages_during (fun () ->
+        let cur = Bptree.cursor t () in
+        while Bptree.cursor_next cur <> None do
+          ()
+        done)
+  in
+  let early =
+    pages_during (fun () ->
+        let cur = Bptree.cursor t () in
+        ignore (Bptree.cursor_next cur))
+  in
+  Tutil.check_bool "full scan reads many leaves" true (full > 2);
+  Tutil.check_int "abandoned cursor reads one leaf" 1 early
+
+let prop_cursor_matches_iter_range =
+  QCheck.Test.make ~name:"cursor = iter_range" ~count:100
+    QCheck.(triple (list (int_bound 300)) (int_bound 300) (int_bound 300))
+    (fun (ks, a, b) ->
+      let lo_i = min a b and hi_i = max a b in
+      let t = mk () in
+      List.iter (fun k -> Bptree.insert t (key k) (string_of_int k)) ks;
+      let lo = key lo_i and hi = key hi_i in
+      let via_iter = ref [] in
+      Bptree.iter_range t ~lo ~hi (fun k v -> via_iter := (k, v) :: !via_iter; true);
+      let cur = Bptree.cursor t ~lo ~hi () in
+      let via_cursor = ref [] in
+      let rec drain () =
+        match Bptree.cursor_next cur with
+        | Some kv ->
+            via_cursor := kv :: !via_cursor;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      !via_cursor = !via_iter)
+
 let prop_reverse_matches_forward =
   QCheck.Test.make ~name:"iter_range_rev = rev iter_range" ~count:100
     QCheck.(triple (list (int_bound 300)) (int_bound 300) (int_bound 300))
@@ -187,8 +277,12 @@ let suite =
         Alcotest.test_case "range early stop" `Quick range_early_stop;
         Alcotest.test_case "reverse range" `Quick reverse_range;
         Alcotest.test_case "prefix scan" `Quick prefix_scan;
+        Alcotest.test_case "cursor basics" `Quick cursor_basics;
+        Alcotest.test_case "cursor prefix" `Quick cursor_prefix;
+        Alcotest.test_case "cursor early exit stops page reads" `Quick cursor_early_exit_pages;
         Alcotest.test_case "persists across reopen" `Quick persistence;
         Alcotest.test_case "oversized entries rejected" `Quick large_entries_rejected;
       ] );
-    Tutil.qsuite "bptree.props" [ prop_model; prop_reverse_matches_forward ];
+    Tutil.qsuite "bptree.props"
+      [ prop_model; prop_reverse_matches_forward; prop_cursor_matches_iter_range ];
   ]

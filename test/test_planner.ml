@@ -41,6 +41,28 @@ let picks_range () =
   | _ -> Alcotest.fail "bounds mis-extracted");
   Db.close db
 
+let tightest_bounds () =
+  let db = setup () in
+  (* Redundant conjuncts must fold to the tightest bound, whatever their
+     order in the predicate. *)
+  (match (plan db "x.qty > 10 && x.qty > 5").Planner.p_access with
+  | Planner.Index_range { lo = Some (Value.Int 10, false); hi = None; _ } -> ()
+  | _ -> Alcotest.fail "lo not tightened to > 10");
+  (match (plan db "x.qty > 5 && x.qty > 10").Planner.p_access with
+  | Planner.Index_range { lo = Some (Value.Int 10, false); hi = None; _ } -> ()
+  | _ -> Alcotest.fail "lo not tightened (order flipped)");
+  (match (plan db "x.qty < 5 && x.qty <= 9").Planner.p_access with
+  | Planner.Index_range { lo = None; hi = Some (Value.Int 5, false); _ } -> ()
+  | _ -> Alcotest.fail "hi not tightened to < 5");
+  (* On equal constants a strict bound beats an inclusive one. *)
+  (match (plan db "x.qty >= 7 && x.qty > 7").Planner.p_access with
+  | Planner.Index_range { lo = Some (Value.Int 7, false); hi = None; _ } -> ()
+  | _ -> Alcotest.fail "strict not preferred on tie");
+  (match (plan db "x.qty > 2 && x.qty >= 0 && x.qty < 9 && x.qty <= 12").Planner.p_access with
+  | Planner.Index_range { lo = Some (Value.Int 2, false); hi = Some (Value.Int 9, false); _ } -> ()
+  | _ -> Alcotest.fail "four-conjunct combination wrong");
+  Db.close db
+
 let falls_back_to_scan () =
   let db = setup () in
   Tutil.check_bool "unindexed field" true (is_full (plan db "x.sku == 5"));
@@ -93,6 +115,7 @@ let suite =
       [
         Alcotest.test_case "equality probes" `Quick picks_eq_probe;
         Alcotest.test_case "range bounds" `Quick picks_range;
+        Alcotest.test_case "tightest bounds win" `Quick tightest_bounds;
         Alcotest.test_case "scan fallbacks" `Quick falls_back_to_scan;
         Alcotest.test_case "constant folding and env" `Quick constant_folding;
         Alcotest.test_case "inherited indexes" `Quick inherited_index_used;
