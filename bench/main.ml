@@ -22,9 +22,11 @@ let run_tables which =
   end;
   let t0 = Unix.gettimeofday () in
   List.iter
-    (fun (_, f) ->
+    (fun (name, f) ->
       Ode_util.Stats.reset ();
-      f ())
+      f ();
+      (* everything the experiment did, from the post-reset zero state *)
+      Report.stats_metrics name (Ode_util.Stats.snapshot ()))
     selected;
   Printf.printf "\ntotal bench wall time: %.1fs\n" (Unix.gettimeofday () -. t0)
 

@@ -75,6 +75,14 @@ let scaled n = max 1 (int_of_float (float n *. scale))
 let metrics : (string * float) list ref = ref []
 let metric name v = metrics := (name, v) :: !metrics
 
+(* The full Stats diff of an experiment, one metric per counter, so --json
+   baselines capture engine work (pages, probes, syncs, ...) and not just
+   wall time. *)
+let stats_metrics prefix s =
+  List.iter
+    (fun (name, v) -> metric (Printf.sprintf "%s.stats.%s" prefix name) (float_of_int v))
+    (Ode_util.Stats.to_list s)
+
 let guard_failures : string list ref = ref []
 
 (* A guarded metric: outside [lo, hi] the run still completes (every table

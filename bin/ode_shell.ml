@@ -13,19 +13,7 @@ let banner =
   "ODE shell — O++ data model on OCaml. Statements end with ';'.\n\
    Try: class point { x: int; y: int; };  create cluster point;\n\
    \     p := pnew point { x = 1, y = 2 };  forall q in point { print q.x; };\n\
-   Dot commands: .stats (workload counters), .recovery (durability counters).\n"
-
-(* Dot commands are shell-level conveniences handled outside the O++
-   parser, like sqlite3's. *)
-let dot_command line =
-  match String.trim line with
-  | ".stats" ->
-      Some (Format.asprintf "%a" Ode_util.Stats.pp (Ode_util.Stats.snapshot ()))
-  | ".recovery" ->
-      Some (Format.asprintf "%a" Ode_util.Stats.pp_recovery (Ode_util.Stats.snapshot ()))
-  | s when String.length s > 0 && s.[0] = '.' ->
-      Some (Printf.sprintf "unknown dot command %s (try .stats or .recovery)" s)
-  | _ -> None
+   Dot commands: .help .stats .recovery .metrics .trace .explain .profile\n"
 
 let run_repl shell =
   print_string banner;
@@ -35,8 +23,13 @@ let run_repl shell =
     flush stdout;
     match In_channel.input_line stdin with
     | None -> print_newline ()
-    | Some line when Buffer.length buf = 0 && dot_command line <> None ->
-        (match dot_command line with Some out -> print_endline out | None -> ());
+    | Some line
+      when Buffer.length buf = 0
+           && String.length (String.trim line) > 0
+           && (String.trim line).[0] = '.' ->
+        (match Ode.Shell.dot_command shell line with
+        | Some out -> print_endline out
+        | None -> ());
         flush stdout;
         loop ()
     | Some line ->

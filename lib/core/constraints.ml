@@ -35,4 +35,7 @@ let check_object db txn oid =
             (Catalog.all_constraints db.catalog cls))
 
 let check_txn txn =
-  Hashtbl.iter (fun oid () -> check_object txn.tdb (Some txn) oid) txn.touched
+  Ode_util.Trace.with_span ~cat:"constraints"
+    ~args:[ ("touched", string_of_int (Hashtbl.length txn.touched)) ]
+    "constraints.check" (fun () ->
+      Hashtbl.iter (fun oid () -> check_object txn.tdb (Some txn) oid) txn.touched)

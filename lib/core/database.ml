@@ -44,7 +44,12 @@ let make_db ~dbdir ~kv_disk ~dir_disk ~idx_disk ~wal ~pool_pages ~wal_checkpoint
     printer = print_string;
   }
 
+let h_recovery = Ode_util.Histogram.create "recovery"
+let h_trigger_fire = Ode_util.Histogram.create "trigger.fire"
+
 let recover db =
+  Ode_util.Histogram.time h_recovery @@ fun () ->
+  Ode_util.Trace.with_span ~cat:"recovery" "recovery" @@ fun () ->
   (* Wholesale cache invalidation: nothing decoded before the crash may
      survive into the replayed store. ([Kv.put]/[Kv.delete] invalidate per
      key during replay too; this is the belt to that suspenders.) *)
@@ -178,6 +183,12 @@ let run_firing db (f : firing) =
             (fun (p : Schema.field) v -> Interp.define_var env p.fname v)
             g.gparams a.targs;
           Interp.exec_stmts txn env stmts
+        in
+        let run txn =
+          Ode_util.Histogram.time h_trigger_fire (fun () ->
+              Ode_util.Trace.with_span ~cat:"trigger"
+                ~args:[ ("trigger", a.tname) ]
+                "trigger.action" (fun () -> run txn))
         in
         match with_txn_no_drain db run with
         | () -> ()

@@ -14,6 +14,7 @@ type env = {
 let env ?(print = print_string) ?this () = { vars = []; print; this }
 
 let define_var e name v = e.vars <- (name, v) :: List.remove_assoc name e.vars
+let undefine_var e name = e.vars <- List.remove_assoc name e.vars
 let lookup_var e name = List.assoc_opt name e.vars
 let all_vars e = e.vars
 

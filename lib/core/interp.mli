@@ -15,6 +15,10 @@ val env : ?print:(string -> unit) -> ?this:Ode_model.Value.t -> unit -> env
     [this] is bound inside trigger actions. *)
 
 val define_var : env -> string -> Ode_model.Value.t -> unit
+
+val undefine_var : env -> string -> unit
+(** Drop a binding (restoring a shadowed outer one is the caller's job). *)
+
 val lookup_var : env -> string -> Ode_model.Value.t option
 val all_vars : env -> (string * Ode_model.Value.t) list
 

@@ -63,6 +63,7 @@ let get db key =
 let mem db key = Bptree.mem db.kv_dir key
 
 let put db key payload =
+  Ode_util.Trace.with_span ~cat:"kv" "kv.put" @@ fun () ->
   (* The single committed-write choke point (commit apply, recovery replay,
      direct callers): a cached decode of this key is now stale. *)
   Ocache.invalidate db key;
@@ -85,6 +86,7 @@ let put db key payload =
       | Some _ | None | (exception Ode_util.Codec.Corrupt _) -> fresh ())
 
 let delete db key =
+  Ode_util.Trace.with_span ~cat:"kv" "kv.delete" @@ fun () ->
   Ocache.invalidate db key;
   match Bptree.find db.kv_dir key with
   | None -> ()

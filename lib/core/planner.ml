@@ -174,23 +174,42 @@ let plan db ?(env = []) ~var ~cls ~deep ~suchthat () =
       let residual = conjoin (List.filter (fun c -> not (List.memq c used)) cs) in
       { p_cls = cls; p_deep = deep; p_classes = classes; p_access = access; p_residual = residual; p_var = var }
 
-let explain p =
-  let b = Buffer.create 64 in
-  (match p.p_access with
+let access_label p =
+  match p.p_access with
   | Full_scan ->
-      Buffer.add_string b
-        (Printf.sprintf "full scan of cluster %s%s" p.p_cls (if p.p_deep then " (deep)" else ""))
+      Printf.sprintf "full scan of cluster %s%s" p.p_cls (if p.p_deep then " (deep)" else "")
   | Index_eq { field; value; _ } ->
-      Buffer.add_string b (Printf.sprintf "index probe %s(%s) = %s" p.p_cls field (Value.to_string value))
+      Printf.sprintf "index probe %s(%s) = %s" p.p_cls field (Value.to_string value)
   | Index_range { field; lo; hi; _ } ->
       let bound (v, incl) op = Printf.sprintf "%s%s %s" op (if incl then "=" else "") (Value.to_string v) in
       let parts =
         List.filter_map Fun.id
           [ Option.map (fun x -> bound x ">") lo; Option.map (fun x -> bound x "<") hi ]
       in
-      Buffer.add_string b
-        (Printf.sprintf "index range %s(%s) %s" p.p_cls field (String.concat " and " parts)));
+      Printf.sprintf "index range %s(%s) %s" p.p_cls field (String.concat " and " parts)
+
+let explain p =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (access_label p);
   (match p.p_residual with
   | Some e -> Buffer.add_string b (" — residual: " ^ Ode_lang.Pp.expr_to_string e)
   | None -> ());
   Buffer.contents b
+
+(* -- per-node plan annotation (for EXPLAIN ANALYZE / Query.profile) -------- *)
+
+type node_kind = Access | Filter | Order | Output
+
+let nodes ?suchthat p =
+  let access = (Access, access_label p) in
+  (* The executor re-evaluates the whole [suchthat] per candidate even when
+     a conjunct became the index bound (the overlay may hold uncommitted
+     writes the index does not reflect), so the filter node carries the
+     residual when one exists and the full re-checked predicate otherwise. *)
+  let filter =
+    match (p.p_residual, suchthat) with
+    | Some e, _ -> [ (Filter, "filter: " ^ Ode_lang.Pp.expr_to_string e) ]
+    | None, Some e -> [ (Filter, "filter (re-check): " ^ Ode_lang.Pp.expr_to_string e) ]
+    | None, None -> []
+  in
+  access :: filter

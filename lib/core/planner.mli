@@ -43,3 +43,14 @@ val plan :
 val explain : plan -> string
 (** Human-readable plan, e.g.
     ["index range person(age): 30 < age — residual: (x.name != \"\")"]. *)
+
+type node_kind = Access | Filter | Order | Output
+(** Plan-node roles for per-node profiling: candidate enumeration + liveness
+    (Access), per-candidate predicate evaluation (Filter), [by]-clause key
+    evaluation and sorting (Order), and the caller's loop body (Output). *)
+
+val nodes : ?suchthat:Ode_lang.Ast.expr -> plan -> (node_kind * string) list
+(** The Access and Filter nodes of a plan with display labels; the executor
+    appends Order/Output as the query shape requires. [suchthat] is the full
+    predicate, used to label the filter node when the plan has no residual
+    but the executor still re-checks the predicate per candidate. *)

@@ -98,25 +98,129 @@ let index_order_plan db txn (plan : Planner.plan) by =
         | Planner.Index_eq _, _ -> None)
   | _ -> None
 
-let run db ?txn ?(env = []) ~var ~cls ?(deep = false) ?suchthat ?filter ?by ?(fixpoint = false) body
-    =
+(* -- per-node profiling (EXPLAIN ANALYZE, paper §3.1 "query optimization") --
+
+   The executor streams: candidates flow one at a time through access →
+   filter → (order) → body, so a node's cost is not one contiguous interval.
+   Attribution is mark-based instead: the profiler keeps the timestamp and
+   Stats snapshot of the previous attribution point, and charging a node
+   means "add (now - mark, stats - mark) to it and advance the mark". Every
+   instant and every counter bump between two marks lands in exactly one
+   node, so the per-node sums equal the query totals by construction. *)
+
+type node_stats = {
+  ns_kind : Planner.node_kind;
+  ns_label : string;
+  mutable ns_rows : int;
+  mutable ns_ns : int;
+  ns_stats : Ode_util.Stats.snapshot;
+}
+
+type profile = {
+  pf_plan : string;
+  pf_nodes : node_stats list;
+  pf_rows : int;
+  pf_total_ns : int;
+  pf_stats : Ode_util.Stats.snapshot;
+}
+
+type prof_state = {
+  mutable mark_ns : int;
+  mutable mark_stats : Ode_util.Stats.snapshot;
+  pr_access : node_stats;
+  pr_filter : node_stats option;
+  pr_order : node_stats option;
+  pr_output : node_stats;
+  pr_start_ns : int;
+  pr_start_stats : Ode_util.Stats.snapshot;
+}
+
+let attr p node =
+  let t = Ode_util.Trace.now_ns () in
+  let s = Ode_util.Stats.snapshot () in
+  node.ns_ns <- node.ns_ns + (t - p.mark_ns);
+  Ode_util.Stats.accum ~into:node.ns_stats s p.mark_stats;
+  p.mark_ns <- t;
+  p.mark_stats <- s
+
+let h_query = Ode_util.Histogram.create "query.execute"
+
+let run_profiled db ?txn ?(env = []) ~var ~cls ?(deep = false) ?suchthat ?filter ?by
+    ?(fixpoint = false) ~profiled body =
   let txn = match txn with Some t -> Some t | None -> db.active in
   if fixpoint && by <> None then invalid_arg "query: fixpoint iteration cannot be ordered";
   let plan = Planner.plan db ~env ~var ~cls ~deep ~suchthat () in
   let ids = class_ids db plan.p_classes in
   let hooks = Runtime.hooks db txn in
+  let iop = index_order_plan db txn plan by in
+  let prof =
+    if profiled || Ode_util.Trace.enabled () then begin
+      let node (kind, label) =
+        { ns_kind = kind; ns_label = label; ns_rows = 0; ns_ns = 0;
+          ns_stats = Ode_util.Stats.zero () }
+      in
+      let base = List.map node (Planner.nodes ?suchthat plan) in
+      let norder =
+        match by with
+        | None -> None
+        | Some (e, ord) ->
+            let dir = match ord with Ast.Asc -> "" | Ast.Desc -> " desc" in
+            let how = if iop <> None then " (streamed in index order)" else " (sort)" in
+            Some (node (Planner.Order, "order by " ^ Ode_lang.Pp.expr_to_string e ^ dir ^ how))
+      in
+      let t0 = Ode_util.Trace.now_ns () in
+      let s0 = Ode_util.Stats.snapshot () in
+      Some
+        { mark_ns = t0; mark_stats = s0; pr_access = List.hd base;
+          pr_filter = List.nth_opt base 1; pr_order = norder;
+          pr_output = node (Planner.Output, "output (loop body)");
+          pr_start_ns = t0; pr_start_stats = s0 }
+    end
+    else None
+  in
+  (* The loop body, with output-node attribution around it. *)
+  let obody =
+    match prof with
+    | None -> body
+    | Some p ->
+        fun oid -> (
+          p.pr_output.ns_rows <- p.pr_output.ns_rows + 1;
+          match body oid with
+          | () -> attr p p.pr_output
+          | exception e ->
+              attr p p.pr_output;
+              raise e)
+  in
   let accept oid =
     Ode_util.Stats.incr_objects_scanned ();
-    accept_class ids oid
-    && Store.exists db txn oid
-    && (match suchthat with
-       | None -> true
-       | Some e -> (
-           let vars = (var, Value.Ref oid) :: env in
-           match Eval.eval hooks ~vars ~this:None e with
-           | v -> ( try Eval.truthy v with Eval.Error _ -> false)
-           | exception Eval.Error _ -> false))
-    && match filter with None -> true | Some f -> f oid
+    let live = accept_class ids oid && Store.exists db txn oid in
+    (match prof with
+    | Some p ->
+        p.pr_access.ns_rows <- p.pr_access.ns_rows + 1;
+        attr p p.pr_access
+    | None -> ());
+    if not live then false
+    else begin
+      let ok =
+        (match suchthat with
+        | None -> true
+        | Some e -> (
+            let vars = (var, Value.Ref oid) :: env in
+            match Eval.eval hooks ~vars ~this:None e with
+            | v -> ( try Eval.truthy v with Eval.Error _ -> false)
+            | exception Eval.Error _ -> false))
+        && match filter with None -> true | Some f -> f oid
+      in
+      (match prof with
+      | Some p -> (
+          match p.pr_filter with
+          | Some nf ->
+              if ok then nf.ns_rows <- nf.ns_rows + 1;
+              attr p nf
+          | None -> attr p p.pr_access)
+      | None -> ());
+      ok
+    end
   in
   let use_index = match plan.p_access with Planner.Full_scan -> false | _ -> not fixpoint in
   let emit_in_order f =
@@ -144,9 +248,15 @@ let run db ?txn ?(env = []) ~var ~cls ?(deep = false) ?suchthat ?filter ?by ?(fi
             (List.rev t.created)
     end
   in
-  match by with
+  (* Charge order-node work (key evaluation / sort) when profiling. *)
+  let attr_order () =
+    match prof with
+    | Some ({ pr_order = Some no; _ } as p) -> attr p no
+    | _ -> ()
+  in
+  (match by with
   | Some (key_expr, order) -> (
-      match index_order_plan db txn plan by with
+      match iop with
       | Some (idx_id, ord, cls_id) ->
           (* Stream the index in key order; entries for other classes of a
              shared ancestor index are filtered by the oid's class id. *)
@@ -157,8 +267,8 @@ let run db ?txn ?(env = []) ~var ~cls ?(deep = false) ?suchthat ?filter ?by ?(fi
             true
           in
           (match ord with
-          | Ast.Asc -> Bptree.iter_prefix db.idx tree_prefix (step body)
-          | Ast.Desc -> Bptree.iter_prefix_rev db.idx tree_prefix (step body))
+          | Ast.Asc -> Bptree.iter_prefix db.idx tree_prefix (step obody)
+          | Ast.Desc -> Bptree.iter_prefix_rev db.idx tree_prefix (step obody))
       | None ->
           let rows = ref [] in
           emit_in_order (fun oid ->
@@ -168,13 +278,20 @@ let run db ?txn ?(env = []) ~var ~cls ?(deep = false) ?suchthat ?filter ?by ?(fi
                 | v -> v
                 | exception Eval.Error _ -> Value.Null
               in
-              rows := (k, oid) :: !rows);
+              rows := (k, oid) :: !rows;
+              (match prof with
+              | Some ({ pr_order = Some no; _ } as p) ->
+                  no.ns_rows <- no.ns_rows + 1;
+                  attr p no
+              | _ -> ()));
           let cmp (a, _) (b, _) =
             match order with Ast.Asc -> Value.compare a b | Ast.Desc -> Value.compare b a
           in
-          List.iter (fun (_, oid) -> body oid) (List.stable_sort cmp (List.rev !rows)))
+          let sorted = List.stable_sort cmp (List.rev !rows) in
+          attr_order ();
+          List.iter (fun (_, oid) -> obody oid) sorted)
   | None ->
-      if not fixpoint then emit_in_order body
+      if not fixpoint then emit_in_order obody
       else begin
         (* Fixpoint semantics: the body may pnew into the cluster; newly
            created objects are fed back into the iteration until quiescence. *)
@@ -187,7 +304,7 @@ let run db ?txn ?(env = []) ~var ~cls ?(deep = false) ?suchthat ?filter ?by ?(fi
         let process oid =
           if not (Hashtbl.mem processed oid) then begin
             Hashtbl.replace processed oid ();
-            if accept oid then body oid
+            if accept oid then obody oid
           end
         in
         List.iter (fun cid -> committed_candidates db cid process) ids;
@@ -203,7 +320,89 @@ let run db ?txn ?(env = []) ~var ~cls ?(deep = false) ?suchthat ?filter ?by ?(fi
           end
         in
         drain ()
-      end
+      end);
+  match prof with
+  | None -> None
+  | Some p ->
+      (* Final tail (cursor wind-down, loop epilogue) goes to the access
+         node using the same instant that defines the totals, so the
+         per-node sums equal the totals exactly. *)
+      attr p p.pr_access;
+      let nodes =
+        (p.pr_access :: Option.to_list p.pr_filter)
+        @ Option.to_list p.pr_order
+        @ [ p.pr_output ]
+      in
+      let pf =
+        {
+          pf_plan = Planner.explain plan;
+          pf_nodes = nodes;
+          pf_rows = p.pr_output.ns_rows;
+          pf_total_ns = p.mark_ns - p.pr_start_ns;
+          pf_stats = Ode_util.Stats.diff p.mark_stats p.pr_start_stats;
+        }
+      in
+      if Ode_util.Trace.enabled () then begin
+        Ode_util.Trace.emit ~cat:"query"
+          ~args:[ ("cls", cls); ("plan", pf.pf_plan); ("rows", string_of_int pf.pf_rows) ]
+          ~start_ns:p.pr_start_ns ~dur_ns:pf.pf_total_ns "query.execute";
+        (* One span per plan node. Node times are aggregates over an
+           interleaved streaming execution, so the spans are laid out
+           sequentially inside the parent rather than at their (many)
+           actual intervals. *)
+        let off = ref p.pr_start_ns in
+        List.iter
+          (fun n ->
+            Ode_util.Trace.emit ~cat:"query" ~depth:1
+              ~args:[ ("rows", string_of_int n.ns_rows) ]
+              ~start_ns:!off ~dur_ns:n.ns_ns n.ns_label;
+            off := !off + n.ns_ns)
+          nodes
+      end;
+      Some pf
+
+let run db ?txn ?env ~var ~cls ?deep ?suchthat ?filter ?by ?fixpoint body =
+  Ode_util.Histogram.time h_query (fun () ->
+      ignore
+        (run_profiled db ?txn ?env ~var ~cls ?deep ?suchthat ?filter ?by ?fixpoint
+           ~profiled:false body))
+
+let profile db ?txn ?env ~var ~cls ?deep ?suchthat ?by ?(body = fun _ -> ()) () =
+  Ode_util.Histogram.time h_query (fun () ->
+      match run_profiled db ?txn ?env ~var ~cls ?deep ?suchthat ?by ~profiled:true body with
+      | Some pf -> pf
+      | None -> assert false)
+
+let profile_to_string pf =
+  let open Ode_util in
+  let num = string_of_int in
+  let header = [ "node"; "rows"; "time"; "pages"; "probes"; "scanned"; "fetched"; "cursor" ] in
+  let counters s =
+    [
+      num (Stats.pages_read s); num (Stats.index_probes s); num (Stats.objects_scanned s);
+      num (Stats.objects_fetched s); num (Stats.cursor_pages_read s);
+    ]
+  in
+  let rows =
+    header
+    :: List.map
+         (fun n -> [ n.ns_label; num n.ns_rows; Histogram.format_ns n.ns_ns ] @ counters n.ns_stats)
+         pf.pf_nodes
+    @ [ [ "total"; num pf.pf_rows; Histogram.format_ns pf.pf_total_ns ] @ counters pf.pf_stats ]
+  in
+  let widths =
+    List.fold_left
+      (fun ws row -> List.map2 (fun w c -> max w (String.length c)) ws row)
+      (List.map (fun _ -> 0) header)
+      rows
+  in
+  let render row =
+    String.concat "  "
+      (List.mapi
+         (fun i (w, c) -> if i = 0 then Printf.sprintf "%-*s" w c else Printf.sprintf "%*s" w c)
+         (List.combine widths row))
+  in
+  "plan: " ^ pf.pf_plan ^ "\n" ^ String.concat "\n" (List.map render rows)
 
 let fold db ?txn ?env ~var ~cls ?deep ?suchthat ?filter ?by ~init f =
   let acc = ref init in

@@ -107,6 +107,50 @@ val explain :
   string
 (** The plan {!Planner.explain} would execute right now. *)
 
+(** {1 Per-query profiling (EXPLAIN ANALYZE)}
+
+    {!profile} runs a query and attributes elapsed time and {!Ode_util.Stats}
+    deltas to each plan node (access, filter, order, output). Attribution is
+    mark-based and exact: every nanosecond and every counter bump between
+    query start and finish lands in exactly one node, so the per-node values
+    sum to the query totals. *)
+
+type node_stats = {
+  ns_kind : Planner.node_kind;
+  ns_label : string;
+  mutable ns_rows : int;  (** rows this node produced (candidates for access,
+                              survivors for filter, emitted rows for output) *)
+  mutable ns_ns : int;  (** elapsed nanoseconds attributed to this node *)
+  ns_stats : Ode_util.Stats.snapshot;  (** counter delta attributed to this node *)
+}
+
+type profile = {
+  pf_plan : string;  (** {!Planner.explain} of the executed plan *)
+  pf_nodes : node_stats list;
+  pf_rows : int;
+  pf_total_ns : int;
+  pf_stats : Ode_util.Stats.snapshot;
+}
+
+val profile :
+  db ->
+  ?txn:txn ->
+  ?env:(string * Ode_model.Value.t) list ->
+  var:string ->
+  cls:string ->
+  ?deep:bool ->
+  ?suchthat:Ode_lang.Ast.expr ->
+  ?by:Ode_lang.Ast.expr * Ode_lang.Ast.order ->
+  ?body:(Ode_model.Oid.t -> unit) ->
+  unit ->
+  profile
+(** Run the query (with [body] as the loop body, defaulting to a no-op) and
+    return the per-node attribution. *)
+
+val profile_to_string : profile -> string
+(** The plan line plus a per-node table (rows, time, pages, probes, scanned,
+    fetched, cursor pages) with a total row — the shell's [.profile]. *)
+
 (** {1 Aggregates}
 
     The paper's §3.1 aggregate loops ("average income of all persons"),

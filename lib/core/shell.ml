@@ -116,3 +116,112 @@ let exec_catching t source =
   | exception e -> Error (render_error e)
 
 let vars t = Interp.all_vars t.env
+
+(* -- sqlite3-style dot commands -------------------------------------------- *)
+
+let dot_help =
+  "dot commands:\n\
+  \  .stats [reset]        engine counters (reset: zero them)\n\
+  \  .recovery             durability/recovery counters\n\
+  \  .metrics [reset]      latency histograms (p50/p95/p99/max per operation)\n\
+  \  .trace on|off         toggle the span tracer\n\
+  \  .trace dump FILE      write buffered spans as Chrome trace-event JSON\n\
+  \  .explain QUERY        access plan for a forall query\n\
+  \  .profile QUERY        EXPLAIN ANALYZE: run QUERY, per-plan-node costs"
+
+(* [.explain]/[.profile] take a forall query with or without a body:
+   `forall x in c suchthat e { ... }` parses as a statement, a bodiless
+   `forall x in c suchthat e` via the `explain` production. *)
+let parse_forall rest =
+  let rest = String.trim rest in
+  if rest = "" then failwith "expected a forall query (see .help)";
+  let src = if String.length rest > 0 && rest.[String.length rest - 1] = ';' then rest else rest ^ ";" in
+  let as_forall = function
+    | [ Ast.TExplain f ] -> Some f
+    | [ Ast.TStmt (Ast.SForall f) ] -> Some f
+    | _ -> None
+  in
+  let try_parse s = match Ode_lang.Parser.program s with
+    | tops -> as_forall tops
+    | exception _ -> None
+  in
+  match try_parse src with
+  | Some f -> f
+  | None -> (
+      match try_parse ("explain " ^ src) with
+      | Some f -> f
+      | None -> failwith "expected: forall x in C [suchthat e] [by e [desc]] [{ body }]")
+
+(* Run the profiled query with the forall body (if any) as the output node,
+   mirroring Interp's SForall binding discipline. *)
+let profile_query t (f : Ast.forall) =
+  in_txn t (fun txn ->
+      let outer = Interp.lookup_var t.env f.q_var in
+      let body =
+        if f.q_body = [] then fun _ -> ()
+        else
+          fun oid ->
+            Interp.define_var t.env f.q_var (Value.Ref oid);
+            Interp.exec_stmts txn t.env f.q_body
+      in
+      let pf =
+        Query.profile t.db ~txn
+          ~env:(Interp.all_vars t.env)
+          ~var:f.q_var ~cls:f.q_cls ~deep:f.q_deep ?suchthat:f.q_suchthat ?by:f.q_by ~body ()
+      in
+      if f.q_body <> [] then begin
+        Interp.undefine_var t.env f.q_var;
+        match outer with Some v -> Interp.define_var t.env f.q_var v | None -> ()
+      end;
+      Query.profile_to_string pf)
+
+let dot_command t line =
+  let line = String.trim line in
+  if String.length line = 0 || line.[0] <> '.' then None
+  else
+    let cmd, rest =
+      match String.index_opt line ' ' with
+      | None -> (line, "")
+      | Some i ->
+          (String.sub line 0 i, String.trim (String.sub line i (String.length line - i)))
+    in
+    let run () =
+      match (cmd, rest) with
+      | ".help", _ -> dot_help
+      | ".stats", "" -> Fmt.str "%a" Ode_util.Stats.pp (Ode_util.Stats.snapshot ())
+      | ".stats", "reset" ->
+          Ode_util.Stats.reset ();
+          "counters reset"
+      | ".recovery", "" -> Fmt.str "%a" Ode_util.Stats.pp_recovery (Ode_util.Stats.snapshot ())
+      | ".metrics", "" -> String.trim (Ode_util.Histogram.summary ())
+      | ".metrics", "reset" ->
+          Ode_util.Histogram.reset_all ();
+          "histograms reset"
+      | ".trace", "on" ->
+          Ode_util.Trace.set_enabled true;
+          "tracing on"
+      | ".trace", "off" ->
+          Ode_util.Trace.set_enabled false;
+          "tracing off"
+      | ".trace", "" ->
+          Printf.sprintf "tracing %s; %d spans buffered (%d recorded)"
+            (if Ode_util.Trace.enabled () then "on" else "off")
+            (List.length (Ode_util.Trace.spans ()))
+            (Ode_util.Trace.total_recorded ())
+      | ".trace", r when String.length r >= 4 && String.sub r 0 4 = "dump" ->
+          let file = String.trim (String.sub r 4 (String.length r - 4)) in
+          if file = "" then ".trace dump needs a file name"
+          else begin
+            Ode_util.Trace.dump file;
+            Printf.sprintf "wrote %d spans to %s" (List.length (Ode_util.Trace.spans ())) file
+          end
+      | ".explain", q ->
+          let f = parse_forall q in
+          in_txn t (fun _txn ->
+              Query.explain t.db
+                ~env:(Interp.all_vars t.env)
+                ~var:f.q_var ~cls:f.q_cls ~deep:f.q_deep ?suchthat:f.q_suchthat ())
+      | ".profile", q -> profile_query t (parse_forall q)
+      | _ -> Printf.sprintf "unknown command %s\n%s" cmd dot_help
+    in
+    Some (match run () with out -> out | exception e -> render_error e)

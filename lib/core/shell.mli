@@ -26,3 +26,10 @@ val exec_catching : t -> string -> (unit, string) result
 
 val vars : t -> (string * Ode_model.Value.t) list
 (** Current shell variable bindings. *)
+
+val dot_command : t -> string -> string option
+(** Handle a sqlite3-style dot command line ([.stats [reset]], [.recovery],
+    [.metrics [reset]], [.trace on|off|dump FILE], [.explain QUERY],
+    [.profile QUERY], [.help]). Returns [None] when the line is not a dot
+    command, [Some output] otherwise (errors are rendered into the output,
+    never raised). *)

@@ -210,6 +210,7 @@ let should_fire db txn view (a : activation) g =
    and buffers the bookkeeping writes (once-only deactivation, activation
    removal for deleted objects) into the same transaction. *)
 let evaluate txn =
+  Ode_util.Trace.with_span ~cat:"trigger" "triggers.evaluate" @@ fun () ->
   let db = txn.tdb in
   let firings = ref [] in
   let view = txn_view txn in
@@ -224,6 +225,8 @@ let evaluate txn =
               | g, _ ->
                   if should_fire db txn view a g then begin
                     Ode_util.Stats.incr_triggers_fired ();
+                    Ode_util.Trace.instant ~cat:"trigger" ~args:[ ("trigger", a.tname) ]
+                      "trigger.fired";
                     firings := { f_act = a; f_kind = Fired } :: !firings;
                     if not a.perpetual then
                       Store.write txn (Keys.trigger a.tid) (encode_activation { a with active = false })

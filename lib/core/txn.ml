@@ -3,6 +3,8 @@ module Heap = Ode_storage.Heap
 module Bptree = Ode_index.Bptree
 open Types
 
+let h_commit = Ode_util.Histogram.create "txn.commit"
+
 let begin_ db =
   if db.closed then raise Db_closed;
   (match db.active with
@@ -22,6 +24,7 @@ let begin_ db =
   in
   db.next_xid <- db.next_xid + 1;
   db.active <- Some txn;
+  Ode_util.Trace.instant ~cat:"txn" "txn.begin";
   txn
 
 let active db = db.active
@@ -38,15 +41,17 @@ let require_active txn =
 let abort txn =
   require_active txn;
   txn.tstate <- `Aborted;
-  txn.tdb.active <- None
+  txn.tdb.active <- None;
+  Ode_util.Trace.instant ~cat:"txn" "txn.abort"
 
 let checkpoint db =
-  Heap.flush db.kv_heap;
-  Bptree.flush db.kv_dir;
-  Bptree.flush db.idx;
-  Wal.append db.wal Wal.Checkpoint;
-  Wal.sync db.wal;
-  Wal.reset db.wal
+  Ode_util.Trace.with_span ~cat:"txn" "txn.checkpoint" (fun () ->
+      Heap.flush db.kv_heap;
+      Bptree.flush db.kv_dir;
+      Bptree.flush db.idx;
+      Wal.append db.wal Wal.Checkpoint;
+      Wal.sync db.wal;
+      Wal.reset db.wal)
 
 let wal_bytes db = Wal.size_bytes db.wal
 
@@ -62,8 +67,7 @@ let decode_meta s =
   let clock = Ode_util.Codec.get_int c in
   { next_tid; clock }
 
-let commit txn =
-  require_active txn;
+let commit_active txn =
   let db = txn.tdb in
   (* 1. Integrity: a violation aborts and rolls back (trivially, since
         nothing was applied). *)
@@ -99,3 +103,8 @@ let commit txn =
   (* 6. Bound recovery time. *)
   if Wal.size_bytes db.wal > db.wal_auto_checkpoint then checkpoint db;
   firings
+
+let commit txn =
+  require_active txn;
+  Ode_util.Histogram.time h_commit (fun () ->
+      Ode_util.Trace.with_span ~cat:"txn" "txn.commit" (fun () -> commit_active txn))

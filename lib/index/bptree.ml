@@ -219,6 +219,7 @@ let rec find_leaf t page key =
 
 let find t key =
   Ode_util.Stats.incr_index_probes ();
+  Ode_util.Trace.instant ~cat:"index" "bptree.find";
   match find_leaf t t.root key with
   | _, Leaf l -> (
       match entry_index l.entries key with
@@ -297,6 +298,7 @@ let insert t key value =
   if String.length key + String.length value > max_entry then
     invalid_arg "bptree: entry too large";
   Ode_util.Stats.incr_index_probes ();
+  Ode_util.Trace.instant ~cat:"index" "bptree.insert";
   (match insert_at t t.root key value with
   | None -> ()
   | Some (sep, right) ->
@@ -308,6 +310,7 @@ let insert t key value =
 
 let delete t key =
   Ode_util.Stats.incr_index_probes ();
+  Ode_util.Trace.instant ~cat:"index" "bptree.delete";
   let page, node = find_leaf t t.root key in
   match node with
   | Leaf l -> (
@@ -339,6 +342,7 @@ type cursor = {
 
 let cursor t ?lo ?hi ?(inclusive_hi = false) () =
   Ode_util.Stats.incr_index_probes ();
+  Ode_util.Trace.instant ~cat:"index" "bptree.cursor";
   let start_key = Option.value lo ~default:"" in
   match find_leaf t t.root start_key with
   | _, Internal _ -> assert false

@@ -50,6 +50,7 @@ let make_room t =
         (match Failpoint.hit fp_evict with
         | Some Failpoint.Crash_site -> Failpoint.crash fp_evict
         | Some _ | None -> ());
+        Ode_util.Trace.instant ~cat:"pool" "pool.evict";
         ignore (flush_dirty t);
         match Ode_util.Lru.evict t.frames (fun _ f -> f.pins = 0) with
         | Some _ -> ()
@@ -63,6 +64,7 @@ let pin t n =
       f
   | None ->
       Ode_util.Stats.incr_pool_misses ();
+      Ode_util.Trace.instant ~cat:"pool" "pool.miss";
       make_room t;
       let buf = Disk.read t.disk n in
       let f = { no = n; buf; pins = 1; dirty = false } in

@@ -220,9 +220,13 @@ let check_range t n ~extend =
 
 (* -- reads ---------------------------------------------------------------- *)
 
+let h_page_read = Ode_util.Histogram.create "page.read"
+let h_page_write = Ode_util.Histogram.create "page.write"
+
 let read_into t n buf =
   check_range t n ~extend:false;
   Stats.incr_pages_read ();
+  Ode_util.Histogram.time h_page_read @@ fun () ->
   match t.backend with
   | File f ->
       pread f.fd buf (n * Page.size);
@@ -264,11 +268,15 @@ let write t n page =
   check_range t n ~extend:true;
   assert (Bytes.length page = Page.size);
   Stats.incr_pages_written ();
+  Ode_util.Histogram.time h_page_write @@ fun () ->
   match t.backend with
   | File f -> write_page f n page
   | Memory m -> write_mem m n page
 
 let write_batch t batch =
+  (* one histogram sample per physical batch, like the single-page path *)
+  Ode_util.Histogram.time h_page_write @@ fun () ->
+  Ode_util.Trace.with_span ~cat:"disk" "disk.write_batch" @@ fun () ->
   match (t.backend, batch) with
   | _, [] -> ()
   | Memory m, _ ->

@@ -131,6 +131,7 @@ let in_memory () = { sink = Memory (Buffer.create 4096); pending = Buffer.create
 
 let append t r =
   Ode_util.Stats.incr_wal_appends ();
+  Ode_util.Trace.instant ~cat:"wal" "wal.append";
   Buffer.add_string t.pending (frame (encode_record r))
 
 let write_fully fd bytes pos len =
@@ -166,19 +167,23 @@ let faulted_append f bytes =
       Failpoint.crash fp_sync
   | Some Failpoint.Skip_effect -> f.wpos <- f.wpos + len
 
+let h_sync = Ode_util.Histogram.create "wal.sync"
+
 let sync t =
   Stats.incr_wal_syncs ();
-  let data = Buffer.contents t.pending in
-  Buffer.clear t.pending;
-  match t.sink with
-  | Memory b -> Buffer.add_string b data
-  | File f -> (
-      if String.length data > 0 then faulted_append f (Bytes.of_string data);
-      match Failpoint.hit fp_fsync with
-      | Some Failpoint.Skip_effect -> ()
-      | Some Failpoint.Crash_site -> Failpoint.crash fp_fsync
-      | Some _ -> Failpoint.crash fp_fsync
-      | None -> Unix.fsync f.fd)
+  Ode_util.Histogram.time h_sync (fun () ->
+      Ode_util.Trace.with_span ~cat:"wal" "wal.sync" (fun () ->
+          let data = Buffer.contents t.pending in
+          Buffer.clear t.pending;
+          match t.sink with
+          | Memory b -> Buffer.add_string b data
+          | File f -> (
+              if String.length data > 0 then faulted_append f (Bytes.of_string data);
+              match Failpoint.hit fp_fsync with
+              | Some Failpoint.Skip_effect -> ()
+              | Some Failpoint.Crash_site -> Failpoint.crash fp_fsync
+              | Some _ -> Failpoint.crash fp_fsync
+              | None -> Unix.fsync f.fd)))
 
 let contents t =
   match t.sink with

@@ -1,0 +1,49 @@
+(** Log-bucketed latency histograms per operation class. Bucket [i] covers
+    [2^i, 2^(i+1)-1] ns, so percentile estimates carry at most ~2x relative
+    error, clamped to the observed max. Enabled by default (the sites are
+    coarse operation boundaries); [set_enabled false] turns [time] into a
+    bare call. Process-global, single-threaded. *)
+
+type t
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val create : string -> t
+(** Find-or-create the histogram registered under this name. *)
+
+val find : string -> t option
+val all : unit -> t list
+(** All registered histograms, in creation order. *)
+
+val name : t -> string
+
+val observe : t -> int -> unit
+(** Record one duration in nanoseconds (negative values clamp to 0).
+    Unconditional — the enabled flag gates [time], not [observe]. *)
+
+val time : t -> (unit -> 'a) -> 'a
+(** Run a thunk and record its duration (also on exception). When disabled,
+    calls the thunk directly. *)
+
+val count : t -> int
+val sum_ns : t -> int
+val max_ns : t -> int
+val mean_ns : t -> float
+
+val percentile : t -> float -> int
+(** [percentile h p] for [p] in (0,100]: the upper bound of the bucket
+    containing the p-th percentile rank, clamped to the observed max.
+    0 when empty. *)
+
+val bucket_index : int -> int
+(** The bucket a duration falls in (exposed for tests). *)
+
+val reset : t -> unit
+val reset_all : unit -> unit
+
+val format_ns : int -> string
+(** Human duration: ns / us / ms / s with sensible precision. *)
+
+val summary : unit -> string
+(** A table of every registered histogram: count, p50, p95, p99, max, mean. *)

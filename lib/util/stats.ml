@@ -1,144 +1,141 @@
-type snapshot = {
-  pages_read : int;
-  pages_written : int;
-  pool_hits : int;
-  pool_misses : int;
-  wal_appends : int;
-  wal_syncs : int;
-  index_probes : int;
-  objects_scanned : int;
-  objects_fetched : int;
-  constraints_checked : int;
-  triggers_fired : int;
-  wal_torn_bytes : int;
-  recovery_replayed : int;
-  checksum_failures : int;
-  orphans_reclaimed : int;
-  journal_pages_restored : int;
-  pages_reformatted : int;
-  io_retries : int;
-  obj_cache_hits : int;
-  obj_cache_misses : int;
-  obj_cache_invalidations : int;
-  cursor_pages_read : int;
-}
+(* Global operation counters, kept in a registry of named slots: adding an
+   instrumentation point is one [register] call, and snapshot/diff/pp/to_list
+   all derive from the registry instead of being edited in four places.
+   A snapshot is the int array of live values at the time it was taken;
+   callers read it through the named accessor functions below. *)
 
-let zero =
-  {
-    pages_read = 0;
-    pages_written = 0;
-    pool_hits = 0;
-    pool_misses = 0;
-    wal_appends = 0;
-    wal_syncs = 0;
-    index_probes = 0;
-    objects_scanned = 0;
-    objects_fetched = 0;
-    constraints_checked = 0;
-    triggers_fired = 0;
-    wal_torn_bytes = 0;
-    recovery_replayed = 0;
-    checksum_failures = 0;
-    orphans_reclaimed = 0;
-    journal_pages_restored = 0;
-    pages_reformatted = 0;
-    io_retries = 0;
-    obj_cache_hits = 0;
-    obj_cache_misses = 0;
-    obj_cache_invalidations = 0;
-    cursor_pages_read = 0;
-  }
+type group = Workload | Recovery
+type snapshot = int array
 
-let cur = ref zero
+type def = { d_name : string; d_group : group }
 
-let incr_pages_read () = cur := { !cur with pages_read = !cur.pages_read + 1 }
-let incr_pages_written () = cur := { !cur with pages_written = !cur.pages_written + 1 }
-let incr_pool_hits () = cur := { !cur with pool_hits = !cur.pool_hits + 1 }
-let incr_pool_misses () = cur := { !cur with pool_misses = !cur.pool_misses + 1 }
-let incr_wal_appends () = cur := { !cur with wal_appends = !cur.wal_appends + 1 }
-let incr_wal_syncs () = cur := { !cur with wal_syncs = !cur.wal_syncs + 1 }
-let incr_index_probes () = cur := { !cur with index_probes = !cur.index_probes + 1 }
-let incr_objects_scanned () = cur := { !cur with objects_scanned = !cur.objects_scanned + 1 }
-let incr_objects_fetched () = cur := { !cur with objects_fetched = !cur.objects_fetched + 1 }
+let defs : def list ref = ref [] (* newest first *)
+let ncounters = ref 0
+let values = ref (Array.make 32 0)
 
-let incr_constraints_checked () =
-  cur := { !cur with constraints_checked = !cur.constraints_checked + 1 }
+let register ?(group = Workload) name =
+  let id = !ncounters in
+  incr ncounters;
+  if id >= Array.length !values then begin
+    let bigger = Array.make (2 * Array.length !values) 0 in
+    Array.blit !values 0 bigger 0 (Array.length !values);
+    values := bigger
+  end;
+  defs := { d_name = name; d_group = group } :: !defs;
+  id
 
-let incr_triggers_fired () = cur := { !cur with triggers_fired = !cur.triggers_fired + 1 }
+let bump id = (!values).(id) <- (!values).(id) + 1
+let bump_by id n = (!values).(id) <- (!values).(id) + n
 
-let add_wal_torn_bytes n = cur := { !cur with wal_torn_bytes = !cur.wal_torn_bytes + n }
+let snapshot () = Array.sub !values 0 !ncounters
+let reset () = Array.fill !values 0 (Array.length !values) 0
+let zero () = Array.make !ncounters 0
 
-let incr_recovery_replayed () =
-  cur := { !cur with recovery_replayed = !cur.recovery_replayed + 1 }
+(* A slot read that tolerates short arrays, so snapshots taken before a
+   late [register] (module initialization order) still diff cleanly. *)
+let slot s id = if id < Array.length s then s.(id) else 0
 
-let incr_checksum_failures () =
-  cur := { !cur with checksum_failures = !cur.checksum_failures + 1 }
+let diff a b = Array.init (max (Array.length a) (Array.length b)) (fun i -> slot a i - slot b i)
+let combine a b = Array.init (max (Array.length a) (Array.length b)) (fun i -> slot a i + slot b i)
 
-let add_orphans_reclaimed n =
-  cur := { !cur with orphans_reclaimed = !cur.orphans_reclaimed + n }
+let accum ~into a b =
+  for i = 0 to Array.length into - 1 do
+    into.(i) <- into.(i) + slot a i - slot b i
+  done
 
-let incr_journal_pages_restored () =
-  cur := { !cur with journal_pages_restored = !cur.journal_pages_restored + 1 }
+let registered () = List.rev_map (fun d -> d.d_name) !defs
 
-let incr_pages_reformatted () =
-  cur := { !cur with pages_reformatted = !cur.pages_reformatted + 1 }
+let to_list s =
+  List.mapi (fun i d -> (d.d_name, slot s i)) (List.rev !defs)
 
-let incr_io_retries () = cur := { !cur with io_retries = !cur.io_retries + 1 }
+let get s name =
+  match List.assoc_opt name (to_list s) with Some v -> v | None -> 0
 
-let incr_obj_cache_hits () = cur := { !cur with obj_cache_hits = !cur.obj_cache_hits + 1 }
+(* -- the engine's counters ------------------------------------------------- *)
 
-let incr_obj_cache_misses () =
-  cur := { !cur with obj_cache_misses = !cur.obj_cache_misses + 1 }
+let c_pages_read = register "pages_read"
+let c_pages_written = register "pages_written"
+let c_pool_hits = register "pool_hits"
+let c_pool_misses = register "pool_misses"
+let c_wal_appends = register "wal_appends"
+let c_wal_syncs = register "wal_syncs"
+let c_index_probes = register "index_probes"
+let c_objects_scanned = register "objects_scanned"
+let c_objects_fetched = register "objects_fetched"
+let c_constraints_checked = register "constraints_checked"
+let c_triggers_fired = register "triggers_fired"
+let c_wal_torn_bytes = register ~group:Recovery "wal_torn_bytes"
+let c_recovery_replayed = register ~group:Recovery "recovery_replayed"
+let c_checksum_failures = register ~group:Recovery "checksum_failures"
+let c_orphans_reclaimed = register ~group:Recovery "orphans_reclaimed"
+let c_journal_pages_restored = register ~group:Recovery "journal_pages_restored"
+let c_pages_reformatted = register ~group:Recovery "pages_reformatted"
+let c_io_retries = register ~group:Recovery "io_retries"
+let c_obj_cache_hits = register "obj_cache_hits"
+let c_obj_cache_misses = register "obj_cache_misses"
+let c_obj_cache_invalidations = register "obj_cache_invalidations"
+let c_cursor_pages_read = register "cursor_pages_read"
 
-let incr_obj_cache_invalidations () =
-  cur := { !cur with obj_cache_invalidations = !cur.obj_cache_invalidations + 1 }
+let incr_pages_read () = bump c_pages_read
+let incr_pages_written () = bump c_pages_written
+let incr_pool_hits () = bump c_pool_hits
+let incr_pool_misses () = bump c_pool_misses
+let incr_wal_appends () = bump c_wal_appends
+let incr_wal_syncs () = bump c_wal_syncs
+let incr_index_probes () = bump c_index_probes
+let incr_objects_scanned () = bump c_objects_scanned
+let incr_objects_fetched () = bump c_objects_fetched
+let incr_constraints_checked () = bump c_constraints_checked
+let incr_triggers_fired () = bump c_triggers_fired
+let add_wal_torn_bytes n = bump_by c_wal_torn_bytes n
+let incr_recovery_replayed () = bump c_recovery_replayed
+let incr_checksum_failures () = bump c_checksum_failures
+let add_orphans_reclaimed n = bump_by c_orphans_reclaimed n
+let incr_journal_pages_restored () = bump c_journal_pages_restored
+let incr_pages_reformatted () = bump c_pages_reformatted
+let incr_io_retries () = bump c_io_retries
+let incr_obj_cache_hits () = bump c_obj_cache_hits
+let incr_obj_cache_misses () = bump c_obj_cache_misses
+let incr_obj_cache_invalidations () = bump c_obj_cache_invalidations
+let incr_cursor_pages_read () = bump c_cursor_pages_read
 
-let incr_cursor_pages_read () =
-  cur := { !cur with cursor_pages_read = !cur.cursor_pages_read + 1 }
+(* Named accessors — the compatibility layer over the old record fields. *)
+let pages_read s = slot s c_pages_read
+let pages_written s = slot s c_pages_written
+let pool_hits s = slot s c_pool_hits
+let pool_misses s = slot s c_pool_misses
+let wal_appends s = slot s c_wal_appends
+let wal_syncs s = slot s c_wal_syncs
+let index_probes s = slot s c_index_probes
+let objects_scanned s = slot s c_objects_scanned
+let objects_fetched s = slot s c_objects_fetched
+let constraints_checked s = slot s c_constraints_checked
+let triggers_fired s = slot s c_triggers_fired
+let wal_torn_bytes s = slot s c_wal_torn_bytes
+let recovery_replayed s = slot s c_recovery_replayed
+let checksum_failures s = slot s c_checksum_failures
+let orphans_reclaimed s = slot s c_orphans_reclaimed
+let journal_pages_restored s = slot s c_journal_pages_restored
+let pages_reformatted s = slot s c_pages_reformatted
+let io_retries s = slot s c_io_retries
+let obj_cache_hits s = slot s c_obj_cache_hits
+let obj_cache_misses s = slot s c_obj_cache_misses
+let obj_cache_invalidations s = slot s c_obj_cache_invalidations
+let cursor_pages_read s = slot s c_cursor_pages_read
 
-let snapshot () = !cur
-let reset () = cur := zero
+(* pp derives from the registry: every counter of the group, name = value,
+   so new registrations show up in `.stats` with no further edits. *)
+let pp_group g ppf s =
+  let ds = List.rev !defs in
+  let first = ref true in
+  List.iteri
+    (fun i d ->
+      if d.d_group = g then begin
+        if not !first then Format.fprintf ppf "  ";
+        first := false;
+        Format.fprintf ppf "%s %d" d.d_name (slot s i)
+      end)
+    ds
 
-let diff a b =
-  {
-    pages_read = a.pages_read - b.pages_read;
-    pages_written = a.pages_written - b.pages_written;
-    pool_hits = a.pool_hits - b.pool_hits;
-    pool_misses = a.pool_misses - b.pool_misses;
-    wal_appends = a.wal_appends - b.wal_appends;
-    wal_syncs = a.wal_syncs - b.wal_syncs;
-    index_probes = a.index_probes - b.index_probes;
-    objects_scanned = a.objects_scanned - b.objects_scanned;
-    objects_fetched = a.objects_fetched - b.objects_fetched;
-    constraints_checked = a.constraints_checked - b.constraints_checked;
-    triggers_fired = a.triggers_fired - b.triggers_fired;
-    wal_torn_bytes = a.wal_torn_bytes - b.wal_torn_bytes;
-    recovery_replayed = a.recovery_replayed - b.recovery_replayed;
-    checksum_failures = a.checksum_failures - b.checksum_failures;
-    orphans_reclaimed = a.orphans_reclaimed - b.orphans_reclaimed;
-    journal_pages_restored = a.journal_pages_restored - b.journal_pages_restored;
-    pages_reformatted = a.pages_reformatted - b.pages_reformatted;
-    io_retries = a.io_retries - b.io_retries;
-    obj_cache_hits = a.obj_cache_hits - b.obj_cache_hits;
-    obj_cache_misses = a.obj_cache_misses - b.obj_cache_misses;
-    obj_cache_invalidations = a.obj_cache_invalidations - b.obj_cache_invalidations;
-    cursor_pages_read = a.cursor_pages_read - b.cursor_pages_read;
-  }
-
-let pp ppf s =
-  Format.fprintf ppf
-    "pages r/w %d/%d  pool hit/miss %d/%d  wal app/sync %d/%d  probes %d  \
-     scanned %d  fetched %d  constraints %d  fired %d  ocache hit/miss/inv \
-     %d/%d/%d  cursor pages %d"
-    s.pages_read s.pages_written s.pool_hits s.pool_misses s.wal_appends
-    s.wal_syncs s.index_probes s.objects_scanned s.objects_fetched
-    s.constraints_checked s.triggers_fired s.obj_cache_hits s.obj_cache_misses
-    s.obj_cache_invalidations s.cursor_pages_read
-
-let pp_recovery ppf s =
-  Format.fprintf ppf
-    "replayed %d  torn bytes %d  checksum failures %d  orphans reclaimed %d  \
-     journal pages restored %d  pages reformatted %d  io retries %d"
-    s.recovery_replayed s.wal_torn_bytes s.checksum_failures
-    s.orphans_reclaimed s.journal_pages_restored s.pages_reformatted
-    s.io_retries
+let pp ppf s = pp_group Workload ppf s
+let pp_recovery ppf s = pp_group Recovery ppf s

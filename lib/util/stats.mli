@@ -3,37 +3,46 @@
     Every layer of the system bumps these counters; benchmarks snapshot them
     around a workload to report how much physical and logical work each
     strategy performed (pages touched, index probes, objects scanned, ...).
-    Counters are process-global and single-threaded, like the rest of the
-    engine. *)
+    Counters live in a registry of named slots: [register] a new one and
+    snapshot/diff/[to_list]/[pp] pick it up with no further edits. Counters
+    are process-global and single-threaded, like the rest of the engine. *)
 
-type snapshot = {
-  pages_read : int;       (** pages fetched from a disk backend *)
-  pages_written : int;    (** pages written to a disk backend *)
-  pool_hits : int;        (** buffer-pool hits *)
-  pool_misses : int;      (** buffer-pool misses *)
-  wal_appends : int;      (** WAL records appended *)
-  wal_syncs : int;        (** WAL flushes *)
-  index_probes : int;     (** B+tree descents *)
-  objects_scanned : int;  (** objects visited by iteration *)
-  objects_fetched : int;  (** object payload fetches *)
-  constraints_checked : int;
-  triggers_fired : int;
-  wal_torn_bytes : int;       (** torn-tail bytes truncated at WAL open *)
-  recovery_replayed : int;    (** WAL operations re-applied during recovery *)
-  checksum_failures : int;    (** page/frame checksum mismatches detected *)
-  orphans_reclaimed : int;    (** unreachable heap records swept post-recovery *)
-  journal_pages_restored : int;
-      (** pages restored from the double-write journal at open *)
-  pages_reformatted : int;    (** crash-leftover pages reinitialised at attach *)
-  io_retries : int;           (** EINTR/EAGAIN syscall retries *)
-  obj_cache_hits : int;       (** decoded-object cache hits *)
-  obj_cache_misses : int;     (** decoded-object cache misses *)
-  obj_cache_invalidations : int;
-      (** cached objects dropped because a committed write touched them *)
-  cursor_pages_read : int;    (** B+tree leaves visited by streaming cursors *)
-}
+type group =
+  | Workload  (** reported by [pp] / the shell's [.stats] *)
+  | Recovery  (** reported by [pp_recovery] / the shell's [.recovery] *)
 
-val zero : snapshot
+type snapshot
+(** Counter values at the moment [snapshot] was taken; read with the named
+    accessors below, or generically with [to_list]/[get]. *)
+
+val register : ?group:group -> string -> int
+(** Register a counter and return its slot id, for layers that keep their
+    own hot-path handle ([bump]/[bump_by] are not exported; use the
+    [incr_*] style wrappers or re-register in the owning module). *)
+
+val snapshot : unit -> snapshot
+val reset : unit -> unit
+
+val zero : unit -> snapshot
+(** An all-zero snapshot (e.g. an accumulator for [accum]). *)
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] is the slot-wise difference. *)
+
+val combine : snapshot -> snapshot -> snapshot
+
+val accum : into:snapshot -> snapshot -> snapshot -> unit
+(** [accum ~into a b] adds [a - b] into [into], slot-wise, in place —
+    allocation-free delta accumulation for the query profiler. *)
+
+val registered : unit -> string list
+(** All counter names, in registration order. *)
+
+val to_list : snapshot -> (string * int) list
+(** [(name, value)] pairs in registration order. *)
+
+val get : snapshot -> string -> int
+(** Value of a counter by name; 0 if unknown. *)
 
 (* Incrementers, called by the owning layer. *)
 val incr_pages_read : unit -> unit
@@ -59,14 +68,40 @@ val incr_obj_cache_misses : unit -> unit
 val incr_obj_cache_invalidations : unit -> unit
 val incr_cursor_pages_read : unit -> unit
 
-val snapshot : unit -> snapshot
-val reset : unit -> unit
-
-val diff : snapshot -> snapshot -> snapshot
-(** [diff later earlier] is the component-wise difference. *)
+(* Named accessors — the compatibility layer over the old record fields:
+   pages read/written on a disk backend, buffer-pool hits/misses, WAL
+   appends/flushes, B+tree descents, objects visited/fetched, constraint
+   checks, trigger firings; then the recovery group (torn-tail bytes,
+   replayed WAL ops, checksum mismatches, swept orphans, journal pages
+   restored, reinitialised pages, EINTR/EAGAIN retries); then the read-path
+   group (decoded-object cache hits/misses/invalidations, B+tree leaves
+   visited by streaming cursors). *)
+val pages_read : snapshot -> int
+val pages_written : snapshot -> int
+val pool_hits : snapshot -> int
+val pool_misses : snapshot -> int
+val wal_appends : snapshot -> int
+val wal_syncs : snapshot -> int
+val index_probes : snapshot -> int
+val objects_scanned : snapshot -> int
+val objects_fetched : snapshot -> int
+val constraints_checked : snapshot -> int
+val triggers_fired : snapshot -> int
+val wal_torn_bytes : snapshot -> int
+val recovery_replayed : snapshot -> int
+val checksum_failures : snapshot -> int
+val orphans_reclaimed : snapshot -> int
+val journal_pages_restored : snapshot -> int
+val pages_reformatted : snapshot -> int
+val io_retries : snapshot -> int
+val obj_cache_hits : snapshot -> int
+val obj_cache_misses : snapshot -> int
+val obj_cache_invalidations : snapshot -> int
+val cursor_pages_read : snapshot -> int
 
 val pp : Format.formatter -> snapshot -> unit
-(** Workload counters (pages, pool, WAL, probes, ...). *)
+(** Workload counters (pages, pool, WAL, probes, ...), derived from the
+    registry: every [Workload] counter as [name value]. *)
 
 val pp_recovery : Format.formatter -> snapshot -> unit
 (** Durability counters (replays, torn bytes, checksum failures, ...). *)

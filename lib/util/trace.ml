@@ -1,0 +1,178 @@
+(* Span-based tracer: nested spans and instant events over a monotonicized
+   clock, recorded into a fixed-size ring buffer and exportable as Chrome
+   trace-event JSON (load the dump in chrome://tracing or ui.perfetto.dev).
+
+   Compiled into every build: each emit site costs one flag check when
+   tracing is disabled (E18 guards that), and one clock read + ring store
+   when enabled. Process-global and single-threaded, like Stats. *)
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+(* gettimeofday clamped non-decreasing: a wall-clock step backwards (NTP)
+   must never produce a negative span duration. *)
+let last_ns = ref 0
+
+let now_ns () =
+  let t = int_of_float (Unix.gettimeofday () *. 1e9) in
+  let t = if t > !last_ns then t else !last_ns in
+  last_ns := t;
+  t
+
+type phase = Complete | Instant
+
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_start_ns : int;
+  sp_dur_ns : int; (* 0 for instants *)
+  sp_depth : int; (* nesting depth at emission *)
+  sp_args : (string * string) list;
+  sp_phase : phase;
+}
+
+(* -- ring buffer of completed spans --------------------------------------- *)
+
+let default_capacity = 65_536
+let ring = ref (Array.make default_capacity None)
+let head = ref 0 (* next write position *)
+let total = ref 0 (* spans ever recorded (wraparound overwrites oldest) *)
+
+let capacity () = Array.length !ring
+
+let set_capacity n =
+  ring := Array.make (max 1 n) None;
+  head := 0;
+  total := 0
+
+let clear () =
+  Array.fill !ring 0 (capacity ()) None;
+  head := 0;
+  total := 0
+
+let record sp =
+  let r = !ring in
+  r.(!head) <- Some sp;
+  head := (!head + 1) mod Array.length r;
+  incr total
+
+let total_recorded () = !total
+
+(* Retained spans, oldest first (completion order). *)
+let spans () =
+  let r = !ring in
+  let cap = Array.length r in
+  let n = min !total cap in
+  List.filter_map
+    (fun i -> r.((((!head - n + i) mod cap) + cap) mod cap))
+    (List.init n Fun.id)
+
+(* -- emission -------------------------------------------------------------- *)
+
+let depth = ref 0
+
+let with_span ?(cat = "ode") ?(args = []) name f =
+  if not !enabled_flag then f ()
+  else begin
+    let d = !depth in
+    depth := d + 1;
+    let t0 = now_ns () in
+    let finish () =
+      depth := d;
+      record
+        {
+          sp_name = name;
+          sp_cat = cat;
+          sp_start_ns = t0;
+          sp_dur_ns = now_ns () - t0;
+          sp_depth = d;
+          sp_args = args;
+          sp_phase = Complete;
+        }
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let instant ?(cat = "ode") ?(args = []) name =
+  if !enabled_flag then
+    record
+      {
+        sp_name = name;
+        sp_cat = cat;
+        sp_start_ns = now_ns ();
+        sp_dur_ns = 0;
+        sp_depth = !depth;
+        sp_args = args;
+        sp_phase = Instant;
+      }
+
+let emit ?(cat = "ode") ?(args = []) ?(depth = 0) ~start_ns ~dur_ns name =
+  if !enabled_flag then
+    record
+      {
+        sp_name = name;
+        sp_cat = cat;
+        sp_start_ns = start_ns;
+        sp_dur_ns = max 0 dur_ns;
+        sp_depth = depth;
+        sp_args = args;
+        sp_phase = Complete;
+      }
+
+(* -- Chrome trace-event export --------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let event_json b sp =
+  let us ns = float_of_int ns /. 1e3 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"pid\":1,\"tid\":1,\"ts\":%.3f"
+       (json_escape sp.sp_name) (json_escape sp.sp_cat) (us sp.sp_start_ns));
+  (match sp.sp_phase with
+  | Complete -> Buffer.add_string b (Printf.sprintf ",\"ph\":\"X\",\"dur\":%.3f" (us sp.sp_dur_ns))
+  | Instant -> Buffer.add_string b ",\"ph\":\"i\",\"s\":\"t\"");
+  (match sp.sp_args with
+  | [] -> ()
+  | args ->
+      Buffer.add_string b ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+        args;
+      Buffer.add_char b '}');
+  Buffer.add_char b '}'
+
+let to_chrome_json () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i sp ->
+      if i > 0 then Buffer.add_string b ",\n";
+      event_json b sp)
+    (spans ());
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+let dump path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_chrome_json ()))

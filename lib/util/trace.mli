@@ -1,0 +1,61 @@
+(** Span-based tracer with a fixed-size ring buffer and a Chrome
+    trace-event JSON exporter. Disabled by default; every emit point is a
+    single flag check when off. Process-global, single-threaded. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val now_ns : unit -> int
+(** Wall clock in integer nanoseconds, clamped non-decreasing so durations
+    can never be negative. *)
+
+type phase = Complete | Instant
+
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_start_ns : int;
+  sp_dur_ns : int;  (** 0 for instants *)
+  sp_depth : int;  (** nesting depth at emission *)
+  sp_args : (string * string) list;
+  sp_phase : phase;
+}
+
+val with_span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span; the span is recorded when [f]
+    returns or raises. No-op (beyond calling [f]) when tracing is off. *)
+
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+(** Zero-duration event at the current time. *)
+
+val emit :
+  ?cat:string ->
+  ?args:(string * string) list ->
+  ?depth:int ->
+  start_ns:int ->
+  dur_ns:int ->
+  string ->
+  unit
+(** Record a pre-timed span (used by the query profiler to lay out per-node
+    aggregates). *)
+
+val capacity : unit -> int
+
+val set_capacity : int -> unit
+(** Resize the ring buffer (clears it). Default capacity is 65536 spans;
+    once full, the oldest spans are overwritten. *)
+
+val clear : unit -> unit
+
+val total_recorded : unit -> int
+(** Spans ever recorded, including those overwritten by wraparound. *)
+
+val spans : unit -> span list
+(** Retained spans, oldest first (completion order). *)
+
+val to_chrome_json : unit -> string
+(** The retained spans as a Chrome trace-event JSON document (loadable in
+    chrome://tracing or ui.perfetto.dev). *)
+
+val dump : string -> unit
+(** Write [to_chrome_json ()] to a file. *)

@@ -59,7 +59,7 @@ let pool_hit_miss () =
   let before = Ode_util.Stats.snapshot () in
   Pool.with_page p 0 (fun _ -> ());
   let after = Ode_util.Stats.snapshot () in
-  Tutil.check_int "pool hit" 1 Ode_util.Stats.((diff after before).pool_hits)
+  Tutil.check_int "pool hit" 1 Ode_util.Stats.(pool_hits (diff after before))
 
 let pool_eviction_writes_back () =
   let d = Disk.in_memory () in
