@@ -1145,10 +1145,122 @@ let e18 () =
   note "the compiled-in observability hooks cost one load+branch when off;";
   note "wrote BENCH_trace_sample.json (chrome://tracing) and BENCH_metrics.txt."
 
+(* ------------------------------------------------------------------ E19 *)
+(* Serving layer (PR 4): the paper's "programs as transactions against a
+   shared store" run here over a real socket — a forked ode-served event
+   loop on a temp disk database, hit by K closed-loop client processes
+   issuing a mixed autocommit exec/query workload over loopback. Reports
+   end-to-end throughput plus p50/p95/p99 request latency straight from the
+   server's own [server.request] histogram (fetched through a control
+   session's [.hist]); guards that the run completes with zero protocol
+   errors and that a SIGTERM graceful shutdown leaves the store clean. *)
+
+let e19 () =
+  section "E19  network serving: closed-loop multi-client load over loopback";
+  let module Server = Ode_served.Server in
+  let module Client = Ode_served.Client in
+  let clients = 4 in
+  let per_client = scaled 300 in
+  let db_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ode-bench-e19-%d-%f" (Unix.getpid ()) (Unix.gettimeofday ()))
+  in
+  let srv_pid, port = Server.spawn ~db_dir () in
+  let connect () = Client.connect ~timeout:30. ~host:"127.0.0.1" ~port () in
+  let ctl = connect () in
+  ignore
+    (Client.exec ctl
+       "class kv { k: int; v: string; }; create cluster kv; create index on kv(k);");
+  (* K closed-loop client processes: each statement is its own autocommit
+     transaction, so sessions interleave without touching the exclusive
+     explicit-txn slot. A child's exit code is its protocol-error count. *)
+  flush stdout;
+  flush stderr;
+  let t0 = now () in
+  let pids =
+    List.init clients (fun i ->
+        match Unix.fork () with
+        | 0 ->
+            let errors = ref 0 in
+            (try
+               let c = connect () in
+               let rng = Prng.create (1900 + i) in
+               for j = 1 to per_client do
+                 (try
+                    if Prng.int rng 10 < 7 then
+                      ignore
+                        (Client.exec c
+                           (Printf.sprintf "pnew kv { k = %d, v = \"c%d-%d\" };"
+                              (Prng.int rng 100_000) i j))
+                    else
+                      ignore
+                        (Client.query c
+                           (Printf.sprintf "forall x in kv suchthat x.k == %d"
+                              (Prng.int rng 100_000)))
+                  with _ -> incr errors)
+               done;
+               Client.close c
+             with _ -> incr errors);
+            Unix._exit (min 100 !errors)
+        | pid -> pid)
+  in
+  let protocol_errors =
+    List.fold_left
+      (fun acc pid ->
+        let _, status = Unix.waitpid [] pid in
+        acc + (match status with Unix.WEXITED n -> n | _ -> 1))
+      0 pids
+  in
+  let elapsed = now () -. t0 in
+  let total = clients * per_client in
+  (* Latency percentiles come from the server process itself: its
+     [server.request] histogram timed every request it handled. *)
+  let hist = Client.dot ctl ".hist server.request" in
+  let hcount, p50_ns, p95_ns, p99_ns =
+    try
+      Scanf.sscanf hist "server.request count %d p50 %d p95 %d p99 %d"
+        (fun c a b d -> (c, a, b, d))
+    with _ -> (0, 0, 0, 0)
+  in
+  (try Client.close ctl with _ -> ());
+  (* Graceful shutdown: drain, abort leftovers, exit 0, store recoverable. *)
+  Unix.kill srv_pid Sys.sigterm;
+  let _, srv_status = Unix.waitpid [] srv_pid in
+  let clean_exit = srv_status = Unix.WEXITED 0 in
+  let db = Db.open_ db_dir in
+  let verify_ok = match Ode.Verify.run db with Ok () -> true | Error _ -> false in
+  let rows = Query.count db ~var:"x" ~cls:"kv" () in
+  Db.close db;
+  let ms ns = float ns /. 1e6 in
+  table
+    ~title:
+      (Printf.sprintf "E19: %d clients x %d requests, loopback, autocommit mix (70%% exec / 30%% query)"
+         clients per_client)
+    ~header:[ "measure"; "value" ]
+    [
+      [ "throughput"; fops (float total /. elapsed) ];
+      [ "wall time"; fsec elapsed ];
+      [ "p50 latency"; Printf.sprintf "%.3fms" (ms p50_ns) ];
+      [ "p95 latency"; Printf.sprintf "%.3fms" (ms p95_ns) ];
+      [ "p99 latency"; Printf.sprintf "%.3fms" (ms p99_ns) ];
+      [ "requests timed (server)"; fint hcount ];
+      [ "rows committed"; fint rows ];
+    ];
+  guard "E19.protocol_errors" ~hi:0.0 (float protocol_errors);
+  guard "E19.clean_shutdown" ~lo:1.0 (if clean_exit then 1.0 else 0.0);
+  guard "E19.post_shutdown_verify" ~lo:1.0 (if verify_ok then 1.0 else 0.0);
+  metric "E19.throughput_rps" (float total /. elapsed);
+  metric "E19.p50_ms" (ms p50_ns);
+  metric "E19.p95_ms" (ms p95_ns);
+  metric "E19.p99_ms" (ms p99_ns);
+  metric "E19.rows_committed" (float rows);
+  note "every request is a framed round trip through the select loop; the";
+  note "store reopened clean after SIGTERM with all autocommits durable."
+
 let all : (string * (unit -> unit)) list =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E18", e18);
+    ("E18", e18); ("E19", e19);
   ]

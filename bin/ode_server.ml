@@ -1,0 +1,85 @@
+(* The ODE network server: serve one database directory over TCP.
+
+     ode_server --db mydb                        # port 7764
+     ode_server --db mydb --port 0 --port-file p # ephemeral port, written to p
+     ode_server --db mydb --max-conns 128 --idle-timeout 60
+
+   SIGINT/SIGTERM trigger a graceful shutdown: pending responses are
+   flushed, open transactions rolled back, and the store checkpointed, so
+   the directory reopens with nothing to recover. *)
+
+let default_port = 7764
+
+let main db_dir port max_conns idle_timeout port_file =
+  match db_dir with
+  | None ->
+      prerr_endline "ode_server: --db DIR is required";
+      exit 2
+  | Some dir ->
+      let db =
+        try Ode.Database.open_ dir
+        with Ode_util.Codec.Corrupt msg ->
+          Printf.eprintf "ode_server: %s is corrupt: %s\n" dir msg;
+          exit 3
+      in
+      let server =
+        try Ode_served.Server.create ~max_conns ~idle_timeout ~db ~port ()
+        with Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "ode_server: cannot listen on port %d: %s\n" port
+            (Unix.error_message e);
+          exit 1
+      in
+      Ode_served.Server.handle_signals server;
+      let bound = Ode_served.Server.port server in
+      (match port_file with
+      | Some f -> Out_channel.with_open_text f (fun oc -> Printf.fprintf oc "%d\n" bound)
+      | None -> ());
+      Printf.printf "ode_server: serving %s on 127.0.0.1:%d (max %d conns, idle timeout %gs)\n%!"
+        dir bound max_conns idle_timeout;
+      Ode_served.Server.serve server;
+      print_endline "ode_server: shutting down";
+      Ode.Database.close db;
+      exit 0
+
+open Cmdliner
+
+let db_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "db" ] ~docv:"DIR" ~doc:"Database directory to serve (created if missing).")
+
+let port =
+  Arg.(
+    value
+    & opt int default_port
+    & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port to listen on (0 = ephemeral).")
+
+let max_conns =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "max-conns" ] ~docv:"N"
+        ~doc:"Concurrent session limit; extra clients get a busy rejection.")
+
+let idle_timeout =
+  Arg.(
+    value
+    & opt float 300.
+    & info [ "idle-timeout" ] ~docv:"SECONDS"
+        ~doc:"Evict connections idle this long (0 disables).")
+
+let port_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "port-file" ] ~docv:"FILE"
+        ~doc:"Write the bound port here once listening (for scripts using --port 0).")
+
+let cmd =
+  let doc = "network server for the ODE object database" in
+  Cmd.v
+    (Cmd.info "ode_server" ~doc)
+    Term.(const main $ db_dir $ port $ max_conns $ idle_timeout $ port_file)
+
+let () = exit (Cmd.eval cmd)

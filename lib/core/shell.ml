@@ -8,14 +8,24 @@ type t = {
   db : Database.t;
   env : Interp.env;
   mutable txn : txn option; (* explicit transaction opened with [begin;] *)
+  mutable quit : bool;      (* set by the [.quit] dot command *)
   print : string -> unit;
 }
 
 let create ?(print = print_string) db =
   Database.set_action_printer db print;
-  { db; env = Interp.env ~print (); txn = None; print }
+  { db; env = Interp.env ~print (); txn = None; quit = false; print }
 
 let database t = t.db
+let in_transaction t = t.txn <> None
+let wants_quit t = t.quit
+
+let rollback t =
+  match t.txn with
+  | None -> ()
+  | Some txn ->
+      t.txn <- None;
+      Database.abort txn
 
 (* Run [f] in the explicit transaction if one is open, else autocommit. *)
 let in_txn t f =
@@ -104,6 +114,9 @@ let render_error = function
       Fmt.str "constraint %s.%s violated by object %a (transaction aborted)" cls cname
         Ode_model.Oid.pp oid
   | Failure msg -> msg
+  (* "txn: a transaction is already active" — another session (or an outer
+     EDSL caller) holds the engine's single transaction slot. *)
+  | Invalid_argument msg -> msg
   | e -> Printexc.to_string e
 
 let exec_catching t source =
@@ -117,6 +130,14 @@ let exec_catching t source =
 
 let vars t = Interp.all_vars t.env
 
+(* Render one qualifying object as a row: its oid plus every field, the
+   wire-protocol [Query] opcode's result shape. *)
+let render_row txn oid =
+  let fields = match Database.get txn oid with Some fs -> fs | None -> [] in
+  Fmt.str "%a {%s}" Ode_model.Oid.pp oid
+    (String.concat ", "
+       (List.map (fun (f, v) -> f ^ " = " ^ Value.to_string v) fields))
+
 (* -- sqlite3-style dot commands -------------------------------------------- *)
 
 let dot_help =
@@ -124,10 +145,13 @@ let dot_help =
   \  .stats [reset]        engine counters (reset: zero them)\n\
   \  .recovery             durability/recovery counters\n\
   \  .metrics [reset]      latency histograms (p50/p95/p99/max per operation)\n\
+  \  .hist NAME            one histogram, machine-readable (raw ns)\n\
   \  .trace on|off         toggle the span tracer\n\
   \  .trace dump FILE      write buffered spans as Chrome trace-event JSON\n\
   \  .explain QUERY        access plan for a forall query\n\
-  \  .profile QUERY        EXPLAIN ANALYZE: run QUERY, per-plan-node costs"
+  \  .profile QUERY        EXPLAIN ANALYZE: run QUERY, per-plan-node costs\n\
+  \  .read FILE            execute a script file\n\
+  \  .quit                 leave the shell"
 
 (* [.explain]/[.profile] take a forall query with or without a body:
    `forall x in c suchthat e { ... }` parses as a statement, a bodiless
@@ -151,6 +175,24 @@ let parse_forall rest =
       match try_parse ("explain " ^ src) with
       | Some f -> f
       | None -> failwith "expected: forall x in C [suchthat e] [by e [desc]] [{ body }]")
+
+(* A row-returning query (the server's [Query] opcode): a bodiless forall,
+   each qualifying object rendered as one row. Runs inside the open explicit
+   transaction if any, so a remote session sees its own uncommitted writes. *)
+let query_rows t source =
+  match
+    let f = parse_forall source in
+    if f.q_body <> [] then failwith "query takes a bodiless forall (use exec for loops)";
+    in_txn t (fun txn ->
+        List.rev
+          (Query.fold t.db ~txn
+             ~env:(Interp.all_vars t.env)
+             ~var:f.q_var ~cls:f.q_cls ~deep:f.q_deep ?suchthat:f.q_suchthat ?by:f.q_by
+             ~init:[]
+             (fun acc oid -> render_row txn oid :: acc)))
+  with
+  | rows -> Ok rows
+  | exception e -> Error (render_error e)
 
 (* Run the profiled query with the forall body (if any) as the output node,
    mirroring Interp's SForall binding discipline. *)
@@ -215,6 +257,26 @@ let dot_command t line =
             Ode_util.Trace.dump file;
             Printf.sprintf "wrote %d spans to %s" (List.length (Ode_util.Trace.spans ())) file
           end
+      | ".quit", _ ->
+          t.quit <- true;
+          ""
+      | ".read", "" -> ".read needs a file name"
+      | ".read", path -> (
+          let source =
+            try In_channel.with_open_text path In_channel.input_all
+            with Sys_error msg -> failwith ("read: " ^ msg)
+          in
+          match exec_catching t source with Ok () -> "" | Error msg -> "error: " ^ msg)
+      | ".hist", "" -> ".hist needs a histogram name (see .metrics)"
+      | ".hist", name -> (
+          let module H = Ode_util.Histogram in
+          match H.find name with
+          | None -> Printf.sprintf "no histogram %S" name
+          | Some h ->
+              Printf.sprintf "%s count %d p50 %d p95 %d p99 %d max %d mean %d" name
+                (H.count h) (H.percentile h 50.) (H.percentile h 95.) (H.percentile h 99.)
+                (H.max_ns h)
+                (int_of_float (H.mean_ns h)))
       | ".explain", q ->
           let f = parse_forall q in
           in_txn t (fun _txn ->

@@ -27,9 +27,27 @@ val exec_catching : t -> string -> (unit, string) result
 val vars : t -> (string * Ode_model.Value.t) list
 (** Current shell variable bindings. *)
 
+val in_transaction : t -> bool
+(** Is an explicit [begin;] transaction open? *)
+
+val rollback : t -> unit
+(** Abort the open explicit transaction, if any. Used by the server when a
+    session disconnects or the server shuts down mid-transaction. *)
+
+val query_rows : t -> string -> (string list, string) result
+(** Run a bodiless [forall] query and render each qualifying object as one
+    row (oid plus fields) — the wire protocol's [Query] opcode. Runs inside
+    the open explicit transaction if any. Errors are rendered, not raised. *)
+
 val dot_command : t -> string -> string option
 (** Handle a sqlite3-style dot command line ([.stats [reset]], [.recovery],
-    [.metrics [reset]], [.trace on|off|dump FILE], [.explain QUERY],
-    [.profile QUERY], [.help]). Returns [None] when the line is not a dot
-    command, [Some output] otherwise (errors are rendered into the output,
-    never raised). *)
+    [.metrics [reset]], [.hist NAME], [.trace on|off|dump FILE],
+    [.explain QUERY], [.profile QUERY], [.read FILE], [.quit], [.help]).
+    Returns [None] when the line is not a dot command, [Some output]
+    otherwise (errors are rendered into the output, never raised; an empty
+    output means "nothing to print"). [.read] executes a script file through
+    {!exec_catching}; [.quit] sets {!wants_quit} for the driving REPL. *)
+
+val wants_quit : t -> bool
+(** Set once [.quit] has been executed; the REPL checks it after each dot
+    command. *)

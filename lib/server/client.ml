@@ -1,0 +1,135 @@
+(* Blocking client: one socket, synchronous request/response, reconnect
+   once on EOF. Timeouts ride on SO_RCVTIMEO/SO_SNDTIMEO, so a stuck server
+   surfaces as Timeout instead of a hung process. *)
+
+exception Server_error of string
+exception Rejected of string
+exception Disconnected of string
+exception Timeout
+
+type t = {
+  host : string;
+  port : int;
+  timeout : float;
+  mutable fd : Unix.file_descr option;
+  mutable next_id : int;
+}
+
+(* Raised internally when the peer hangs up mid-exchange; converted to a
+   reconnect-and-retry (once) or Disconnected. *)
+exception Conn_lost of string
+
+let rec write_all fd s pos len =
+  if len > 0 then
+    match Unix.write_substring fd s pos len with
+    | exception Unix.Unix_error (EINTR, _, _) -> write_all fd s pos len
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> raise Timeout
+    | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
+        raise (Conn_lost "connection closed while sending")
+    | n -> write_all fd s (pos + n) (len - n)
+
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec go pos =
+    if pos < n then
+      match Unix.read fd buf pos (n - pos) with
+      | exception Unix.Unix_error (EINTR, _, _) -> go pos
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> raise Timeout
+      | exception Unix.Unix_error (ECONNRESET, _, _) ->
+          raise (Conn_lost "connection reset by server")
+      | 0 -> raise (Conn_lost "connection closed by server")
+      | k -> go (pos + k)
+  in
+  go 0;
+  Bytes.to_string buf
+
+let open_socket t =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.timeout;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.timeout;
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string t.host, t.port));
+    write_all fd Protocol.hello 0 Protocol.hello_len;
+    let reply =
+      try read_exact fd Protocol.hello_reply_len
+      with Conn_lost msg -> raise (Rejected ("handshake: " ^ msg))
+    in
+    (match Protocol.parse_hello_reply reply with
+    | Ok () -> ()
+    | Error msg -> raise (Rejected msg));
+    fd
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let connect ?(timeout = 30.) ~host ~port () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let t = { host; port; timeout; fd = None; next_id = 0 } in
+  t.fd <- Some (open_socket t);
+  t
+
+let drop_socket t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+      t.fd <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let socket t =
+  match t.fd with
+  | Some fd -> fd
+  | None -> (* first use after a lost connection *)
+      let fd = open_socket t in
+      t.fd <- Some fd;
+      fd
+
+let exchange t op =
+  let fd = socket t in
+  t.next_id <- t.next_id + 1;
+  let id = t.next_id in
+  let b = Buffer.create 256 in
+  Protocol.encode_request b { rq_id = id; rq_op = op };
+  let frame = Buffer.contents b in
+  write_all fd frame 0 (String.length frame);
+  let len_bytes = read_exact fd 4 in
+  let len = Ode_util.Codec.get_u32 (Ode_util.Codec.cursor len_bytes) in
+  if len > Protocol.max_frame_len then
+    raise (Ode_util.Codec.Corrupt (Printf.sprintf "client: %d-byte response frame" len));
+  let resp = Protocol.decode_response (read_exact fd len) in
+  if resp.rs_id <> id then
+    raise
+      (Ode_util.Codec.Corrupt
+         (Printf.sprintf "client: response id %d for request %d" resp.rs_id id));
+  resp.rs_reply
+
+let call t op =
+  match exchange t op with
+  | reply -> reply
+  | exception Conn_lost _ -> (
+      (* Reconnect once: the server evicted us (idle timeout, restart). The
+         retry runs in a fresh session. *)
+      drop_socket t;
+      match exchange t op with
+      | reply -> reply
+      | exception Conn_lost msg ->
+          drop_socket t;
+          raise (Disconnected msg))
+
+let unexpected what (reply : Protocol.reply) =
+  match reply with
+  | Error msg -> raise (Server_error msg)
+  | Pong -> failwith (what ^ ": unexpected Pong reply")
+  | Output _ -> failwith (what ^ ": unexpected Output reply")
+  | Rows _ -> failwith (what ^ ": unexpected Rows reply")
+
+let ping t = match call t Ping with Pong -> () | r -> unexpected "ping" r
+let exec t src = match call t (Exec src) with Output s -> s | r -> unexpected "exec" r
+let query t src = match call t (Query src) with Rows rs -> rs | r -> unexpected "query" r
+let dot t line = match call t (Dot line) with Output s -> s | r -> unexpected "dot" r
+
+let close t =
+  (match t.fd with
+  | None -> ()
+  | Some _ -> ( try ignore (exchange t Close) with _ -> ()));
+  drop_socket t

@@ -1,0 +1,50 @@
+(** Blocking OCaml client for the ODE wire protocol.
+
+    One [t] is one remote session: the server keeps your shell variables
+    and explicit transaction between calls. All calls block until the
+    response arrives or [timeout] elapses ({!Timeout}).
+
+    If the server hangs up (idle-timeout eviction, restart), the next call
+    transparently reconnects {e once} and retries — note that the fresh
+    session has empty variable bindings and no open transaction, exactly as
+    if the eviction's rollback had been observed. A second consecutive
+    failure raises {!Disconnected}. *)
+
+type t
+
+exception Server_error of string
+(** The server answered a request with an [Error] reply (parse error,
+    constraint violation, ...). The connection stays usable. *)
+
+exception Rejected of string
+(** The handshake was refused: server busy, protocol version mismatch, or
+    the peer is not an ODE server. *)
+
+exception Disconnected of string
+(** The connection died and the one permitted reconnect also failed. *)
+
+exception Timeout
+(** No response within the configured timeout. The connection state is
+    indeterminate afterwards; {!close} and reconnect. *)
+
+val connect : ?timeout:float -> host:string -> port:int -> unit -> t
+(** [timeout] (seconds, default 30) bounds each send/receive. *)
+
+val ping : t -> unit
+
+val exec : t -> string -> string
+(** Run a program remotely; returns its printed output. *)
+
+val query : t -> string -> string list
+(** Run a bodiless [forall]; one rendered object per row. *)
+
+val dot : t -> string -> string
+(** Run a [.command] remotely. *)
+
+val call : t -> Protocol.op -> Protocol.reply
+(** Low-level escape hatch: send any op, get the raw reply (still checked
+    for id match and framing). *)
+
+val close : t -> unit
+(** Send a polite [Close] (best effort) and release the socket.
+    Idempotent. *)

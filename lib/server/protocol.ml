@@ -1,0 +1,183 @@
+(* Wire protocol: handshake + length-prefixed frames over Ode_util.Codec.
+   See protocol.mli for the layout. *)
+
+module Codec = Ode_util.Codec
+
+let magic = "ODEP"
+let version = 1
+let max_frame_len = 16 * 1024 * 1024
+
+(* -- handshake ---------------------------------------------------------- *)
+
+let hello =
+  let b = Buffer.create 8 in
+  Buffer.add_string b magic;
+  Codec.put_u16 b version;
+  Buffer.contents b
+
+let hello_len = String.length hello
+
+type status = Accepted | Busy | Bad_version
+
+let status_byte = function Accepted -> 0 | Busy -> 1 | Bad_version -> 2
+
+let hello_reply st =
+  let b = Buffer.create 8 in
+  Buffer.add_string b magic;
+  Codec.put_u16 b version;
+  Codec.put_u8 b (status_byte st);
+  Buffer.contents b
+
+let hello_reply_len = hello_len + 1
+
+let parse_hello s =
+  if String.length s <> hello_len then Error "handshake: wrong length"
+  else if String.sub s 0 4 <> magic then Error "handshake: bad magic"
+  else
+    let c = Codec.cursor ~pos:4 s in
+    Ok (Codec.get_u16 c)
+
+let parse_hello_reply s =
+  if String.length s <> hello_reply_len then Error "handshake reply: wrong length"
+  else if String.sub s 0 4 <> magic then Error "handshake reply: bad magic"
+  else
+    let c = Codec.cursor ~pos:4 s in
+    let v = Codec.get_u16 c in
+    match Codec.get_u8 c with
+    | 0 -> Ok ()
+    | 1 -> Error "server busy (connection limit reached)"
+    | 2 -> Error (Printf.sprintf "protocol version mismatch (server %d, client %d)" v version)
+    | n -> Error (Printf.sprintf "handshake reply: unknown status %d" n)
+
+(* -- requests / responses ----------------------------------------------- *)
+
+type op = Ping | Exec of string | Query of string | Dot of string | Close
+type request = { rq_id : int; rq_op : op }
+type reply = Pong | Output of string | Rows of string list | Error of string
+type response = { rs_id : int; rs_reply : reply }
+
+(* Encode [body] into [b] as one frame: u32 length, then the body. *)
+let frame b body =
+  let len = Buffer.length body in
+  if len > max_frame_len then
+    invalid_arg (Printf.sprintf "protocol: frame body %d exceeds %d bytes" len max_frame_len);
+  Codec.put_u32 b len;
+  Buffer.add_buffer b body
+
+let encode_request b { rq_id; rq_op } =
+  let body = Buffer.create 64 in
+  Codec.put_u32 body rq_id;
+  (match rq_op with
+  | Ping -> Codec.put_u8 body 0
+  | Exec src ->
+      Codec.put_u8 body 1;
+      Codec.put_string body src
+  | Query src ->
+      Codec.put_u8 body 2;
+      Codec.put_string body src
+  | Dot line ->
+      Codec.put_u8 body 3;
+      Codec.put_string body line
+  | Close -> Codec.put_u8 body 4);
+  frame b body
+
+let encode_response b { rs_id; rs_reply } =
+  let body = Buffer.create 64 in
+  Codec.put_u32 body rs_id;
+  (match rs_reply with
+  | Pong -> Codec.put_u8 body 0
+  | Output s ->
+      Codec.put_u8 body 1;
+      Codec.put_string body s
+  | Rows rows ->
+      Codec.put_u8 body 2;
+      Codec.put_u32 body (List.length rows);
+      List.iter (Codec.put_string body) rows
+  | Error msg ->
+      Codec.put_u8 body 3;
+      Codec.put_string body msg);
+  frame b body
+
+let check_consumed c =
+  if not (Codec.at_end c) then
+    raise (Codec.Corrupt (Printf.sprintf "protocol: %d trailing bytes in frame" (Codec.remaining c)))
+
+let decode_request s =
+  let c = Codec.cursor s in
+  let rq_id = Codec.get_u32 c in
+  let rq_op =
+    match Codec.get_u8 c with
+    | 0 -> Ping
+    | 1 -> Exec (Codec.get_string c)
+    | 2 -> Query (Codec.get_string c)
+    | 3 -> Dot (Codec.get_string c)
+    | 4 -> Close
+    | n -> raise (Codec.Corrupt (Printf.sprintf "protocol: unknown opcode %d" n))
+  in
+  check_consumed c;
+  { rq_id; rq_op }
+
+let decode_response s =
+  let c = Codec.cursor s in
+  let rs_id = Codec.get_u32 c in
+  let rs_reply =
+    match Codec.get_u8 c with
+    | 0 -> Pong
+    | 1 -> Output (Codec.get_string c)
+    | 2 ->
+        let n = Codec.get_u32 c in
+        if n > max_frame_len then
+          raise (Codec.Corrupt (Printf.sprintf "protocol: absurd row count %d" n));
+        Rows (List.init n (fun _ -> Codec.get_string c))
+    | 3 -> Error (Codec.get_string c)
+    | n -> raise (Codec.Corrupt (Printf.sprintf "protocol: unknown reply tag %d" n))
+  in
+  check_consumed c;
+  { rs_id; rs_reply }
+
+(* -- incremental frame extraction --------------------------------------- *)
+
+(* Pending bytes live in [buf]; [pos] is the consumed prefix. The buffer is
+   compacted whenever everything buffered has been consumed, which in
+   practice is after every batch of frames (requests are small). *)
+type reader = { mutable buf : Buffer.t; mutable pos : int }
+
+let reader () = { buf = Buffer.create 4096; pos = 0 }
+
+let feed r bytes n = Buffer.add_subbytes r.buf bytes 0 n
+let buffered r = Buffer.length r.buf - r.pos
+
+let compact r =
+  if r.pos > 0 && r.pos = Buffer.length r.buf then begin
+    Buffer.clear r.buf;
+    r.pos <- 0
+  end
+
+let take r n =
+  if buffered r < n then None
+  else begin
+    let s = Buffer.sub r.buf r.pos n in
+    r.pos <- r.pos + n;
+    compact r;
+    Some s
+  end
+
+let peek_u32 r =
+  let b i = Char.code (Buffer.nth r.buf (r.pos + i)) in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
+let next_frame r =
+  if buffered r < 4 then None
+  else begin
+    let len = peek_u32 r in
+    if len > max_frame_len then
+      raise
+        (Codec.Corrupt (Printf.sprintf "protocol: frame of %d bytes exceeds %d" len max_frame_len));
+    if buffered r < 4 + len then None
+    else begin
+      let s = Buffer.sub r.buf (r.pos + 4) len in
+      r.pos <- r.pos + 4 + len;
+      compact r;
+      Some s
+    end
+  end

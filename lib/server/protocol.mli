@@ -1,0 +1,99 @@
+(** The ODE wire protocol: a length-prefixed binary framing of shell
+    requests and responses, built on {!Ode_util.Codec}.
+
+    A connection opens with a fixed-size plaintext-free handshake — the
+    client sends [magic ^ version], the server replies [magic ^ version ^
+    status] — after which both sides exchange frames: a [u32] body length
+    followed by the body. Frame bodies over {!max_frame_len} are rejected
+    before buffering (a 4-byte header is enough to detect them), so a
+    malicious or corrupt peer cannot make the server allocate unboundedly.
+
+    Malformed input raises {!Ode_util.Codec.Corrupt}; both sides treat that
+    as fatal for the connection. *)
+
+(** {1 Handshake} *)
+
+val magic : string
+(** 4 bytes on the front of both hello messages. *)
+
+val version : int
+(** Current protocol version, sent as a u16. *)
+
+val hello : string
+(** What a client sends immediately after connecting. *)
+
+val hello_len : int
+
+type status = Accepted | Busy | Bad_version
+
+val hello_reply : status -> string
+(** The server's fixed-size answer; on anything but [Accepted] the server
+    closes the connection right after writing it. *)
+
+val hello_reply_len : int
+
+val parse_hello : string -> (int, string) result
+(** Validate a client hello; [Ok v] is the client's protocol version
+    (which may differ from ours — the server decides what to do). *)
+
+val parse_hello_reply : string -> (unit, string) result
+(** Validate a server hello reply; [Error] carries a rendered reason
+    ("server busy", version mismatch, garbage). *)
+
+(** {1 Requests and responses} *)
+
+type op =
+  | Ping
+  | Exec of string  (** run a program through {!Ode.Shell.exec_catching} *)
+  | Query of string  (** bodiless forall; rows come back rendered *)
+  | Dot of string  (** a [.command] line *)
+  | Close  (** polite goodbye; the server replies then closes *)
+
+type request = { rq_id : int; rq_op : op }
+
+type reply =
+  | Pong
+  | Output of string  (** captured [print] output of an [Exec] / [Dot] *)
+  | Rows of string list  (** [Query] results, one rendered object per row *)
+  | Error of string  (** the rendered error message *)
+
+type response = { rs_id : int; rs_reply : reply }
+
+val max_frame_len : int
+(** Upper bound on a frame body (16 MiB). *)
+
+val encode_request : Buffer.t -> request -> unit
+(** Appends a complete frame (length prefix included). Raises
+    [Invalid_argument] if the payload would exceed {!max_frame_len}. *)
+
+val encode_response : Buffer.t -> response -> unit
+
+val decode_request : string -> request
+(** Decode one frame body. Raises {!Ode_util.Codec.Corrupt} on malformed
+    or trailing bytes. *)
+
+val decode_response : string -> response
+
+(** {1 Incremental frame extraction}
+
+    A [reader] accumulates raw bytes as they arrive from a socket and
+    yields complete frame bodies (and, before that, the raw handshake
+    bytes). *)
+
+type reader
+
+val reader : unit -> reader
+
+val feed : reader -> bytes -> int -> unit
+(** [feed r buf n] appends the first [n] bytes of [buf]. *)
+
+val buffered : reader -> int
+
+val take : reader -> int -> string option
+(** [take r n] removes and returns exactly [n] raw bytes, or [None] if
+    fewer are buffered — used for the unframed handshake. *)
+
+val next_frame : reader -> string option
+(** The next complete frame body, if one is fully buffered. Raises
+    {!Ode_util.Codec.Corrupt} as soon as a frame header announces a body
+    over {!max_frame_len}, without waiting for the body. *)

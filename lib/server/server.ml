@@ -1,0 +1,278 @@
+(* Single-threaded Unix.select event loop. One iteration: accept what's
+   pending, read what's readable (feeding each connection's frame reader and
+   executing any complete requests inline), write what's writable, evict
+   idlers. Requests run to completion on this one domain — sessions
+   interleave between requests, never inside one, which is what lets the
+   engine's process-global state (Stats/Trace/Histogram, buffer pool) stay
+   lock-free. *)
+
+module Stats = Ode_util.Stats
+
+type conn = {
+  fd : Unix.file_descr;
+  rd : Protocol.reader;
+  out : Buffer.t;             (* encoded responses awaiting the socket *)
+  mutable out_pos : int;      (* written prefix of [out] *)
+  mutable state : [ `Hello | `Active of Session.t ];
+  mutable closing : bool;     (* close once [out] drains *)
+  mutable last : float;       (* last byte received (idle eviction) *)
+}
+
+type t = {
+  db : Ode.Database.t;
+  listen_fd : Unix.file_descr;
+  lport : int;
+  max_conns : int;
+  idle_timeout : float;
+  read_buf : bytes;           (* scratch shared by every read *)
+  mutable conns : conn list;
+  mutable next_session : int;
+  mutable stop : bool;
+}
+
+(* Stop reading a connection once this much response data is backed up;
+   reads resume when the client drains its socket. *)
+let out_cap = 1 lsl 20
+
+(* Bounded flush window for graceful shutdown. *)
+let drain_deadline = 5.0
+
+let create ?(host = "127.0.0.1") ?(max_conns = 64) ?(idle_timeout = 300.) ~db ~port () =
+  if not (Domain.is_main_domain ()) then
+    invalid_arg "Server.create: the serving model is single-domain (see stats.mli)";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  let lport =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  {
+    db;
+    listen_fd;
+    lport;
+    max_conns;
+    idle_timeout;
+    read_buf = Bytes.create 65536;
+    conns = [];
+    next_session = 0;
+    stop = false;
+  }
+
+let port t = t.lport
+let connections t = List.length t.conns
+let shutdown t = t.stop <- true
+
+let handle_signals t =
+  let h = Sys.Signal_handle (fun _ -> shutdown t) in
+  Sys.set_signal Sys.sigint h;
+  Sys.set_signal Sys.sigterm h
+
+let out_pending c = Buffer.length c.out - c.out_pos
+
+let drop t c =
+  (match c.state with `Active s -> Session.close s | `Hello -> ());
+  (try Unix.close c.fd with Unix.Unix_error _ -> ());
+  t.conns <- List.filter (fun c' -> c' != c) t.conns
+
+(* -- accepting ----------------------------------------------------------- *)
+
+let rec accept_pending t =
+  match Unix.accept ~cloexec:true t.listen_fd with
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (EINTR, _, _) -> accept_pending t
+  | fd, _ ->
+      Stats.incr_server_accepts ();
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+      if List.length t.conns >= t.max_conns then begin
+        (* Friendly rejection: a complete handshake reply, then goodbye. The
+           7-byte write into a fresh socket's empty send buffer cannot
+           block. *)
+        Stats.incr_server_rejects ();
+        (try
+           ignore
+             (Unix.write_substring fd (Protocol.hello_reply Busy) 0 Protocol.hello_reply_len)
+         with Unix.Unix_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      end
+      else
+        t.conns <-
+          {
+            fd;
+            rd = Protocol.reader ();
+            out = Buffer.create 1024;
+            out_pos = 0;
+            state = `Hello;
+            closing = false;
+            last = Unix.gettimeofday ();
+          }
+          :: t.conns;
+      accept_pending t
+
+(* -- per-connection processing ------------------------------------------- *)
+
+let try_handshake t c =
+  match Protocol.take c.rd Protocol.hello_len with
+  | None -> ()
+  | Some hello -> (
+      match Protocol.parse_hello hello with
+      | Ok v when v = Protocol.version ->
+          Buffer.add_string c.out (Protocol.hello_reply Accepted);
+          t.next_session <- t.next_session + 1;
+          c.state <- `Active (Session.create ~id:t.next_session t.db)
+      | Ok _ | Error _ ->
+          (* Version skew or garbage: answer with a parseable rejection and
+             hang up. *)
+          Stats.incr_server_rejects ();
+          Buffer.add_string c.out (Protocol.hello_reply Bad_version);
+          c.closing <- true)
+
+let run_frames c session =
+  try
+    let rec go () =
+      (* Backpressure: leave complete frames buffered while this client's
+         responses are backed up. *)
+      if out_pending c < out_cap && not c.closing then
+        match Protocol.next_frame c.rd with
+        | None -> ()
+        | Some body ->
+            let rq = Protocol.decode_request body in
+            Protocol.encode_response c.out (Session.handle session rq);
+            (match rq.rq_op with Close -> c.closing <- true | _ -> ());
+            go ()
+    in
+    go ()
+  with Ode_util.Codec.Corrupt msg ->
+    Protocol.encode_response c.out { rs_id = 0; rs_reply = Error ("protocol error: " ^ msg) };
+    c.closing <- true
+
+let process t c =
+  (match c.state with `Hello -> try_handshake t c | `Active _ -> ());
+  match c.state with `Active s -> run_frames c s | `Hello -> ()
+
+let handle_read t c =
+  match Unix.read c.fd t.read_buf 0 (Bytes.length t.read_buf) with
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> drop t c
+  | 0 -> drop t c
+  | n ->
+      Stats.add_server_bytes_in n;
+      c.last <- Unix.gettimeofday ();
+      Protocol.feed c.rd t.read_buf n;
+      process t c
+
+let handle_write t c =
+  let data = Buffer.contents c.out in
+  match Unix.write_substring c.fd data c.out_pos (String.length data - c.out_pos) with
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> drop t c
+  | n ->
+      Stats.add_server_bytes_out n;
+      c.out_pos <- c.out_pos + n;
+      if c.out_pos = Buffer.length c.out then begin
+        Buffer.clear c.out;
+        c.out_pos <- 0;
+        if c.closing then drop t c
+        else
+          (* The backlog drained: execute any requests that backpressure
+             left buffered. *)
+          process t c
+      end
+
+let evict_idle t =
+  if t.idle_timeout > 0. then begin
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun c ->
+        if now -. c.last > t.idle_timeout then begin
+          Stats.incr_server_timeouts ();
+          drop t c
+        end)
+      t.conns
+  end
+
+(* -- the loop ------------------------------------------------------------ *)
+
+let one_iteration t =
+  let want_read = List.filter (fun c -> (not c.closing) && out_pending c < out_cap) t.conns in
+  let want_write = List.filter (fun c -> out_pending c > 0) t.conns in
+  let reads = t.listen_fd :: List.map (fun c -> c.fd) want_read in
+  let writes = List.map (fun c -> c.fd) want_write in
+  match Unix.select reads writes [] 0.25 with
+  | exception Unix.Unix_error (EINTR, _, _) -> () (* signal: loop re-checks [stop] *)
+  | readable, writable, _ ->
+      if List.memq t.listen_fd readable then accept_pending t;
+      List.iter
+        (fun c -> if List.memq c.fd readable then handle_read t c)
+        want_read;
+      List.iter
+        (fun c ->
+          (* [handle_read] may have dropped it already. *)
+          if List.memq c t.conns && List.memq c.fd writable then handle_write t c)
+        want_write
+
+(* Graceful shutdown: stop accepting, flush what's already encoded (bounded
+   by [drain_deadline]), abort every session's open transaction, release
+   the sockets. Requests still sitting unparsed in input buffers are
+   dropped — "in-flight" means a response exists. *)
+let drain t =
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  let deadline = Unix.gettimeofday () +. drain_deadline in
+  let rec flush () =
+    let pending = List.filter (fun c -> out_pending c > 0) t.conns in
+    if pending <> [] && Unix.gettimeofday () < deadline then begin
+      (match Unix.select [] (List.map (fun c -> c.fd) pending) [] 0.25 with
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | _, writable, _ ->
+          List.iter
+            (fun c -> if List.memq c t.conns && List.memq c.fd writable then handle_write t c)
+            pending);
+      flush ()
+    end
+  in
+  flush ();
+  List.iter (fun c -> drop t c) t.conns
+
+let serve t =
+  while not t.stop do
+    one_iteration t;
+    evict_idle t
+  done;
+  drain t
+
+(* -- fork helper for tests and benchmarks -------------------------------- *)
+
+let spawn ?max_conns ?idle_timeout ~db_dir () =
+  let r, w = Unix.pipe () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 -> (
+      Unix.close r;
+      let rc =
+        try
+          let db = Ode.Database.open_ db_dir in
+          let t = create ?max_conns ?idle_timeout ~db ~port:0 () in
+          handle_signals t;
+          let msg = string_of_int (port t) ^ "\n" in
+          ignore (Unix.write_substring w msg 0 (String.length msg));
+          Unix.close w;
+          serve t;
+          Ode.Database.close db;
+          0
+        with _ -> 1
+      in
+      (* _exit: never run the parent's at_exit handlers in the child. *)
+      Unix._exit rc)
+  | pid ->
+      Unix.close w;
+      let buf = Bytes.create 16 in
+      let n = Unix.read r buf 0 16 in
+      Unix.close r;
+      if n <= 0 then failwith "Server.spawn: child died before reporting its port";
+      (pid, int_of_string (String.trim (Bytes.sub_string buf 0 n)))

@@ -1,0 +1,61 @@
+(** The serving event loop: a single-threaded [Unix.select] multiplexer.
+
+    One server owns one open {!Ode.Database} and any number of client
+    connections, each with its own {!Session}. All I/O is non-blocking;
+    requests are executed to completion one at a time (the engine is
+    single-domain by design — {!create} asserts it), so sessions interleave
+    at request granularity and transaction semantics are exactly the
+    embedded ones.
+
+    Flow control: a connection whose response backlog exceeds an internal
+    cap is not read from until the backlog drains, so a client that stops
+    reading cannot balloon server memory. Connections idle longer than
+    [idle_timeout] are evicted (their open transaction rolled back); when
+    [max_conns] sessions are connected, new arrivals get a "server busy"
+    handshake reply and are closed. *)
+
+type t
+
+val create :
+  ?host:string ->
+  ?max_conns:int ->
+  ?idle_timeout:float ->
+  db:Ode.Database.t ->
+  port:int ->
+  unit ->
+  t
+(** Bind and listen. [host] defaults to ["127.0.0.1"]; [port] 0 picks an
+    ephemeral port (read it back with {!port}). [max_conns] defaults to 64;
+    [idle_timeout] to 300 seconds, [<= 0.] disables eviction. Raises
+    [Invalid_argument] when called off the main domain: the engine's
+    process-global state (Stats, Trace, Histogram, the buffer pool) is
+    unsynchronized, so the serving model is one domain, one event loop. *)
+
+val port : t -> int
+(** The bound port (useful after binding port 0). *)
+
+val connections : t -> int
+
+val shutdown : t -> unit
+(** Request a graceful stop: async-signal-safe (it only sets a flag), so it
+    can be called from a SIGINT handler. {!serve} then stops accepting,
+    flushes pending responses (bounded drain), rolls back every session's
+    open transaction and returns. *)
+
+val handle_signals : t -> unit
+(** Route SIGINT and SIGTERM to {!shutdown}. *)
+
+val serve : t -> unit
+(** Run the event loop until {!shutdown}. The caller still owns the
+    database and should [Database.close] it after this returns. *)
+
+val spawn :
+  ?max_conns:int ->
+  ?idle_timeout:float ->
+  db_dir:string ->
+  unit ->
+  int * int
+(** Fork a child process that opens [db_dir], serves it on an ephemeral
+    loopback port (SIGINT/SIGTERM trigger graceful shutdown) and exits.
+    Returns [(pid, port)] once the child reports its port. For tests and
+    benchmarks; production deployments run [bin/ode_server]. *)

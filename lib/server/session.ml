@@ -1,0 +1,63 @@
+module Shell = Ode.Shell
+module Stats = Ode_util.Stats
+module Trace = Ode_util.Trace
+module Histogram = Ode_util.Histogram
+
+type t = {
+  sid : int;
+  db : Ode.Database.t;
+  shell : Shell.t;
+  out : Buffer.t; (* print output of the request being handled *)
+}
+
+let request_hist = Histogram.create "server.request"
+
+let create ?(id = 0) db =
+  let out = Buffer.create 256 in
+  { sid = id; db; shell = Shell.create ~print:(Buffer.add_string out) db; out }
+
+let id t = t.sid
+
+let op_name : Protocol.op -> string = function
+  | Ping -> "ping"
+  | Exec _ -> "exec"
+  | Query _ -> "query"
+  | Dot _ -> "dot"
+  | Close -> "close"
+
+let run t : Protocol.op -> Protocol.reply = function
+  | Ping -> Pong
+  | Exec src -> (
+      Buffer.clear t.out;
+      match Shell.exec_catching t.shell src with
+      | Ok () -> Output (Buffer.contents t.out)
+      | Error msg -> Error msg)
+  | Query src -> (
+      match Shell.query_rows t.shell src with
+      | Ok rows -> Rows rows
+      | Error msg -> Error msg)
+  | Dot line -> (
+      Buffer.clear t.out;
+      match Shell.dot_command t.shell line with
+      | Some out ->
+          (* [.read] prints through the shell printer as it executes; fold
+             that output in front of the command's own result. *)
+          let printed = Buffer.contents t.out in
+          Output (if printed = "" then out else printed ^ out)
+      | None -> Error "not a dot command")
+  | Close -> Output "bye"
+
+let handle t (rq : Protocol.request) : Protocol.response =
+  Stats.incr_server_requests ();
+  (* Trigger actions fired by this request's commits print through the
+     requesting session, not whichever session was created last. *)
+  Ode.Database.set_action_printer t.db (Buffer.add_string t.out);
+  let reply =
+    Trace.with_span ~cat:"server"
+      ~args:[ ("session", string_of_int t.sid); ("op", op_name rq.rq_op) ]
+      "server.request"
+      (fun () -> Histogram.time request_hist (fun () -> run t rq.rq_op))
+  in
+  { rs_id = rq.rq_id; rs_reply = reply }
+
+let close t = Shell.rollback t.shell

@@ -1,0 +1,32 @@
+(** One connected client's server-side state: a {!Ode.Shell} of its own
+    (variable bindings, autocommit/explicit-transaction rules) whose
+    [print] output is captured per request, plus the serving metrics —
+    every handled request lands in the [server.request] histogram, emits a
+    [server.request] trace span when tracing is on, and bumps the
+    [server.requests] counter.
+
+    Transactions follow the engine's single-writer model: autocommitted
+    statements from any number of sessions interleave freely (the event
+    loop serializes requests, and each statement is its own transaction),
+    but an explicit [begin;] claims the engine's one transaction slot until
+    that session commits or aborts — a concurrent [begin;], or any
+    statement from another session while it is held, returns a rendered
+    "transaction is already active" error for the client to retry.
+    Disconnect, idle eviction and server shutdown all roll the slot back
+    ({!close}), so a vanished client cannot wedge the server. *)
+
+type t
+
+val create : ?id:int -> Ode.Database.t -> t
+(** [id] labels the session in trace spans (the server uses the accept
+    counter). *)
+
+val id : t -> int
+
+val handle : t -> Protocol.request -> Protocol.response
+(** Execute one request. Never raises: interpreter and parse errors come
+    back as [Error] replies; only the response id echoes the request id. *)
+
+val close : t -> unit
+(** Roll back the session's open explicit transaction, if any. Idempotent;
+    called on disconnect, eviction and server shutdown. *)

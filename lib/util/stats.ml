@@ -75,6 +75,12 @@ let c_obj_cache_hits = register "obj_cache_hits"
 let c_obj_cache_misses = register "obj_cache_misses"
 let c_obj_cache_invalidations = register "obj_cache_invalidations"
 let c_cursor_pages_read = register "cursor_pages_read"
+let c_server_accepts = register "server.accepts"
+let c_server_requests = register "server.requests"
+let c_server_rejects = register "server.rejects"
+let c_server_timeouts = register "server.timeouts"
+let c_server_bytes_in = register "server.bytes_in"
+let c_server_bytes_out = register "server.bytes_out"
 
 let incr_pages_read () = bump c_pages_read
 let incr_pages_written () = bump c_pages_written
@@ -98,6 +104,12 @@ let incr_obj_cache_hits () = bump c_obj_cache_hits
 let incr_obj_cache_misses () = bump c_obj_cache_misses
 let incr_obj_cache_invalidations () = bump c_obj_cache_invalidations
 let incr_cursor_pages_read () = bump c_cursor_pages_read
+let incr_server_accepts () = bump c_server_accepts
+let incr_server_requests () = bump c_server_requests
+let incr_server_rejects () = bump c_server_rejects
+let incr_server_timeouts () = bump c_server_timeouts
+let add_server_bytes_in n = bump_by c_server_bytes_in n
+let add_server_bytes_out n = bump_by c_server_bytes_out n
 
 (* Named accessors — the compatibility layer over the old record fields. *)
 let pages_read s = slot s c_pages_read
@@ -122,6 +134,12 @@ let obj_cache_hits s = slot s c_obj_cache_hits
 let obj_cache_misses s = slot s c_obj_cache_misses
 let obj_cache_invalidations s = slot s c_obj_cache_invalidations
 let cursor_pages_read s = slot s c_cursor_pages_read
+let server_accepts s = slot s c_server_accepts
+let server_requests s = slot s c_server_requests
+let server_rejects s = slot s c_server_rejects
+let server_timeouts s = slot s c_server_timeouts
+let server_bytes_in s = slot s c_server_bytes_in
+let server_bytes_out s = slot s c_server_bytes_out
 
 (* pp derives from the registry: every counter of the group, name = value,
    so new registrations show up in `.stats` with no further edits. *)

@@ -5,7 +5,11 @@
     strategy performed (pages touched, index probes, objects scanned, ...).
     Counters live in a registry of named slots: [register] a new one and
     snapshot/diff/[to_list]/[pp] pick it up with no further edits. Counters
-    are process-global and single-threaded, like the rest of the engine. *)
+    are process-global and unsynchronized: the engine — including the
+    network server, whose [Unix.select] event loop multiplexes every
+    session on one domain — runs entirely on a single domain, and
+    {!Ode_served.Server.create} asserts that model at startup. Bumps from
+    a second domain would race; there is deliberately no lock here. *)
 
 type group =
   | Workload  (** reported by [pp] / the shell's [.stats] *)
@@ -67,6 +71,12 @@ val incr_obj_cache_hits : unit -> unit
 val incr_obj_cache_misses : unit -> unit
 val incr_obj_cache_invalidations : unit -> unit
 val incr_cursor_pages_read : unit -> unit
+val incr_server_accepts : unit -> unit
+val incr_server_requests : unit -> unit
+val incr_server_rejects : unit -> unit
+val incr_server_timeouts : unit -> unit
+val add_server_bytes_in : int -> unit
+val add_server_bytes_out : int -> unit
 
 (* Named accessors — the compatibility layer over the old record fields:
    pages read/written on a disk backend, buffer-pool hits/misses, WAL
@@ -98,6 +108,15 @@ val obj_cache_hits : snapshot -> int
 val obj_cache_misses : snapshot -> int
 val obj_cache_invalidations : snapshot -> int
 val cursor_pages_read : snapshot -> int
+
+(* The serving layer (connections accepted, requests served, busy
+   rejections, idle-timeout evictions, wire bytes in/out). *)
+val server_accepts : snapshot -> int
+val server_requests : snapshot -> int
+val server_rejects : snapshot -> int
+val server_timeouts : snapshot -> int
+val server_bytes_in : snapshot -> int
+val server_bytes_out : snapshot -> int
 
 val pp : Format.formatter -> snapshot -> unit
 (** Workload counters (pages, pool, WAL, probes, ...), derived from the

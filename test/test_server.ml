@@ -1,0 +1,213 @@
+(* End-to-end serving tests over loopback: a forked ode-served event loop
+   on a temp database, driven by real protocol clients. Covers concurrent
+   sessions (interleaved autocommit + the exclusive explicit-transaction
+   slot), idle-timeout eviction, max-conns rejection, and graceful shutdown
+   leaving the store recoverable. *)
+
+module Server = Ode_served.Server
+module Client = Ode_served.Client
+module Db = Ode.Database
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Parse "name 123" out of a [.stats]-style dump. *)
+let counter_value dump name =
+  match String.index_from_opt dump 0 ' ' with
+  | _ -> (
+      let re_prefix = name ^ " " in
+      let rec find i =
+        if i + String.length re_prefix > String.length dump then None
+        else if String.sub dump i (String.length re_prefix) = re_prefix then Some (i + String.length re_prefix)
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> None
+      | Some p ->
+          let e = ref p in
+          while !e < String.length dump && dump.[!e] >= '0' && dump.[!e] <= '9' do incr e done;
+          if !e = p then None else Some (int_of_string (String.sub dump p (!e - p))))
+
+(* Run [f client...] against a freshly spawned server; always reap the
+   child, even on test failure. Returns the db dir for post-mortems. *)
+let with_server ?max_conns ?idle_timeout f =
+  let dir = Tutil.temp_dir "ode-served" in
+  let pid, port = Server.spawn ?max_conns ?idle_timeout ~db_dir:dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid))
+    (fun () -> f port);
+  dir
+
+let connect port = Client.connect ~timeout:10. ~host:"127.0.0.1" ~port ()
+
+let schema = "class acct { owner: string; bal: int; }; create cluster acct;"
+
+(* -- basic round trips ---------------------------------------------------- *)
+
+let basic () =
+  ignore
+    (with_server (fun port ->
+         let c = connect port in
+         Client.ping c;
+         Tutil.check_string "ddl output" "" (Client.exec c schema);
+         Tutil.check_string "exec output" "opened 10\n"
+           (Client.exec c
+              "a := pnew acct { owner = \"ada\", bal = 10 }; print \"opened\", a.bal;");
+         (* Query rows render oid + fields. *)
+         (match Client.query c "forall x in acct" with
+         | [ row ] ->
+             Tutil.check_bool "row has owner" true (contains row "owner = \"ada\"");
+             Tutil.check_bool "row has bal" true (contains row "bal = 10")
+         | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows));
+         (* Errors come back rendered, connection stays usable. *)
+         (match Client.exec c "forall x in nope { print x; };" with
+         | _ -> Alcotest.fail "expected Server_error"
+         | exception Client.Server_error msg ->
+             Tutil.check_bool "rendered error" true (contains msg "nope"));
+         Client.ping c;
+         (* Dot commands run remotely; serving counters are visible. *)
+         let stats = Client.dot c ".stats" in
+         Tutil.check_bool "server.requests counted" true
+           (match counter_value stats "server.requests" with Some n -> n >= 5 | None -> false);
+         let hist = Client.dot c ".hist server.request" in
+         Tutil.check_bool "request histogram" true (contains hist "server.request count");
+         Client.close c))
+
+(* -- 4 concurrent sessions ------------------------------------------------ *)
+
+let concurrent_sessions () =
+  ignore
+    (with_server (fun port ->
+         let cs = Array.init 4 (fun _ -> connect port) in
+         Tutil.check_string "schema" "" (Client.exec cs.(0) schema);
+         (* Interleaved autocommit writes: each statement is its own
+            transaction, sessions take turns round-robin. *)
+         for round = 0 to 4 do
+           Array.iteri
+             (fun i c ->
+               ignore
+                 (Client.exec c
+                    (Printf.sprintf "pnew acct { owner = \"c%d\", bal = %d };" i round)))
+             cs
+         done;
+         (match Client.query cs.(3) "forall x in acct" with
+         | rows -> Tutil.check_int "20 interleaved objects" 20 (List.length rows));
+         (* Session variables are per-connection. *)
+         ignore (Client.exec cs.(0) "secret := 41;");
+         Tutil.check_string "own vars visible" "42\n" (Client.exec cs.(0) "print secret + 1;");
+         (match Client.exec cs.(1) "print secret;" with
+         | _ -> Alcotest.fail "sessions must not share variables"
+         | exception Client.Server_error _ -> ());
+         (* The explicit transaction slot is exclusive: while session 0
+            holds it, other sessions' begins AND statements are refused with
+            a rendered, retryable error. *)
+         ignore (Client.exec cs.(0) "begin; pnew acct { owner = \"uncommitted\", bal = 0 };");
+         (match Client.exec cs.(1) "begin;" with
+         | _ -> Alcotest.fail "second begin must be refused"
+         | exception Client.Server_error msg ->
+             Tutil.check_bool "txn-busy error" true (contains msg "already active"));
+         (match Client.exec cs.(2) "pnew acct { owner = \"blocked\", bal = 0 };" with
+         | _ -> Alcotest.fail "autocommit during held txn must be refused"
+         | exception Client.Server_error _ -> ());
+         (* Holder's own view sees the uncommitted row; it aborts, the slot
+            frees, and another session can take it. *)
+         Tutil.check_int "holder sees own write" 21
+           (List.length (Client.query cs.(0) "forall x in acct"));
+         ignore (Client.exec cs.(0) "abort;");
+         Tutil.check_int "abort rolled back" 20
+           (List.length (Client.query cs.(1) "forall x in acct"));
+         ignore (Client.exec cs.(1) "begin; pnew acct { owner = \"kept\", bal = 7 }; commit;");
+         Tutil.check_int "committed txn visible everywhere" 21
+           (List.length (Client.query cs.(2) "forall x in acct"));
+         Array.iter Client.close cs))
+
+(* -- idle-timeout eviction ------------------------------------------------ *)
+
+let idle_eviction () =
+  ignore
+    (with_server ~idle_timeout:0.4 (fun port ->
+         let c = connect port in
+         ignore (Client.exec c schema);
+         (* Park an open explicit transaction and go idle past the limit. *)
+         ignore (Client.exec c "begin; pnew acct { owner = \"ghost\", bal = 1 };");
+         Unix.sleepf 1.2;
+         (* The server hung up; the client reconnects once, transparently,
+            into a fresh session. *)
+         Client.ping c;
+         (* Eviction rolled the parked transaction back and was counted. *)
+         Tutil.check_int "evicted txn rolled back" 0
+           (List.length (Client.query c "forall x in acct"));
+         let stats = Client.dot c ".stats" in
+         Tutil.check_bool "timeout counted" true
+           (match counter_value stats "server.timeouts" with Some n -> n >= 1 | None -> false);
+         Client.close c))
+
+(* -- max-conns rejection -------------------------------------------------- *)
+
+let busy_rejection () =
+  ignore
+    (with_server ~max_conns:2 (fun port ->
+         let c1 = connect port in
+         let c2 = connect port in
+         Client.ping c1;
+         Client.ping c2;
+         (match connect port with
+         | _ -> Alcotest.fail "third client must be rejected"
+         | exception Client.Rejected msg ->
+             Tutil.check_bool "friendly busy message" true (contains msg "busy"));
+         (* Rejection is counted, and the slot frees once a client leaves. *)
+         let stats = Client.dot c1 ".stats" in
+         Tutil.check_bool "reject counted" true
+           (match counter_value stats "server.rejects" with Some n -> n >= 1 | None -> false);
+         Client.close c2;
+         let rec retry_connect n =
+           match connect port with
+           | c -> c
+           | exception Client.Rejected _ when n > 0 ->
+               Unix.sleepf 0.1;
+               retry_connect (n - 1)
+         in
+         let c4 = retry_connect 20 in
+         Client.ping c4;
+         Client.close c4;
+         Client.close c1))
+
+(* -- graceful shutdown leaves the store recoverable ----------------------- *)
+
+let graceful_shutdown () =
+  let dir = Tutil.temp_dir "ode-served" in
+  let pid, port = Server.spawn ~db_dir:dir () in
+  let c = connect port in
+  ignore (Client.exec c schema);
+  ignore (Client.exec c "pnew acct { owner = \"durable\", bal = 100 };");
+  (* Leave an explicit transaction open across the shutdown. *)
+  ignore (Client.exec c "begin; pnew acct { owner = \"doomed\", bal = -1 };");
+  Unix.kill pid Sys.sigterm;
+  let _, status = Unix.waitpid [] pid in
+  Tutil.check_bool "clean exit" true (status = Unix.WEXITED 0);
+  (* Reopen the directory: the open transaction was aborted, the committed
+     state survived, and the integrity checker is happy. *)
+  let db = Db.open_ dir in
+  (match Ode.Verify.run db with
+  | Ok () -> ()
+  | Error ps -> Alcotest.failf "verify after shutdown: %s" (String.concat "; " ps));
+  Tutil.check_int "only the committed object survives" 1
+    (Ode.Query.count db ~var:"x" ~cls:"acct" ());
+  Db.close db;
+  (try Client.close c with _ -> ())
+
+let suite =
+  [
+    ( "server",
+      [
+        Alcotest.test_case "exec/query/dot round trips" `Quick basic;
+        Alcotest.test_case "4 concurrent sessions, interleaved txns" `Quick concurrent_sessions;
+        Alcotest.test_case "idle timeout evicts and rolls back" `Quick idle_eviction;
+        Alcotest.test_case "max-conns busy rejection" `Quick busy_rejection;
+        Alcotest.test_case "graceful shutdown recoverable" `Quick graceful_shutdown;
+      ] );
+  ]
