@@ -1,0 +1,164 @@
+(* Bench-regression gate: compare two flat BENCH json files.
+
+     compare BASELINE.json FRESH.json [--tolerance 0.25]
+
+   The inputs are the `--json` dumps from bench/main.exe: one flat object of
+   "metric name" -> number. Only throughput-shaped metrics gate — keys
+   containing "rps", "throughput", "speedup" or "ops_per_sec", where higher
+   is better. A fresh value below (1 - tolerance) x baseline is a
+   regression; any regression makes the exit status 1 so CI can gate on it.
+   The baseline should be measured at the same BENCH_SCALE as the fresh run
+   (absolute rates are not scale-free: short runs sit in different cache
+   and table-size regimes) and recorded conservatively — the committed
+   smoke baseline is the per-key minimum over repeated runs, so the gate
+   catches real collapses, not scheduler noise. Metrics present on only one
+   side are reported and skipped: a renamed or new experiment must not
+   silently pass, nor fail the build. *)
+
+let tolerance = ref 0.25
+let files = ref []
+
+let usage () =
+  prerr_endline "usage: compare BASELINE.json FRESH.json [--tolerance FRACTION]";
+  exit 2
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--tolerance" :: v :: rest ->
+        (tolerance := try float_of_string v with Failure _ -> usage ());
+        parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | f :: rest ->
+        files := f :: !files;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+(* -- a parser for exactly the flat object bench/report.ml emits ----------- *)
+
+exception Bad_json of string
+
+let parse_flat path =
+  let s = In_channel.with_open_text path In_channel.input_all in
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> Some c then raise (Bad_json (Printf.sprintf "%s: expected %c at byte %d" path c !pos));
+    incr pos
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 32 in
+    let rec go () =
+      if !pos >= n then raise (Bad_json (path ^ ": unterminated string"));
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          if !pos + 1 >= n then raise (Bad_json (path ^ ": bad escape"));
+          Buffer.add_char b s.[!pos + 1];
+          pos := !pos + 2;
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let value () =
+    skip_ws ();
+    if !pos + 4 <= n && String.sub s !pos 4 = "null" then begin
+      pos := !pos + 4;
+      None
+    end
+    else begin
+      let start = !pos in
+      while
+        !pos < n
+        && match s.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+      do
+        incr pos
+      done;
+      if !pos = start then raise (Bad_json (Printf.sprintf "%s: expected number at byte %d" path start));
+      Some (float_of_string (String.sub s start (!pos - start)))
+    end
+  in
+  expect '{';
+  skip_ws ();
+  let out = ref [] in
+  if peek () = Some '}' then incr pos
+  else begin
+    let rec members () =
+      let k = string_lit () in
+      expect ':';
+      let v = value () in
+      out := (k, v) :: !out;
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+          incr pos;
+          skip_ws ();
+          members ()
+      | Some '}' -> incr pos
+      | _ -> raise (Bad_json (path ^ ": expected , or }"))
+    in
+    members ()
+  end;
+  List.rev !out
+
+(* -- the gate -------------------------------------------------------------- *)
+
+let contains key sub =
+  let n = String.length key and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub key i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let gated key =
+  List.exists (contains key) [ "rps"; "throughput"; "speedup"; "ops_per_sec" ]
+
+let () =
+  let base_file, fresh_file =
+    match List.rev !files with [ b; f ] -> (b, f) | _ -> usage ()
+  in
+  let base = parse_flat base_file and fresh = parse_flat fresh_file in
+  let regressions = ref [] in
+  let compared = ref 0 in
+  Printf.printf "%-48s %12s %12s %8s\n" "metric" "baseline" "fresh" "delta";
+  List.iter
+    (fun (key, bv) ->
+      if gated key then
+        match (bv, List.assoc_opt key fresh) with
+        | None, _ -> Printf.printf "%-48s %12s (baseline null, skipped)\n" key "-"
+        | _, None -> Printf.printf "%-48s %12s (missing from fresh run, skipped)\n" key "-"
+        | _, Some None -> Printf.printf "%-48s %12s (null in fresh run, skipped)\n" key "-"
+        | Some b, Some (Some f) ->
+            incr compared;
+            let delta = if b = 0.0 then 0.0 else (f -. b) /. b in
+            Printf.printf "%-48s %12.2f %12.2f %+7.1f%%\n" key b f (100.0 *. delta);
+            if f < b *. (1.0 -. !tolerance) then regressions := (key, b, f) :: !regressions)
+    base;
+  List.iter
+    (fun (key, _) ->
+      if gated key && not (List.mem_assoc key base) then
+        Printf.printf "%-48s %12s (new metric, no baseline)\n" key "-")
+    fresh;
+  Printf.printf "\n%d throughput metrics compared, tolerance %.0f%%\n" !compared
+    (100.0 *. !tolerance);
+  match List.rev !regressions with
+  | [] -> print_endline "no regressions"
+  | rs ->
+      List.iter
+        (fun (key, b, f) ->
+          Printf.printf "REGRESSION %s: %.2f -> %.2f (%.1f%% below baseline)\n" key b f
+            (100.0 *. (1.0 -. (f /. b))))
+        rs;
+      exit 1

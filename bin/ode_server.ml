@@ -10,7 +10,7 @@
 
 let default_port = 7764
 
-let main db_dir port max_conns idle_timeout port_file =
+let main db_dir port max_conns idle_timeout durability group_window port_file =
   match db_dir with
   | None ->
       prerr_endline "ode_server: --db DIR is required";
@@ -23,7 +23,7 @@ let main db_dir port max_conns idle_timeout port_file =
           exit 3
       in
       let server =
-        try Ode_served.Server.create ~max_conns ~idle_timeout ~db ~port ()
+        try Ode_served.Server.create ~max_conns ~idle_timeout ~durability ~group_window ~db ~port ()
         with Unix.Unix_error (e, _, _) ->
           Printf.eprintf "ode_server: cannot listen on port %d: %s\n" port
             (Unix.error_message e);
@@ -34,8 +34,13 @@ let main db_dir port max_conns idle_timeout port_file =
       (match port_file with
       | Some f -> Out_channel.with_open_text f (fun oc -> Printf.fprintf oc "%d\n" bound)
       | None -> ());
-      Printf.printf "ode_server: serving %s on 127.0.0.1:%d (max %d conns, idle timeout %gs)\n%!"
-        dir bound max_conns idle_timeout;
+      Printf.printf
+        "ode_server: serving %s on 127.0.0.1:%d (max %d conns, idle timeout %gs, durability \
+         %s, group window %d)\n\
+         %!"
+        dir bound max_conns idle_timeout
+        (Ode.Database.durability_name durability)
+        group_window;
       Ode_served.Server.serve server;
       print_endline "ode_server: shutting down";
       Ode.Database.close db;
@@ -69,6 +74,26 @@ let idle_timeout =
     & info [ "idle-timeout" ] ~docv:"SECONDS"
         ~doc:"Evict connections idle this long (0 disables).")
 
+let durability =
+  let modes =
+    Ode.Database.[ ("full", Full); ("group", Group); ("async", Async) ]
+  in
+  Arg.(
+    value
+    & opt (enum modes) Ode.Database.Full
+    & info [ "durability" ] ~docv:"MODE"
+        ~doc:
+          "When commits fsync: $(b,full) = at every commit; $(b,group) = one shared fsync \
+           per scheduler batch, replies still wait for it; $(b,async) = replies don't wait, \
+           loss bounded by the group window.")
+
+let group_window =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "group-window" ] ~docv:"N"
+        ~doc:"Max commits deferred before a forced fsync under group/async durability.")
+
 let port_file =
   Arg.(
     value
@@ -80,6 +105,8 @@ let cmd =
   let doc = "network server for the ODE object database" in
   Cmd.v
     (Cmd.info "ode_server" ~doc)
-    Term.(const main $ db_dir $ port $ max_conns $ idle_timeout $ port_file)
+    Term.(
+      const main $ db_dir $ port $ max_conns $ idle_timeout $ durability $ group_window
+      $ port_file)
 
 let () = exit (Cmd.eval cmd)

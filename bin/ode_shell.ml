@@ -18,7 +18,8 @@ let banner =
   "ODE shell — O++ data model on OCaml. Statements end with ';'.\n\
    Try: class point { x: int; y: int; };  create cluster point;\n\
    \     p := pnew point { x = 1, y = 2 };  forall q in point { print q.x; };\n\
-   Dot commands: .help .stats .recovery .metrics .trace .explain .profile .read .quit\n"
+   Dot commands: .help .stats .recovery .metrics .trace .explain .profile\n\
+   \              .durability .sync .read .quit\n"
 
 (* What one REPL turn needs from either backend: run a dot line (true =
    keep going, false = quit), and run a parsed-complete program. *)

@@ -22,27 +22,38 @@ module Log = (val Logs.src_log log : Logs.LOG)
 (* -- lifecycle --------------------------------------------------------------- *)
 
 let make_db ~dbdir ~kv_disk ~dir_disk ~idx_disk ~wal ~pool_pages ~wal_checkpoint_bytes
-    ~object_cache =
+    ~object_cache ~durability =
   let pool d = Buffer_pool.create ~capacity:pool_pages d in
-  {
-    dbdir;
-    kv_heap = Heap.attach (pool kv_disk);
-    kv_dir = Bptree.attach (pool dir_disk);
-    idx = Bptree.attach (pool idx_disk);
-    wal;
-    catalog = Catalog.create ();
-    meta = { next_tid = 0; clock = 0 };
-    next_xid = 1;
-    active = None;
-    activations = Hashtbl.create 64;
-    by_oid = Hashtbl.create 64;
-    action_queue = Queue.create ();
-    draining = false;
-    wal_auto_checkpoint = wal_checkpoint_bytes;
-    ocache = Ode_util.Lru.create (max 0 object_cache);
-    closed = false;
-    printer = print_string;
-  }
+  let db =
+    {
+      dbdir;
+      kv_heap = Heap.attach (pool kv_disk);
+      kv_dir = Bptree.attach (pool dir_disk);
+      idx = Bptree.attach (pool idx_disk);
+      wal;
+      catalog = Catalog.create ();
+      meta = { next_tid = 0; clock = 0 };
+      next_xid = 1;
+      active = None;
+      activations = Hashtbl.create 64;
+      by_oid = Hashtbl.create 64;
+      action_queue = Queue.create ();
+      draining = false;
+      wal_auto_checkpoint = wal_checkpoint_bytes;
+      durability;
+      ocache = Ode_util.Lru.create (max 0 object_cache);
+      closed = false;
+      printer = print_string;
+    }
+  in
+  (* Write-ahead under deferred durability: a prepared-but-unacked commit's
+     effects live in dirty pages; before any of those pages can be written
+     back (eviction, flush), the WAL batch covering them must be on disk. *)
+  let force_log () = Txn.ack db in
+  Buffer_pool.set_pre_write (Heap.pool db.kv_heap) force_log;
+  Buffer_pool.set_pre_write (Bptree.pool db.kv_dir) force_log;
+  Buffer_pool.set_pre_write (Bptree.pool db.idx) force_log;
+  db
 
 let h_recovery = Ode_util.Histogram.create "recovery"
 let h_trigger_fire = Ode_util.Histogram.create "trigger.fire"
@@ -106,7 +117,7 @@ let close_fds db =
 let default_object_cache = 4096
 
 let open_ ?(pool_pages = 512) ?(wal_checkpoint_bytes = 8 * 1024 * 1024)
-    ?(object_cache = default_object_cache) dir =
+    ?(object_cache = default_object_cache) ?(durability = Full) dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let file name = Filename.concat dir name in
   let db =
@@ -115,7 +126,7 @@ let open_ ?(pool_pages = 512) ?(wal_checkpoint_bytes = 8 * 1024 * 1024)
       ~dir_disk:(Disk.open_file (file "directory.bpt"))
       ~idx_disk:(Disk.open_file (file "indexes.bpt"))
       ~wal:(Wal.open_file (file "wal.log"))
-      ~pool_pages ~wal_checkpoint_bytes ~object_cache
+      ~pool_pages ~wal_checkpoint_bytes ~object_cache ~durability
   in
   (match
      recover db;
@@ -130,11 +141,12 @@ let open_ ?(pool_pages = 512) ?(wal_checkpoint_bytes = 8 * 1024 * 1024)
       raise e);
   db
 
-let open_in_memory ?(pool_pages = 4096) ?(object_cache = default_object_cache) () =
+let open_in_memory ?(pool_pages = 4096) ?(object_cache = default_object_cache)
+    ?(durability = Full) () =
   let db =
     make_db ~dbdir:None ~kv_disk:(Disk.in_memory ()) ~dir_disk:(Disk.in_memory ())
       ~idx_disk:(Disk.in_memory ()) ~wal:(Wal.in_memory ()) ~pool_pages
-      ~wal_checkpoint_bytes:(64 * 1024 * 1024) ~object_cache
+      ~wal_checkpoint_bytes:(64 * 1024 * 1024) ~object_cache ~durability
   in
   load_state db;
   db
@@ -239,7 +251,32 @@ let commit txn =
   List.iter (fun fr -> Queue.add fr db.action_queue) firings;
   drain db
 
+let commit_deferred txn =
+  let db = txn.tdb in
+  let firings = Txn.commit_deferred txn in
+  List.iter (fun fr -> Queue.add fr db.action_queue) firings;
+  (* Trigger actions commit under the database mode; any deferred among them
+     join the same pending batch and are acknowledged by the same sync. *)
+  drain db
+
 let abort = Txn.abort
+
+(* -- durability ------------------------------------------------------------- *)
+
+type durability = Types.durability = Full | Group | Async
+
+let durability db = db.durability
+let set_durability db d = db.durability <- d
+let sync_commits = Txn.ack
+let pending_commits = Txn.pending_commits
+
+let durability_name = function Full -> "full" | Group -> "group" | Async -> "async"
+
+let durability_of_string = function
+  | "full" -> Some Full
+  | "group" -> Some Group
+  | "async" -> Some Async
+  | _ -> None
 
 (* -- schema ---------------------------------------------------------------------- *)
 

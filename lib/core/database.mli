@@ -23,12 +23,20 @@ type t = db
 
 (** {1 Lifecycle} *)
 
-val open_ : ?pool_pages:int -> ?wal_checkpoint_bytes:int -> ?object_cache:int -> string -> t
+val open_ :
+  ?pool_pages:int ->
+  ?wal_checkpoint_bytes:int ->
+  ?object_cache:int ->
+  ?durability:Types.durability ->
+  string ->
+  t
 (** Open (creating if needed) the database stored in a directory.
     [object_cache] sizes the decoded-object cache in entries (decoded
-    headers and version field lists); 0 disables it. Default 4096. *)
+    headers and version field lists); 0 disables it. Default 4096.
+    [durability] (default [Full]) picks when commits fsync — see
+    {!durability} below. *)
 
-val open_in_memory : ?pool_pages:int -> ?object_cache:int -> unit -> t
+val open_in_memory : ?pool_pages:int -> ?object_cache:int -> ?durability:Types.durability -> unit -> t
 (** A volatile database: same engine, same WAL protocol, no files. *)
 
 val close : t -> unit
@@ -68,9 +76,49 @@ val with_txn : t -> (txn -> 'a) -> 'a
 
 val begin_txn : t -> txn
 val commit : txn -> unit
-(** Commit and drain trigger actions. *)
+(** Commit and drain trigger actions. Under [Group]/[Async] durability the
+    commit is prepared (logged, applied) but its fsync is deferred to the
+    next {!sync_commits} / checkpoint — see {!durability}. *)
+
+val commit_deferred : txn -> unit
+(** Commit with durability deferred regardless of mode: logged and applied,
+    pending until {!sync_commits}. Callers that acknowledge commits to the
+    outside world (the network server) must call {!sync_commits} first. *)
 
 val abort : txn -> unit
+
+(** {1 Durability}
+
+    When a commit's WAL records are fsynced: [Full] — at every commit,
+    before it returns (eager, the default); [Group] — deferred until a
+    shared {!sync_commits}, so one fsync acknowledges a whole batch of
+    commits (the serving layer syncs once per scheduler tick); [Async] —
+    deferred with nobody waiting: durability arrives at the next
+    checkpoint, dirty-page write-back, or explicit {!sync_commits}.
+
+    Every mode is equally crash-{e consistent}: recovery replays exactly the
+    transactions whose commit records reached the log, and the buffer pool
+    forces the log before writing any dirty page (write-ahead), so applied
+    effects can never outrun their records. The modes differ only in
+    whether an {e acknowledged} commit can be lost: never under [Full] and
+    [Group] (acks wait for the fsync), bounded by the deferred window under
+    [Async]. *)
+
+type durability = Types.durability = Full | Group | Async
+
+val durability : t -> durability
+val set_durability : t -> durability -> unit
+
+val sync_commits : t -> unit
+(** One [Wal.sync] acknowledging every pending deferred commit. No-op when
+    nothing is pending. *)
+
+val pending_commits : t -> int
+(** Commits prepared but not yet made durable by a sync. *)
+
+val durability_name : durability -> string
+val durability_of_string : string -> durability option
+(** ["full"] / ["group"] / ["async"]. *)
 
 (** {1 Objects (within a transaction)} *)
 

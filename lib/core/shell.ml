@@ -144,6 +144,8 @@ let dot_help =
   "dot commands:\n\
   \  .stats [reset]        engine counters (reset: zero them)\n\
   \  .recovery             durability/recovery counters\n\
+  \  .durability [MODE]    show or set commit durability (full|group|async)\n\
+  \  .sync                 fsync any pending deferred commits now\n\
   \  .metrics [reset]      latency histograms (p50/p95/p99/max per operation)\n\
   \  .hist NAME            one histogram, machine-readable (raw ns)\n\
   \  .trace on|off         toggle the span tracer\n\
@@ -235,6 +237,22 @@ let dot_command t line =
           Ode_util.Stats.reset ();
           "counters reset"
       | ".recovery", "" -> Fmt.str "%a" Ode_util.Stats.pp_recovery (Ode_util.Stats.snapshot ())
+      | ".durability", "" ->
+          Printf.sprintf "%s (%d pending commits)"
+            (Database.durability_name (Database.durability t.db))
+            (Database.pending_commits t.db)
+      | ".durability", mode -> (
+          match Database.durability_of_string mode with
+          | Some d ->
+              (* Leaving a deferred mode must not strand pending commits. *)
+              if d = Database.Full then Database.sync_commits t.db;
+              Database.set_durability t.db d;
+              "durability " ^ mode
+          | None -> Printf.sprintf "unknown durability %S (full|group|async)" mode)
+      | ".sync", _ ->
+          let n = Database.pending_commits t.db in
+          Database.sync_commits t.db;
+          Printf.sprintf "synced (%d commits acknowledged)" n
       | ".metrics", "" -> String.trim (Ode_util.Histogram.summary ())
       | ".metrics", "reset" ->
           Ode_util.Histogram.reset_all ();

@@ -42,7 +42,11 @@ val query_rows : t -> string -> (string list, string) result
 val dot_command : t -> string -> string option
 (** Handle a sqlite3-style dot command line ([.stats [reset]], [.recovery],
     [.metrics [reset]], [.hist NAME], [.trace on|off|dump FILE],
-    [.explain QUERY], [.profile QUERY], [.read FILE], [.quit], [.help]).
+    [.explain QUERY], [.profile QUERY], [.durability [full|group|async]],
+    [.sync], [.read FILE], [.quit], [.help]). [.durability] reports (and
+    with an argument, switches) the database's commit durability level —
+    switching to [full] first syncs any pending group commits; [.sync]
+    force-acknowledges pending commits with one shared WAL fsync.
     Returns [None] when the line is not a dot command, [Some output]
     otherwise (errors are rendered into the output, never raised; an empty
     output means "nothing to print"). [.read] executes a script file through

@@ -67,7 +67,14 @@ let decode_meta s =
   let clock = Ode_util.Codec.get_int c in
   { next_tid; clock }
 
-let commit_active txn =
+(* The commit body, split into prepare and ack phases. Prepare runs the
+   integrity checks, evaluates trigger conditions, logs the write set and
+   applies it to the committed structures. [durable] decides the ack: under
+   eager (Full) durability the WAL fsync sits between logging and applying —
+   the classic sync-before-apply. Deferred commits skip it; the records stay
+   pending in the WAL until a shared {!ack} (or a checkpoint, or the buffer
+   pool's write-ahead hook) makes the whole batch durable with one fsync. *)
+let commit_active ~durable txn =
   let db = txn.tdb in
   (* 1. Integrity: a violation aborts and rolls back (trivially, since
         nothing was applied). *)
@@ -93,7 +100,7 @@ let commit_active txn =
         | Del -> Wal.append db.wal (Wal.Delete (txn.xid, key)))
       txn.writes;
     Wal.append db.wal (Wal.Commit txn.xid);
-    Wal.sync db.wal;
+    if durable then Wal.sync db.wal;
     (* 5. Apply to the committed structures. *)
     Hashtbl.iter (fun key op -> Store.apply_op db key op) txn.writes;
     Triggers.sync_after_commit db txn
@@ -104,7 +111,15 @@ let commit_active txn =
   if Wal.size_bytes db.wal > db.wal_auto_checkpoint then checkpoint db;
   firings
 
-let commit txn =
+let timed_commit txn ~durable =
   require_active txn;
   Ode_util.Histogram.time h_commit (fun () ->
-      Ode_util.Trace.with_span ~cat:"txn" "txn.commit" (fun () -> commit_active txn))
+      Ode_util.Trace.with_span ~cat:"txn" "txn.commit" (fun () -> commit_active ~durable txn))
+
+let commit txn = timed_commit txn ~durable:(txn.tdb.durability = Full)
+let commit_deferred txn = timed_commit txn ~durable:false
+
+let pending_commits db = Wal.pending_commits db.wal
+
+let ack db =
+  if Wal.pending_commits db.wal > 0 then Wal.sync db.wal

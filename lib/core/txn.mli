@@ -21,7 +21,23 @@ val active_exn : db -> txn
 
 val commit : txn -> firing list
 (** Raises {!Types.Constraint_violation} after auto-aborting if a constraint
-    fails. *)
+    fails. Durability follows the database's {!Types.durability} mode: under
+    [Full] the WAL is fsynced before the write set is applied (eager); under
+    [Group]/[Async] the commit is {e prepared} — logged and applied — but
+    stays pending until {!ack} (or a checkpoint) runs the shared fsync. *)
+
+val commit_deferred : txn -> firing list
+(** {!commit} with durability always deferred, regardless of mode: the
+    prepare phase alone. Pair with {!ack} before acknowledging the commit to
+    any client. *)
+
+val ack : db -> unit
+(** The ack phase: one [Wal.sync] making every pending (prepared) commit
+    durable at once. No-op when nothing is pending — in particular when the
+    buffer pool's write-ahead hook or a checkpoint already forced the log. *)
+
+val pending_commits : db -> int
+(** Commits prepared but not yet acknowledged by a sync. *)
 
 val abort : txn -> unit
 

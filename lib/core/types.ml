@@ -36,6 +36,19 @@ type firing = { f_act : activation; f_kind : firing_kind }
 
 type meta = { mutable next_tid : int; mutable clock : int }
 
+(* When a commit becomes durable:
+   - [Full]: every commit fsyncs the WAL before it is acknowledged (eager,
+     the historical behavior).
+   - [Group]: commits apply in memory and stay *pending* until a shared
+     [Wal.sync] acknowledges the whole batch — one fsync for many commits.
+     The serving layer syncs once per scheduler tick, before replying.
+   - [Async]: like [Group] but nothing waits for the sync; durability
+     arrives at the next checkpoint, page write-back, or explicit sync.
+   Crash safety is identical in all modes (write-ahead is enforced by the
+   buffer pool's pre-write hook); what varies is whether an *acknowledged*
+   commit can be lost: never under Full/Group, bounded under Async. *)
+type durability = Full | Group | Async
+
 type txn = {
   xid : int;
   tdb : db;
@@ -62,6 +75,7 @@ and db = {
   action_queue : firing Queue.t;            (* weakly-coupled trigger actions *)
   mutable draining : bool;
   mutable wal_auto_checkpoint : int;        (* bytes; checkpoint when exceeded *)
+  mutable durability : durability;          (* when commits fsync (see above) *)
   ocache : (string, cached) Ode_util.Lru.t; (* decoded objects by logical key;
                                                capacity 0 disables the cache *)
   mutable closed : bool;

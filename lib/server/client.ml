@@ -123,6 +123,50 @@ let unexpected what (reply : Protocol.reply) =
   | Output _ -> failwith (what ^ ": unexpected Output reply")
   | Rows _ -> failwith (what ^ ": unexpected Rows reply")
 
+(* Pipelining: write a whole batch of requests in one send, then collect
+   the responses in order. The server executes them in arrival order within
+   one scheduler tick, so under group durability the entire batch (plus
+   whatever other connections contributed that tick) shares one WAL fsync.
+   Errors come back per-request rather than as exceptions — a failed
+   statement must not abandon the responses queued behind it. No implicit
+   reconnect: a batch is not idempotent-retry-safe. *)
+let exec_many t srcs =
+  if srcs = [] then []
+  else begin
+    let fd = socket t in
+    let b = Buffer.create 1024 in
+    let ids =
+      List.map
+        (fun src ->
+          t.next_id <- t.next_id + 1;
+          Protocol.encode_request b { rq_id = t.next_id; rq_op = Exec src };
+          t.next_id)
+        srcs
+    in
+    let frame = Buffer.contents b in
+    try
+      write_all fd frame 0 (String.length frame);
+      List.map
+        (fun id ->
+          let len_bytes = read_exact fd 4 in
+          let len = Ode_util.Codec.get_u32 (Ode_util.Codec.cursor len_bytes) in
+          if len > Protocol.max_frame_len then
+            raise (Ode_util.Codec.Corrupt (Printf.sprintf "client: %d-byte response frame" len));
+          let resp = Protocol.decode_response (read_exact fd len) in
+          if resp.rs_id <> id then
+            raise
+              (Ode_util.Codec.Corrupt
+                 (Printf.sprintf "client: response id %d for request %d" resp.rs_id id));
+          match resp.rs_reply with
+          | Output s -> Ok s
+          | Error msg -> Error msg
+          | Pong | Rows _ -> failwith "exec_many: unexpected reply kind")
+        ids
+    with Conn_lost msg ->
+      drop_socket t;
+      raise (Disconnected msg)
+  end
+
 let ping t = match call t Ping with Pong -> () | r -> unexpected "ping" r
 let exec t src = match call t (Exec src) with Output s -> s | r -> unexpected "exec" r
 let query t src = match call t (Query src) with Rows rs -> rs | r -> unexpected "query" r

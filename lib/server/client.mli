@@ -35,6 +35,15 @@ val ping : t -> unit
 val exec : t -> string -> string
 (** Run a program remotely; returns its printed output. *)
 
+val exec_many : t -> string list -> (string, string) result list
+(** Pipelined [exec]: send the whole batch in one write, then read the
+    responses in order — one network round trip for N programs, and under
+    the server's group durability one shared WAL fsync for the batch's
+    autocommits. Per-request outcomes ([Ok output] / [Error rendered]), so
+    one failing statement doesn't orphan the responses behind it. Keep
+    batches modest (well under the server's per-connection flow-control
+    cap, ~1 MiB of responses); there is no mid-batch reconnect. *)
+
 val query : t -> string -> string list
 (** Run a bodiless [forall]; one rendered object per row. *)
 

@@ -4,9 +4,18 @@
    idlers. Requests run to completion on this one domain — sessions
    interleave between requests, never inside one, which is what lets the
    engine's process-global state (Stats/Trace/Histogram, buffer pool) stay
-   lock-free. *)
+   lock-free.
+
+   The iteration doubles as the group-commit batch scheduler. Replies are
+   never written from the read phase — they accumulate in each connection's
+   [out] buffer — and between the read phase and the write phase sits the
+   ack point: one [Database.sync_commits] covering every autocommit executed
+   this tick. So under [Group] durability a reply can only reach the socket
+   after the fsync that made its commit durable, while a tick that executed
+   N requests paid for one fsync, not N. *)
 
 module Stats = Ode_util.Stats
+module Db = Ode.Database
 
 type conn = {
   fd : Unix.file_descr;
@@ -24,6 +33,7 @@ type t = {
   lport : int;
   max_conns : int;
   idle_timeout : float;
+  group_window : int;         (* force a sync once this many commits pend *)
   read_buf : bytes;           (* scratch shared by every read *)
   mutable conns : conn list;
   mutable next_session : int;
@@ -37,9 +47,11 @@ let out_cap = 1 lsl 20
 (* Bounded flush window for graceful shutdown. *)
 let drain_deadline = 5.0
 
-let create ?(host = "127.0.0.1") ?(max_conns = 64) ?(idle_timeout = 300.) ~db ~port () =
+let create ?(host = "127.0.0.1") ?(max_conns = 64) ?(idle_timeout = 300.) ?durability
+    ?(group_window = 64) ~db ~port () =
   if not (Domain.is_main_domain ()) then
     invalid_arg "Server.create: the serving model is single-domain (see stats.mli)";
+  Option.iter (Db.set_durability db) durability;
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
@@ -57,6 +69,7 @@ let create ?(host = "127.0.0.1") ?(max_conns = 64) ?(idle_timeout = 300.) ~db ~p
     lport;
     max_conns;
     idle_timeout;
+    group_window = max 1 group_window;
     read_buf = Bytes.create 65536;
     conns = [];
     next_session = 0;
@@ -132,7 +145,7 @@ let try_handshake t c =
           Buffer.add_string c.out (Protocol.hello_reply Bad_version);
           c.closing <- true)
 
-let run_frames c session =
+let run_frames t c session =
   try
     let rec go () =
       (* Backpressure: leave complete frames buffered while this client's
@@ -143,6 +156,9 @@ let run_frames c session =
         | Some body ->
             let rq = Protocol.decode_request body in
             Protocol.encode_response c.out (Session.handle session rq);
+            (* Bound the deferred-durability window: a long batch syncs
+               every [group_window] commits rather than once at the end. *)
+            if Db.pending_commits t.db >= t.group_window then Db.sync_commits t.db;
             (match rq.rq_op with Close -> c.closing <- true | _ -> ());
             go ()
     in
@@ -153,7 +169,7 @@ let run_frames c session =
 
 let process t c =
   (match c.state with `Hello -> try_handshake t c | `Active _ -> ());
-  match c.state with `Active s -> run_frames c s | `Hello -> ()
+  match c.state with `Active s -> run_frames t c s | `Hello -> ()
 
 let handle_read t c =
   match Unix.read c.fd t.read_buf 0 (Bytes.length t.read_buf) with
@@ -198,6 +214,37 @@ let evict_idle t =
 
 (* -- the loop ------------------------------------------------------------ *)
 
+(* The ack point. Under [Group] durability every commit prepared this tick
+   becomes durable here, before any reply reaches a socket. [Full] commits
+   synced eagerly (nothing pends); [Async] chose to reply without waiting,
+   its window bounded by [group_window] in [run_frames] and by checkpoints. *)
+let ack_deferred t =
+  match Db.durability t.db with
+  | Db.Group -> Db.sync_commits t.db
+  | Db.Full | Db.Async -> ()
+
+(* Zero-timeout re-polls after the first read pass: requests that arrived
+   while this tick was executing earlier ones join the same batch (and the
+   same shared fsync) instead of waiting out a full select round trip.
+   Costless for latency — only what has already arrived is taken — and
+   bounded so a firehose of pipelined clients cannot starve the ack and
+   write phases. *)
+let gather_rounds = 8
+
+let rec gather t rounds =
+  if rounds > 0 then begin
+    let want = List.filter (fun c -> (not c.closing) && out_pending c < out_cap) t.conns in
+    if want <> [] then
+      match Unix.select (List.map (fun c -> c.fd) want) [] [] 0.0 with
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | readable, _, _ ->
+          List.iter
+            (fun c -> if List.memq c t.conns && List.memq c.fd readable then handle_read t c)
+            want;
+          gather t (rounds - 1)
+  end
+
 let one_iteration t =
   let want_read = List.filter (fun c -> (not c.closing) && out_pending c < out_cap) t.conns in
   let want_write = List.filter (fun c -> out_pending c > 0) t.conns in
@@ -210,6 +257,12 @@ let one_iteration t =
       List.iter
         (fun c -> if List.memq c.fd readable then handle_read t c)
         want_read;
+      gather t gather_rounds;
+      (* Read phase done: everything executed this tick shares one fsync.
+         Replies buffered above only hit the sockets below, after it. (The
+         [want_write] backlog predates this tick, so it was acked by an
+         earlier pass.) *)
+      ack_deferred t;
       List.iter
         (fun c ->
           (* [handle_read] may have dropped it already. *)
@@ -224,6 +277,13 @@ let drain t =
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   let deadline = Unix.gettimeofday () +. drain_deadline in
   let rec flush () =
+    (* Buffers may hold replies whose commits are still pending — both from
+       the final serve tick and from backpressured frames that a drained
+       write just executed ([handle_write] → [process]). Newly encoded
+       replies only reach a socket on the {e next} round, so acking at the
+       top of every round keeps the reply-after-fsync guarantee through
+       shutdown. *)
+    ack_deferred t;
     let pending = List.filter (fun c -> out_pending c > 0) t.conns in
     if pending <> [] && Unix.gettimeofday () < deadline then begin
       (match Unix.select [] (List.map (fun c -> c.fd) pending) [] 0.25 with
@@ -247,7 +307,7 @@ let serve t =
 
 (* -- fork helper for tests and benchmarks -------------------------------- *)
 
-let spawn ?max_conns ?idle_timeout ~db_dir () =
+let spawn ?max_conns ?idle_timeout ?durability ?group_window ~db_dir () =
   let r, w = Unix.pipe () in
   flush stdout;
   flush stderr;
@@ -257,7 +317,7 @@ let spawn ?max_conns ?idle_timeout ~db_dir () =
       let rc =
         try
           let db = Ode.Database.open_ db_dir in
-          let t = create ?max_conns ?idle_timeout ~db ~port:0 () in
+          let t = create ?max_conns ?idle_timeout ?durability ?group_window ~db ~port:0 () in
           handle_signals t;
           let msg = string_of_int (port t) ^ "\n" in
           ignore (Unix.write_substring w msg 0 (String.length msg));

@@ -12,7 +12,23 @@
     reading cannot balloon server memory. Connections idle longer than
     [idle_timeout] are evicted (their open transaction rolled back); when
     [max_conns] sessions are connected, new arrivals get a "server busy"
-    handshake reply and are closed. *)
+    handshake reply and are closed.
+
+    {2 Group commit and the reply-after-fsync guarantee}
+
+    The event loop is also the group-commit batch scheduler. Each iteration
+    runs in strict phases: read — every readable connection's complete
+    requests are executed and their replies {e buffered}; ack — one
+    [Database.sync_commits] makes every commit prepared this tick durable;
+    write — buffered replies go to the sockets. Replies are never written
+    during the read phase, and graceful shutdown acks before each flush
+    round, so under [Full] and [Group] durability {b no client ever receives
+    a success reply for a commit that could be lost in a crash}. [Group]
+    simply amortizes: a tick that executed N autocommits from any number of
+    connections pays one fsync instead of N. [Async] drops the wait — replies
+    may precede durability, with the exposure bounded by [group_window].
+    Explicit transactions and single-request ticks degrade to the eager
+    behavior (a batch of one). *)
 
 type t
 
@@ -20,13 +36,19 @@ val create :
   ?host:string ->
   ?max_conns:int ->
   ?idle_timeout:float ->
+  ?durability:Ode.Database.durability ->
+  ?group_window:int ->
   db:Ode.Database.t ->
   port:int ->
   unit ->
   t
 (** Bind and listen. [host] defaults to ["127.0.0.1"]; [port] 0 picks an
     ephemeral port (read it back with {!port}). [max_conns] defaults to 64;
-    [idle_timeout] to 300 seconds, [<= 0.] disables eviction. Raises
+    [idle_timeout] to 300 seconds, [<= 0.] disables eviction. [durability],
+    when given, is installed on [db] ([Database.set_durability]); omitted,
+    the database keeps its current mode. [group_window] (default 64, min 1)
+    bounds commits deferred within one batch: a long tick syncs every
+    [group_window] commits rather than once at the end. Raises
     [Invalid_argument] when called off the main domain: the engine's
     process-global state (Stats, Trace, Histogram, the buffer pool) is
     unsynchronized, so the serving model is one domain, one event loop. *)
@@ -52,6 +74,8 @@ val serve : t -> unit
 val spawn :
   ?max_conns:int ->
   ?idle_timeout:float ->
+  ?durability:Ode.Database.durability ->
+  ?group_window:int ->
   db_dir:string ->
   unit ->
   int * int

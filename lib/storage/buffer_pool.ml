@@ -14,13 +14,18 @@ type t = {
   disk : Disk.t;
   cap : int;
   frames : (int, frame) Ode_util.Lru.t;
+  mutable pre_write : unit -> unit;
 }
 
 exception Pool_exhausted
 
 let data f = f.buf
 let page_no f = f.no
-let create ?(capacity = 256) disk = { disk; cap = capacity; frames = Ode_util.Lru.create capacity }
+
+let create ?(capacity = 256) disk =
+  { disk; cap = capacity; frames = Ode_util.Lru.create capacity; pre_write = (fun () -> ()) }
+
+let set_pre_write t f = t.pre_write <- f
 let disk t = t.disk
 let capacity t = t.cap
 let page_count t = Disk.page_count t.disk
@@ -36,6 +41,10 @@ let flush_dirty t =
   match !batch with
   | [] -> false
   | batch ->
+      (* Write-ahead: deferred (group/async) commits apply to pages before
+         their log records are fsynced, so the engine hooks this to force the
+         WAL out before any dirty page can reach the disk. *)
+      t.pre_write ();
       Disk.write_batch t.disk batch;
       Ode_util.Lru.iter t.frames (fun _ f -> f.dirty <- false);
       true

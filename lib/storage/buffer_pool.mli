@@ -23,6 +23,13 @@ val create : ?capacity:int -> Disk.t -> t
 val disk : t -> Disk.t
 val capacity : t -> int
 
+val set_pre_write : t -> (unit -> unit) -> unit
+(** Hook run immediately before any batch of dirty pages is written back
+    (eviction or {!flush_all}). The engine installs a WAL force here so that
+    under deferred durability (group/async commit) no data page whose log
+    records are still buffered can reach the disk first — the classic
+    log-force-before-steal rule. Default: no-op. *)
+
 val pin : t -> int -> frame
 (** [pin t n] returns page [n], loading it if needed, and increments its pin
     count. *)

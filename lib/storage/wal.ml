@@ -22,7 +22,11 @@ type sink =
   | File of file_sink
   | Memory of Buffer.t
 
-type t = { sink : sink; pending : Buffer.t }
+(* [pending_commits] counts Commit records appended since the last [sync]:
+   the transactions whose durability is still deferred. Group commit rides on
+   it — one sync acknowledges them all — and the accounting below turns each
+   sync into a [wal.group_size] observation plus the fsyncs the batch saved. *)
+type t = { sink : sink; pending : Buffer.t; mutable pending_commits : int }
 
 (* -- record codec -------------------------------------------------------- *)
 
@@ -125,14 +129,18 @@ let open_file path =
     Unix.ftruncate fd intact
   end;
   ignore (Unix.lseek fd intact Unix.SEEK_SET);
-  { sink = File { fd; wpos = intact }; pending = Buffer.create 4096 }
+  { sink = File { fd; wpos = intact }; pending = Buffer.create 4096; pending_commits = 0 }
 
-let in_memory () = { sink = Memory (Buffer.create 4096); pending = Buffer.create 4096 }
+let in_memory () =
+  { sink = Memory (Buffer.create 4096); pending = Buffer.create 4096; pending_commits = 0 }
 
 let append t r =
   Ode_util.Stats.incr_wal_appends ();
   Ode_util.Trace.instant ~cat:"wal" "wal.append";
+  (match r with Commit _ -> t.pending_commits <- t.pending_commits + 1 | _ -> ());
   Buffer.add_string t.pending (frame (encode_record r))
+
+let pending_commits t = t.pending_commits
 
 let write_fully fd bytes pos len =
   let rec go pos len =
@@ -169,13 +177,17 @@ let faulted_append f bytes =
 
 let h_sync = Ode_util.Histogram.create "wal.sync"
 
+(* Commits per durability barrier: 1 under eager (full) durability, the
+   batch size under group commit. Counts, not nanoseconds. *)
+let h_group = Ode_util.Histogram.create "wal.group_size"
+
 let sync t =
   Stats.incr_wal_syncs ();
   Ode_util.Histogram.time h_sync (fun () ->
       Ode_util.Trace.with_span ~cat:"wal" "wal.sync" (fun () ->
           let data = Buffer.contents t.pending in
           Buffer.clear t.pending;
-          match t.sink with
+          (match t.sink with
           | Memory b -> Buffer.add_string b data
           | File f -> (
               if String.length data > 0 then faulted_append f (Bytes.of_string data);
@@ -183,7 +195,14 @@ let sync t =
               | Some Failpoint.Skip_effect -> ()
               | Some Failpoint.Crash_site -> Failpoint.crash fp_fsync
               | Some _ -> Failpoint.crash fp_fsync
-              | None -> Unix.fsync f.fd)))
+              | None -> Unix.fsync f.fd));
+          (* Only after the barrier held: the batch is durable, every pending
+             commit is acknowledged by this one fsync. *)
+          if t.pending_commits > 0 then begin
+            Ode_util.Histogram.observe h_group t.pending_commits;
+            Stats.add_wal_sync_saved (t.pending_commits - 1);
+            t.pending_commits <- 0
+          end))
 
 let contents t =
   match t.sink with
@@ -196,6 +215,7 @@ let replay t f = ignore (scan (contents t) (Some f))
 
 let reset t =
   Buffer.clear t.pending;
+  t.pending_commits <- 0;
   match t.sink with
   | Memory b -> Buffer.clear b
   | File f -> (

@@ -27,10 +27,19 @@ val open_file : string -> t
 val in_memory : unit -> t
 
 val append : t -> record -> unit
-(** Buffered append; durable only after {!sync}. *)
+(** Buffered append; durable only after {!sync}. A [Commit] record marks its
+    transaction {e pending}: committed in memory, not yet acknowledged as
+    durable. *)
 
 val sync : t -> unit
-(** Flush buffered frames and fsync. *)
+(** Flush buffered frames and fsync — the durability barrier. One sync
+    acknowledges {e every} pending commit at once (group commit): the batch
+    size lands in the [wal.group_size] histogram and the [wal_sync_saved]
+    counter gains [batch - 1], the per-commit fsyncs the batch avoided. *)
+
+val pending_commits : t -> int
+(** Commits appended since the last {!sync}: transactions whose effects are
+    applied but whose durability is still deferred. 0 right after a sync. *)
 
 val replay : t -> (record -> unit) -> unit
 (** Feed every intact record from the start of the log, in order. *)

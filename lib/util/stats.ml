@@ -59,6 +59,7 @@ let c_pool_hits = register "pool_hits"
 let c_pool_misses = register "pool_misses"
 let c_wal_appends = register "wal_appends"
 let c_wal_syncs = register "wal_syncs"
+let c_wal_sync_saved = register "wal_sync_saved"
 let c_index_probes = register "index_probes"
 let c_objects_scanned = register "objects_scanned"
 let c_objects_fetched = register "objects_fetched"
@@ -88,6 +89,7 @@ let incr_pool_hits () = bump c_pool_hits
 let incr_pool_misses () = bump c_pool_misses
 let incr_wal_appends () = bump c_wal_appends
 let incr_wal_syncs () = bump c_wal_syncs
+let add_wal_sync_saved n = bump_by c_wal_sync_saved n
 let incr_index_probes () = bump c_index_probes
 let incr_objects_scanned () = bump c_objects_scanned
 let incr_objects_fetched () = bump c_objects_fetched
@@ -118,6 +120,7 @@ let pool_hits s = slot s c_pool_hits
 let pool_misses s = slot s c_pool_misses
 let wal_appends s = slot s c_wal_appends
 let wal_syncs s = slot s c_wal_syncs
+let wal_sync_saved s = slot s c_wal_sync_saved
 let index_probes s = slot s c_index_probes
 let objects_scanned s = slot s c_objects_scanned
 let objects_fetched s = slot s c_objects_fetched

@@ -55,6 +55,11 @@ val incr_pool_hits : unit -> unit
 val incr_pool_misses : unit -> unit
 val incr_wal_appends : unit -> unit
 val incr_wal_syncs : unit -> unit
+
+val add_wal_sync_saved : int -> unit
+(** Group commit: [add_wal_sync_saved (g - 1)] on a WAL sync that made [g]
+    pending commits durable at once — the fsyncs the batch avoided. *)
+
 val incr_index_probes : unit -> unit
 val incr_objects_scanned : unit -> unit
 val incr_objects_fetched : unit -> unit
@@ -92,6 +97,7 @@ val pool_hits : snapshot -> int
 val pool_misses : snapshot -> int
 val wal_appends : snapshot -> int
 val wal_syncs : snapshot -> int
+val wal_sync_saved : snapshot -> int
 val index_probes : snapshot -> int
 val objects_scanned : snapshot -> int
 val objects_fetched : snapshot -> int

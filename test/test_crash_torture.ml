@@ -21,6 +21,15 @@
    be idempotent). Iterations where the failpoint never fires still simulate
    power loss (close without checkpoint) and demand an exact state match.
 
+   A third of the iterations run under [Group] durability: commits are
+   prepared but their fsync deferred to a randomly interleaved shared
+   [sync_commits] ack. A crash then may lose any suffix of the
+   unacknowledged commits — WAL frames land in commit order, so the
+   admissible states are the prefixes of the unacked chain (each commit
+   individually atomic, trigger-action transactions as separate steps),
+   never a subset with holes and never anything past the in-flight
+   transaction. Acknowledged commits must always survive.
+
    Reproduce a failure with TORTURE_SEED=<seed> [TORTURE_ITERS=<n>]; each
    failure message carries the iteration number and seed. *)
 
@@ -233,9 +242,15 @@ let run_iteration ~iter ~seed ~site ~coverage =
   let dir = Tutil.temp_dir "torture" in
   let range, ckpt_prob, pressure = profile site in
   let wal_cp = if pressure then max_int else 2048 + Prng.int rng 16_384 in
+  (* A third of the iterations defers durability: commits pend until a
+     randomly placed shared sync acknowledges the batch (group commit). *)
+  let group = seed mod 3 = 1 in
   let fail fmt =
     Format.kasprintf
-      (fun s -> Alcotest.failf "iteration %d (seed %d, site %s): %s" iter seed site s)
+      (fun s ->
+        Alcotest.failf "iteration %d (seed %d, site %s%s): %s" iter seed site
+          (if group then ", group durability" else "")
+          s)
       fmt
   in
 
@@ -245,7 +260,11 @@ let run_iteration ~iter ~seed ~site ~coverage =
   let ocache = if seed mod 4 = 0 then 0 else 48 in
 
   (* Durable baseline, no failpoints armed yet. *)
-  let db = Db.open_ ~pool_pages:8 ~wal_checkpoint_bytes:wal_cp ~object_cache:ocache dir in
+  let db =
+    Db.open_ ~pool_pages:8 ~wal_checkpoint_bytes:wal_cp ~object_cache:ocache
+      ~durability:(if group then Db.Group else Db.Full)
+      dir
+  in
   ignore (Db.define db schema);
   Db.create_cluster db "t";
   Db.create_index db ~cls:"t" ~field:"grp";
@@ -273,19 +292,37 @@ let run_iteration ~iter ~seed ~site ~coverage =
   let next_tag = ref 0 in
   let pending = ref None in
   let in_doubt = ref None in
+  (* Group commit bookkeeping: [acked] is the state as of the last shared
+     sync; [unacked] the op lists of commits prepared since, in commit
+     order. Under eager durability every commit acks itself. *)
+  let acked = ref empty_state in
+  let unacked = ref [] in
   let ntxns = if pressure then 25 else 40 in
   (try
      for t = 1 to ntxns do
        if ckpt_prob > 0.0 && Prng.float rng 1.0 < ckpt_prob then begin
          dbg "txn %d: explicit checkpoint" t;
-         Db.checkpoint db
+         Db.checkpoint db;
+         (* A checkpoint syncs the WAL: everything so far is acked. *)
+         acked := !model;
+         unacked := []
        end;
        let ops = gen_ops rng !model next_tag ~pressure in
        dbg "txn %d: %a" t pp_ops ops;
        pending := Some ops;
        execute db oids ops;
        model := final_state !model ops;
-       pending := None
+       pending := None;
+       if group then begin
+         unacked := !unacked @ [ ops ];
+         if Prng.float rng 1.0 < 0.35 then begin
+           dbg "txn %d: shared ack over %d pending commits" t (Db.pending_commits db);
+           Db.sync_commits db;
+           acked := !model;
+           unacked := []
+         end
+       end
+       else acked := !model
      done
    with Failpoint.Crash s ->
      dbg "CRASH at %s (in-doubt: %s)" s
@@ -371,8 +408,23 @@ let run_iteration ~iter ~seed ~site ~coverage =
         in
         { objs; root })
   in
+  (* Admissible recovered states. Walk the unacked chain from the last
+     acked snapshot: the crash may have cut durability at any commit
+     boundary in it (WAL frames land in commit order, so what survives is a
+     prefix — each commit individually atomic, trigger-action transactions
+     as separate steps in between). The in-flight transaction, if any,
+     contributes its own admissible chain at the very end. Under eager
+     durability [unacked] is empty and this reduces to the original oracle:
+     exactly [!model], give or take the in-doubt transaction. *)
   let candidates =
-    match !in_doubt with None -> [ !model ] | Some ops -> admissible !model ops
+    let rec go st acc = function
+      | [] -> (
+          match !in_doubt with
+          | None -> st :: acc
+          | Some ops -> admissible st ops @ acc)
+      | ops :: rest -> go (final_state st ops) (admissible st ops @ acc) rest
+    in
+    go !acked [] !unacked
   in
   if not (List.exists (state_equal actual) candidates) then
     fail "recovered state is not admissible@.  actual:   %a@.  expected one of:@.%s" pp_state

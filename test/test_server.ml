@@ -32,9 +32,9 @@ let counter_value dump name =
 
 (* Run [f client...] against a freshly spawned server; always reap the
    child, even on test failure. Returns the db dir for post-mortems. *)
-let with_server ?max_conns ?idle_timeout f =
+let with_server ?max_conns ?idle_timeout ?durability ?group_window f =
   let dir = Tutil.temp_dir "ode-served" in
-  let pid, port = Server.spawn ?max_conns ?idle_timeout ~db_dir:dir () in
+  let pid, port = Server.spawn ?max_conns ?idle_timeout ?durability ?group_window ~db_dir:dir () in
   Fun.protect
     ~finally:(fun () ->
       (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
@@ -200,6 +200,90 @@ let graceful_shutdown () =
   Db.close db;
   (try Client.close c with _ -> ())
 
+(* -- group commit: shared fsync across concurrent autocommits ------------- *)
+
+(* 4 client processes hammer autocommit writes at a [Group]-durability
+   server. Every reply is a durable commit (acked after the batch fsync),
+   yet the server must have paid far fewer than one fsync per commit: the
+   scheduler batches whatever arrived in a tick under one [Wal.sync], and
+   [wal_sync_saved] counts exactly the fsyncs the batching avoided. *)
+let group_commit_batching () =
+  let clients = 4 and per_client = 40 in
+  ignore
+    (with_server ~durability:Db.Group (fun port ->
+         let control = connect port in
+         Tutil.check_string "schema" "" (Client.exec control schema);
+         let spawn_writer i =
+           flush stdout;
+           flush stderr;
+           match Unix.fork () with
+           | 0 ->
+               let errors = ref 0 in
+               (try
+                  let c = connect port in
+                  for n = 0 to per_client - 1 do
+                    try
+                      ignore
+                        (Client.exec c
+                           (Printf.sprintf "pnew acct { owner = \"w%d\", bal = %d };" i n))
+                    with _ -> incr errors
+                  done;
+                  Client.close c
+                with _ -> errors := 100);
+               Unix._exit (min 100 !errors)
+           | pid -> pid
+         in
+         let pids = List.init clients spawn_writer in
+         List.iter
+           (fun pid ->
+             match Unix.waitpid [] pid with
+             | _, Unix.WEXITED 0 -> ()
+             | _, Unix.WEXITED n -> Alcotest.failf "writer reported %d errors" n
+             | _ -> Alcotest.fail "writer died abnormally")
+           pids;
+         let commits = clients * per_client in
+         Tutil.check_int "every autocommit visible" commits
+           (List.length (Client.query control "forall x in acct"));
+         let stats = Client.dot control ".stats" in
+         let counter name =
+           match counter_value stats name with
+           | Some n -> n
+           | None -> Alcotest.failf "no %s in stats dump" name
+         in
+         (* Batching happened: at least one tick held 2+ commits under one
+            fsync, and the sync total stayed below one-per-commit. *)
+         Tutil.check_bool "some shared fsyncs" true (counter "wal_sync_saved" >= 1);
+         Tutil.check_bool "syncs sublinear in commits" true (counter "wal_syncs" < commits);
+         let hist = Client.dot control ".hist wal.group_size" in
+         Tutil.check_bool "group size histogram populated" true
+           (contains hist "wal.group_size count");
+         Client.close control))
+
+(* -- acked means durable: SIGKILL after replies, nothing may be lost ------ *)
+
+let group_kill9_durability () =
+  let n = 30 in
+  let dir = Tutil.temp_dir "ode-served" in
+  let pid, port = Server.spawn ~durability:Db.Group ~db_dir:dir () in
+  let c = connect port in
+  ignore (Client.exec c schema);
+  for i = 0 to n - 1 do
+    ignore (Client.exec c (Printf.sprintf "pnew acct { owner = \"k%d\", bal = %d };" i i))
+  done;
+  (* Every exec above was replied to, so its commit must already be on disk:
+     the scheduler fsyncs before flushing replies. SIGKILL — no shutdown
+     path, no drain, no checkpoint. *)
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  (try Client.close c with _ -> ());
+  let db = Db.open_ dir in
+  (match Ode.Verify.run db with
+  | Ok () -> ()
+  | Error ps -> Alcotest.failf "verify after kill -9: %s" (String.concat "; " ps));
+  Tutil.check_int "all acked commits survive kill -9" n
+    (Ode.Query.count db ~var:"x" ~cls:"acct" ());
+  Db.close db
+
 let suite =
   [
     ( "server",
@@ -209,5 +293,8 @@ let suite =
         Alcotest.test_case "idle timeout evicts and rolls back" `Quick idle_eviction;
         Alcotest.test_case "max-conns busy rejection" `Quick busy_rejection;
         Alcotest.test_case "graceful shutdown recoverable" `Quick graceful_shutdown;
+        Alcotest.test_case "group commit shares fsyncs across clients" `Quick
+          group_commit_batching;
+        Alcotest.test_case "group commit: acked survives kill -9" `Quick group_kill9_durability;
       ] );
   ]

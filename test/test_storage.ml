@@ -165,6 +165,37 @@ let wal_unsynced_not_replayed () =
   Wal.replay w (fun _ -> incr n);
   Tutil.check_int "pending buffer invisible" 0 !n
 
+let wal_pending_commits () =
+  let w = Wal.in_memory () in
+  Tutil.check_int "fresh log has none" 0 (Wal.pending_commits w);
+  Wal.append w (Wal.Begin 1);
+  Wal.append w (Wal.Put (1, "a", "x"));
+  Tutil.check_int "non-commit records don't pend" 0 (Wal.pending_commits w);
+  Wal.append w (Wal.Commit 1);
+  Tutil.check_int "commit pends" 1 (Wal.pending_commits w);
+  Wal.append w (Wal.Begin 2);
+  Wal.append w (Wal.Commit 2);
+  Tutil.check_int "second commit pends" 2 (Wal.pending_commits w);
+  let before = Ode_util.Stats.snapshot () in
+  Wal.sync w;
+  let d = Ode_util.Stats.diff (Ode_util.Stats.snapshot ()) before in
+  Tutil.check_int "one ack clears the batch" 0 (Wal.pending_commits w);
+  Tutil.check_int "one physical sync" 1 (Ode_util.Stats.wal_syncs d);
+  Tutil.check_int "a batch of 2 saved 1 sync" 1 (Ode_util.Stats.wal_sync_saved d);
+  (* An empty ack is still a sync, but saves nothing and grows no group. *)
+  let before = Ode_util.Stats.snapshot () in
+  Wal.sync w;
+  let d = Ode_util.Stats.diff (Ode_util.Stats.snapshot ()) before in
+  Tutil.check_int "empty sync saves nothing" 0 (Ode_util.Stats.wal_sync_saved d)
+
+let wal_reset_clears_pending () =
+  let w = Wal.in_memory () in
+  Wal.append w (Wal.Begin 3);
+  Wal.append w (Wal.Commit 3);
+  Tutil.check_int "pending before reset" 1 (Wal.pending_commits w);
+  Wal.reset w;
+  Tutil.check_int "reset discards pending" 0 (Wal.pending_commits w)
+
 (* -- heap ------------------------------------------------------------------ *)
 
 let heap_mem () = Heap.attach (Pool.create ~capacity:64 (Disk.in_memory ()))
@@ -301,6 +332,8 @@ let suite =
         Alcotest.test_case "torn tail ignored" `Quick wal_torn_tail_ignored;
         Alcotest.test_case "reset empties" `Quick wal_reset;
         Alcotest.test_case "unsynced appends invisible" `Quick wal_unsynced_not_replayed;
+        Alcotest.test_case "pending commits acked by one sync" `Quick wal_pending_commits;
+        Alcotest.test_case "reset clears pending commits" `Quick wal_reset_clears_pending;
       ] );
     ( "heap",
       [
