@@ -1462,10 +1462,212 @@ let e20 () =
   note "amortized away execution dominates, so async (which replies before";
   note "durability, loss bounded by the window) gains little more."
 
+(* ------------------------------------------------------------------ E21 *)
+(* Replication (PR 6): WAL-shipping to a warm standby. Two questions with
+   operational weight: how fast does a fresh standby catch up to an
+   established primary (bootstrap + stream replay, the recovery-time bound
+   for adding capacity or replacing a dead standby), and what does one
+   read-only standby add to aggregate read throughput when half the read
+   pool routes to it? Guards that the standby converges byte-exactly (row
+   count), that both processes shut down clean and verify, and that the
+   read phases finish without protocol errors. *)
+
+let e21 () =
+  section "E21  replication: standby catch-up and read scaling";
+  let module Server = Ode_served.Server in
+  let module Client = Ode_served.Client in
+  let tmp name =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ode-bench-e21-%s-%d-%f" name (Unix.getpid ()) (Unix.gettimeofday ()))
+  in
+  (* Parse "name 1234" out of a [.stats]/[.replication] dump. *)
+  (* Parse "name 123" out of a dump, whether the entries are one per line
+     ([.replication], space-padded) or double-space separated on a single
+     line ([.stats]). The name must be whitespace-bounded so "lsn" does not
+     match inside "durable_lsn". *)
+  let counter dump name =
+    let dl = String.length dump and nl = String.length name in
+    let is_sp c = c = ' ' || c = '\n' in
+    let rec scan i =
+      if i + nl >= dl then None
+      else if
+        (i = 0 || is_sp dump.[i - 1])
+        && String.sub dump i nl = name
+        && is_sp dump.[i + nl]
+      then begin
+        let j = ref (i + nl) in
+        while !j < dl && dump.[!j] = ' ' do
+          incr j
+        done;
+        let k = ref !j in
+        while !k < dl && dump.[!k] >= '0' && dump.[!k] <= '9' do
+          incr k
+        done;
+        if !k > !j then int_of_string_opt (String.sub dump !j (!k - !j))
+        else scan (i + 1)
+      end
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  let pdir = tmp "p" and rdir = tmp "r" in
+  let srv_pid, port, repl_port =
+    Server.spawn_full ~repl_port:0 ~durability:Db.Group ~db_dir:pdir ()
+  in
+  let connect ?replicas port = Client.connect ~timeout:30. ?replicas ~host:"127.0.0.1" ~port () in
+  let ctl = connect port in
+  (* No index on [k]: the read phase wants cluster scans, so each query
+     costs real server CPU and the standby's second event loop buys
+     capacity (indexed point reads are so cheap the closed-loop clients
+     bottleneck on round trips instead). *)
+  ignore (Client.exec ctl "class kv { k: int; v: string; }; create cluster kv;");
+  (* Build the primary's history: pipelined autocommit inserts. *)
+  let n = scaled 2000 in
+  let rng = Prng.create 2100 in
+  let loaded = ref 0 in
+  let _, m_load =
+    timed (fun () ->
+        while !loaded < n do
+          let k = min 50 (n - !loaded) in
+          let progs =
+            List.init k (fun j ->
+                Printf.sprintf "pnew kv { k = %d, v = \"row-%d\" };" (Prng.int rng 100_000)
+                  (!loaded + j))
+          in
+          List.iter
+            (function Ok _ -> () | Error e -> failwith ("E21 load: " ^ e))
+            (Client.exec_many ctl progs);
+          loaded := !loaded + k
+        done)
+  in
+  Client.ping ctl;
+  let plsn = Client.last_seen_lsn ctl in
+  (* Catch-up: a standby born now must bootstrap (snapshot or WAL resume)
+     and replay the whole history before it is useful. Clock from fork to
+     the standby reporting the primary's commit LSN. *)
+  flush stdout;
+  flush stderr;
+  let t0 = now () in
+  let rep_pid, rport = Server.spawn ~replica_of:("127.0.0.1", repl_port) ~db_dir:rdir () in
+  let rctl = connect rport in
+  let deadline = now () +. 120. in
+  let rec wait_caught_up () =
+    let l =
+      match counter (Client.dot rctl ".replication") "lsn" with Some l -> l | None -> -1
+    in
+    if l < plsn then
+      if now () > deadline then failwith "E21: standby never caught up"
+      else begin
+        Unix.sleepf 0.02;
+        wait_caught_up ()
+      end
+  in
+  wait_caught_up ();
+  let catchup = now () -. t0 in
+  let shipped_mb =
+    match counter (Client.dot ctl ".stats") "repl.bytes_sent" with
+    | Some b -> float b /. 1e6
+    | None -> 0.0
+  in
+  (* Read scaling: 4 closed-loop reader processes of narrow unindexed
+     range scans. Phase one reads from the primary alone; phase two routes
+     half the pool through the standby. *)
+  let read_phase ~route =
+    let clients = 4 in
+    let per_client = scaled 100 in
+    flush stdout;
+    flush stderr;
+    let t0 = now () in
+    let pids =
+      List.init clients (fun ci ->
+          match Unix.fork () with
+          | 0 ->
+              let errors = ref 0 in
+              (try
+                 let replicas =
+                   if route ci then Some [ ("127.0.0.1", rport) ] else None
+                 in
+                 let c = connect ?replicas port in
+                 let rng = Prng.create (2110 + ci) in
+                 for _ = 1 to per_client do
+                   try
+                     let lo = Prng.int rng 100_000 in
+                     ignore
+                       (Client.query c
+                          (Printf.sprintf "forall x in kv suchthat x.k >= %d && x.k < %d"
+                             lo (lo + 50)))
+                   with _ -> incr errors
+                 done;
+                 Client.close c
+               with _ -> incr errors);
+              Unix._exit (min 100 !errors)
+          | pid -> pid)
+    in
+    let errors =
+      List.fold_left
+        (fun acc pid ->
+          let _, status = Unix.waitpid [] pid in
+          acc + (match status with Unix.WEXITED e -> e | _ -> 1))
+        0 pids
+    in
+    (float (clients * per_client) /. (now () -. t0), errors)
+  in
+  let rps_primary, err_a = read_phase ~route:(fun _ -> false) in
+  let rps_mixed, err_b = read_phase ~route:(fun ci -> ci land 1 = 1) in
+  (try Client.close rctl with _ -> ());
+  (try Client.close ctl with _ -> ());
+  (* Graceful shutdown of both; each directory must reopen clean with the
+     full row count — the standby byte-exact with the primary. *)
+  Unix.kill rep_pid Sys.sigterm;
+  let _, rep_status = Unix.waitpid [] rep_pid in
+  Unix.kill srv_pid Sys.sigterm;
+  let _, srv_status = Unix.waitpid [] srv_pid in
+  let clean = srv_status = Unix.WEXITED 0 && rep_status = Unix.WEXITED 0 in
+  let inspect dir =
+    let db = Db.open_ dir in
+    let ok = match Ode.Verify.run db with Ok () -> true | Error _ -> false in
+    let rows = Query.count db ~var:"x" ~cls:"kv" () in
+    Db.close db;
+    (ok, rows)
+  in
+  let p_ok, p_rows = inspect pdir in
+  let r_ok, r_rows = inspect rdir in
+  table
+    ~title:
+      (Printf.sprintf
+         "E21: %d-commit history; standby catch-up, then 4 readers (unindexed range scans)"
+         plsn)
+    ~header:[ "measure"; "value" ]
+    [
+      [ "load (pipelined inserts)"; fops (ops_per_sec m_load n) ];
+      [ "standby catch-up"; fsec catchup ];
+      [ "catch-up rate"; fops (float plsn /. catchup) ];
+      [ "wal shipped"; Printf.sprintf "%.2fMB" shipped_mb ];
+      [ "read rps, primary only"; fops rps_primary ];
+      [ "read rps, half on standby"; fops rps_mixed ];
+      [ "read scaling"; ffloat (rps_mixed /. rps_primary) ];
+      [ "rows (primary/standby)"; Printf.sprintf "%d / %d" p_rows r_rows ];
+    ];
+  guard "E21.protocol_errors" ~hi:0.0 (float (err_a + err_b));
+  guard "E21.clean_shutdown" ~lo:1.0 (if clean then 1.0 else 0.0);
+  guard "E21.post_shutdown_verify" ~lo:1.0 (if p_ok && r_ok then 1.0 else 0.0);
+  guard "E21.replica_rows" ~lo:(float p_rows) ~hi:(float p_rows) (float r_rows);
+  metric "E21.catchup_s" catchup;
+  metric "E21.catchup_commits_per_s" (float plsn /. catchup);
+  metric "E21.shipped_mb" shipped_mb;
+  metric "E21.read_rps_primary" rps_primary;
+  metric "E21.read_rps_with_replica" rps_mixed;
+  metric "E21.read_scaling" (rps_mixed /. rps_primary);
+  note "the standby replays the primary's WAL through the recovery redo";
+  note "path and serves reads from its own event loop; routing half the";
+  note "read pool to it frees the primary's loop for the other half";
+  note "(the scaling ratio only exceeds 1 when the two server processes";
+  note "get separate cores — on a single-core runner they timeshare)."
+
 let all : (string * (unit -> unit)) list =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E18", e18); ("E19", e19); ("E20", e20);
+    ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21);
   ]

@@ -4,26 +4,72 @@
      ode_server --db mydb --port 0 --port-file p # ephemeral port, written to p
      ode_server --db mydb --max-conns 128 --idle-timeout 60
 
+   Replication:
+
+     ode_server --db pri --repl-port 7765            # primary, serves standbys
+     ode_server --db rep --port 7774 \
+                --replica-of 127.0.0.1:7765          # warm standby (read-only)
+
+   A standby bootstraps from the primary (WAL resume or snapshot), applies
+   the stream, serves read-only queries, and becomes a primary on SIGUSR1
+   or the .promote dot command. --sync-repl makes a primary hold each
+   client ack until a standby acknowledged the commit (semi-sync).
+
    SIGINT/SIGTERM trigger a graceful shutdown: pending responses are
    flushed, open transactions rolled back, and the store checkpointed, so
    the directory reopens with nothing to recover. *)
 
 let default_port = 7764
 
-let main db_dir port max_conns idle_timeout durability group_window port_file =
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | None -> None
+  | Some i -> (
+      let host = String.sub s 0 i in
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some port when host <> "" -> Some (host, port)
+      | _ -> None)
+
+let main db_dir port max_conns idle_timeout durability group_window port_file repl_port
+    sync_repl replica_of =
   match db_dir with
   | None ->
       prerr_endline "ode_server: --db DIR is required";
       exit 2
   | Some dir ->
-      let db =
-        try Ode.Database.open_ dir
-        with Ode_util.Codec.Corrupt msg ->
-          Printf.eprintf "ode_server: %s is corrupt: %s\n" dir msg;
-          exit 3
+      let upstream =
+        match replica_of with
+        | None -> None
+        | Some s -> (
+            match parse_host_port s with
+            | Some hp -> Some hp
+            | None ->
+                Printf.eprintf "ode_server: --replica-of wants HOST:PORT, got %s\n" s;
+                exit 2)
+      in
+      let db, replica =
+        match upstream with
+        | None -> (
+            ( (try Ode.Database.open_ dir
+               with Ode_util.Codec.Corrupt msg ->
+                 Printf.eprintf "ode_server: %s is corrupt: %s\n" dir msg;
+                 exit 3),
+              None ))
+        | Some (host, uport) -> (
+            match Ode_served.Replication.bootstrap ~db_dir:dir ~host ~port:uport () with
+            | db, up -> (db, Some (host, uport, up))
+            | exception Ode_served.Replication.Resync msg ->
+                Printf.eprintf "ode_server: bootstrap from %s:%d failed: %s\n" host uport msg;
+                exit 3
+            | exception Unix.Unix_error (e, _, _) ->
+                Printf.eprintf "ode_server: cannot reach primary %s:%d: %s\n" host uport
+                  (Unix.error_message e);
+                exit 1)
       in
       let server =
-        try Ode_served.Server.create ~max_conns ~idle_timeout ~durability ~group_window ~db ~port ()
+        try
+          Ode_served.Server.create ~max_conns ~idle_timeout ~durability ~group_window
+            ?repl_port ~sync_repl ?replica ~db ~port ()
         with Unix.Unix_error (e, _, _) ->
           Printf.eprintf "ode_server: cannot listen on port %d: %s\n" port
             (Unix.error_message e);
@@ -34,13 +80,24 @@ let main db_dir port max_conns idle_timeout durability group_window port_file =
       (match port_file with
       | Some f -> Out_channel.with_open_text f (fun oc -> Printf.fprintf oc "%d\n" bound)
       | None -> ());
+      let role =
+        match replica with
+        | Some (h, p, _) -> Printf.sprintf ", replica of %s:%d" h p
+        | None -> (
+            match repl_port with
+            | Some _ ->
+                Printf.sprintf ", replication on port %d%s"
+                  (Ode_served.Server.repl_port server)
+                  (if sync_repl then " (semi-sync)" else "")
+            | None -> "")
+      in
       Printf.printf
         "ode_server: serving %s on 127.0.0.1:%d (max %d conns, idle timeout %gs, durability \
-         %s, group window %d)\n\
+         %s, group window %d%s)\n\
          %!"
         dir bound max_conns idle_timeout
         (Ode.Database.durability_name durability)
-        group_window;
+        group_window role;
       Ode_served.Server.serve server;
       print_endline "ode_server: shutting down";
       Ode.Database.close db;
@@ -101,12 +158,38 @@ let port_file =
     & info [ "port-file" ] ~docv:"FILE"
         ~doc:"Write the bound port here once listening (for scripts using --port 0).")
 
+let repl_port =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "repl-port" ] ~docv:"PORT"
+        ~doc:"Also serve the replication stream for standbys on this port (0 = ephemeral).")
+
+let sync_repl =
+  Arg.(
+    value & flag
+    & info [ "sync-repl" ]
+        ~doc:
+          "Semi-synchronous replication: hold each client ack until a streaming standby \
+           acknowledged the commit it covers (degrades, with a counter, if no standby keeps \
+           up). Requires $(b,--repl-port).")
+
+let replica_of =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replica-of" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Run as a warm standby of the primary whose $(b,--repl-port) is HOST:PORT: \
+           bootstrap the store from it, apply its WAL stream, serve reads, reject writes. \
+           SIGUSR1 or the $(b,.promote) dot command promotes to primary.")
+
 let cmd =
   let doc = "network server for the ODE object database" in
   Cmd.v
     (Cmd.info "ode_server" ~doc)
     Term.(
       const main $ db_dir $ port $ max_conns $ idle_timeout $ durability $ group_window
-      $ port_file)
+      $ port_file $ repl_port $ sync_repl $ replica_of)
 
 let () = exit (Cmd.eval cmd)

@@ -41,6 +41,7 @@ let make_db ~dbdir ~kv_disk ~dir_disk ~idx_disk ~wal ~pool_pages ~wal_checkpoint
       draining = false;
       wal_auto_checkpoint = wal_checkpoint_bytes;
       durability;
+      read_only = false;
       ocache = Ode_util.Lru.create (max 0 object_cache);
       closed = false;
       printer = print_string;
@@ -278,13 +279,78 @@ let durability_of_string = function
   | "async" -> Some Async
   | _ -> None
 
+(* -- replication ------------------------------------------------------------- *)
+
+let lsn db = Wal.last_lsn db.wal
+let durable_lsn db = Wal.durable_lsn db.wal
+let wal_tail db ~lsn = Wal.tail_from db.wal ~lsn
+let set_wal_observer db f = Wal.set_on_sync db.wal f
+let read_only db = db.read_only
+let set_read_only db ro = db.read_only <- ro
+let dir db = db.dbdir
+
+(* Apply one shipped WAL batch on a standby: the same logical redo as
+   [recover], driven by the replication stream instead of the local log. The
+   records are appended to the standby's own WAL and fsynced *before* they
+   are applied (write-ahead, so a standby crash mid-apply replays them), and
+   the standby's commit LSN advances through those appends exactly as the
+   primary's did. The primary only ships whole transactions (appends happen
+   en bloc at commit, before any sync), so a batch never ends mid-txn.
+
+   A [Checkpoint] record — always the last in its batch, since the primary's
+   checkpoint syncs — is not copied into our log; it triggers the standby's
+   own checkpoint, keeping its recovery just as bounded. *)
+let apply_replicated db (records : Wal.record list) =
+  if db.closed then raise Db_closed;
+  Ode_util.Trace.with_span ~cat:"repl" "repl.apply" @@ fun () ->
+  let committed = Hashtbl.create 8 in
+  let checkpointed = ref false in
+  List.iter
+    (function
+      | Wal.Commit xid -> Hashtbl.replace committed xid ()
+      | Wal.Checkpoint _ -> checkpointed := true
+      | _ -> ())
+    records;
+  List.iter
+    (fun r -> match r with Wal.Checkpoint _ -> () | r -> Wal.append db.wal r)
+    records;
+  Wal.sync db.wal;
+  let state_touched = ref false in
+  let apply key op =
+    Store.apply_op db key op;
+    Ode_util.Stats.incr_recovery_replayed ();
+    if
+      key = Keys.catalog || key = Keys.meta
+      || (String.length key > 0 && String.sub key 0 1 = Keys.trigger_prefix)
+    then state_touched := true
+  in
+  List.iter
+    (function
+      | Wal.Put (xid, key, payload) when Hashtbl.mem committed xid -> apply key (Put payload)
+      | Wal.Delete (xid, key) when Hashtbl.mem committed xid -> apply key Del
+      | _ -> ())
+    records;
+  (* Schema, clock or trigger changes shipped from the primary must reach
+     the standby's decoded mirrors, not just its pages. *)
+  if !state_touched then begin
+    Hashtbl.reset db.activations;
+    Hashtbl.reset db.by_oid;
+    load_state db
+  end;
+  if !checkpointed || Wal.size_bytes db.wal > db.wal_auto_checkpoint then Txn.checkpoint db
+
 (* -- schema ---------------------------------------------------------------------- *)
 
 let require_no_txn db what =
   if db.active <> None then invalid_arg (what ^ " cannot run inside a transaction")
 
+(* DDL and the clock mutate in-memory state before the commit that would
+   reject them, so a standby refuses them up front. *)
+let require_writable db = if db.read_only then raise Read_only_store
+
 let define_class db (decl : Ast.class_decl) =
   require_no_txn db "define_class";
+  require_writable db;
   (* Resolve the would-be field set to drive the implicit-this rewrite. *)
   let parent_fields =
     List.concat_map
@@ -320,11 +386,13 @@ let define db source =
 
 let create_cluster db name =
   require_no_txn db "create_cluster";
+  require_writable db;
   Catalog.create_cluster db.catalog name;
   ignore (with_txn_no_drain db (fun txn -> txn.catalog_dirty <- true))
 
 let create_index db ~cls ~field =
   require_no_txn db "create_index";
+  require_writable db;
   Catalog.add_index db.catalog ~cls ~field;
   let idx_id =
     match Store.index_ids db ~cls ~field with Some i -> i | None -> assert false
@@ -403,6 +471,7 @@ let deactivate txn tid = Triggers.deactivate txn tid
 
 let advance_time db n =
   require_no_txn db "advance_time";
+  require_writable db;
   if n < 0 then invalid_arg "advance_time: negative step";
   with_txn_no_drain db (fun txn ->
       db.meta.clock <- db.meta.clock + n;

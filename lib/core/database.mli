@@ -120,6 +120,52 @@ val durability_name : durability -> string
 val durability_of_string : string -> durability option
 (** ["full"] / ["group"] / ["async"]. *)
 
+(** {1 Replication}
+
+    Commit LSNs number the database's committed transactions from the
+    beginning of time (see [Wal]); the serving layer tags every response
+    with one, ships post-fsync WAL batches to standbys, and a standby
+    replays them here. *)
+
+val lsn : t -> int
+(** LSN of the last committed (applied) transaction. On a standby this is
+    the replication apply position. *)
+
+val durable_lsn : t -> int
+(** LSN covered by the last WAL fsync ([lsn] minus any pending deferred
+    commits). *)
+
+val read_only : t -> bool
+
+val set_read_only : t -> bool -> unit
+(** A read-only database (a replication standby) rejects local writes with
+    {!Types.Read_only_store} — DDL and clock advancement immediately,
+    writing transactions at commit; read-only transactions still commit.
+    Promotion flips it back. *)
+
+val dir : t -> string option
+(** The backing directory ([None] for in-memory databases). *)
+
+val wal_tail : t -> lsn:int -> string option
+(** The raw WAL frames a replica at [lsn] still needs ([Wal.tail_from]);
+    [None] when the log was checkpointed past that point — ship a snapshot
+    instead. *)
+
+val set_wal_observer :
+  t -> (data:string -> from_lsn:int -> to_lsn:int -> unit) option -> unit
+(** Install the post-fsync batch observer ([Wal.set_on_sync]): the serving
+    layer's replication feeder. The callback runs inside commit paths and
+    must only enqueue. *)
+
+val apply_replicated : t -> Ode_storage.Wal.record list -> unit
+(** Standby redo: append a shipped batch to the local WAL, fsync it
+    (write-ahead — a standby crash mid-apply replays on reopen), apply the
+    committed operations through the same path recovery uses, refresh the
+    decoded schema/trigger/clock mirrors if the batch touched them, and
+    checkpoint when the primary's checkpoint record says to (or the local
+    log outgrows its bound). The local commit LSN advances through the
+    appended records exactly as the primary's did. *)
+
 (** {1 Objects (within a transaction)} *)
 
 val pnew : txn -> string -> (string * Ode_model.Value.t) list -> Ode_model.Oid.t

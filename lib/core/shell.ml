@@ -110,6 +110,9 @@ let render_error = function
   | Store.Type_error msg -> "type error: " ^ msg
   | Store.No_cluster c -> Printf.sprintf "no cluster exists for class %s (use: create cluster %s;)" c c
   | Triggers.Trigger_error msg -> "trigger error: " ^ msg
+  (* The prefix is load-bearing: clients recognize it as a retryable
+     redirect and fail over to the primary. *)
+  | Read_only_store -> "read-only replica: writes must go to the primary"
   | Constraint_violation { cls; cname; oid } ->
       Fmt.str "constraint %s.%s violated by object %a (transaction aborted)" cls cname
         Ode_model.Oid.pp oid
@@ -152,6 +155,7 @@ let dot_help =
   \  .trace dump FILE      write buffered spans as Chrome trace-event JSON\n\
   \  .explain QUERY        access plan for a forall query\n\
   \  .profile QUERY        EXPLAIN ANALYZE: run QUERY, per-plan-node costs\n\
+  \  .verify               run the structural integrity checker\n\
   \  .read FILE            execute a script file\n\
   \  .quit                 leave the shell"
 
@@ -295,6 +299,10 @@ let dot_command t line =
                 (H.count h) (H.percentile h 50.) (H.percentile h 95.) (H.percentile h 99.)
                 (H.max_ns h)
                 (int_of_float (H.mean_ns h)))
+      | ".verify", "" -> (
+          match Verify.run t.db with
+          | Ok () -> "ok"
+          | Error ps -> "verify failed: " ^ String.concat "; " ps)
       | ".explain", q ->
           let f = parse_forall q in
           in_txn t (fun _txn ->

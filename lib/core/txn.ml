@@ -49,7 +49,11 @@ let checkpoint db =
       Heap.flush db.kv_heap;
       Bptree.flush db.kv_dir;
       Bptree.flush db.idx;
-      Wal.append db.wal Wal.Checkpoint;
+      (* The record carries the durable LSN so replay over a lost truncation
+         can reconcile the commit count (see wal.mli). Appending bumps no
+         LSN itself; after the sync every prior commit is durable, so the
+         value logged is exact. *)
+      Wal.append db.wal (Wal.Checkpoint (Wal.last_lsn db.wal));
       Wal.sync db.wal;
       Wal.reset db.wal)
 
@@ -76,6 +80,16 @@ let decode_meta s =
    pool's write-ahead hook) makes the whole batch durable with one fsync. *)
 let commit_active ~durable txn =
   let db = txn.tdb in
+  (* 0. A replica rejects local writes before any effect: read-only
+        transactions (empty write set, no DDL) still commit, so remote
+        sessions can use begin/commit around queries. *)
+  if
+    db.read_only
+    && (Hashtbl.length txn.writes > 0 || txn.catalog_dirty || txn.meta_dirty)
+  then begin
+    abort txn;
+    raise Read_only_store
+  end;
   (* 1. Integrity: a violation aborts and rolls back (trivially, since
         nothing was applied). *)
   (match Constraints.check_txn txn with

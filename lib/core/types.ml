@@ -76,6 +76,7 @@ and db = {
   mutable draining : bool;
   mutable wal_auto_checkpoint : int;        (* bytes; checkpoint when exceeded *)
   mutable durability : durability;          (* when commits fsync (see above) *)
+  mutable read_only : bool;                 (* replica mode: reject local writes *)
   ocache : (string, cached) Ode_util.Lru.t; (* decoded objects by logical key;
                                                capacity 0 disables the cache *)
   mutable closed : bool;
@@ -86,3 +87,7 @@ exception Constraint_violation of { cls : string; cname : string; oid : Oid.t }
 exception Txn_aborted of string
 exception No_active_txn
 exception Db_closed
+
+exception Read_only_store
+(* The database is a replication standby: local writes are rejected (the
+   rendered message is the client's retryable redirect to the primary). *)

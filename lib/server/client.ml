@@ -1,22 +1,41 @@
-(* Blocking client: one socket, synchronous request/response, reconnect
-   once on EOF. Timeouts ride on SO_RCVTIMEO/SO_SNDTIMEO, so a stuck server
-   surfaces as Timeout instead of a hung process. *)
+(* Blocking client: synchronous request/response over one socket, with a
+   configurable retry budget. Timeouts ride on SO_RCVTIMEO/SO_SNDTIMEO, so a
+   stuck server surfaces as Timeout instead of a hung process.
+
+   Failover: the write pool is the primary followed by the [replicas] — a
+   transient connection failure or a "read-only replica" redirect rotates to
+   the next endpoint with exponential backoff and jitter, which is exactly
+   the promotion dance: the old primary dies, writes bounce off standbys
+   until one is promoted, then stick there. Reads route to a replica
+   connection when [replicas] were given, with read-your-writes stickiness:
+   every response carries the server's commit LSN, the client remembers the
+   highest it has seen from the write pool, and a replica answer behind that
+   watermark is discarded in favor of the primary. *)
 
 exception Server_error of string
 exception Rejected of string
 exception Disconnected of string
 exception Timeout
 
+exception Pipeline_broken of { acked : (string, string) result list; pending : int }
+
 type t = {
-  host : string;
-  port : int;
+  endpoints : (string * int) array; (* write pool: primary first, then replicas *)
+  mutable active : int;             (* current write endpoint *)
+  replicas : (string * int) array;  (* read pool *)
+  mutable ractive : int;
   timeout : float;
-  mutable fd : Unix.file_descr option;
+  retries : int;
+  backoff : float;
+  mutable fd : Unix.file_descr option;  (* write-pool connection *)
+  mutable rfd : Unix.file_descr option; (* read-pool connection *)
   mutable next_id : int;
+  mutable seen_lsn : int; (* read-your-writes watermark *)
+  jitter : Random.State.t;
 }
 
 (* Raised internally when the peer hangs up mid-exchange; converted to a
-   reconnect-and-retry (once) or Disconnected. *)
+   rotate-and-retry or Disconnected. *)
 exception Conn_lost of string
 
 let rec write_all fd s pos len =
@@ -43,13 +62,13 @@ let read_exact fd n =
   go 0;
   Bytes.to_string buf
 
-let open_socket t =
+let open_socket ~timeout ~host ~port =
   let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   try
-    Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.timeout;
-    Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.timeout;
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
     (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string t.host, t.port));
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
     write_all fd Protocol.hello 0 Protocol.hello_len;
     let reply =
       try read_exact fd Protocol.hello_reply_len
@@ -63,10 +82,26 @@ let open_socket t =
     (try Unix.close fd with Unix.Unix_error _ -> ());
     raise e
 
-let connect ?(timeout = 30.) ~host ~port () =
+let connect ?(timeout = 30.) ?(retries = 4) ?(backoff = 0.05) ?(replicas = []) ~host ~port
+    () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let t = { host; port; timeout; fd = None; next_id = 0 } in
-  t.fd <- Some (open_socket t);
+  let t =
+    {
+      endpoints = Array.of_list ((host, port) :: replicas);
+      active = 0;
+      replicas = Array.of_list replicas;
+      ractive = 0;
+      timeout;
+      retries = max 0 retries;
+      backoff = Float.max 0. backoff;
+      fd = None;
+      rfd = None;
+      next_id = 0;
+      seen_lsn = -1;
+      jitter = Random.State.make_self_init ();
+    }
+  in
+  t.fd <- Some (open_socket ~timeout ~host ~port);
   t
 
 let drop_socket t =
@@ -76,16 +111,31 @@ let drop_socket t =
       t.fd <- None;
       (try Unix.close fd with Unix.Unix_error _ -> ())
 
+let drop_replica_socket t =
+  match t.rfd with
+  | None -> ()
+  | Some fd ->
+      t.rfd <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
 let socket t =
   match t.fd with
   | Some fd -> fd
-  | None -> (* first use after a lost connection *)
-      let fd = open_socket t in
+  | None ->
+      (* First use after a lost connection: the current write endpoint. *)
+      let host, port = t.endpoints.(t.active) in
+      let fd = open_socket ~timeout:t.timeout ~host ~port in
       t.fd <- Some fd;
       fd
 
-let exchange t op =
-  let fd = socket t in
+(* One request/response over [fd]. [timeout], when given, overrides the
+   connection default for just this exchange. *)
+let raw_exchange ?timeout t fd op : Protocol.response =
+  (match timeout with
+  | Some s ->
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+  | None -> ());
   t.next_id <- t.next_id + 1;
   let id = t.next_id in
   let b = Buffer.create 256 in
@@ -97,24 +147,80 @@ let exchange t op =
   if len > Protocol.max_frame_len then
     raise (Ode_util.Codec.Corrupt (Printf.sprintf "client: %d-byte response frame" len));
   let resp = Protocol.decode_response (read_exact fd len) in
+  (match timeout with
+  | Some _ ->
+      (* Restore the defaults for the next exchange. *)
+      (try
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.timeout;
+         Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.timeout
+       with Unix.Unix_error _ -> ())
+  | None -> ());
   if resp.rs_id <> id then
     raise
       (Ode_util.Codec.Corrupt
          (Printf.sprintf "client: response id %d for request %d" resp.rs_id id));
-  resp.rs_reply
+  resp
 
-let call t op =
-  match exchange t op with
-  | reply -> reply
-  | exception Conn_lost _ -> (
-      (* Reconnect once: the server evicted us (idle timeout, restart). The
-         retry runs in a fresh session. *)
+let exchange ?timeout t op = raw_exchange ?timeout t (socket t) op
+
+(* The rendered form of [Read_only_store]: this prefix is the server telling
+   us to take our writes elsewhere (see lib/core/shell.ml). *)
+let redirect_prefix = "read-only replica"
+
+let is_redirect msg =
+  String.length msg >= String.length redirect_prefix
+  && String.sub msg 0 (String.length redirect_prefix) = redirect_prefix
+
+let rotate_endpoint t = t.active <- (t.active + 1) mod Array.length t.endpoints
+
+(* Exponential backoff with jitter: base * 2^attempt, capped, scaled by a
+   uniform [0.5, 1.0) draw so a thundering herd of retrying clients spreads
+   out. *)
+let backoff_sleep t attempt =
+  let d = Float.min (t.backoff *. (2. ** float_of_int attempt)) 2.0 in
+  let d = d *. (0.5 +. Random.State.float t.jitter 0.5) in
+  if d > 0. then Unix.sleepf d
+
+(* Run [op] against the write pool, burning the retry budget on transient
+   connection failures and read-only redirects (each rotates endpoints: the
+   promoted standby is somewhere in the pool). Successful responses advance
+   the read-your-writes watermark. *)
+let response ?timeout t op : Protocol.response =
+  let rec go attempt =
+    let retry msg =
       drop_socket t;
-      match exchange t op with
-      | reply -> reply
-      | exception Conn_lost msg ->
-          drop_socket t;
-          raise (Disconnected msg))
+      if attempt >= t.retries then raise (Disconnected msg)
+      else begin
+        rotate_endpoint t;
+        backoff_sleep t attempt;
+        go (attempt + 1)
+      end
+    in
+    match exchange ?timeout t op with
+    | resp -> (
+        match resp.rs_reply with
+        | Protocol.Error msg
+          when is_redirect msg && attempt < t.retries && Array.length t.endpoints > 1 ->
+            (* A standby answered: rotate until we find the primary (or a
+               freshly promoted one). *)
+            drop_socket t;
+            rotate_endpoint t;
+            backoff_sleep t attempt;
+            go (attempt + 1)
+        | _ ->
+            if resp.rs_lsn > t.seen_lsn then t.seen_lsn <- resp.rs_lsn;
+            resp)
+    | exception Conn_lost msg -> retry msg
+    | exception
+        Unix.Unix_error
+          ( (ECONNREFUSED | ECONNRESET | EHOSTUNREACH | ENETUNREACH | ETIMEDOUT | EPIPE),
+            _,
+            _ ) ->
+        retry "connect failed"
+  in
+  go 0
+
+let call ?timeout t op = (response ?timeout t op).rs_reply
 
 let unexpected what (reply : Protocol.reply) =
   match reply with
@@ -123,13 +229,80 @@ let unexpected what (reply : Protocol.reply) =
   | Output _ -> failwith (what ^ ": unexpected Output reply")
   | Rows _ -> failwith (what ^ ": unexpected Rows reply")
 
+(* -- read routing --------------------------------------------------------- *)
+
+(* Best-effort read against the read pool: [None] means "use the primary" —
+   no replica reachable, the answer was behind the watermark (stickiness),
+   or the replica session couldn't run the query (e.g. it references shell
+   variables bound on the primary session). *)
+let replica_response ?timeout t op =
+  let n = Array.length t.replicas in
+  let rec go tries =
+    if tries = 0 then None
+    else
+      let fd =
+        match t.rfd with
+        | Some fd -> Some fd
+        | None -> (
+            let host, port = t.replicas.(t.ractive) in
+            match open_socket ~timeout:t.timeout ~host ~port with
+            | fd ->
+                t.rfd <- Some fd;
+                Some fd
+            | exception
+                ( Rejected _
+                | Unix.Unix_error
+                    ( ( ECONNREFUSED | ECONNRESET | EHOSTUNREACH | ENETUNREACH
+                      | ETIMEDOUT | EPIPE ),
+                      _,
+                      _ ) ) ->
+                None)
+      in
+      match fd with
+      | None ->
+          t.ractive <- (t.ractive + 1) mod n;
+          go (tries - 1)
+      | Some fd -> (
+          match raw_exchange ?timeout t fd op with
+          | resp -> if resp.rs_lsn >= t.seen_lsn then Some resp else None
+          | exception (Conn_lost _ | Timeout) ->
+              drop_replica_socket t;
+              t.ractive <- (t.ractive + 1) mod n;
+              go (tries - 1))
+  in
+  if n = 0 then None else go n
+
+(* -- operations ----------------------------------------------------------- *)
+
+let ping ?timeout t =
+  match call ?timeout t Ping with Pong -> () | r -> unexpected "ping" r
+
+let exec ?timeout t src =
+  match call ?timeout t (Exec src) with Output s -> s | r -> unexpected "exec" r
+
+let query ?timeout t src =
+  match replica_response ?timeout t (Query src) with
+  | Some { rs_reply = Rows rs; _ } -> rs
+  | Some _ | None -> (
+      match call ?timeout t (Query src) with
+      | Rows rs -> rs
+      | r -> unexpected "query" r)
+
+let dot ?timeout t line =
+  match call ?timeout t (Dot line) with Output s -> s | r -> unexpected "dot" r
+
+let last_seen_lsn t = t.seen_lsn
+
 (* Pipelining: write a whole batch of requests in one send, then collect
    the responses in order. The server executes them in arrival order within
    one scheduler tick, so under group durability the entire batch (plus
    whatever other connections contributed that tick) shares one WAL fsync.
    Errors come back per-request rather than as exceptions — a failed
    statement must not abandon the responses queued behind it. No implicit
-   reconnect: a batch is not idempotent-retry-safe. *)
+   reconnect or retry: a batch is not idempotent-retry-safe. Instead, a
+   connection that dies mid-pipeline raises {!Pipeline_broken} carrying the
+   responses that did arrive, so the caller knows exactly which requests
+   were acknowledged and how many are in doubt. *)
 let exec_many t srcs =
   if srcs = [] then []
   else begin
@@ -144,36 +317,43 @@ let exec_many t srcs =
         srcs
     in
     let frame = Buffer.contents b in
-    try
-      write_all fd frame 0 (String.length frame);
-      List.map
-        (fun id ->
-          let len_bytes = read_exact fd 4 in
-          let len = Ode_util.Codec.get_u32 (Ode_util.Codec.cursor len_bytes) in
-          if len > Protocol.max_frame_len then
-            raise (Ode_util.Codec.Corrupt (Printf.sprintf "client: %d-byte response frame" len));
-          let resp = Protocol.decode_response (read_exact fd len) in
-          if resp.rs_id <> id then
-            raise
-              (Ode_util.Codec.Corrupt
-                 (Printf.sprintf "client: response id %d for request %d" resp.rs_id id));
-          match resp.rs_reply with
-          | Output s -> Ok s
-          | Error msg -> Error msg
-          | Pong | Rows _ -> failwith "exec_many: unexpected reply kind")
-        ids
-    with Conn_lost msg ->
+    let total = List.length ids in
+    let acked = ref [] in
+    let broken msg =
       drop_socket t;
-      raise (Disconnected msg)
+      ignore msg;
+      raise (Pipeline_broken { acked = List.rev !acked; pending = total - List.length !acked })
+    in
+    (try write_all fd frame 0 (String.length frame) with Conn_lost msg -> broken msg);
+    List.map
+      (fun id ->
+        let r =
+          try
+            let len_bytes = read_exact fd 4 in
+            let len = Ode_util.Codec.get_u32 (Ode_util.Codec.cursor len_bytes) in
+            if len > Protocol.max_frame_len then
+              raise
+                (Ode_util.Codec.Corrupt (Printf.sprintf "client: %d-byte response frame" len));
+            let resp = Protocol.decode_response (read_exact fd len) in
+            if resp.rs_id <> id then
+              raise
+                (Ode_util.Codec.Corrupt
+                   (Printf.sprintf "client: response id %d for request %d" resp.rs_id id));
+            if resp.rs_lsn > t.seen_lsn then t.seen_lsn <- resp.rs_lsn;
+            match resp.rs_reply with
+            | Output s -> Ok s
+            | Error msg -> Error msg
+            | Pong | Rows _ -> failwith "exec_many: unexpected reply kind"
+          with Conn_lost msg -> broken msg
+        in
+        acked := r :: !acked;
+        r)
+      ids
   end
-
-let ping t = match call t Ping with Pong -> () | r -> unexpected "ping" r
-let exec t src = match call t (Exec src) with Output s -> s | r -> unexpected "exec" r
-let query t src = match call t (Query src) with Rows rs -> rs | r -> unexpected "query" r
-let dot t line = match call t (Dot line) with Output s -> s | r -> unexpected "dot" r
 
 let close t =
   (match t.fd with
   | None -> ()
-  | Some _ -> ( try ignore (exchange t Close) with _ -> ()));
-  drop_socket t
+  | Some fd -> ( try ignore (raw_exchange t fd Close) with _ -> ()));
+  drop_socket t;
+  drop_replica_socket t

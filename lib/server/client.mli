@@ -2,13 +2,31 @@
 
     One [t] is one remote session: the server keeps your shell variables
     and explicit transaction between calls. All calls block until the
-    response arrives or [timeout] elapses ({!Timeout}).
+    response arrives or the timeout elapses ({!Timeout}).
 
-    If the server hangs up (idle-timeout eviction, restart), the next call
-    transparently reconnects {e once} and retries — note that the fresh
-    session has empty variable bindings and no open transaction, exactly as
-    if the eviction's rollback had been observed. A second consecutive
-    failure raises {!Disconnected}. *)
+    {2 Retries and failover}
+
+    Transient failures — the server hung up (idle-timeout eviction,
+    restart, crash) or refused the connection — are retried up to [retries]
+    times with exponential backoff and jitter, rotating through the write
+    pool ([host:port] followed by every [replicas] entry) on each attempt.
+    A write answered with the "read-only replica" redirect burns a retry
+    the same way, which is the failover path: when the primary dies and a
+    standby is promoted, writes bounce off the remaining standbys until
+    they land on the promoted one, then stick. A retried call runs in a
+    fresh session — empty variable bindings, no open transaction — exactly
+    as if the eviction's rollback had been observed; and since a lost
+    connection cannot prove whether the server executed the request,
+    retried writes may be applied twice. Callers needing exactly-once must
+    make their programs idempotent.
+
+    {2 Read routing}
+
+    When [replicas] is non-empty, {!query} is served from a replica
+    connection, with read-your-writes stickiness: every response carries
+    the server's commit LSN, the client tracks the highest LSN any write-
+    pool response acknowledged, and a replica answer behind that watermark
+    (or failing, or unreachable) silently falls back to the primary. *)
 
 type t
 
@@ -21,19 +39,42 @@ exception Rejected of string
     the peer is not an ODE server. *)
 
 exception Disconnected of string
-(** The connection died and the one permitted reconnect also failed. *)
+(** The connection died and the retry budget is exhausted. *)
 
 exception Timeout
 (** No response within the configured timeout. The connection state is
-    indeterminate afterwards; {!close} and reconnect. *)
+    indeterminate afterwards ({e the request may have executed}), so
+    timeouts are never retried implicitly; {!close} and reconnect. *)
 
-val connect : ?timeout:float -> host:string -> port:int -> unit -> t
-(** [timeout] (seconds, default 30) bounds each send/receive. *)
+exception Pipeline_broken of { acked : (string, string) result list; pending : int }
+(** The connection died mid-{!exec_many}. [acked] holds the per-request
+    outcomes that were received, in request order — those requests
+    definitely executed (and, under Full/Group durability, their commits
+    are durable). [pending] counts the requests after them whose fate is
+    unknown: the prefix of them that reached the server may have executed
+    without an observable ack. *)
 
-val ping : t -> unit
+val connect :
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?replicas:(string * int) list ->
+  host:string ->
+  port:int ->
+  unit ->
+  t
+(** [timeout] (seconds, default 30) bounds each send/receive; [retries]
+    (default 4) is the transient-failure budget per call; [backoff]
+    (seconds, default 0.05) the base retry delay, doubled per attempt
+    (capped at 2s) and jittered. [replicas] are standby endpoints: read
+    pool for {!query} and failover candidates for everything else. The
+    initial connection to [host:port] is not retried. *)
 
-val exec : t -> string -> string
-(** Run a program remotely; returns its printed output. *)
+val ping : ?timeout:float -> t -> unit
+
+val exec : ?timeout:float -> t -> string -> string
+(** Run a program remotely; returns its printed output. [?timeout]
+    overrides the connection default for this call. *)
 
 val exec_many : t -> string list -> (string, string) result list
 (** Pipelined [exec]: send the whole batch in one write, then read the
@@ -42,18 +83,25 @@ val exec_many : t -> string list -> (string, string) result list
     autocommits. Per-request outcomes ([Ok output] / [Error rendered]), so
     one failing statement doesn't orphan the responses behind it. Keep
     batches modest (well under the server's per-connection flow-control
-    cap, ~1 MiB of responses); there is no mid-batch reconnect. *)
+    cap, ~1 MiB of responses). There is no mid-batch reconnect or retry: a
+    dead connection raises {!Pipeline_broken} with the acknowledged
+    prefix. *)
 
-val query : t -> string -> string list
-(** Run a bodiless [forall]; one rendered object per row. *)
+val query : ?timeout:float -> t -> string -> string list
+(** Run a bodiless [forall]; one rendered object per row. Served from a
+    replica when the client was given [replicas] (see read routing above). *)
 
-val dot : t -> string -> string
+val dot : ?timeout:float -> t -> string -> string
 (** Run a [.command] remotely. *)
 
-val call : t -> Protocol.op -> Protocol.reply
-(** Low-level escape hatch: send any op, get the raw reply (still checked
-    for id match and framing). *)
+val call : ?timeout:float -> t -> Protocol.op -> Protocol.reply
+(** Low-level escape hatch: send any op through the write pool (with
+    retries), get the raw reply (still checked for id match and framing). *)
+
+val last_seen_lsn : t -> int
+(** The read-your-writes watermark: the highest commit LSN any write-pool
+    response carried. -1 before the first response. *)
 
 val close : t -> unit
-(** Send a polite [Close] (best effort) and release the socket.
+(** Send a polite [Close] (best effort) and release the sockets.
     Idempotent. *)

@@ -4,8 +4,14 @@
 module Codec = Ode_util.Codec
 
 let magic = "ODEP"
-let version = 1
+let version = 2
 let max_frame_len = 16 * 1024 * 1024
+
+(* Replication connections carry their own magic (so a replica pointed at a
+   client port — or vice versa — fails fast) and a larger frame cap:
+   snapshot messages carry whole data files. *)
+let repl_magic = "ODER"
+let repl_max_frame_len = 256 * 1024 * 1024
 
 (* -- handshake ---------------------------------------------------------- *)
 
@@ -54,7 +60,12 @@ let parse_hello_reply s =
 type op = Ping | Exec of string | Query of string | Dot of string | Close
 type request = { rq_id : int; rq_op : op }
 type reply = Pong | Output of string | Rows of string list | Error of string
-type response = { rs_id : int; rs_reply : reply }
+
+(* [rs_lsn] is the server's commit LSN when the request was handled: on a
+   primary the last committed transaction (so a write's ack carries the LSN
+   that made it in), on a replica the replication apply position. Clients
+   use it for read-your-writes routing. *)
+type response = { rs_id : int; rs_lsn : int; rs_reply : reply }
 
 (* Encode [body] into [b] as one frame: u32 length, then the body. *)
 let frame b body =
@@ -81,9 +92,10 @@ let encode_request b { rq_id; rq_op } =
   | Close -> Codec.put_u8 body 4);
   frame b body
 
-let encode_response b { rs_id; rs_reply } =
+let encode_response b { rs_id; rs_lsn; rs_reply } =
   let body = Buffer.create 64 in
   Codec.put_u32 body rs_id;
+  Codec.put_int body rs_lsn;
   (match rs_reply with
   | Pong -> Codec.put_u8 body 0
   | Output s ->
@@ -120,6 +132,7 @@ let decode_request s =
 let decode_response s =
   let c = Codec.cursor s in
   let rs_id = Codec.get_u32 c in
+  let rs_lsn = Codec.get_int c in
   let rs_reply =
     match Codec.get_u8 c with
     | 0 -> Pong
@@ -133,16 +146,16 @@ let decode_response s =
     | n -> raise (Codec.Corrupt (Printf.sprintf "protocol: unknown reply tag %d" n))
   in
   check_consumed c;
-  { rs_id; rs_reply }
+  { rs_id; rs_lsn; rs_reply }
 
 (* -- incremental frame extraction --------------------------------------- *)
 
 (* Pending bytes live in [buf]; [pos] is the consumed prefix. The buffer is
    compacted whenever everything buffered has been consumed, which in
    practice is after every batch of frames (requests are small). *)
-type reader = { mutable buf : Buffer.t; mutable pos : int }
+type reader = { mutable buf : Buffer.t; mutable pos : int; rd_max : int }
 
-let reader () = { buf = Buffer.create 4096; pos = 0 }
+let reader ?(max_len = max_frame_len) () = { buf = Buffer.create 4096; pos = 0; rd_max = max_len }
 
 let feed r bytes n = Buffer.add_subbytes r.buf bytes 0 n
 let buffered r = Buffer.length r.buf - r.pos
@@ -170,9 +183,9 @@ let next_frame r =
   if buffered r < 4 then None
   else begin
     let len = peek_u32 r in
-    if len > max_frame_len then
+    if len > r.rd_max then
       raise
-        (Codec.Corrupt (Printf.sprintf "protocol: frame of %d bytes exceeds %d" len max_frame_len));
+        (Codec.Corrupt (Printf.sprintf "protocol: frame of %d bytes exceeds %d" len r.rd_max));
     if buffered r < 4 + len then None
     else begin
       let s = Buffer.sub r.buf (r.pos + 4) len in
@@ -181,3 +194,98 @@ let next_frame r =
       Some s
     end
   end
+
+(* -- replication stream ------------------------------------------------- *)
+
+(* A replica opens with [repl_hello] (magic + version, unframed), then both
+   sides exchange frames. The replica announces its apply LSN; the primary
+   answers with either a resume point (and then streams batches) or a
+   snapshot (the data files at a checkpoint) followed by batches. The
+   replica acknowledges each applied batch so the primary can track lag and
+   gate semi-sync acks. *)
+
+type repl_msg =
+  | R_hello of int  (* replica's current commit LSN; fresh store = 0 *)
+  | R_resume of int  (* primary will stream WAL batches from this LSN *)
+  | R_snapshot of int * (string * string) list  (* LSN; data files by name *)
+  | R_batch of int * int * string  (* (from_lsn, to_lsn], raw WAL frames *)
+  | R_ack of int  (* replica has durably applied up to this LSN *)
+
+let repl_hello =
+  let b = Buffer.create 8 in
+  Buffer.add_string b repl_magic;
+  Codec.put_u16 b version;
+  Buffer.contents b
+
+let repl_hello_len = String.length repl_hello
+
+let parse_repl_hello s =
+  (* [reply]'s [Error] constructor shadows [result]'s from here on down. *)
+  if String.length s <> repl_hello_len then Stdlib.Error "repl handshake: wrong length"
+  else if String.sub s 0 4 <> repl_magic then Stdlib.Error "repl handshake: bad magic"
+  else
+    let c = Codec.cursor ~pos:4 s in
+    let v = Codec.get_u16 c in
+    if v = version then Stdlib.Ok ()
+    else
+      Stdlib.Error
+        (Printf.sprintf "repl handshake: version mismatch (peer %d, ours %d)" v version)
+
+let encode_repl b msg =
+  let body = Buffer.create 64 in
+  (match msg with
+  | R_hello lsn ->
+      Codec.put_u8 body 0;
+      Codec.put_int body lsn
+  | R_resume lsn ->
+      Codec.put_u8 body 1;
+      Codec.put_int body lsn
+  | R_snapshot (lsn, files) ->
+      Codec.put_u8 body 2;
+      Codec.put_int body lsn;
+      Codec.put_u32 body (List.length files);
+      List.iter
+        (fun (name, data) ->
+          Codec.put_string body name;
+          Codec.put_string body data)
+        files
+  | R_batch (from_lsn, to_lsn, data) ->
+      Codec.put_u8 body 3;
+      Codec.put_int body from_lsn;
+      Codec.put_int body to_lsn;
+      Codec.put_string body data
+  | R_ack lsn ->
+      Codec.put_u8 body 4;
+      Codec.put_int body lsn);
+  let len = Buffer.length body in
+  if len > repl_max_frame_len then
+    invalid_arg (Printf.sprintf "protocol: repl frame body %d exceeds %d bytes" len repl_max_frame_len);
+  Codec.put_u32 b len;
+  Buffer.add_buffer b body
+
+let decode_repl s =
+  let c = Codec.cursor s in
+  let msg =
+    match Codec.get_u8 c with
+    | 0 -> R_hello (Codec.get_int c)
+    | 1 -> R_resume (Codec.get_int c)
+    | 2 ->
+        let lsn = Codec.get_int c in
+        let n = Codec.get_u32 c in
+        if n > 64 then raise (Codec.Corrupt (Printf.sprintf "protocol: absurd snapshot file count %d" n));
+        let files =
+          List.init n (fun _ ->
+              let name = Codec.get_string c in
+              let data = Codec.get_string c in
+              (name, data))
+        in
+        R_snapshot (lsn, files)
+    | 3 ->
+        let from_lsn = Codec.get_int c in
+        let to_lsn = Codec.get_int c in
+        R_batch (from_lsn, to_lsn, Codec.get_string c)
+    | 4 -> R_ack (Codec.get_int c)
+    | n -> raise (Codec.Corrupt (Printf.sprintf "protocol: unknown repl tag %d" n))
+  in
+  check_consumed c;
+  msg

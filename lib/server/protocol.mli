@@ -57,7 +57,12 @@ type reply =
   | Rows of string list  (** [Query] results, one rendered object per row *)
   | Error of string  (** the rendered error message *)
 
-type response = { rs_id : int; rs_reply : reply }
+type response = { rs_id : int; rs_lsn : int; rs_reply : reply }
+(** [rs_lsn] is the serving database's commit LSN at response time: on the
+    primary, the LSN whose durability the reply's delivery attests (the
+    server only flushes replies after the covering fsync); on a replica,
+    the replication apply position the answer reflects. Clients track it
+    for read-your-writes routing across primary and replicas. *)
 
 val max_frame_len : int
 (** Upper bound on a frame body (16 MiB). *)
@@ -82,7 +87,9 @@ val decode_response : string -> response
 
 type reader
 
-val reader : unit -> reader
+val reader : ?max_len:int -> unit -> reader
+(** [max_len] (default {!max_frame_len}) caps acceptable frame bodies;
+    replication connections pass {!repl_max_frame_len} for snapshots. *)
 
 val feed : reader -> bytes -> int -> unit
 (** [feed r buf n] appends the first [n] bytes of [buf]. *)
@@ -96,4 +103,42 @@ val take : reader -> int -> string option
 val next_frame : reader -> string option
 (** The next complete frame body, if one is fully buffered. Raises
     {!Ode_util.Codec.Corrupt} as soon as a frame header announces a body
-    over {!max_frame_len}, without waiting for the body. *)
+    over the reader's cap, without waiting for the body. *)
+
+(** {1 Replication stream}
+
+    A replica connects to the primary's replication port, sends
+    {!repl_hello} (unframed magic + version), then a framed {!R_hello}
+    announcing its commit LSN. The primary replies {!R_resume} (it will
+    stream the missing WAL suffix) or {!R_snapshot} (the store was
+    checkpointed past the replica's position: here are the data files),
+    then a stream of {!R_batch} frames — each a post-fsync WAL batch tagged
+    with the commit-LSN range it advances. The replica answers applied
+    batches with {!R_ack}, which drives the primary's lag gauges and
+    semi-sync ack gating. *)
+
+type repl_msg =
+  | R_hello of int  (** replica's current commit LSN; fresh store = 0 *)
+  | R_resume of int  (** primary streams WAL batches from this LSN *)
+  | R_snapshot of int * (string * string) list
+      (** store snapshot at this LSN: [(file name, contents)] to install *)
+  | R_batch of int * int * string
+      (** [(from_lsn, to_lsn, frames)]: raw WAL frames advancing
+          [(from_lsn, to_lsn]] *)
+  | R_ack of int  (** replica has durably applied up to this LSN *)
+
+val repl_magic : string
+val repl_max_frame_len : int
+(** Frame cap for replication connections (256 MiB — snapshots carry whole
+    data files). *)
+
+val repl_hello : string
+val repl_hello_len : int
+val parse_repl_hello : string -> (unit, string) result
+
+val encode_repl : Buffer.t -> repl_msg -> unit
+(** Appends a complete frame (length prefix included). *)
+
+val decode_repl : string -> repl_msg
+(** Decode one frame body. Raises {!Ode_util.Codec.Corrupt} when
+    malformed. *)

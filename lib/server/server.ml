@@ -12,7 +12,18 @@
    ack point: one [Database.sync_commits] covering every autocommit executed
    this tick. So under [Group] durability a reply can only reach the socket
    after the fsync that made its commit durable, while a tick that executed
-   N requests paid for one fsync, not N. *)
+   N requests paid for one fsync, not N.
+
+   Replication rides the same loop. A primary with a replication port keeps
+   a second listener; each connected standby is a [downstream] whose buffer
+   the WAL observer feeds with every post-fsync batch — the observer fires
+   inside [Wal.sync], strictly after the barrier, so a standby can never
+   hold a commit the primary could still lose. A replica runs the same loop
+   with an [upstream] link instead: batches in, acks out, promotion on
+   [.promote] or SIGUSR1. Under [sync_repl] the write phase additionally
+   holds back any reply whose commit no streaming replica has acknowledged
+   yet (semi-sync), degrading after a timeout rather than blocking writes
+   forever on a dead standby. *)
 
 module Stats = Ode_util.Stats
 module Db = Ode.Database
@@ -25,17 +36,47 @@ type conn = {
   mutable state : [ `Hello | `Active of Session.t ];
   mutable closing : bool;     (* close once [out] drains *)
   mutable last : float;       (* last byte received (idle eviction) *)
+  mutable sent_lsn : int;     (* highest commit LSN this conn's buffered
+                                 replies acknowledge (semi-sync gate) *)
+}
+
+(* A standby streaming from us. *)
+type downstream = {
+  d_fd : Unix.file_descr;
+  d_rd : Protocol.reader;
+  d_out : Buffer.t;
+  mutable d_out_pos : int;
+  mutable d_state : [ `Magic | `Hello | `Streaming ];
+  mutable d_acked : int;      (* highest LSN it acknowledged; -1 = none yet *)
+}
+
+(* The primary we stream from (replica role). *)
+type upstream_state = {
+  u_host : string;
+  u_port : int;
+  mutable u_link : Replication.upstream option; (* None while reconnecting *)
+  u_out : Buffer.t;           (* pending acks *)
+  mutable u_out_pos : int;
+  mutable u_retry_at : float;
 }
 
 type t = {
   db : Ode.Database.t;
   listen_fd : Unix.file_descr;
   lport : int;
+  repl_listen_fd : Unix.file_descr option;
+  rport : int;                (* 0 when replication is not served *)
+  sync_repl : bool;
   max_conns : int;
   idle_timeout : float;
   group_window : int;         (* force a sync once this many commits pend *)
   read_buf : bytes;           (* scratch shared by every read *)
   mutable conns : conn list;
+  mutable downstreams : downstream list;
+  mutable upstream : upstream_state option; (* Some = replica role *)
+  mutable degraded : bool;    (* semi-sync waived until replicas catch up *)
+  mutable gate_since : float option; (* oldest unmet semi-sync wait *)
+  mutable promote_flag : bool; (* set by SIGUSR1, consumed by the loop *)
   mutable next_session : int;
   mutable stop : bool;
 }
@@ -44,55 +85,348 @@ type t = {
    reads resume when the client drains its socket. *)
 let out_cap = 1 lsl 20
 
+(* A standby that stops draining its stream is cut off at this backlog; it
+   will resync when it comes back. *)
+let downstream_out_cap = 64 * 1024 * 1024
+let max_downstreams = 8
+
 (* Bounded flush window for graceful shutdown. *)
 let drain_deadline = 5.0
 
-let create ?(host = "127.0.0.1") ?(max_conns = 64) ?(idle_timeout = 300.) ?durability
-    ?(group_window = 64) ~db ~port () =
-  if not (Domain.is_main_domain ()) then
-    invalid_arg "Server.create: the serving model is single-domain (see stats.mli)";
-  Option.iter (Db.set_durability db) durability;
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
-  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-  Unix.listen listen_fd 64;
-  Unix.set_nonblock listen_fd;
-  let lport =
-    match Unix.getsockname listen_fd with
-    | Unix.ADDR_INET (_, p) -> p
-    | _ -> assert false
-  in
-  {
-    db;
-    listen_fd;
-    lport;
-    max_conns;
-    idle_timeout;
-    group_window = max 1 group_window;
-    read_buf = Bytes.create 65536;
-    conns = [];
-    next_session = 0;
-    stop = false;
-  }
+(* Semi-sync degrade: how long client acks may wait on replica acks before
+   the gate opens (and [repl.sync_degraded] counts the event). *)
+let sync_repl_timeout = 5.0
 
 let port t = t.lport
+let repl_port t = t.rport
 let connections t = List.length t.conns
 let shutdown t = t.stop <- true
 
 let handle_signals t =
   let h = Sys.Signal_handle (fun _ -> shutdown t) in
   Sys.set_signal Sys.sigint h;
-  Sys.set_signal Sys.sigterm h
+  Sys.set_signal Sys.sigterm h;
+  (* Promotion by signal: the handler only sets a flag; the loop promotes
+     between iterations. Harmless on a primary. *)
+  Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> t.promote_flag <- true))
 
 let out_pending c = Buffer.length c.out - c.out_pos
+let d_pending d = Buffer.length d.d_out - d.d_out_pos
+let u_pending u = Buffer.length u.u_out - u.u_out_pos
+
+let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 let drop t c =
   (match c.state with `Active s -> Session.close s | `Hello -> ());
-  (try Unix.close c.fd with Unix.Unix_error _ -> ());
+  close_fd c.fd;
   t.conns <- List.filter (fun c' -> c' != c) t.conns
 
-(* -- accepting ----------------------------------------------------------- *)
+let drop_downstream t d =
+  close_fd d.d_fd;
+  t.downstreams <- List.filter (fun d' -> d' != d) t.downstreams
+
+let is_primary t = t.upstream = None
+
+(* -- replication: primary side ------------------------------------------- *)
+
+(* The WAL observer: called inside [Wal.sync] after the barrier, with the
+   frames covering commits (from_lsn, to_lsn]. Only enqueues — the sockets
+   are serviced by the loop's write phase. *)
+let feed t ~data ~from_lsn ~to_lsn =
+  List.iter
+    (fun d ->
+      if d.d_state = `Streaming then begin
+        Protocol.encode_repl d.d_out (Protocol.R_batch (from_lsn, to_lsn, data));
+        Stats.incr_repl_batches_sent ();
+        Stats.add_repl_bytes_sent (String.length data)
+      end)
+    t.downstreams
+
+let rec accept_repl t lfd =
+  match Unix.accept ~cloexec:true lfd with
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (EINTR, _, _) -> accept_repl t lfd
+  | fd, _ ->
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+      (* A replica does not serve replicas (no cascading) — and a full house
+         just hangs up; the standby's bootstrap retries. *)
+      if Db.read_only t.db || List.length t.downstreams >= max_downstreams then close_fd fd
+      else
+        t.downstreams <-
+          {
+            d_fd = fd;
+            d_rd = Protocol.reader ~max_len:Protocol.repl_max_frame_len ();
+            d_out = Buffer.create 4096;
+            d_out_pos = 0;
+            d_state = `Magic;
+            d_acked = -1;
+          }
+          :: t.downstreams;
+      accept_repl t lfd
+
+(* Advance a downstream's handshake and consume its acks. Anything
+   malformed drops the connection — the standby resyncs. *)
+let process_downstream t d =
+  try
+    (match d.d_state with
+    | `Magic -> (
+        match Protocol.take d.d_rd Protocol.repl_hello_len with
+        | None -> ()
+        | Some s -> (
+            match Protocol.parse_repl_hello s with
+            | Ok () -> d.d_state <- `Hello
+            | Error _ -> raise Exit))
+    | _ -> ());
+    (match d.d_state with
+    | `Hello -> (
+        match Protocol.next_frame d.d_rd with
+        | None -> ()
+        | Some body -> (
+            match Protocol.decode_repl body with
+            | Protocol.R_hello lsn -> (
+                (* [answer_hello] may checkpoint (snapshot path); the sync
+                   inside feeds the *other*, already-streaming downstreams —
+                   this one only starts receiving batches once marked
+                   [`Streaming] below, right after its backlog. *)
+                match Replication.answer_hello t.db ~replica_lsn:lsn with
+                | Replication.Resume { from_lsn; to_lsn; backlog } ->
+                    Protocol.encode_repl d.d_out (Protocol.R_resume from_lsn);
+                    if String.length backlog > 0 then begin
+                      Protocol.encode_repl d.d_out
+                        (Protocol.R_batch (from_lsn, to_lsn, backlog));
+                      Stats.incr_repl_batches_sent ();
+                      Stats.add_repl_bytes_sent (String.length backlog)
+                    end;
+                    (* It proved possession up to [from_lsn]. *)
+                    d.d_acked <- from_lsn;
+                    d.d_state <- `Streaming
+                | Replication.Snapshot { lsn; files } ->
+                    Protocol.encode_repl d.d_out (Protocol.R_snapshot (lsn, files));
+                    d.d_state <- `Streaming)
+            | _ -> raise Exit))
+    | _ -> ());
+    if d.d_state = `Streaming then begin
+      let rec acks () =
+        match Protocol.next_frame d.d_rd with
+        | None -> ()
+        | Some body ->
+            (match Protocol.decode_repl body with
+            | Protocol.R_ack lsn ->
+                Stats.incr_repl_acks ();
+                if lsn > d.d_acked then d.d_acked <- lsn
+            | _ -> raise Exit);
+            acks ()
+      in
+      acks ()
+    end
+  with Exit | Ode_util.Codec.Corrupt _ -> drop_downstream t d
+
+let handle_downstream_read t d =
+  match Unix.read d.d_fd t.read_buf 0 (Bytes.length t.read_buf) with
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> drop_downstream t d
+  | 0 -> drop_downstream t d
+  | n ->
+      Stats.add_server_bytes_in n;
+      Protocol.feed d.d_rd t.read_buf n;
+      process_downstream t d
+
+let handle_downstream_write t d =
+  let data = Buffer.contents d.d_out in
+  match Unix.write_substring d.d_fd data d.d_out_pos (String.length data - d.d_out_pos) with
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> drop_downstream t d
+  | n ->
+      Stats.add_server_bytes_out n;
+      d.d_out_pos <- d.d_out_pos + n;
+      if d.d_out_pos = Buffer.length d.d_out then begin
+        Buffer.clear d.d_out;
+        d.d_out_pos <- 0
+      end
+
+(* Highest LSN any streaming replica acknowledged: classic semi-sync wants
+   at least one standby holding the commit, not all of them. *)
+let best_acked t =
+  List.fold_left
+    (fun acc d -> if d.d_state = `Streaming then max acc d.d_acked else acc)
+    (-1) t.downstreams
+
+(* -- replication: replica side ------------------------------------------- *)
+
+let queue_ack t u = Protocol.encode_repl u.u_out (Protocol.R_ack (Db.lsn t.db))
+
+let upstream_fault _t u reason =
+  (match u.u_link with Some l -> close_fd l.Replication.up_fd | None -> ());
+  u.u_link <- None;
+  Buffer.clear u.u_out;
+  u.u_out_pos <- 0;
+  Stats.incr_repl_resyncs ();
+  u.u_retry_at <- Unix.gettimeofday () +. 1.0;
+  Printf.eprintf "replication: upstream lost (%s); retrying\n%!" reason
+
+(* Drain every complete frame buffered from the primary, applying batches
+   and queueing an ack per batch. Stale reads keep working throughout. *)
+let process_upstream t u link =
+  let rec go () =
+    match Protocol.next_frame link.Replication.up_rd with
+    | None -> ()
+    | Some body ->
+        (match Protocol.decode_repl body with
+        | Protocol.R_batch (from_lsn, to_lsn, data) ->
+            (match Replication.apply_batch t.db ~from_lsn ~to_lsn ~data with
+            | `Applied | `Duplicate -> queue_ack t u)
+        | _ -> raise (Replication.Resync "unexpected message from primary"));
+        go ()
+  in
+  try go () with
+  | Replication.Resync msg -> upstream_fault t u msg
+  | Ode_util.Codec.Corrupt msg -> upstream_fault t u msg
+
+let handle_upstream_read t u link =
+  match Unix.read link.Replication.up_fd t.read_buf 0 (Bytes.length t.read_buf) with
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE | ETIMEDOUT), _, _) ->
+      upstream_fault t u "connection reset"
+  | 0 -> upstream_fault t u "primary closed the stream"
+  | n ->
+      Stats.add_server_bytes_in n;
+      Protocol.feed link.Replication.up_rd t.read_buf n;
+      process_upstream t u link
+
+let handle_upstream_write t u link =
+  let data = Buffer.contents u.u_out in
+  match
+    Unix.write_substring link.Replication.up_fd data u.u_out_pos
+      (String.length data - u.u_out_pos)
+  with
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
+      upstream_fault t u "connection reset"
+  | n ->
+      Stats.add_server_bytes_out n;
+      u.u_out_pos <- u.u_out_pos + n;
+      if u.u_out_pos = Buffer.length u.u_out then begin
+        Buffer.clear u.u_out;
+        u.u_out_pos <- 0
+      end
+
+(* Re-handshake after a fault. [Replication.reconnect] connects with a
+   blocking socket — on loopback a dead primary refuses instantly, so the
+   loop stalls only when the primary is reachable but wedged. *)
+let try_reconnect t u =
+  if u.u_link = None && Unix.gettimeofday () >= u.u_retry_at then
+    match Replication.reconnect ~host:u.u_host ~port:u.u_port t.db with
+    | Ok link ->
+        Unix.set_nonblock link.Replication.up_fd;
+        u.u_link <- Some link;
+        queue_ack t u;
+        (* Batches the primary pipelined behind the resume reply. *)
+        process_upstream t u link
+    | Error msg ->
+        u.u_retry_at <- Unix.gettimeofday () +. 2.0;
+        Printf.eprintf "replication: reconnect failed (%s)\n%!" msg
+
+(* -- promotion and introspection ----------------------------------------- *)
+
+let promote t =
+  match t.upstream with
+  | None -> Stdlib.Error "not a replica (already primary)"
+  | Some u ->
+      (match u.u_link with Some l -> close_fd l.Replication.up_fd | None -> ());
+      t.upstream <- None;
+      Db.set_read_only t.db false;
+      Stdlib.Ok (Printf.sprintf "promoted to primary at lsn %d" (Db.lsn t.db))
+
+let replication_report t =
+  let b = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  (match t.upstream with
+  | Some u ->
+      add "role           replica of %s:%d (%s)\n" u.u_host u.u_port
+        (match u.u_link with Some _ -> "connected" | None -> "disconnected, retrying")
+  | None -> add "role           primary\n");
+  add "lsn            %d\n" (Db.lsn t.db);
+  add "durable_lsn    %d\n" (Db.durable_lsn t.db);
+  if is_primary t then begin
+    add "sync_repl      %s%s\n"
+      (if t.sync_repl then "on" else "off")
+      (if t.degraded then " (degraded)" else "");
+    add "replicas       %d\n" (List.length t.downstreams);
+    let durable = Db.durable_lsn t.db in
+    List.iter
+      (fun d ->
+        match d.d_state with
+        | `Streaming when d.d_acked >= 0 ->
+            add "  streaming    acked %d (lag %d commits, %d bytes queued)\n" d.d_acked
+              (max 0 (durable - d.d_acked))
+              (d_pending d)
+        | `Streaming -> add "  streaming    no ack yet (%d bytes queued)\n" (d_pending d)
+        | `Magic | `Hello -> add "  handshaking\n")
+      t.downstreams
+  end;
+  Buffer.contents b
+
+(* Dot commands that need the server, not just the session. *)
+let server_dot t line : Protocol.reply option =
+  match String.trim line with
+  | ".promote" -> (
+      match promote t with
+      | Ok msg -> Some (Protocol.Output (msg ^ "\n"))
+      | Error msg -> Some (Protocol.Error msg))
+  | ".replication" -> Some (Protocol.Output (replication_report t))
+  | _ -> None
+
+(* -- semi-sync gate ------------------------------------------------------- *)
+
+(* Replies covering commits past what the replicas acknowledged wait in
+   their buffers. *)
+let gated t c =
+  t.sync_repl && is_primary t && (not t.degraded) && c.sent_lsn > best_acked t
+
+(* Degrade rather than block forever: when some reply has been gated for
+   [sync_repl_timeout], open the gate (counted) until the replicas catch
+   back up to the durable position. *)
+let manage_gate t now =
+  if t.sync_repl && is_primary t then begin
+    if t.degraded then begin
+      if best_acked t >= Db.durable_lsn t.db then begin
+        t.degraded <- false;
+        t.gate_since <- None
+      end
+    end
+    else
+      let blocked =
+        let best = best_acked t in
+        List.exists (fun c -> out_pending c > 0 && c.sent_lsn > best) t.conns
+      in
+      if not blocked then t.gate_since <- None
+      else
+        match t.gate_since with
+        | None -> t.gate_since <- Some now
+        | Some s when now -. s > sync_repl_timeout ->
+            t.degraded <- true;
+            t.gate_since <- None;
+            Stats.incr_repl_sync_degraded ()
+        | Some _ -> ()
+  end
+
+let update_gauges t =
+  let has_repl =
+    (match t.repl_listen_fd with Some _ -> true | None -> false) || not (is_primary t)
+  in
+  if has_repl then begin
+    let durable = Db.durable_lsn t.db in
+    Stats.set_repl_lag_commits
+      (List.fold_left
+         (fun acc d ->
+           if d.d_state = `Streaming && d.d_acked >= 0 then max acc (durable - d.d_acked)
+           else acc)
+         0 t.downstreams);
+    Stats.set_repl_lag_bytes (List.fold_left (fun acc d -> acc + d_pending d) 0 t.downstreams)
+  end
+
+(* -- accepting ------------------------------------------------------------ *)
 
 let rec accept_pending t =
   match Unix.accept ~cloexec:true t.listen_fd with
@@ -111,7 +445,7 @@ let rec accept_pending t =
            ignore
              (Unix.write_substring fd (Protocol.hello_reply Busy) 0 Protocol.hello_reply_len)
          with Unix.Unix_error _ -> ());
-        (try Unix.close fd with Unix.Unix_error _ -> ())
+        close_fd fd
       end
       else
         t.conns <-
@@ -123,11 +457,12 @@ let rec accept_pending t =
             state = `Hello;
             closing = false;
             last = Unix.gettimeofday ();
+            sent_lsn = -1;
           }
           :: t.conns;
       accept_pending t
 
-(* -- per-connection processing ------------------------------------------- *)
+(* -- per-connection processing -------------------------------------------- *)
 
 let try_handshake t c =
   match Protocol.take c.rd Protocol.hello_len with
@@ -155,7 +490,21 @@ let run_frames t c session =
         | None -> ()
         | Some body ->
             let rq = Protocol.decode_request body in
-            Protocol.encode_response c.out (Session.handle session rq);
+            let server_reply =
+              match rq.rq_op with Protocol.Dot line -> server_dot t line | _ -> None
+            in
+            let resp =
+              match server_reply with
+              | Some reply -> { Protocol.rs_id = rq.rq_id; rs_lsn = Db.lsn t.db; rs_reply = reply }
+              | None ->
+                  let before = Db.lsn t.db in
+                  let resp = Session.handle session rq in
+                  (* Only a request that moved the LSN puts this connection
+                     under the semi-sync gate — reads ride free. *)
+                  if Db.lsn t.db > before then c.sent_lsn <- Db.lsn t.db;
+                  resp
+            in
+            Protocol.encode_response c.out resp;
             (* Bound the deferred-durability window: a long batch syncs
                every [group_window] commits rather than once at the end. *)
             if Db.pending_commits t.db >= t.group_window then Db.sync_commits t.db;
@@ -164,7 +513,8 @@ let run_frames t c session =
     in
     go ()
   with Ode_util.Codec.Corrupt msg ->
-    Protocol.encode_response c.out { rs_id = 0; rs_reply = Error ("protocol error: " ^ msg) };
+    Protocol.encode_response c.out
+      { rs_id = 0; rs_lsn = Db.lsn t.db; rs_reply = Error ("protocol error: " ^ msg) };
     c.closing <- true
 
 let process t c =
@@ -212,7 +562,7 @@ let evict_idle t =
       t.conns
   end
 
-(* -- the loop ------------------------------------------------------------ *)
+(* -- the loop ------------------------------------------------------------- *)
 
 (* The ack point. Under [Group] durability every commit prepared this tick
    becomes durable here, before any reply reaches a socket. [Full] commits
@@ -246,35 +596,89 @@ let rec gather t rounds =
   end
 
 let one_iteration t =
+  let now = Unix.gettimeofday () in
+  if t.promote_flag then begin
+    t.promote_flag <- false;
+    match promote t with
+    | Ok msg -> Printf.eprintf "replication: %s\n%!" msg
+    | Error _ -> ()
+  end;
+  (match t.upstream with Some u -> try_reconnect t u | None -> ());
+  manage_gate t now;
   let want_read = List.filter (fun c -> (not c.closing) && out_pending c < out_cap) t.conns in
-  let want_write = List.filter (fun c -> out_pending c > 0) t.conns in
-  let reads = t.listen_fd :: List.map (fun c -> c.fd) want_read in
-  let writes = List.map (fun c -> c.fd) want_write in
+  let want_write = List.filter (fun c -> out_pending c > 0 && not (gated t c)) t.conns in
+  let reads =
+    (t.listen_fd :: (match t.repl_listen_fd with Some fd -> [ fd ] | None -> []))
+    @ List.map (fun c -> c.fd) want_read
+    @ List.map (fun d -> d.d_fd) t.downstreams
+    @ (match t.upstream with Some { u_link = Some l; _ } -> [ l.Replication.up_fd ] | _ -> [])
+  in
+  let writes =
+    List.map (fun c -> c.fd) want_write
+    @ List.filter_map (fun d -> if d_pending d > 0 then Some d.d_fd else None) t.downstreams
+    @ (match t.upstream with
+      | Some ({ u_link = Some l; _ } as u) when u_pending u > 0 -> [ l.Replication.up_fd ]
+      | _ -> [])
+  in
   match Unix.select reads writes [] 0.25 with
   | exception Unix.Unix_error (EINTR, _, _) -> () (* signal: loop re-checks [stop] *)
-  | readable, writable, _ ->
+  | readable, _, _ ->
       if List.memq t.listen_fd readable then accept_pending t;
-      List.iter
-        (fun c -> if List.memq c.fd readable then handle_read t c)
-        want_read;
+      (match t.repl_listen_fd with
+      | Some fd when List.memq fd readable -> accept_repl t fd
+      | _ -> ());
+      (* Replica: apply shipped batches first, so reads served this tick see
+         the freshest replicated state. *)
+      (match t.upstream with
+      | Some ({ u_link = Some l; _ } as u) when List.memq l.Replication.up_fd readable ->
+          handle_upstream_read t u l
+      | _ -> ());
+      List.iter (fun c -> if List.memq c.fd readable then handle_read t c) want_read;
       gather t gather_rounds;
+      (* Standby acks — read before the write phase so the semi-sync gate
+         sees them this tick. *)
+      List.iter
+        (fun d ->
+          if List.memq d t.downstreams && List.memq d.d_fd readable then
+            handle_downstream_read t d)
+        t.downstreams;
       (* Read phase done: everything executed this tick shares one fsync.
-         Replies buffered above only hit the sockets below, after it. (The
-         [want_write] backlog predates this tick, so it was acked by an
-         earlier pass.) *)
+         Replies buffered above only hit the sockets below, after it — and
+         the fsync fed the observer, so the batches covering this tick's
+         commits are already queued on the downstreams. *)
       ack_deferred t;
+      (* Write phase, opportunistic: attempt every pending buffer rather
+         than only select's writable set — sockets are rarely full, EAGAIN
+         costs one syscall, and batches/acks/replies produced *this* tick
+         get out without waiting a select round. Gated replies stay put. *)
       List.iter
         (fun c ->
-          (* [handle_read] may have dropped it already. *)
-          if List.memq c t.conns && List.memq c.fd writable then handle_write t c)
-        want_write
+          if List.memq c t.conns && out_pending c > 0 && not (gated t c) then
+            handle_write t c)
+        t.conns;
+      List.iter
+        (fun d ->
+          if List.memq d t.downstreams then
+            if d_pending d > downstream_out_cap then drop_downstream t d
+            else if d_pending d > 0 then handle_downstream_write t d)
+        t.downstreams;
+      (match t.upstream with
+      | Some ({ u_link = Some l; _ } as u) when u_pending u > 0 -> handle_upstream_write t u l
+      | _ -> ());
+      update_gauges t
 
 (* Graceful shutdown: stop accepting, flush what's already encoded (bounded
    by [drain_deadline]), abort every session's open transaction, release
    the sockets. Requests still sitting unparsed in input buffers are
-   dropped — "in-flight" means a response exists. *)
+   dropped — "in-flight" means a response exists. Semi-sync gating is not
+   applied here: a graceful shutdown loses nothing, so holding replies
+   hostage to a standby would only strand clients. *)
 let drain t =
-  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  close_fd t.listen_fd;
+  (match t.repl_listen_fd with Some fd -> close_fd fd | None -> ());
+  (match t.upstream with
+  | Some u -> ( match u.u_link with Some l -> close_fd l.Replication.up_fd | None -> ())
+  | None -> ());
   let deadline = Unix.gettimeofday () +. drain_deadline in
   let rec flush () =
     (* Buffers may hold replies whose commits are still pending — both from
@@ -284,19 +688,30 @@ let drain t =
        top of every round keeps the reply-after-fsync guarantee through
        shutdown. *)
     ack_deferred t;
-    let pending = List.filter (fun c -> out_pending c > 0) t.conns in
-    if pending <> [] && Unix.gettimeofday () < deadline then begin
-      (match Unix.select [] (List.map (fun c -> c.fd) pending) [] 0.25 with
+    let pending_c = List.filter (fun c -> out_pending c > 0) t.conns in
+    let pending_d = List.filter (fun d -> d_pending d > 0) t.downstreams in
+    if (pending_c <> [] || pending_d <> []) && Unix.gettimeofday () < deadline then begin
+      (match
+         Unix.select []
+           (List.map (fun c -> c.fd) pending_c @ List.map (fun d -> d.d_fd) pending_d)
+           [] 0.25
+       with
       | exception Unix.Unix_error (EINTR, _, _) -> ()
       | _, writable, _ ->
           List.iter
             (fun c -> if List.memq c t.conns && List.memq c.fd writable then handle_write t c)
-            pending);
+            pending_c;
+          List.iter
+            (fun d ->
+              if List.memq d t.downstreams && List.memq d.d_fd writable then
+                handle_downstream_write t d)
+            pending_d);
       flush ()
     end
   in
   flush ();
-  List.iter (fun c -> drop t c) t.conns
+  List.iter (fun c -> drop t c) t.conns;
+  List.iter (fun d -> drop_downstream t d) t.downstreams
 
 let serve t =
   while not t.stop do
@@ -305,9 +720,86 @@ let serve t =
   done;
   drain t
 
-(* -- fork helper for tests and benchmarks -------------------------------- *)
+(* -- construction --------------------------------------------------------- *)
 
-let spawn ?max_conns ?idle_timeout ?durability ?group_window ~db_dir () =
+let bind_listener ~host ~port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, p) -> (fd, p)
+  | _ -> assert false
+
+let create ?(host = "127.0.0.1") ?(max_conns = 64) ?(idle_timeout = 300.) ?durability
+    ?(group_window = 64) ?repl_port ?(sync_repl = false) ?replica ~db ~port () =
+  if not (Domain.is_main_domain ()) then
+    invalid_arg "Server.create: the serving model is single-domain (see stats.mli)";
+  Option.iter (Db.set_durability db) durability;
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd, lport = bind_listener ~host ~port in
+  let repl_listen_fd, rport =
+    match repl_port with
+    | None -> (None, 0)
+    | Some p ->
+        let fd, p = bind_listener ~host ~port:p in
+        (Some fd, p)
+  in
+  let upstream =
+    Option.map
+      (fun (u_host, u_port, link) ->
+        Unix.set_nonblock link.Replication.up_fd;
+        {
+          u_host;
+          u_port;
+          u_link = Some link;
+          u_out = Buffer.create 64;
+          u_out_pos = 0;
+          u_retry_at = 0.;
+        })
+      replica
+  in
+  let t =
+    {
+      db;
+      listen_fd;
+      lport;
+      repl_listen_fd;
+      rport;
+      sync_repl;
+      max_conns;
+      idle_timeout;
+      group_window = max 1 group_window;
+      read_buf = Bytes.create 65536;
+      conns = [];
+      downstreams = [];
+      upstream;
+      degraded = false;
+      gate_since = None;
+      promote_flag = false;
+      next_session = 0;
+      stop = false;
+    }
+  in
+  (match t.repl_listen_fd with
+  | Some _ ->
+      Db.set_wal_observer db
+        (Some (fun ~data ~from_lsn ~to_lsn -> feed t ~data ~from_lsn ~to_lsn))
+  | None -> ());
+  (* A replica announces its position and drains whatever the primary
+     pipelined behind the bootstrap handshake. *)
+  (match t.upstream with
+  | Some ({ u_link = Some l; _ } as u) ->
+      queue_ack t u;
+      process_upstream t u l
+  | _ -> ());
+  t
+
+(* -- fork helper for tests and benchmarks --------------------------------- *)
+
+let spawn_full ?max_conns ?idle_timeout ?durability ?group_window ?repl_port ?sync_repl
+    ?replica_of ~db_dir () =
   let r, w = Unix.pipe () in
   flush stdout;
   flush stderr;
@@ -316,10 +808,19 @@ let spawn ?max_conns ?idle_timeout ?durability ?group_window ~db_dir () =
       Unix.close r;
       let rc =
         try
-          let db = Ode.Database.open_ db_dir in
-          let t = create ?max_conns ?idle_timeout ?durability ?group_window ~db ~port:0 () in
+          let db, replica =
+            match replica_of with
+            | None -> (Ode.Database.open_ db_dir, None)
+            | Some (host, port) ->
+                let db, up = Replication.bootstrap ~db_dir ~host ~port () in
+                (db, Some (host, port, up))
+          in
+          let t =
+            create ?max_conns ?idle_timeout ?durability ?group_window ?repl_port ?sync_repl
+              ?replica ~db ~port:0 ()
+          in
           handle_signals t;
-          let msg = string_of_int (port t) ^ "\n" in
+          let msg = Printf.sprintf "%d %d\n" t.lport t.rport in
           ignore (Unix.write_substring w msg 0 (String.length msg));
           Unix.close w;
           serve t;
@@ -331,8 +832,18 @@ let spawn ?max_conns ?idle_timeout ?durability ?group_window ~db_dir () =
       Unix._exit rc)
   | pid ->
       Unix.close w;
-      let buf = Bytes.create 16 in
-      let n = Unix.read r buf 0 16 in
+      let buf = Bytes.create 32 in
+      let n = Unix.read r buf 0 32 in
       Unix.close r;
-      if n <= 0 then failwith "Server.spawn: child died before reporting its port";
-      (pid, int_of_string (String.trim (Bytes.sub_string buf 0 n)))
+      if n <= 0 then failwith "Server.spawn: child died before reporting its ports";
+      (match String.split_on_char ' ' (String.trim (Bytes.sub_string buf 0 n)) with
+      | [ cp; rp ] -> (pid, int_of_string cp, int_of_string rp)
+      | _ -> failwith "Server.spawn: malformed port report")
+
+let spawn ?max_conns ?idle_timeout ?durability ?group_window ?repl_port ?sync_repl
+    ?replica_of ~db_dir () =
+  let pid, port, _ =
+    spawn_full ?max_conns ?idle_timeout ?durability ?group_window ?repl_port ?sync_repl
+      ?replica_of ~db_dir ()
+  in
+  (pid, port)

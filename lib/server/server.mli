@@ -28,7 +28,25 @@
     connections pays one fsync instead of N. [Async] drops the wait — replies
     may precede durability, with the exposure bounded by [group_window].
     Explicit transactions and single-request ticks degrade to the eager
-    behavior (a batch of one). *)
+    behavior (a batch of one).
+
+    {2 Replication}
+
+    A server created with [repl_port] is a {e primary}: it listens for
+    standbys on a second port, answers each handshake with the WAL suffix
+    the standby is missing (or a snapshot of the store when the log was
+    checkpointed past it), and thereafter streams every post-fsync commit
+    batch — the WAL sync hook fires strictly after the barrier, so a standby
+    can never hold a commit the primary could still lose. A server created
+    with [replica] is a {e standby}: read-only to clients (writes get a
+    retryable "read-only replica" error), it applies shipped batches through
+    the engine's redo path, acknowledges each one, reconnects with an exact
+    resume position after stream faults, and becomes a primary on [.promote]
+    or SIGUSR1 ({!promote}). With [sync_repl] a primary additionally holds
+    each reply until some streaming standby has acknowledged the commit it
+    covers (semi-sync), degrading — counted in [repl.sync_degraded] — rather
+    than blocking forever when no standby keeps up. [.replication] reports
+    role, positions and per-standby lag. *)
 
 type t
 
@@ -38,6 +56,9 @@ val create :
   ?idle_timeout:float ->
   ?durability:Ode.Database.durability ->
   ?group_window:int ->
+  ?repl_port:int ->
+  ?sync_repl:bool ->
+  ?replica:string * int * Replication.upstream ->
   db:Ode.Database.t ->
   port:int ->
   unit ->
@@ -48,15 +69,30 @@ val create :
     when given, is installed on [db] ([Database.set_durability]); omitted,
     the database keeps its current mode. [group_window] (default 64, min 1)
     bounds commits deferred within one batch: a long tick syncs every
-    [group_window] commits rather than once at the end. Raises
-    [Invalid_argument] when called off the main domain: the engine's
+    [group_window] commits rather than once at the end.
+
+    [repl_port] (0 = ephemeral, see {!repl_port}) additionally serves the
+    replication stream. [replica] is [(host, port, upstream)] from
+    {!Replication.bootstrap}: serve [db] as a standby of that primary.
+    [sync_repl] turns on semi-sync reply gating (primaries only).
+
+    Raises [Invalid_argument] when called off the main domain: the engine's
     process-global state (Stats, Trace, Histogram, the buffer pool) is
     unsynchronized, so the serving model is one domain, one event loop. *)
 
 val port : t -> int
-(** The bound port (useful after binding port 0). *)
+(** The bound client port (useful after binding port 0). *)
+
+val repl_port : t -> int
+(** The bound replication port; 0 when the server does not serve one. *)
 
 val connections : t -> int
+
+val promote : t -> (string, string) result
+(** Standby → primary: drop the upstream link, clear the read-only flag,
+    start accepting writes (and standbys, if a replication port is bound).
+    [Error] on a server that is already primary. Also triggered by the
+    [.promote] dot command and SIGUSR1 (via {!handle_signals}). *)
 
 val shutdown : t -> unit
 (** Request a graceful stop: async-signal-safe (it only sets a flag), so it
@@ -65,7 +101,7 @@ val shutdown : t -> unit
     open transaction and returns. *)
 
 val handle_signals : t -> unit
-(** Route SIGINT and SIGTERM to {!shutdown}. *)
+(** Route SIGINT and SIGTERM to {!shutdown}, SIGUSR1 to {!promote}. *)
 
 val serve : t -> unit
 (** Run the event loop until {!shutdown}. The caller still owns the
@@ -76,10 +112,29 @@ val spawn :
   ?idle_timeout:float ->
   ?durability:Ode.Database.durability ->
   ?group_window:int ->
+  ?repl_port:int ->
+  ?sync_repl:bool ->
+  ?replica_of:string * int ->
   db_dir:string ->
   unit ->
   int * int
 (** Fork a child process that opens [db_dir], serves it on an ephemeral
     loopback port (SIGINT/SIGTERM trigger graceful shutdown) and exits.
-    Returns [(pid, port)] once the child reports its port. For tests and
-    benchmarks; production deployments run [bin/ode_server]. *)
+    Returns [(pid, port)] once the child reports its port. With
+    [replica_of:(host, port)] the child bootstraps as a standby of that
+    primary instead of opening [db_dir] directly. For tests and benchmarks;
+    production deployments run [bin/ode_server]. *)
+
+val spawn_full :
+  ?max_conns:int ->
+  ?idle_timeout:float ->
+  ?durability:Ode.Database.durability ->
+  ?group_window:int ->
+  ?repl_port:int ->
+  ?sync_repl:bool ->
+  ?replica_of:string * int ->
+  db_dir:string ->
+  unit ->
+  int * int * int
+(** {!spawn}, but returns [(pid, client_port, repl_port)] — [repl_port] is 0
+    unless the child was given [?repl_port]. *)

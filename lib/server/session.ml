@@ -58,6 +58,8 @@ let handle t (rq : Protocol.request) : Protocol.response =
       "server.request"
       (fun () -> Histogram.time request_hist (fun () -> run t rq.rq_op))
   in
-  { rs_id = rq.rq_id; rs_reply = reply }
+  (* The LSN after handling: a write's ack names the commit it covers, a
+     read names the position its answer reflects. *)
+  { rs_id = rq.rq_id; rs_lsn = Ode.Database.lsn t.db; rs_reply = reply }
 
 let close t = Shell.rollback t.shell

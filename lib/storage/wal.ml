@@ -4,17 +4,21 @@ module Failpoint = Ode_util.Failpoint
 
 (* wal.sync covers the append of the pending batch (short/flipped/skipped
    batches model torn log tails and lying disks); wal.fsync the durability
-   barrier itself; wal.reset the post-checkpoint truncation. *)
+   barrier itself; wal.reset the post-checkpoint truncation; wal.lsn the
+   window between persisting the base-LSN sidecar and the truncation it
+   licenses (a crash there leaves both the sidecar and the old records —
+   recovery must reconcile them). *)
 let fp_sync = Failpoint.site "wal.sync"
 let fp_fsync = Failpoint.site "wal.fsync"
 let fp_reset = Failpoint.site "wal.reset"
+let fp_lsn = Failpoint.site "wal.lsn"
 
 type record =
   | Begin of int
   | Commit of int
   | Put of int * string * string
   | Delete of int * string
-  | Checkpoint
+  | Checkpoint of int
 
 type file_sink = { fd : Unix.file_descr; mutable wpos : int }
 
@@ -25,8 +29,24 @@ type sink =
 (* [pending_commits] counts Commit records appended since the last [sync]:
    the transactions whose durability is still deferred. Group commit rides on
    it — one sync acknowledges them all — and the accounting below turns each
-   sync into a [wal.group_size] observation plus the fsyncs the batch saved. *)
-type t = { sink : sink; pending : Buffer.t; mutable pending_commits : int }
+   sync into a [wal.group_size] observation plus the fsyncs the batch saved.
+
+   Commit LSNs: every [Commit] record appended is assigned the next LSN
+   ([last_lsn]); [durable_lsn] trails it until a sync's barrier holds. The
+   physical log starts at [base_lsn] (everything up to it was checkpointed
+   away); the [lsn_path] sidecar persists that base across truncations, and
+   [Checkpoint] records carry the exact LSN so replay reconciles a stale
+   sidecar (lost or crashed truncation) back to the true count. *)
+type t = {
+  sink : sink;
+  pending : Buffer.t;
+  mutable pending_commits : int;
+  mutable last_lsn : int;
+  mutable durable_lsn : int;
+  mutable base_lsn : int;
+  lsn_path : string option;
+  mutable on_sync : (data:string -> from_lsn:int -> to_lsn:int -> unit) option;
+}
 
 (* -- record codec -------------------------------------------------------- *)
 
@@ -48,7 +68,9 @@ let encode_record r =
       Codec.put_u8 b 4;
       Codec.put_int b tx;
       Codec.put_string b k
-  | Checkpoint -> Codec.put_u8 b 5);
+  | Checkpoint lsn ->
+      Codec.put_u8 b 5;
+      Codec.put_int b lsn);
   Buffer.contents b
 
 let decode_record s =
@@ -64,7 +86,9 @@ let decode_record s =
   | 4 ->
       let tx = Codec.get_int c in
       Delete (tx, Codec.get_string c)
-  | 5 -> Checkpoint
+  | 5 ->
+      (* Pre-LSN logs wrote a bare checkpoint tag; read it as LSN 0. *)
+      Checkpoint (if Codec.at_end c then 0 else Codec.get_int c)
   | n -> raise (Codec.Corrupt (Printf.sprintf "wal: bad tag %d" n))
 
 (* -- framing ------------------------------------------------------------- *)
@@ -97,6 +121,17 @@ let scan contents f =
   in
   go 0
 
+(* The LSN a log's records advance to, starting from [base]: Commits count
+   up; a Checkpoint record restores the exact value it recorded, which
+   reconciles replay over records a lost truncation left behind (they were
+   already counted before the checkpoint was taken). *)
+let lsn_after_scan ~base contents =
+  let lsn = ref base in
+  ignore
+    (scan contents
+       (Some (function Commit _ -> incr lsn | Checkpoint l -> lsn := l | _ -> ())));
+  !lsn
+
 (* -- construction --------------------------------------------------------- *)
 
 let rec retry f =
@@ -119,6 +154,29 @@ let read_all fd =
   let got = fill 0 in
   Bytes.sub_string buf 0 got
 
+(* The base-LSN sidecar: a tiny text file beside the log holding the LSN of
+   the last commit the latest truncation discarded. Written and fsynced
+   *before* the truncation (see [reset]), so a crash between the two leaves
+   the sidecar ahead of the log — which the Checkpoint record still in the
+   log corrects during [lsn_after_scan]. *)
+let read_base_lsn path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> ( match int_of_string_opt (String.trim s) with Some n -> n | None -> 0)
+  | exception Sys_error _ -> 0
+
+let write_base_lsn path lsn =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let s = string_of_int lsn ^ "\n" in
+  let rec go pos =
+    if pos < String.length s then
+      go (pos + retry (fun () -> Unix.write_substring fd s pos (String.length s - pos)))
+  in
+  go 0;
+  Unix.fsync fd;
+  Unix.close fd;
+  Unix.rename tmp path
+
 let open_file path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
   let contents = read_all fd in
@@ -129,18 +187,47 @@ let open_file path =
     Unix.ftruncate fd intact
   end;
   ignore (Unix.lseek fd intact Unix.SEEK_SET);
-  { sink = File { fd; wpos = intact }; pending = Buffer.create 4096; pending_commits = 0 }
+  let lsn_path = path ^ ".lsn" in
+  let base = read_base_lsn lsn_path in
+  let lsn = lsn_after_scan ~base (String.sub contents 0 intact) in
+  {
+    sink = File { fd; wpos = intact };
+    pending = Buffer.create 4096;
+    pending_commits = 0;
+    last_lsn = lsn;
+    durable_lsn = lsn;
+    base_lsn = base;
+    lsn_path = Some lsn_path;
+    on_sync = None;
+  }
 
 let in_memory () =
-  { sink = Memory (Buffer.create 4096); pending = Buffer.create 4096; pending_commits = 0 }
+  {
+    sink = Memory (Buffer.create 4096);
+    pending = Buffer.create 4096;
+    pending_commits = 0;
+    last_lsn = 0;
+    durable_lsn = 0;
+    base_lsn = 0;
+    lsn_path = None;
+    on_sync = None;
+  }
 
 let append t r =
   Ode_util.Stats.incr_wal_appends ();
   Ode_util.Trace.instant ~cat:"wal" "wal.append";
-  (match r with Commit _ -> t.pending_commits <- t.pending_commits + 1 | _ -> ());
+  (match r with
+  | Commit _ ->
+      t.pending_commits <- t.pending_commits + 1;
+      t.last_lsn <- t.last_lsn + 1
+  | _ -> ());
   Buffer.add_string t.pending (frame (encode_record r))
 
 let pending_commits t = t.pending_commits
+let last_lsn t = t.last_lsn
+let durable_lsn t = t.durable_lsn
+let base_lsn t = t.base_lsn
+let set_on_sync t f = t.on_sync <- f
 
 let write_fully fd bytes pos len =
   let rec go pos len =
@@ -202,7 +289,15 @@ let sync t =
             Ode_util.Histogram.observe h_group t.pending_commits;
             Stats.add_wal_sync_saved (t.pending_commits - 1);
             t.pending_commits <- 0
-          end))
+          end;
+          let from_lsn = t.durable_lsn in
+          t.durable_lsn <- t.last_lsn;
+          (* Ship the batch only now that it is durable here: a replica can
+             never hold records its primary could still lose. *)
+          match t.on_sync with
+          | Some notify when String.length data > 0 ->
+              notify ~data ~from_lsn ~to_lsn:t.durable_lsn
+          | _ -> ()))
 
 let contents t =
   match t.sink with
@@ -213,11 +308,60 @@ let contents t =
 
 let replay t f = ignore (scan (contents t) (Some f))
 
+(* The raw frames of everything after [lsn]: what a replica that has applied
+   up to [lsn] still needs. [None] when the log no longer reaches back that
+   far (checkpointed away — ship a snapshot) or the replica claims commits we
+   never made durable (divergence — also a snapshot). *)
+let tail_from t ~lsn =
+  if lsn < t.base_lsn || lsn > t.durable_lsn then None
+  else begin
+    let contents = contents t in
+    let len = String.length contents in
+    (* Count commits from the sidecar base. If a truncation was lost, the
+       physical log still starts before the last checkpoint and this count
+       transiently overshoots — detected when a Checkpoint record disagrees
+       with the running count. Any cut found under the bad count is
+       discarded; the Checkpoint record restores exactness from there on. *)
+    let cut = ref (if lsn = t.base_lsn then Some 0 else None) in
+    let cur = ref t.base_lsn in
+    let rec go off =
+      if off + 12 > len then ()
+      else
+        let c = Codec.cursor ~pos:off contents in
+        let blen = Codec.get_u32 c in
+        if off + 12 + blen > len then ()
+        else begin
+          let sum = Codec.get_i64 c in
+          let body = Codec.get_raw c blen in
+          if Codec.fnv64 body <> sum then ()
+          else begin
+            (match decode_record body with
+            | Commit _ -> incr cur
+            | Checkpoint l ->
+                if l <> !cur then begin
+                  cut := None;
+                  cur := l
+                end
+            | _ -> ());
+            let after = off + 12 + blen in
+            if !cut = None && !cur = lsn then cut := Some after;
+            go after
+          end
+        end
+    in
+    go 0;
+    match !cut with
+    | Some off -> Some (String.sub contents off (len - off))
+    | None -> None
+  end
+
 let reset t =
   Buffer.clear t.pending;
   t.pending_commits <- 0;
   match t.sink with
-  | Memory b -> Buffer.clear b
+  | Memory b ->
+      Buffer.clear b;
+      t.base_lsn <- t.durable_lsn
   | File f -> (
       match Failpoint.hit fp_reset with
       | Some Failpoint.Crash_site -> Failpoint.crash fp_reset
@@ -225,10 +369,27 @@ let reset t =
           (* Lost truncation: the old records stay and are replayed over
              checkpointed state on recovery, which must be idempotent. *)
           ()
-      | Some _ | None ->
-          Unix.ftruncate f.fd 0;
-          f.wpos <- 0;
-          Unix.fsync f.fd)
+      | Some _ | None -> (
+          (* Persist the new base *before* discarding the records that prove
+             it: a crash in between leaves a sidecar ahead of the log, which
+             the Checkpoint record still in the log reconciles on reopen. The
+             reverse order could truncate away the proof and under-count every
+             LSN thereafter. *)
+          (match t.lsn_path with
+          | Some p -> write_base_lsn p t.durable_lsn
+          | None -> ());
+          match Failpoint.hit fp_lsn with
+          | Some Failpoint.Crash_site -> Failpoint.crash fp_lsn
+          | Some Failpoint.Skip_effect ->
+              (* Treated as a lost truncation (sidecar written, records kept):
+                 replay reconciles. Truncating *without* the sidecar write is
+                 the one order that loses the count, so it is not modeled. *)
+              ()
+          | Some _ | None ->
+              Unix.ftruncate f.fd 0;
+              f.wpos <- 0;
+              Unix.fsync f.fd;
+              t.base_lsn <- t.durable_lsn))
 
 let size_bytes t =
   (match t.sink with Memory b -> Buffer.length b | File f -> f.wpos)

@@ -26,6 +26,7 @@ let register ?(group = Workload) name =
 
 let bump id = (!values).(id) <- (!values).(id) + 1
 let bump_by id n = (!values).(id) <- (!values).(id) + n
+let set id n = (!values).(id) <- n
 
 let snapshot () = Array.sub !values 0 !ncounters
 let reset () = Array.fill !values 0 (Array.length !values) 0
@@ -82,6 +83,16 @@ let c_server_rejects = register "server.rejects"
 let c_server_timeouts = register "server.timeouts"
 let c_server_bytes_in = register "server.bytes_in"
 let c_server_bytes_out = register "server.bytes_out"
+let c_repl_batches_sent = register "repl.batches_sent"
+let c_repl_batches_applied = register "repl.batches_applied"
+let c_repl_bytes_sent = register "repl.bytes_sent"
+let c_repl_snapshots_sent = register "repl.snapshots_sent"
+let c_repl_acks = register "repl.acks"
+let c_repl_resyncs = register "repl.resyncs"
+let c_repl_dup_batches = register "repl.dup_batches"
+let c_repl_sync_degraded = register "repl.sync_degraded"
+let c_repl_lag_commits = register "repl.lag_commits"
+let c_repl_lag_bytes = register "repl.lag_bytes"
 
 let incr_pages_read () = bump c_pages_read
 let incr_pages_written () = bump c_pages_written
@@ -112,6 +123,20 @@ let incr_server_rejects () = bump c_server_rejects
 let incr_server_timeouts () = bump c_server_timeouts
 let add_server_bytes_in n = bump_by c_server_bytes_in n
 let add_server_bytes_out n = bump_by c_server_bytes_out n
+let incr_repl_batches_sent () = bump c_repl_batches_sent
+let incr_repl_batches_applied () = bump c_repl_batches_applied
+let add_repl_bytes_sent n = bump_by c_repl_bytes_sent n
+let incr_repl_snapshots_sent () = bump c_repl_snapshots_sent
+let incr_repl_acks () = bump c_repl_acks
+let incr_repl_resyncs () = bump c_repl_resyncs
+let incr_repl_dup_batches () = bump c_repl_dup_batches
+let incr_repl_sync_degraded () = bump c_repl_sync_degraded
+
+(* Lag is a gauge, not a counter: the serving loop overwrites it with the
+   current distance between the primary's durable LSN and the slowest
+   streaming replica's acknowledged LSN (and the bytes backed up for it). *)
+let set_repl_lag_commits n = set c_repl_lag_commits n
+let set_repl_lag_bytes n = set c_repl_lag_bytes n
 
 (* Named accessors — the compatibility layer over the old record fields. *)
 let pages_read s = slot s c_pages_read
@@ -143,6 +168,16 @@ let server_rejects s = slot s c_server_rejects
 let server_timeouts s = slot s c_server_timeouts
 let server_bytes_in s = slot s c_server_bytes_in
 let server_bytes_out s = slot s c_server_bytes_out
+let repl_batches_sent s = slot s c_repl_batches_sent
+let repl_batches_applied s = slot s c_repl_batches_applied
+let repl_bytes_sent s = slot s c_repl_bytes_sent
+let repl_snapshots_sent s = slot s c_repl_snapshots_sent
+let repl_acks s = slot s c_repl_acks
+let repl_resyncs s = slot s c_repl_resyncs
+let repl_dup_batches s = slot s c_repl_dup_batches
+let repl_sync_degraded s = slot s c_repl_sync_degraded
+let repl_lag_commits s = slot s c_repl_lag_commits
+let repl_lag_bytes s = slot s c_repl_lag_bytes
 
 (* pp derives from the registry: every counter of the group, name = value,
    so new registrations show up in `.stats` with no further edits. *)

@@ -82,6 +82,20 @@ val incr_server_rejects : unit -> unit
 val incr_server_timeouts : unit -> unit
 val add_server_bytes_in : int -> unit
 val add_server_bytes_out : int -> unit
+val incr_repl_batches_sent : unit -> unit
+val incr_repl_batches_applied : unit -> unit
+val add_repl_bytes_sent : int -> unit
+val incr_repl_snapshots_sent : unit -> unit
+val incr_repl_acks : unit -> unit
+val incr_repl_resyncs : unit -> unit
+val incr_repl_dup_batches : unit -> unit
+val incr_repl_sync_degraded : unit -> unit
+
+val set_repl_lag_commits : int -> unit
+val set_repl_lag_bytes : int -> unit
+(** Replication-lag gauges (overwritten, not accumulated): commits the
+    slowest streaming replica is behind the primary's durable LSN, and the
+    response/batch bytes backed up toward it. *)
 
 (* Named accessors — the compatibility layer over the old record fields:
    pages read/written on a disk backend, buffer-pool hits/misses, WAL
@@ -123,6 +137,20 @@ val server_rejects : snapshot -> int
 val server_timeouts : snapshot -> int
 val server_bytes_in : snapshot -> int
 val server_bytes_out : snapshot -> int
+
+(* Replication: batches/bytes shipped and applied, snapshots served,
+   acknowledgements, stream resyncs, duplicate batches skipped, semi-sync
+   waits that degraded to local durability; plus the two lag gauges. *)
+val repl_batches_sent : snapshot -> int
+val repl_batches_applied : snapshot -> int
+val repl_bytes_sent : snapshot -> int
+val repl_snapshots_sent : snapshot -> int
+val repl_acks : snapshot -> int
+val repl_resyncs : snapshot -> int
+val repl_dup_batches : snapshot -> int
+val repl_sync_degraded : snapshot -> int
+val repl_lag_commits : snapshot -> int
+val repl_lag_bytes : snapshot -> int
 
 val pp : Format.formatter -> snapshot -> unit
 (** Workload counters (pages, pool, WAL, probes, ...), derived from the

@@ -207,6 +207,7 @@ let all_sites =
     "wal.sync";
     "wal.fsync";
     "wal.reset";
+    "wal.lsn";
     "pool.flush";
     "pool.evict";
     "heap.flush";
@@ -221,7 +222,7 @@ let profile = function
   | "pool.flush" -> (6, 0.3, false)
   | "disk.sync" -> (5, 0.3, false)
   | "disk.journal.write" | "disk.journal.clear" -> (4, 0.3, false)
-  | "wal.reset" -> (3, 0.4, false)
+  | "wal.reset" | "wal.lsn" -> (3, 0.4, false)
   | "heap.flush" -> (2, 0.4, false)
   | "pool.evict" -> (2, 0.0, true)
   | _ -> (5, 0.2, false)
@@ -566,6 +567,372 @@ let checksum_catches_bit_rot () =
   corruption_detected dir "directory.bpt";
   corruption_detected dir "indexes.bpt"
 
+(* -- replicated torture: faults on the replication stream ------------------ *)
+
+(* Each iteration spawns a real primary server, bootstraps an in-process
+   standby from its replication port (half the seeds through the snapshot
+   path, half through a WAL resume), then pumps the stream by hand while a
+   seeded adversary drops, duplicates, reorders, truncates and corrupts
+   batches. Every fault must end in a clean resync from the exact local
+   position; the oracle is that the standby's state is always the exact
+   commit-prefix of the primary's (one row per commit, so the visible tags
+   are computable from the replication LSN alone — divergence of any kind
+   fails). A third of the iterations SIGKILL the primary mid-stream, drain
+   the socket, promote the standby in place and check the prefix invariant
+   against what the primary's directory recovers to; the rest converge and
+   demand byte-identical logical dumps (physical replication preserves
+   oids). Reproduce with TORTURE_SEED=<seed> TORTURE_REPL_ITERS=1. *)
+
+module Srv = Ode_served.Server
+module Cl = Ode_served.Client
+module Repl = Ode_served.Replication
+module RP = Ode_served.Protocol
+module Dump = Ode.Dump
+
+let repl_iters =
+  match Sys.getenv_opt "TORTURE_REPL_ITERS" with Some s -> int_of_string s | None -> 100
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let rec reap pid =
+  match Unix.waitpid [] pid with
+  | _ -> ()
+  | exception Unix.Unix_error (EINTR, _, _) -> reap pid
+  | exception Unix.Unix_error _ -> ()
+
+let kill_reap pid signal =
+  (try Unix.kill pid signal with Unix.Unix_error _ -> ());
+  reap pid
+
+(* Sorted tags of the replicated class. *)
+let rtags db =
+  Db.with_txn db (fun txn ->
+      List.sort compare
+        (List.map
+           (fun oid ->
+             match Db.get_field txn oid "tag" with
+             | Value.Int i -> i
+             | _ -> Alcotest.fail "non-int tag")
+           (Query.to_list db ~txn ~var:"x" ~cls:"r" ())))
+
+let run_repl_iteration ~iter ~seed =
+  let rng = Prng.create seed in
+  let fail fmt =
+    Format.kasprintf
+      (fun s -> Alcotest.failf "repl iteration %d (seed %d): %s" iter seed s)
+      fmt
+  in
+  let host = "127.0.0.1" in
+  let pdir = Tutil.temp_dir "torture-repl-p" in
+  let rdir = Filename.concat (Tutil.temp_dir "torture-repl-r") "db" in
+  (* Even seeds pre-populate and checkpoint the primary so a fresh standby
+     cannot resume from LSN 0: bootstrap must ship a snapshot. Odd seeds
+     start the primary empty: bootstrap resumes and even the DDL arrives as
+     replicated WAL batches. *)
+  let pre =
+    if seed mod 2 = 0 then begin
+      let db = Db.open_ pdir in
+      ignore (Db.define db "class r { tag: int; };");
+      Db.create_cluster db "r";
+      for i = 0 to 2 do
+        Db.with_txn db (fun txn -> ignore (Db.pnew txn "r" [ ("tag", Value.Int i) ]))
+      done;
+      Db.close db;
+      3
+    end
+    else 0
+  in
+  let ppid, pport, prepl = Srv.spawn_full ~repl_port:0 ~durability:Db.Full ~db_dir:pdir () in
+  let pdead = ref false in
+  Fun.protect
+    ~finally:(fun () -> if not !pdead then kill_reap ppid Sys.sigterm)
+  @@ fun () ->
+  let rdb, up0 = Repl.bootstrap ~db_dir:rdir ~host ~port:prepl () in
+  let upref = ref up0 in
+  let closed = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close (!upref).Repl.up_fd with Unix.Unix_error _ -> ());
+      if not !closed then Db.crash rdb)
+  @@ fun () ->
+  let c = Cl.connect ~timeout:10. ~host ~port:pport () in
+  (* [base]: the primary LSN with schema in place and [pre] rows; every
+     commit past it inserts exactly one row, tags counting up from [pre]. *)
+  let base =
+    if pre = 0 then ignore (Cl.exec c "class r { tag: int; }; create cluster r;")
+    else Cl.ping c;
+    Cl.last_seen_lsn c
+  in
+  let expected_tags lsn = List.init (pre + max 0 (lsn - base)) (fun i -> i) in
+  let check_prefix what =
+    let got = rtags rdb in
+    let want = expected_tags (Db.lsn rdb) in
+    if got <> want then
+      fail "%s: standby diverged at lsn %d: has tags [%s], wants [%s]" what (Db.lsn rdb)
+        (String.concat ";" (List.map string_of_int got))
+        (String.concat ";" (List.map string_of_int want))
+  in
+  let nrows = 6 + Prng.int rng 6 in
+  for i = 0 to nrows - 1 do
+    ignore (Cl.exec c (Printf.sprintf "pnew r { tag = %d };" (pre + i)))
+  done;
+  let target = Cl.last_seen_lsn c in
+  (* Tear the stream down and re-handshake from the exact local position —
+     the recovery every injected fault must funnel into. *)
+  let resync () =
+    (try Unix.close (!upref).Repl.up_fd with Unix.Unix_error _ -> ());
+    let deadline = Unix.gettimeofday () +. 5. in
+    let rec go () =
+      match Repl.reconnect ~host ~port:prepl rdb with
+      | Ok up -> upref := up
+      | Error m ->
+          if Unix.gettimeofday () > deadline then fail "reconnect kept failing: %s" m;
+          Unix.sleepf 0.02;
+          go ()
+    in
+    go ()
+  in
+  let apply_clean ~from_lsn ~to_lsn ~data =
+    match Repl.apply_batch rdb ~from_lsn ~to_lsn ~data with
+    | `Applied | `Duplicate -> ()
+    | exception Repl.Resync _ -> resync ()
+  in
+  (* The adversary: what to do with one delivered batch. *)
+  let deliver ~from_lsn ~to_lsn ~data =
+    match Prng.int rng 8 with
+    | 0 ->
+        (* Truncated mid-frame: must refuse without applying anything. *)
+        let cut = 1 + Prng.int rng (min 8 (String.length data - 1)) in
+        let l = Db.lsn rdb in
+        (match
+           Repl.apply_batch rdb ~from_lsn ~to_lsn
+             ~data:(String.sub data 0 (String.length data - cut))
+         with
+        | `Applied -> fail "torn batch applied"
+        | `Duplicate -> ()
+        | exception Repl.Resync _ ->
+            if Db.lsn rdb <> l then fail "torn batch moved the lsn";
+            resync ())
+    | 1 ->
+        (* One flipped bit: the frame checksum must catch it. *)
+        let b = Bytes.of_string data in
+        let i = Prng.int rng (Bytes.length b) in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Prng.int rng 8)));
+        (match Repl.apply_batch rdb ~from_lsn ~to_lsn ~data:(Bytes.to_string b) with
+        | `Applied -> fail "corrupt batch applied"
+        | `Duplicate -> ()
+        | exception Repl.Resync _ -> resync ())
+    | 2 ->
+        (* Dropped: the next delivery gaps (or the stream stalls); either
+           way the pump resyncs. *)
+        ()
+    | 3 ->
+        (* Duplicated: the redelivery must be skipped, not reapplied. *)
+        apply_clean ~from_lsn ~to_lsn ~data;
+        (match Repl.apply_batch rdb ~from_lsn ~to_lsn ~data with
+        | `Duplicate -> ()
+        | `Applied -> fail "second delivery of (%d,%d] applied twice" from_lsn to_lsn
+        | exception Repl.Resync _ -> resync ())
+    | _ -> apply_clean ~from_lsn ~to_lsn ~data
+  in
+  let buf = Bytes.create 65536 in
+  let read_upstream ~timeout =
+    let fd = (!upref).Repl.up_fd in
+    match Unix.select [ fd ] [] [] timeout with
+    | [], _, _ -> `Idle
+    | _ -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> `Eof
+        | n ->
+            RP.feed (!upref).Repl.up_rd buf n;
+            `Fed
+        | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> `Eof
+        | exception Unix.Unix_error (EINTR, _, _) -> `Idle)
+  in
+  let drain_frames () =
+    let rec go acc =
+      match RP.next_frame (!upref).Repl.up_rd with
+      | Some body -> go (RP.decode_repl body :: acc)
+      | None -> List.rev acc
+    in
+    go []
+  in
+  let handle_msgs msgs =
+    (* Sometimes swap an adjacent pair: a reordered delivery gaps and must
+       resync exactly like a drop. *)
+    let msgs =
+      match msgs with
+      | a :: b :: rest when Prng.int rng 6 = 0 -> b :: a :: rest
+      | _ -> msgs
+    in
+    List.iter
+      (fun msg ->
+        match (msg : RP.repl_msg) with
+        | RP.R_batch (from_lsn, to_lsn, data) -> deliver ~from_lsn ~to_lsn ~data
+        | _ -> fail "unexpected message on an established stream")
+      msgs
+  in
+  let pump_to ~lsn:goal =
+    let deadline = Unix.gettimeofday () +. 15. in
+    while Db.lsn rdb < goal do
+      if Unix.gettimeofday () > deadline then
+        fail "standby never converged: lsn %d of %d" (Db.lsn rdb) goal;
+      match drain_frames () with
+      | [] -> (
+          match read_upstream ~timeout:0.2 with
+          | `Fed -> handle_msgs (drain_frames ())
+          | `Eof -> fail "stream closed before convergence"
+          | `Idle ->
+              (* A dropped batch stalled the stream; recover by resync. *)
+              if Db.lsn rdb < goal then resync ())
+      | msgs -> handle_msgs msgs
+    done
+  in
+  if seed mod 3 = 0 then begin
+    (* SIGKILL the primary mid-stream, drain what made it out, promote. *)
+    pump_to ~lsn:(base + Prng.int rng (max 1 (target - base)));
+    Unix.kill ppid Sys.sigkill;
+    pdead := true;
+    reap ppid;
+    (let draining = ref true in
+     while !draining do
+       match drain_frames () with
+       | [] -> (
+           match read_upstream ~timeout:0.2 with
+           | `Eof -> draining := false
+           | `Idle | `Fed -> ())
+       | msgs -> (
+           try
+             List.iter
+               (fun msg ->
+                 match (msg : RP.repl_msg) with
+                 | RP.R_batch (from_lsn, to_lsn, data) -> (
+                     match Repl.apply_batch rdb ~from_lsn ~to_lsn ~data with
+                     | `Applied | `Duplicate -> ())
+                 | _ -> ())
+               msgs
+           with Repl.Resync _ -> draining := false)
+     done);
+    check_prefix "after primary SIGKILL";
+    (* Promote in place: writable again, and still internally consistent. *)
+    Db.set_read_only rdb false;
+    Db.with_txn rdb (fun txn -> ignore (Db.pnew txn "r" [ ("tag", Value.Int 9999) ]));
+    (match Verify.run rdb with
+    | Ok () -> ()
+    | Error ps -> fail "promoted standby fails verify: %s" (String.concat "; " ps));
+    Db.close rdb;
+    closed := true;
+    (* The dead primary's directory must recover to a state the standby was
+       a prefix of: every acknowledged commit (Full durability) intact. *)
+    let pdb = Db.open_ pdir in
+    let want = List.init (pre + nrows) (fun i -> i) in
+    if rtags pdb <> want then fail "primary recovery lost acknowledged commits";
+    (match Verify.run pdb with
+    | Ok () -> ()
+    | Error ps -> fail "recovered primary fails verify: %s" (String.concat "; " ps));
+    Db.close pdb
+  end
+  else begin
+    (* Converge through the faults, then compare against the primary's
+       directory after a graceful shutdown: identical logical dumps. *)
+    pump_to ~lsn:target;
+    check_prefix "after convergence";
+    Cl.close c;
+    kill_reap ppid Sys.sigterm;
+    pdead := true;
+    let pdb = Db.open_ pdir in
+    if rtags pdb <> rtags rdb then fail "primary and standby disagree";
+    if Dump.export pdb <> Dump.export rdb then
+      fail "logical dumps differ (oid preservation broken?)";
+    (match Verify.run rdb with
+    | Ok () -> ()
+    | Error ps -> fail "standby fails verify: %s" (String.concat "; " ps));
+    Db.close pdb;
+    Db.set_read_only rdb false;
+    Db.close rdb;
+    closed := true
+  end
+
+let repl_torture () =
+  Failpoint.clear ();
+  for i = 0 to repl_iters - 1 do
+    run_repl_iteration ~iter:i ~seed:(seed0 + i)
+  done
+
+(* -- replicated torture: kill the primary under semi-sync, fail over ------- *)
+
+(* Forked primary (semi-sync) and forked standby; a client with the standby
+   in its pool writes acknowledged rows, the primary is SIGKILLed between
+   acks, the standby is promoted with SIGUSR1, and the client's retry loop
+   must land the remaining writes on the promoted primary. Semi-sync makes
+   the oracle exact: every acknowledged commit must be present after
+   failover — none lost, none duplicated. *)
+
+let failover_iters =
+  match Sys.getenv_opt "TORTURE_FAILOVER_ITERS" with Some s -> int_of_string s | None -> 6
+
+let run_failover_iteration ~iter ~seed =
+  let rng = Prng.create seed in
+  let fail fmt =
+    Format.kasprintf
+      (fun s -> Alcotest.failf "failover iteration %d (seed %d): %s" iter seed s)
+      fmt
+  in
+  let pdir = Tutil.temp_dir "torture-fo-p" in
+  let rdir = Tutil.temp_dir "torture-fo-r" in
+  let ppid, pport, prepl =
+    Srv.spawn_full ~repl_port:0 ~sync_repl:true ~durability:Db.Group ~db_dir:pdir ()
+  in
+  let pdead = ref false in
+  Fun.protect
+    ~finally:(fun () -> if not !pdead then kill_reap ppid Sys.sigterm)
+  @@ fun () ->
+  let rpid, rport = Srv.spawn ~replica_of:("127.0.0.1", prepl) ~db_dir:rdir () in
+  Fun.protect
+    ~finally:(fun () -> kill_reap rpid Sys.sigterm)
+  @@ fun () ->
+  let c =
+    Cl.connect ~timeout:10. ~retries:12
+      ~replicas:[ ("127.0.0.1", rport) ]
+      ~host:"127.0.0.1" ~port:pport ()
+  in
+  ignore (Cl.exec c "class r { tag: int; }; create cluster r;");
+  let before = 2 + Prng.int rng 6 in
+  for i = 0 to before - 1 do
+    ignore (Cl.exec c (Printf.sprintf "pnew r { tag = %d };" i))
+  done;
+  (* Between acks: the client holds no in-flight request, so the acked set
+     is exact — semi-sync guarantees the standby holds all of it. *)
+  Unix.kill ppid Sys.sigkill;
+  pdead := true;
+  reap ppid;
+  Unix.kill rpid Sys.sigusr1;
+  let after = 1 + Prng.int rng 3 in
+  for i = before to before + after - 1 do
+    ignore (Cl.exec c (Printf.sprintf "pnew r { tag = %d };" i))
+  done;
+  let n = before + after in
+  let rows = Cl.query c "forall x in r" in
+  if List.length rows <> n then
+    fail "acked %d commits, promoted standby has %d rows" n (List.length rows);
+  for i = 0 to n - 1 do
+    if not (List.exists (fun r -> contains r (Printf.sprintf "tag = %d" i)) rows) then
+      fail "acked tag %d lost in failover" i
+  done;
+  if not (contains (Cl.dot c ".verify") "ok") then fail "promoted standby fails .verify";
+  if not (contains (Cl.dot c ".replication") "role           primary") then
+    fail "promoted standby does not report as primary";
+  Cl.close c
+
+let failover_torture () =
+  Failpoint.clear ();
+  for i = 0 to failover_iters - 1 do
+    run_failover_iteration ~iter:i ~seed:(seed0 + 1000 + i)
+  done
+
 let suite =
   [
     ( "crash_torture",
@@ -575,5 +942,11 @@ let suite =
           `Slow torture;
         Alcotest.test_case "lying wal sync is detected" `Quick lying_wal_sync;
         Alcotest.test_case "checksums catch bit rot" `Quick checksum_catches_bit_rot;
+        Alcotest.test_case
+          (Printf.sprintf "replicated stream-fault torture (%d iterations)" repl_iters)
+          `Slow repl_torture;
+        Alcotest.test_case
+          (Printf.sprintf "semi-sync kill/promote/failover (%d iterations)" failover_iters)
+          `Slow failover_torture;
       ] );
   ]

@@ -71,7 +71,7 @@ let fuzz_requests () =
 let fuzz_responses () =
   let rng = Prng.create 402 in
   for i = 0 to 199 do
-    let resp = { P.rs_id = i; rs_reply = rand_reply rng } in
+    let resp = { P.rs_id = i; rs_lsn = Prng.int rng 1_000_000; rs_reply = rand_reply rng } in
     let b = Buffer.create 4096 in
     P.encode_response b resp;
     let rd = P.reader () in
@@ -81,6 +81,7 @@ let fuzz_responses () =
     | Some body ->
         let got = P.decode_response body in
         Tutil.check_int "id" resp.rs_id got.rs_id;
+        Tutil.check_int "lsn" resp.rs_lsn got.rs_lsn;
         Tutil.check_bool "reply" true (reply_eq resp.rs_reply got.rs_reply)
   done
 

@@ -100,7 +100,7 @@ let wal_records =
     Wal.Put (1, "key-a", "payload-a");
     Wal.Delete (1, "key-b");
     Wal.Commit 1;
-    Wal.Checkpoint;
+    Wal.Checkpoint 1;
   ]
 
 let wal_roundtrip_memory () =
