@@ -1664,10 +1664,149 @@ let e21 () =
   note "(the scaling ratio only exceeds 1 when the two server processes";
   note "get separate cores — on a single-core runner they timeshare)."
 
+(* ------------------------------------------------------------------ E22 *)
+(* Multicore serving (PR 7): the poll-based loop splits across OCaml
+   domains — reader domains execute autocommitted queries in parallel
+   under the shared engine lock while the writer domain keeps writes and
+   the group-commit scheduler. Sweep [--domains] over 1/2/4 against the
+   same read-heavy closed loop (unindexed range scans, so each request
+   costs real server CPU, with a 1-in-16 write mix funneled to the writer)
+   and report the scaling. Guards: zero protocol errors and a clean,
+   verified shutdown at every domain count; on runners with >= 4 cores the
+   4-domain sweep must at least double the 1-domain read throughput. On
+   fewer cores the domains timeshare and the ratio is reported, not
+   gated. *)
+
+let e22 () =
+  section "E22  multicore serving: read-mix throughput vs --domains";
+  let module Server = Ode_served.Server in
+  let module Client = Ode_served.Client in
+  let clients = 4 in
+  (* Floor the closed loop: a sweep shorter than ~100 requests/client
+     measures fork+connect overhead, not serving capacity, and the CI
+     compare needs rates from the same regime as the committed baseline. *)
+  let per_client = max 100 (scaled 250) in
+  let n_rows = scaled 2000 in
+  let run domains =
+    let db_dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ode-bench-e22-d%d-%d-%f" domains (Unix.getpid ())
+           (Unix.gettimeofday ()))
+    in
+    let srv_pid, port = Server.spawn ~domains ~db_dir () in
+    let connect () = Client.connect ~timeout:30. ~host:"127.0.0.1" ~port () in
+    let ctl = connect () in
+    ignore (Client.exec ctl "class kv { k: int; v: string; }; create cluster kv;");
+    (* Identical seeded history per domain count: pipelined autocommits. *)
+    let rng = Prng.create 2200 in
+    let loaded = ref 0 in
+    while !loaded < n_rows do
+      let k = min 50 (n_rows - !loaded) in
+      let progs =
+        List.init k (fun j ->
+            Printf.sprintf "pnew kv { k = %d, v = \"row-%d\" };" (Prng.int rng 100_000)
+              (!loaded + j))
+      in
+      List.iter
+        (function Ok _ -> () | Error e -> failwith ("E22 load: " ^ e))
+        (Client.exec_many ctl progs);
+      loaded := !loaded + k
+    done;
+    (* The sweep: closed-loop readers of narrow unindexed range scans with
+       a 1-in-16 insert mixed in — reads fan out across reader domains,
+       writes funnel through the writer, same seeds at every width. *)
+    flush stdout;
+    flush stderr;
+    let t0 = now () in
+    let pids =
+      List.init clients (fun ci ->
+          match Unix.fork () with
+          | 0 ->
+              let errors = ref 0 in
+              (try
+                 let c = connect () in
+                 let rng = Prng.create (2210 + ci) in
+                 for j = 1 to per_client do
+                   try
+                     if j mod 16 = 0 then
+                       ignore
+                         (Client.exec c
+                            (Printf.sprintf "pnew kv { k = %d, v = \"w%d-%d\" };"
+                               (Prng.int rng 100_000) ci j))
+                     else begin
+                       let lo = Prng.int rng 100_000 in
+                       ignore
+                         (Client.query c
+                            (Printf.sprintf "forall x in kv suchthat x.k >= %d && x.k < %d"
+                               lo (lo + 50)))
+                     end
+                   with _ -> incr errors
+                 done;
+                 Client.close c
+               with _ -> incr errors);
+              Unix._exit (min 100 !errors)
+          | pid -> pid)
+    in
+    let errors =
+      List.fold_left
+        (fun acc pid ->
+          let _, status = Unix.waitpid [] pid in
+          acc + (match status with Unix.WEXITED e -> e | _ -> 1))
+        0 pids
+    in
+    let rps = float (clients * per_client) /. (now () -. t0) in
+    (try Client.close ctl with _ -> ());
+    Unix.kill srv_pid Sys.sigterm;
+    let _, status = Unix.waitpid [] srv_pid in
+    let clean = status = Unix.WEXITED 0 in
+    let db = Db.open_ db_dir in
+    let ok = match Ode.Verify.run db with Ok () -> true | Error _ -> false in
+    let rows = Query.count db ~var:"x" ~cls:"kv" () in
+    Db.close db;
+    (rps, errors, clean, ok, rows)
+  in
+  let rps1, err1, clean1, ok1, rows1 = run 1 in
+  let rps2, err2, clean2, ok2, rows2 = run 2 in
+  let rps4, err4, clean4, ok4, rows4 = run 4 in
+  let cores = Domain.recommended_domain_count () in
+  let row name rps rows =
+    [ name; fops rps; ffloat (rps /. max 1e-9 rps1); fint rows ]
+  in
+  table
+    ~title:
+      (Printf.sprintf
+         "E22: %d clients x %d requests (15/16 range scans), %d-row table, %d cores"
+         clients per_client n_rows cores)
+    ~header:[ "serving domains"; "requests/s"; "vs 1 domain"; "rows" ]
+    [
+      row "1 (classic loop)" rps1 rows1;
+      row "2 (1 reader)" rps2 rows2;
+      row "4 (3 readers)" rps4 rows4;
+    ];
+  guard "E22.protocol_errors" ~hi:0.0 (float (err1 + err2 + err4));
+  guard "E22.clean_shutdown" ~lo:1.0 (if clean1 && clean2 && clean4 then 1.0 else 0.0);
+  guard "E22.post_shutdown_verify" ~lo:1.0 (if ok1 && ok2 && ok4 then 1.0 else 0.0);
+  guard "E22.rows_durable" ~lo:(float (3 * n_rows)) (float (rows1 + rows2 + rows4));
+  (* The headline parallelism claim needs real cores under the domains;
+     on smaller runners (CI containers are often 1-2 vCPUs) the ratio is
+     recorded as a metric — named without a gated substring, since a
+     timesharing ratio near 1.0 is expected, not a regression. *)
+  if cores >= 4 && scale >= 1.0 then guard "E22.scale_d4_over_d1" ~lo:2.0 (rps4 /. rps1)
+  else metric "E22.scale_d4_over_d1" (rps4 /. rps1);
+  metric "E22.scale_d2_over_d1" (rps2 /. rps1);
+  metric "E22.d1_read_rps" rps1;
+  metric "E22.d2_read_rps" rps2;
+  metric "E22.d4_read_rps" rps4;
+  note "reader domains drain a bounded job queue of autocommitted queries";
+  note "under a shared engine lock; writes (and the fsync scheduler) stay";
+  note "on the writer domain, so the reply-after-fsync guarantee is intact";
+  note "at every width. Scaling needs cores: with fewer than 4 the domains";
+  note "timeshare one socket loop and the ratio hovers around 1.0."
+
 let all : (string * (unit -> unit)) list =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21);
+    ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21); ("E22", e22);
   ]

@@ -31,7 +31,7 @@ let parse_host_port s =
       | _ -> None)
 
 let main db_dir port max_conns idle_timeout durability group_window port_file repl_port
-    sync_repl replica_of =
+    sync_repl replica_of domains =
   match db_dir with
   | None ->
       prerr_endline "ode_server: --db DIR is required";
@@ -69,7 +69,7 @@ let main db_dir port max_conns idle_timeout durability group_window port_file re
       let server =
         try
           Ode_served.Server.create ~max_conns ~idle_timeout ~durability ~group_window
-            ?repl_port ~sync_repl ?replica ~db ~port ()
+            ?repl_port ~sync_repl ?replica ~domains ~db ~port ()
         with Unix.Unix_error (e, _, _) ->
           Printf.eprintf "ode_server: cannot listen on port %d: %s\n" port
             (Unix.error_message e);
@@ -93,11 +93,11 @@ let main db_dir port max_conns idle_timeout durability group_window port_file re
       in
       Printf.printf
         "ode_server: serving %s on 127.0.0.1:%d (max %d conns, idle timeout %gs, durability \
-         %s, group window %d%s)\n\
+         %s, group window %d, domains %d%s)\n\
          %!"
         dir bound max_conns idle_timeout
         (Ode.Database.durability_name durability)
-        group_window role;
+        group_window domains role;
       Ode_served.Server.serve server;
       print_endline "ode_server: shutting down";
       Ode.Database.close db;
@@ -184,12 +184,22 @@ let replica_of =
            bootstrap the store from it, apply its WAL stream, serve reads, reject writes. \
            SIGUSR1 or the $(b,.promote) dot command promotes to primary.")
 
+let domains =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Serving domains: 1 (default) runs the classic single-domain loop; N > 1 adds \
+           N-1 reader domains that execute read-only queries in parallel while writes stay \
+           on the writer domain.")
+
 let cmd =
   let doc = "network server for the ODE object database" in
   Cmd.v
     (Cmd.info "ode_server" ~doc)
     Term.(
       const main $ db_dir $ port $ max_conns $ idle_timeout $ durability $ group_window
-      $ port_file $ repl_port $ sync_repl $ replica_of)
+      $ port_file $ repl_port $ sync_repl $ replica_of $ domains)
 
 let () = exit (Cmd.eval cmd)

@@ -42,7 +42,7 @@ let make_db ~dbdir ~kv_disk ~dir_disk ~idx_disk ~wal ~pool_pages ~wal_checkpoint
       wal_auto_checkpoint = wal_checkpoint_bytes;
       durability;
       read_only = false;
-      ocache = Ode_util.Lru.create (max 0 object_cache);
+      ocache = Ode_util.Slru.create (max 0 object_cache);
       closed = false;
       printer = print_string;
     }
@@ -243,6 +243,20 @@ let with_txn db f =
   let v = with_txn_no_drain db f in
   drain db;
   v
+
+(* A detached read-only transaction around [f]: safe to run on a reader
+   domain concurrently with other readers (the caller holds the engine's
+   shared lock; see Rwlock). Commit is trivial — queries cannot fire
+   triggers, so there is nothing to drain. *)
+let with_read_txn db f =
+  let txn = Txn.begin_read db in
+  match f txn with
+  | v ->
+      ignore (Txn.commit txn);
+      v
+  | exception e ->
+      (match txn.tstate with `Active -> Txn.abort txn | `Committed | `Aborted -> ());
+      raise e
 
 let begin_txn = Txn.begin_
 

@@ -74,6 +74,13 @@ val with_txn : t -> (txn -> 'a) -> 'a
     as its own transaction (weak coupling, paper §6). On exception the
     transaction is aborted and the exception re-raised. *)
 
+val with_read_txn : t -> (txn -> 'a) -> 'a
+(** Run [f] inside a detached read-only transaction ({!Txn.begin_read}):
+    it never occupies the engine's single active slot, so any number can
+    run concurrently on reader domains while the slot is free or even
+    held. A write attempt inside [f] raises {!Types.Read_only_txn} before
+    touching shared state. *)
+
 val begin_txn : t -> txn
 val commit : txn -> unit
 (** Commit and drain trigger actions. Under [Group]/[Async] durability the

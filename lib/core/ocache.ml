@@ -1,28 +1,32 @@
 (* Decoded-object cache.
 
-   An LRU over logical KV keys ('H' header keys and 'V' version keys) that
-   holds the *decoded* representation, so repeated predicate evaluation over
-   the same extent skips the B+tree descent, heap fetch and field decode.
+   A sharded LRU over logical KV keys ('H' header keys and 'V' version keys)
+   that holds the *decoded* representation, so repeated predicate evaluation
+   over the same extent skips the B+tree descent, heap fetch and field
+   decode. Shards (each its own LRU + mutex, see {!Ode_util.Slru}) let the
+   server's reader domains probe and fill the cache concurrently.
 
    Coherence contract:
    - Only committed state is ever cached. Readers consult the active
      transaction's write overlay first and never insert overlay data.
    - [invalidate] is called from the committed-write choke point
      ([Kv.put]/[Kv.delete]) which covers commit-apply, recovery replay and
-     every direct caller.
+     every direct caller. Committed writes happen only on the writer domain
+     while no reader holds the engine's shared lock, so readers never
+     observe a stale entry.
    - [clear] wipes the cache wholesale on recovery/reopen so a pre-crash
      entry can never be served against a replayed store. *)
 
 open Types
-module Lru = Ode_util.Lru
+module Slru = Ode_util.Slru
 module Stats = Ode_util.Stats
 
-let enabled db = Lru.capacity db.ocache > 0
+let enabled db = Slru.capacity db.ocache > 0
 
 let find db key =
   if not (enabled db) then None
   else
-    match Lru.find db.ocache key with
+    match Slru.find db.ocache key with
     | Some _ as hit ->
         Stats.incr_obj_cache_hits ();
         hit
@@ -30,18 +34,9 @@ let find db key =
         Stats.incr_obj_cache_misses ();
         None
 
-let add db key v =
-  if enabled db then begin
-    Lru.add db.ocache key v;
-    while Lru.length db.ocache > Lru.capacity db.ocache do
-      ignore (Lru.evict db.ocache (fun _ _ -> true))
-    done
-  end
+let add db key v = if enabled db then Slru.add db.ocache key v
 
 let invalidate db key =
-  if enabled db && Lru.mem db.ocache key then begin
-    Lru.remove db.ocache key;
-    Stats.incr_obj_cache_invalidations ()
-  end
+  if enabled db && Slru.remove db.ocache key then Stats.incr_obj_cache_invalidations ()
 
-let clear db = Lru.clear db.ocache
+let clear db = Slru.clear db.ocache

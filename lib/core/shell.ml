@@ -184,20 +184,31 @@ let parse_forall rest =
 
 (* A row-returning query (the server's [Query] opcode): a bodiless forall,
    each qualifying object rendered as one row. Runs inside the open explicit
-   transaction if any, so a remote session sees its own uncommitted writes. *)
-let query_rows t source =
-  match
+   transaction if any, so a remote session sees its own uncommitted writes;
+   with no explicit transaction it runs in a *detached* read-only txn
+   ({!Database.with_read_txn}), which never takes the engine's single slot —
+   that is what lets the server execute queries on reader domains in
+   parallel. A predicate that turns out to write raises
+   {!Types.Read_only_txn}, re-raised (not rendered) so the server can
+   re-execute the request on the writer domain in a slot transaction. *)
+let query_rows ?(detached = true) t source =
+  let run txn =
     let f = parse_forall source in
     if f.q_body <> [] then failwith "query takes a bodiless forall (use exec for loops)";
-    in_txn t (fun txn ->
-        List.rev
-          (Query.fold t.db ~txn
-             ~env:(Interp.all_vars t.env)
-             ~var:f.q_var ~cls:f.q_cls ~deep:f.q_deep ?suchthat:f.q_suchthat ?by:f.q_by
-             ~init:[]
-             (fun acc oid -> render_row txn oid :: acc)))
+    List.rev
+      (Query.fold t.db ~txn
+         ~env:(Interp.all_vars t.env)
+         ~var:f.q_var ~cls:f.q_cls ~deep:f.q_deep ?suchthat:f.q_suchthat ?by:f.q_by
+         ~init:[]
+         (fun acc oid -> render_row txn oid :: acc))
+  in
+  match
+    match t.txn with
+    | Some txn -> run txn
+    | None -> if detached then Database.with_read_txn t.db run else Database.with_txn t.db run
   with
   | rows -> Ok rows
+  | exception (Types.Read_only_txn as e) -> raise e
   | exception e -> Error (render_error e)
 
 (* Run the profiled query with the forall body (if any) as the output node,

@@ -34,10 +34,15 @@ val rollback : t -> unit
 (** Abort the open explicit transaction, if any. Used by the server when a
     session disconnects or the server shuts down mid-transaction. *)
 
-val query_rows : t -> string -> (string list, string) result
+val query_rows : ?detached:bool -> t -> string -> (string list, string) result
 (** Run a bodiless [forall] query and render each qualifying object as one
     row (oid plus fields) — the wire protocol's [Query] opcode. Runs inside
-    the open explicit transaction if any. Errors are rendered, not raised. *)
+    the open explicit transaction if any; otherwise in a detached read-only
+    transaction ([detached], the default — safe on a reader domain) or an
+    ordinary slot transaction ([~detached:false] — the writer-domain
+    fallback). Errors are rendered, not raised, except
+    {!Types.Read_only_txn}, which escapes so the server can re-route the
+    request to the writer domain. *)
 
 val dot_command : t -> string -> string option
 (** Handle a sqlite3-style dot command line ([.stats [reset]], [.recovery],

@@ -42,8 +42,17 @@ let read db txn key =
   | Some Del -> None
   | None -> Kv.get db key
 
-let write txn key payload = Hashtbl.replace txn.writes key (Put payload)
-let remove txn key = Hashtbl.replace txn.writes key Del
+(* The two overlay choke points: every mutation in this module funnels
+   through them. A detached read txn (reader domain) is rejected before the
+   overlay — or any shared structure — is touched, so the server can replay
+   the request on the writer domain. *)
+let write txn key payload =
+  if txn.tro then raise Read_only_txn;
+  Hashtbl.replace txn.writes key (Put payload)
+
+let remove txn key =
+  if txn.tro then raise Read_only_txn;
+  Hashtbl.replace txn.writes key Del
 
 (* -- object reads -------------------------------------------------------------- *)
 
@@ -145,6 +154,9 @@ let touch txn oid = Hashtbl.replace txn.touched oid ()
 
 let create txn (cls : Schema.cls) inits =
   let db = txn.tdb in
+  (* Guard before the next_num bump and catalog_dirty flag: [create] mutates
+     shared schema state ahead of its overlay writes. *)
+  if txn.tro then raise Read_only_txn;
   if not (Catalog.has_cluster db.catalog cls) then raise (No_cluster cls.Schema.name);
   let fields = Catalog.all_fields db.catalog cls in
   let names = Schema.field_names fields in

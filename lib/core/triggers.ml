@@ -100,6 +100,9 @@ let find_decl db oid tname =
 
 let activate txn oid tname args =
   let db = txn.tdb in
+  (* Guard before the next_tid bump below: activation mutates shared meta
+     state ahead of its overlay write. *)
+  if txn.tro then raise Types.Read_only_txn;
   if not (Store.exists db (Some txn) oid) then err "cannot activate trigger on dead object %a" Oid.pp oid;
   let g, tcls = find_decl db oid tname in
   if List.length args <> List.length g.gparams then

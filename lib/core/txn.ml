@@ -14,6 +14,7 @@ let begin_ db =
     {
       xid = db.next_xid;
       tdb = db;
+      tro = false;
       writes = Hashtbl.create 64;
       created = [];
       touched = Hashtbl.create 32;
@@ -26,6 +27,25 @@ let begin_ db =
   db.active <- Some txn;
   Ode_util.Trace.instant ~cat:"txn" "txn.begin";
   txn
+
+(* A detached read-only transaction: it never occupies the engine's single
+   [db.active] slot and never allocates an xid, so any number of them can
+   run concurrently (on reader domains) alongside one writer-slot
+   transaction. The write choke points in {!Store} raise {!Read_only_txn}
+   against it before touching any shared state. *)
+let begin_read db =
+  if db.closed then raise Db_closed;
+  {
+    xid = 0;
+    tdb = db;
+    tro = true;
+    writes = Hashtbl.create 1;
+    created = [];
+    touched = Hashtbl.create 1;
+    tstate = `Active;
+    catalog_dirty = false;
+    meta_dirty = false;
+  }
 
 let active db = db.active
 
@@ -41,7 +61,9 @@ let require_active txn =
 let abort txn =
   require_active txn;
   txn.tstate <- `Aborted;
-  txn.tdb.active <- None;
+  (* A detached read txn never owned the active slot — it must not clear a
+     slot transaction that may be live concurrently. *)
+  if not txn.tro then txn.tdb.active <- None;
   Ode_util.Trace.instant ~cat:"txn" "txn.abort"
 
 let checkpoint db =
@@ -78,7 +100,7 @@ let decode_meta s =
    the classic sync-before-apply. Deferred commits skip it; the records stay
    pending in the WAL until a shared {!ack} (or a checkpoint, or the buffer
    pool's write-ahead hook) makes the whole batch durable with one fsync. *)
-let commit_active ~durable txn =
+let commit_slot ~durable txn =
   let db = txn.tdb in
   (* 0. A replica rejects local writes before any effect: read-only
         transactions (empty write set, no DDL) still commit, so remote
@@ -124,6 +146,20 @@ let commit_active ~durable txn =
   (* 6. Bound recovery time. *)
   if Wal.size_bytes db.wal > db.wal_auto_checkpoint then checkpoint db;
   firings
+
+(* Detached read txns commit trivially: the Store guards kept the write set
+   empty, there is nothing to log, no slot to release, and no checkpoint to
+   consider (checkpoints mutate the WAL — writer-only). *)
+let commit_active ~durable txn =
+  if txn.tro then begin
+    if Hashtbl.length txn.writes > 0 || txn.catalog_dirty || txn.meta_dirty then begin
+      txn.tstate <- `Aborted;
+      raise Read_only_txn
+    end;
+    txn.tstate <- `Committed;
+    []
+  end
+  else commit_slot ~durable txn
 
 let timed_commit txn ~durable =
   require_active txn;

@@ -16,6 +16,13 @@ open Types
 val begin_ : db -> txn
 (** Raises [Invalid_argument] if a transaction is already active. *)
 
+val begin_read : db -> txn
+(** A detached read-only transaction: it never occupies the single active
+    slot or allocates an xid, so any number can run concurrently (the
+    server executes queries on reader domains inside one each). Every
+    write choke point in {!Store} raises {!Types.Read_only_txn} against it
+    before touching shared state; commit is trivial (nothing to log). *)
+
 val active : db -> txn option
 val active_exn : db -> txn
 

@@ -52,6 +52,10 @@ type durability = Full | Group | Async
 type txn = {
   xid : int;
   tdb : db;
+  tro : bool;                               (* detached read-only txn: never
+                                               occupies [db.active], never
+                                               allocates an xid; any write
+                                               attempt raises Read_only_txn *)
   writes : (string, op) Hashtbl.t;          (* logical key -> final state *)
   mutable created : Oid.t list;             (* reverse creation order *)
   touched : (Oid.t, unit) Hashtbl.t;        (* objects written (for constraints/triggers) *)
@@ -77,8 +81,9 @@ and db = {
   mutable wal_auto_checkpoint : int;        (* bytes; checkpoint when exceeded *)
   mutable durability : durability;          (* when commits fsync (see above) *)
   mutable read_only : bool;                 (* replica mode: reject local writes *)
-  ocache : (string, cached) Ode_util.Lru.t; (* decoded objects by logical key;
-                                               capacity 0 disables the cache *)
+  ocache : (string, cached) Ode_util.Slru.t; (* decoded objects by logical key,
+                                                sharded for concurrent reader
+                                                domains; capacity 0 disables *)
   mutable closed : bool;
   mutable printer : string -> unit;         (* trigger-action [print] output *)
 }
@@ -91,3 +96,8 @@ exception Db_closed
 exception Read_only_store
 (* The database is a replication standby: local writes are rejected (the
    rendered message is the client's retryable redirect to the primary). *)
+
+exception Read_only_txn
+(* A write reached a detached read-only transaction (Txn.begin_read). The
+   guard fires before any shared state is touched, so the server can
+   re-route the request to the writer domain and re-execute it there. *)

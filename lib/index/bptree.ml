@@ -20,8 +20,12 @@ type t = {
   mutable count : int;
   (* Decoded-node cache: every mutation goes through [write_node], which
      refreshes the entry, so the cache never goes stale. Bounded by periodic
-     reset. *)
+     reset. [cache_mu] guards the table itself so reader domains can probe
+     it concurrently; the nodes inside are only mutated by the (exclusive)
+     writer, so a cached node handed out under the lock stays valid for the
+     duration of the reader's request. *)
   node_cache : (int, node) Hashtbl.t;
+  cache_mu : Mutex.t;
 }
 
 let cache_limit = 8192
@@ -89,7 +93,7 @@ let deserialize s =
   | k -> raise (Codec.Corrupt (Printf.sprintf "bptree: bad node kind %d" k))
 
 let read_node t page =
-  match Hashtbl.find_opt t.node_cache page with
+  match Mutex.protect t.cache_mu (fun () -> Hashtbl.find_opt t.node_cache page) with
   | Some n -> n
   | None ->
       (* A node pointer past the end of the file means the tail was trimmed
@@ -107,8 +111,9 @@ let read_node t page =
             let len = Codec.get_u16 c in
             deserialize (Codec.get_raw c len))
       in
-      if Hashtbl.length t.node_cache >= cache_limit then Hashtbl.reset t.node_cache;
-      Hashtbl.replace t.node_cache page n;
+      Mutex.protect t.cache_mu (fun () ->
+          if Hashtbl.length t.node_cache >= cache_limit then Hashtbl.reset t.node_cache;
+          Hashtbl.replace t.node_cache page n);
       n
 
 let write_node t page node =
@@ -122,8 +127,9 @@ let write_node t page node =
       let out = Buffer.contents b in
       Bytes.blit_string out 0 data 0 (String.length out);
       Pool.mark_dirty t.pool f);
-  if Hashtbl.length t.node_cache >= cache_limit then Hashtbl.reset t.node_cache;
-  Hashtbl.replace t.node_cache page node
+  Mutex.protect t.cache_mu (fun () ->
+      if Hashtbl.length t.node_cache >= cache_limit then Hashtbl.reset t.node_cache;
+      Hashtbl.replace t.node_cache page node)
 
 let alloc_node t node =
   let f = Pool.allocate t.pool in
@@ -150,7 +156,7 @@ let attach pool =
     let f = Pool.allocate pool in
     assert (Pool.page_no f = 0);
     Pool.unpin pool f;
-    let t = { pool; root = 0; count = 0; node_cache = Hashtbl.create 256 } in
+    let t = { pool; root = 0; count = 0; node_cache = Hashtbl.create 256; cache_mu = Mutex.create () } in
     let root = alloc_node t (Leaf { entries = [||]; next = 0 }) in
     t.root <- root;
     write_header t;
@@ -171,13 +177,13 @@ let attach pool =
           else invalid_arg "bptree: bad magic")
     in
     match header with
-    | `Ok (root, count) -> { pool; root; count; node_cache = Hashtbl.create 256 }
+    | `Ok (root, count) -> { pool; root; count; node_cache = Hashtbl.create 256; cache_mu = Mutex.create () }
     | `Never_flushed ->
         (* A crash before the first flush left a stamped all-zero header:
            the tree was never durably initialised. Rebuild it empty; any
            other leftover pages are unreachable from the new root. *)
         Ode_util.Stats.incr_pages_reformatted ();
-        let t = { pool; root = 0; count = 0; node_cache = Hashtbl.create 256 } in
+        let t = { pool; root = 0; count = 0; node_cache = Hashtbl.create 256; cache_mu = Mutex.create () } in
         let root = alloc_node t (Leaf { entries = [||]; next = 0 }) in
         t.root <- root;
         write_header t;

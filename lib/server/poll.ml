@@ -1,0 +1,54 @@
+(* Reusable poll(2) set: parallel growable buffers handed straight to the C
+   stub, so a serving tick registers interest, waits, and walks readiness
+   without allocating. Slots are dense indices in registration order — the
+   caller keeps its own index-aligned table of what each slot means. *)
+
+external raw_poll : Unix.file_descr array -> int array -> int array -> int -> int -> int
+  = "ode_poll_stub_bytecode" "ode_poll_stub_native"
+
+type t = {
+  mutable fds : Unix.file_descr array;
+  mutable events : int array;
+  mutable revents : int array;
+  mutable len : int;
+}
+
+let create () =
+  {
+    fds = Array.make 64 Unix.stdin;
+    events = Array.make 64 0;
+    revents = Array.make 64 0;
+    len = 0;
+  }
+
+let clear t = t.len <- 0
+let length t = t.len
+
+let grow t =
+  let cap = Array.length t.fds in
+  if t.len = cap then begin
+    let n = cap * 2 in
+    let fds = Array.make n Unix.stdin in
+    let events = Array.make n 0 in
+    let revents = Array.make n 0 in
+    Array.blit t.fds 0 fds 0 cap;
+    Array.blit t.events 0 events 0 cap;
+    Array.blit t.revents 0 revents 0 cap;
+    t.fds <- fds;
+    t.events <- events;
+    t.revents <- revents
+  end
+
+let add t fd ~read ~write =
+  grow t;
+  let i = t.len in
+  t.fds.(i) <- fd;
+  t.events.(i) <- (if read then 1 else 0) lor (if write then 2 else 0);
+  t.revents.(i) <- 0;
+  t.len <- i + 1;
+  i
+
+let wait t ~timeout_ms = raw_poll t.fds t.events t.revents t.len timeout_ms
+let revents t i = t.revents.(i)
+let is_readable m = m land 1 <> 0
+let is_writable m = m land 2 <> 0

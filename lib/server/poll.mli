@@ -1,0 +1,34 @@
+(** A reusable poll(2) readiness set.
+
+    No descriptor-count ceiling beyond the process rlimit (unlike
+    [Unix.select]'s FD_SETSIZE = 1024), and the buffers persist across
+    calls, so a serving tick is allocation-free. [add] returns the entry's
+    dense slot index (registration order, reset by {!clear}); after
+    {!wait}, {!revents} for that index reports readiness. *)
+
+type t
+
+val create : unit -> t
+
+val clear : t -> unit
+(** Forget every registered descriptor (buffers are kept). *)
+
+val add : t -> Unix.file_descr -> read:bool -> write:bool -> int
+(** Register interest; returns the slot index of this entry. *)
+
+val length : t -> int
+(** Number of registered entries. *)
+
+val wait : t -> timeout_ms:int -> int
+(** Block until readiness or timeout ([0] = return immediately, [-1] =
+    forever). Returns the number of ready descriptors; [EINTR] is reported
+    as a timeout (0). The OCaml runtime lock is released during the wait.
+    Raises [Failure] on other poll errors. *)
+
+val revents : t -> int -> int
+(** Readiness mask of a slot after {!wait} (0 = not ready). Error and
+    hangup conditions set both bits, so the caller's next read/write
+    surfaces the failure. *)
+
+val is_readable : int -> bool
+val is_writable : int -> bool

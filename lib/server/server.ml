@@ -1,10 +1,28 @@
-(* Single-threaded Unix.select event loop. One iteration: accept what's
-   pending, read what's readable (feeding each connection's frame reader and
-   executing any complete requests inline), write what's writable, evict
-   idlers. Requests run to completion on this one domain — sessions
-   interleave between requests, never inside one, which is what lets the
-   engine's process-global state (Stats/Trace/Histogram, buffer pool) stay
-   lock-free.
+(* Multicore serving: a poll(2) event loop on the writer domain plus N
+   reader domains executing read-only requests in parallel.
+
+   The writer domain owns the sockets, the WAL and the group-commit batch
+   scheduler. One iteration: poll for readiness, accept what's pending,
+   read what's readable (feeding each connection's frame reader), execute
+   or dispatch complete requests, collect reader completions, ack, write.
+   Writing requests — [Exec], [Dot], anything inside an explicit
+   transaction — run to completion on the writer, exactly the old
+   single-domain model. [Ping]s and autocommitted [Query]s are handed to a
+   bounded job queue that reader domains drain, each executing the query in
+   a detached read-only transaction over the lock-striped storage layer.
+
+   Reader/writer interleaving is governed by one writer-preferring RW lock:
+   a reader holds it shared for the duration of one request, the writer
+   holds it exclusive for the duration of one writing request, so readers
+   run against a structurally quiescent engine (no B+tree splits or commit
+   applies mid-scan) while any number of them share the storage layer —
+   that sharing is what the striped buffer pool, per-disk mutex and sharded
+   object cache make safe. A query that turns out to write (a method with
+   side effects) raises [Read_only_txn] before touching shared state; the
+   completion re-routes it to the writer, which replays it under the
+   exclusive lock. Per connection at most one request is in flight and no
+   further frames are executed until its reply is buffered, so replies
+   stay in request order.
 
    The iteration doubles as the group-commit batch scheduler. Replies are
    never written from the read phase — they accumulate in each connection's
@@ -12,20 +30,26 @@
    ack point: one [Database.sync_commits] covering every autocommit executed
    this tick. So under [Group] durability a reply can only reach the socket
    after the fsync that made its commit durable, while a tick that executed
-   N requests paid for one fsync, not N.
+   N requests paid for one fsync, not N. Reader-executed requests commit
+   nothing, so they owe no fsync; re-routed ones are replayed on the writer
+   before the ack point like any other write.
 
-   Replication rides the same loop. A primary with a replication port keeps
-   a second listener; each connected standby is a [downstream] whose buffer
-   the WAL observer feeds with every post-fsync batch — the observer fires
-   inside [Wal.sync], strictly after the barrier, so a standby can never
-   hold a commit the primary could still lose. A replica runs the same loop
-   with an [upstream] link instead: batches in, acks out, promotion on
+   Replication rides the same loop, entirely on the writer domain. A
+   primary with a replication port keeps a second listener; each connected
+   standby is a [downstream] whose buffer the WAL observer feeds with every
+   post-fsync batch — the observer fires inside [Wal.sync], strictly after
+   the barrier, so a standby can never hold a commit the primary could
+   still lose. A replica runs the same loop with an [upstream] link
+   instead: batches in (applied under the exclusive lock — its readers
+   serve stale-but-consistent queries meanwhile), acks out, promotion on
    [.promote] or SIGUSR1. Under [sync_repl] the write phase additionally
    holds back any reply whose commit no streaming replica has acknowledged
    yet (semi-sync), degrading after a timeout rather than blocking writes
    forever on a dead standby. *)
 
 module Stats = Ode_util.Stats
+module Chan = Ode_util.Chan
+module Rwlock = Ode_util.Rwlock
 module Db = Ode.Database
 
 type conn = {
@@ -38,6 +62,13 @@ type conn = {
   mutable last : float;       (* last byte received (idle eviction) *)
   mutable sent_lsn : int;     (* highest commit LSN this conn's buffered
                                  replies acknowledge (semi-sync gate) *)
+  mutable inflight : bool;    (* a request is executing on a reader domain;
+                                 no reads, no frame execution, no eviction
+                                 until its completion is collected *)
+  mutable doomed : bool;      (* socket died while inflight; really dropped
+                                 when the completion arrives *)
+  mutable alive : bool;       (* false once dropped (the idle queue and the
+                                 poll dispatch hold stale references) *)
 }
 
 (* A standby streaming from us. *)
@@ -60,6 +91,26 @@ type upstream_state = {
   mutable u_retry_at : float;
 }
 
+(* A request handed to a reader domain, and its way back. *)
+type rjob = { rj_conn : conn; rj_session : Session.t; rj_rq : Protocol.request }
+type job = Job of rjob | Stop
+
+type completion = {
+  cm_job : rjob;
+  cm_resp : Protocol.response option;
+      (* None: the query tried to write — replay it on the writer *)
+}
+
+(* What each poll slot means this tick (index-aligned with [Poll.add]). *)
+type slot =
+  | S_none
+  | S_listen
+  | S_repl_listen
+  | S_wake
+  | S_up
+  | S_conn of conn
+  | S_down of downstream
+
 type t = {
   db : Ode.Database.t;
   listen_fd : Unix.file_descr;
@@ -70,7 +121,18 @@ type t = {
   max_conns : int;
   idle_timeout : float;
   group_window : int;         (* force a sync once this many commits pend *)
-  read_buf : bytes;           (* scratch shared by every read *)
+  read_buf : bytes;           (* scratch shared by every writer-domain read *)
+  nreaders : int;             (* reader domains; 0 = classic inline serving *)
+  engine_lock : Rwlock.t;
+  jobs : job Chan.t;
+  dones : completion Chan.t;
+  wake_r : Unix.file_descr;   (* self-pipe: readers nudge the poll loop *)
+  wake_w : Unix.file_descr;
+  pset : Poll.t;
+  mutable slots : slot array;
+  mutable readers : unit Domain.t list;
+  idle_q : (float * conn) Queue.t; (* (enqueued_at, conn), push-time order *)
+  mutable accept_pause : float; (* fd exhaustion: no accepts until then *)
   mutable conns : conn list;
   mutable downstreams : downstream list;
   mutable upstream : upstream_state option; (* Some = replica role *)
@@ -97,9 +159,15 @@ let drain_deadline = 5.0
    the gate opens (and [repl.sync_degraded] counts the event). *)
 let sync_repl_timeout = 5.0
 
+(* How long accepting pauses after EMFILE/ENFILE: long enough not to spin
+   on a listener we cannot serve, short enough to pick arrivals up as soon
+   as a descriptor frees. *)
+let accept_backoff = 0.2
+
 let port t = t.lport
 let repl_port t = t.rport
 let connections t = List.length t.conns
+let domains t = t.nreaders + 1
 let shutdown t = t.stop <- true
 
 let handle_signals t =
@@ -110,22 +178,103 @@ let handle_signals t =
      between iterations. Harmless on a primary. *)
   Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> t.promote_flag <- true))
 
+(* Engine exclusivity: anything that can mutate shared engine state runs
+   under the exclusive side of the lock when reader domains exist. With no
+   readers the lock is pure overhead, so classic mode skips it. *)
+let with_write t f = if t.nreaders = 0 then f () else Rwlock.write t.engine_lock f
+
 let out_pending c = Buffer.length c.out - c.out_pos
 let d_pending d = Buffer.length d.d_out - d.d_out_pos
 let u_pending u = Buffer.length u.u_out - u.u_out_pos
 
 let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-let drop t c =
+let real_drop t c =
+  c.alive <- false;
   (match c.state with `Active s -> Session.close s | `Hello -> ());
   close_fd c.fd;
   t.conns <- List.filter (fun c' -> c' != c) t.conns
+
+(* Dropping a connection whose request is still on a reader domain must
+   wait for the completion (the reader holds the session); mark it doomed
+   and let the completion handler finish the job. *)
+let drop t c =
+  if c.inflight then begin
+    c.doomed <- true;
+    c.closing <- true
+  end
+  else real_drop t c
 
 let drop_downstream t d =
   close_fd d.d_fd;
   t.downstreams <- List.filter (fun d' -> d' != d) t.downstreams
 
 let is_primary t = t.upstream = None
+
+(* -- the reader pool ------------------------------------------------------ *)
+
+let wake t =
+  try ignore (Unix.write_substring t.wake_w "x" 0 1)
+  with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EINTR), _, _) ->
+    (* A full pipe means wakeups are already pending — good enough. *)
+    ()
+
+let drain_wake t =
+  let buf = Bytes.create 256 in
+  let rec go () =
+    match Unix.read t.wake_r buf 0 (Bytes.length buf) with
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | 0 -> ()
+    | _ -> go ()
+  in
+  go ()
+
+let reader_loop t =
+  let rec loop () =
+    match Chan.pop t.jobs with
+    | Stop -> ()
+    | Job j ->
+        let resp =
+          Rwlock.read t.engine_lock (fun () ->
+              match Session.handle_read j.rj_session j.rj_rq with
+              | resp -> Some resp
+              | exception Ode.Types.Read_only_txn -> None
+              | exception e ->
+                  (* Defensive: [handle_read] renders interpreter errors
+                     itself, so anything escaping is an engine bug — answer
+                     it rather than killing the domain. *)
+                  Some
+                    {
+                      Protocol.rs_id = j.rj_rq.rq_id;
+                      rs_lsn = Db.lsn t.db;
+                      rs_reply = Error ("internal error: " ^ Printexc.to_string e);
+                    })
+        in
+        (* [dones] is sized past the maximum possible in-flight count, so
+           this push never blocks a reader against a busy writer. *)
+        Chan.push t.dones { cm_job = j; cm_resp = resp };
+        wake t;
+        loop ()
+  in
+  loop ()
+
+let stop_readers t =
+  if t.readers <> [] then begin
+    List.iter (fun _ -> Chan.push t.jobs Stop) t.readers;
+    List.iter Domain.join t.readers;
+    t.readers <- []
+  end
+
+(* -- poll set bookkeeping ------------------------------------------------- *)
+
+let slot_add t slot fd ~read ~write =
+  let i = Poll.add t.pset fd ~read ~write in
+  if i >= Array.length t.slots then begin
+    let ns = Array.make (max 64 (2 * Array.length t.slots)) S_none in
+    Array.blit t.slots 0 ns 0 (Array.length t.slots);
+    t.slots <- ns
+  end;
+  t.slots.(i) <- slot
 
 (* -- replication: primary side ------------------------------------------- *)
 
@@ -146,6 +295,10 @@ let rec accept_repl t lfd =
   match Unix.accept ~cloexec:true lfd with
   | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
   | exception Unix.Unix_error (EINTR, _, _) -> accept_repl t lfd
+  | exception Unix.Unix_error ((EMFILE | ENFILE), _, _) ->
+      Stats.incr_server_accept_backoffs ();
+      t.accept_pause <- Unix.gettimeofday () +. accept_backoff;
+      Printf.eprintf "server: accept (replication): out of file descriptors; backing off\n%!"
   | fd, _ ->
       Unix.set_nonblock fd;
       (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
@@ -185,11 +338,15 @@ let process_downstream t d =
         | Some body -> (
             match Protocol.decode_repl body with
             | Protocol.R_hello lsn -> (
-                (* [answer_hello] may checkpoint (snapshot path); the sync
-                   inside feeds the *other*, already-streaming downstreams —
-                   this one only starts receiving batches once marked
-                   [`Streaming] below, right after its backlog. *)
-                match Replication.answer_hello t.db ~replica_lsn:lsn with
+                (* [answer_hello] may checkpoint (snapshot path): engine
+                   state moves, so it runs under the exclusive lock. The
+                   sync inside feeds the *other*, already-streaming
+                   downstreams — this one only starts receiving batches
+                   once marked [`Streaming] below, right after its
+                   backlog. *)
+                match
+                  with_write t (fun () -> Replication.answer_hello t.db ~replica_lsn:lsn)
+                with
                 | Replication.Resume { from_lsn; to_lsn; backlog } ->
                     Protocol.encode_repl d.d_out (Protocol.R_resume from_lsn);
                     if String.length backlog > 0 then begin
@@ -266,7 +423,8 @@ let upstream_fault _t u reason =
   Printf.eprintf "replication: upstream lost (%s); retrying\n%!" reason
 
 (* Drain every complete frame buffered from the primary, applying batches
-   and queueing an ack per batch. Stale reads keep working throughout. *)
+   (under the exclusive lock — redo mutates the engine) and queueing an ack
+   per batch. Stale reads keep working throughout, between batches. *)
 let process_upstream t u link =
   let rec go () =
     match Protocol.next_frame link.Replication.up_rd with
@@ -274,7 +432,9 @@ let process_upstream t u link =
     | Some body ->
         (match Protocol.decode_repl body with
         | Protocol.R_batch (from_lsn, to_lsn, data) ->
-            (match Replication.apply_batch t.db ~from_lsn ~to_lsn ~data with
+            (match
+               with_write t (fun () -> Replication.apply_batch t.db ~from_lsn ~to_lsn ~data)
+             with
             | `Applied | `Duplicate -> queue_ack t u)
         | _ -> raise (Replication.Resync "unexpected message from primary"));
         go ()
@@ -335,7 +495,7 @@ let promote t =
   | Some u ->
       (match u.u_link with Some l -> close_fd l.Replication.up_fd | None -> ());
       t.upstream <- None;
-      Db.set_read_only t.db false;
+      with_write t (fun () -> Db.set_read_only t.db false);
       Stdlib.Ok (Printf.sprintf "promoted to primary at lsn %d" (Db.lsn t.db))
 
 let replication_report t =
@@ -348,6 +508,7 @@ let replication_report t =
   | None -> add "role           primary\n");
   add "lsn            %d\n" (Db.lsn t.db);
   add "durable_lsn    %d\n" (Db.durable_lsn t.db);
+  add "domains        %d (1 writer + %d readers)\n" (t.nreaders + 1) t.nreaders;
   if is_primary t then begin
     add "sync_repl      %s%s\n"
       (if t.sync_repl then "on" else "off")
@@ -432,6 +593,14 @@ let rec accept_pending t =
   match Unix.accept ~cloexec:true t.listen_fd with
   | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
   | exception Unix.Unix_error (EINTR, _, _) -> accept_pending t
+  | exception Unix.Unix_error ((EMFILE | ENFILE), _, _) ->
+      (* Descriptor exhaustion: pause accepting rather than spinning on a
+         listener we cannot serve. Existing connections keep draining —
+         which is exactly what frees descriptors — and the listener rejoins
+         the poll set once the backoff lapses. *)
+      Stats.incr_server_accept_backoffs ();
+      t.accept_pause <- Unix.gettimeofday () +. accept_backoff;
+      Printf.eprintf "server: accept: out of file descriptors; backing off\n%!"
   | fd, _ ->
       Stats.incr_server_accepts ();
       Unix.set_nonblock fd;
@@ -447,8 +616,9 @@ let rec accept_pending t =
          with Unix.Unix_error _ -> ());
         close_fd fd
       end
-      else
-        t.conns <-
+      else begin
+        let now = Unix.gettimeofday () in
+        let c =
           {
             fd;
             rd = Protocol.reader ();
@@ -456,10 +626,16 @@ let rec accept_pending t =
             out_pos = 0;
             state = `Hello;
             closing = false;
-            last = Unix.gettimeofday ();
+            last = now;
             sent_lsn = -1;
+            inflight = false;
+            doomed = false;
+            alive = true;
           }
-          :: t.conns;
+        in
+        t.conns <- c :: t.conns;
+        if t.idle_timeout > 0. then Queue.push (now, c) t.idle_q
+      end;
       accept_pending t
 
 (* -- per-connection processing -------------------------------------------- *)
@@ -480,12 +656,36 @@ let try_handshake t c =
           Buffer.add_string c.out (Protocol.hello_reply Bad_version);
           c.closing <- true)
 
+(* Execute one request on the writer domain (exclusive lock when readers
+   exist), buffer its reply, track the semi-sync position, bound the
+   deferred-durability window. *)
+let exec_on_writer ?count t c session rq =
+  let before = Db.lsn t.db in
+  let resp = with_write t (fun () -> Session.handle ?count session rq) in
+  (* Only a request that moved the LSN puts this connection under the
+     semi-sync gate — reads ride free. *)
+  if Db.lsn t.db > before then c.sent_lsn <- Db.lsn t.db;
+  Protocol.encode_response c.out resp;
+  (* Bound the deferred-durability window: a long batch syncs every
+     [group_window] commits rather than once at the end. *)
+  if Db.pending_commits t.db >= t.group_window then Db.sync_commits t.db
+
+(* Which requests may run on a reader domain: Pings, and Querys from a
+   session with no explicit transaction open (inside one, the query must
+   see the transaction's own writes — writer only). *)
+let dispatchable session (rq : Protocol.request) =
+  match rq.rq_op with
+  | Protocol.Ping -> true
+  | Protocol.Query _ -> not (Session.in_transaction session)
+  | Protocol.Exec _ | Protocol.Dot _ | Protocol.Close -> false
+
 let run_frames t c session =
   try
     let rec go () =
       (* Backpressure: leave complete frames buffered while this client's
-         responses are backed up. *)
-      if out_pending c < out_cap && not c.closing then
+         responses are backed up or a request is already in flight (strict
+         in-order replies, one request at a time per connection). *)
+      if out_pending c < out_cap && (not c.closing) && not c.inflight then
         match Protocol.next_frame c.rd with
         | None -> ()
         | Some body ->
@@ -493,22 +693,26 @@ let run_frames t c session =
             let server_reply =
               match rq.rq_op with Protocol.Dot line -> server_dot t line | _ -> None
             in
-            let resp =
-              match server_reply with
-              | Some reply -> { Protocol.rs_id = rq.rq_id; rs_lsn = Db.lsn t.db; rs_reply = reply }
-              | None ->
-                  let before = Db.lsn t.db in
-                  let resp = Session.handle session rq in
-                  (* Only a request that moved the LSN puts this connection
-                     under the semi-sync gate — reads ride free. *)
-                  if Db.lsn t.db > before then c.sent_lsn <- Db.lsn t.db;
-                  resp
-            in
-            Protocol.encode_response c.out resp;
-            (* Bound the deferred-durability window: a long batch syncs
-               every [group_window] commits rather than once at the end. *)
-            if Db.pending_commits t.db >= t.group_window then Db.sync_commits t.db;
-            (match rq.rq_op with Close -> c.closing <- true | _ -> ());
+            (match server_reply with
+            | Some reply ->
+                Protocol.encode_response c.out
+                  { Protocol.rs_id = rq.rq_id; rs_lsn = Db.lsn t.db; rs_reply = reply }
+            | None ->
+                if
+                  t.nreaders > 0
+                  && dispatchable session rq
+                  && Chan.try_push t.jobs
+                       (Job { rj_conn = c; rj_session = session; rj_rq = rq })
+                then
+                  (* A reader domain will answer; the completion resumes
+                     this connection's frame processing. When the job queue
+                     is full the push fails and the request simply runs
+                     inline below — natural backpressure, no starvation. *)
+                  c.inflight <- true
+                else begin
+                  exec_on_writer t c session rq;
+                  match rq.rq_op with Close -> c.closing <- true | _ -> ()
+                end);
             go ()
     in
     go ()
@@ -550,16 +754,64 @@ let handle_write t c =
           process t c
       end
 
+(* -- completions ---------------------------------------------------------- *)
+
+let finish_completion t (cm : completion) =
+  let c = cm.cm_job.rj_conn in
+  c.inflight <- false;
+  if c.doomed then real_drop t c
+  else begin
+    (match cm.cm_resp with
+    | Some resp -> Protocol.encode_response c.out resp
+    | None ->
+        (* The query tried to write (a method with side effects): replay it
+           on the writer under the exclusive lock, where writes are legal.
+           Already counted once by the reader's [handle_read]. *)
+        Stats.incr_server_reroutes ();
+        exec_on_writer ~count:false t c cm.cm_job.rj_session cm.cm_job.rj_rq);
+    (* Resume frames that arrived while the request was in flight. *)
+    process t c
+  end
+
+let drain_completions t =
+  let rec go () =
+    match Chan.try_pop t.dones with
+    | None -> ()
+    | Some cm ->
+        finish_completion t cm;
+        go ()
+  in
+  go ()
+
+let any_inflight t = List.exists (fun c -> c.inflight) t.conns
+
+(* -- idle eviction -------------------------------------------------------- *)
+
+(* Monotonic last-activity queue: every live connection has exactly one
+   entry, (re)queued with the wall-clock push time, so entries leave the
+   head in push order and each tick pays O(ripe), not O(connections). An
+   entry is inspected half a timeout after it was queued: connections that
+   were active meanwhile are requeued, stale ones evicted — so eviction
+   lands between [idle_timeout] and 1.5x after the last byte. Dead
+   connections' entries are dropped lazily ([alive]). *)
 let evict_idle t =
   if t.idle_timeout > 0. then begin
     let now = Unix.gettimeofday () in
-    List.iter
-      (fun c ->
-        if now -. c.last > t.idle_timeout then begin
-          Stats.incr_server_timeouts ();
-          drop t c
-        end)
-      t.conns
+    let ripe = now -. (t.idle_timeout /. 2.) in
+    let rec go () =
+      match Queue.peek_opt t.idle_q with
+      | Some (enq, c) when enq <= ripe ->
+          ignore (Queue.pop t.idle_q);
+          if c.alive then
+            if (not c.inflight) && now -. c.last > t.idle_timeout then begin
+              Stats.incr_server_timeouts ();
+              drop t c
+            end
+            else Queue.push (now, c) t.idle_q;
+          go ()
+      | _ -> ()
+    in
+    go ()
   end
 
 (* -- the loop ------------------------------------------------------------- *)
@@ -575,24 +827,31 @@ let ack_deferred t =
 
 (* Zero-timeout re-polls after the first read pass: requests that arrived
    while this tick was executing earlier ones join the same batch (and the
-   same shared fsync) instead of waiting out a full select round trip.
+   same shared fsync) instead of waiting out a full poll round trip.
    Costless for latency — only what has already arrived is taken — and
    bounded so a firehose of pipelined clients cannot starve the ack and
    write phases. *)
 let gather_rounds = 8
 
+let want_read c =
+  (not c.closing) && (not c.inflight) && (not c.doomed) && out_pending c < out_cap
+
 let rec gather t rounds =
   if rounds > 0 then begin
-    let want = List.filter (fun c -> (not c.closing) && out_pending c < out_cap) t.conns in
-    if want <> [] then
-      match Unix.select (List.map (fun c -> c.fd) want) [] [] 0.0 with
-      | exception Unix.Unix_error (EINTR, _, _) -> ()
-      | [], _, _ -> ()
-      | readable, _, _ ->
-          List.iter
-            (fun c -> if List.memq c t.conns && List.memq c.fd readable then handle_read t c)
-            want;
-          gather t (rounds - 1)
+    Poll.clear t.pset;
+    List.iter
+      (fun c -> if want_read c then slot_add t (S_conn c) c.fd ~read:true ~write:false)
+      t.conns;
+    if Poll.length t.pset > 0 && Poll.wait t.pset ~timeout_ms:0 > 0 then begin
+      let n = Poll.length t.pset in
+      for i = 0 to n - 1 do
+        if Poll.is_readable (Poll.revents t.pset i) then
+          match t.slots.(i) with
+          | S_conn c when c.alive && not c.inflight -> handle_read t c
+          | _ -> ()
+      done;
+      gather t (rounds - 1)
+    end
   end
 
 let one_iteration t =
@@ -605,73 +864,102 @@ let one_iteration t =
   end;
   (match t.upstream with Some u -> try_reconnect t u | None -> ());
   manage_gate t now;
-  let want_read = List.filter (fun c -> (not c.closing) && out_pending c < out_cap) t.conns in
-  let want_write = List.filter (fun c -> out_pending c > 0 && not (gated t c)) t.conns in
-  let reads =
-    (t.listen_fd :: (match t.repl_listen_fd with Some fd -> [ fd ] | None -> []))
-    @ List.map (fun c -> c.fd) want_read
-    @ List.map (fun d -> d.d_fd) t.downstreams
-    @ (match t.upstream with Some { u_link = Some l; _ } -> [ l.Replication.up_fd ] | _ -> [])
+  (* Register interest. Slot indices are dense and index-aligned with
+     [t.slots], rebuilt every tick. *)
+  Poll.clear t.pset;
+  if now >= t.accept_pause then slot_add t S_listen t.listen_fd ~read:true ~write:false;
+  (match t.repl_listen_fd with
+  | Some fd -> slot_add t S_repl_listen fd ~read:true ~write:false
+  | None -> ());
+  if t.nreaders > 0 then slot_add t S_wake t.wake_r ~read:true ~write:false;
+  (match t.upstream with
+  | Some ({ u_link = Some l; _ } as u) ->
+      slot_add t S_up l.Replication.up_fd ~read:true ~write:(u_pending u > 0)
+  | _ -> ());
+  List.iter
+    (fun c ->
+      let r = want_read c in
+      let w = (not c.doomed) && out_pending c > 0 && not (gated t c) in
+      if r || w then slot_add t (S_conn c) c.fd ~read:r ~write:w)
+    t.conns;
+  List.iter
+    (fun d -> slot_add t (S_down d) d.d_fd ~read:true ~write:(d_pending d > 0))
+    t.downstreams;
+  (* Completions already queued (or an accept backoff about to lapse) mean
+     work is waiting — don't sleep a full tick on it. *)
+  let timeout_ms =
+    if t.nreaders > 0 && Chan.length t.dones > 0 then 0
+    else if t.accept_pause > now then 50
+    else 250
   in
-  let writes =
-    List.map (fun c -> c.fd) want_write
-    @ List.filter_map (fun d -> if d_pending d > 0 then Some d.d_fd else None) t.downstreams
-    @ (match t.upstream with
-      | Some ({ u_link = Some l; _ } as u) when u_pending u > 0 -> [ l.Replication.up_fd ]
-      | _ -> [])
-  in
-  match Unix.select reads writes [] 0.25 with
-  | exception Unix.Unix_error (EINTR, _, _) -> () (* signal: loop re-checks [stop] *)
-  | readable, _, _ ->
-      if List.memq t.listen_fd readable then accept_pending t;
-      (match t.repl_listen_fd with
-      | Some fd when List.memq fd readable -> accept_repl t fd
-      | _ -> ());
-      (* Replica: apply shipped batches first, so reads served this tick see
-         the freshest replicated state. *)
-      (match t.upstream with
-      | Some ({ u_link = Some l; _ } as u) when List.memq l.Replication.up_fd readable ->
-          handle_upstream_read t u l
-      | _ -> ());
-      List.iter (fun c -> if List.memq c.fd readable then handle_read t c) want_read;
-      gather t gather_rounds;
-      (* Standby acks — read before the write phase so the semi-sync gate
-         sees them this tick. *)
-      List.iter
-        (fun d ->
-          if List.memq d t.downstreams && List.memq d.d_fd readable then
-            handle_downstream_read t d)
-        t.downstreams;
-      (* Read phase done: everything executed this tick shares one fsync.
-         Replies buffered above only hit the sockets below, after it — and
-         the fsync fed the observer, so the batches covering this tick's
-         commits are already queued on the downstreams. *)
-      ack_deferred t;
-      (* Write phase, opportunistic: attempt every pending buffer rather
-         than only select's writable set — sockets are rarely full, EAGAIN
-         costs one syscall, and batches/acks/replies produced *this* tick
-         get out without waiting a select round. Gated replies stay put. *)
-      List.iter
-        (fun c ->
-          if List.memq c t.conns && out_pending c > 0 && not (gated t c) then
-            handle_write t c)
-        t.conns;
-      List.iter
-        (fun d ->
-          if List.memq d t.downstreams then
-            if d_pending d > downstream_out_cap then drop_downstream t d
-            else if d_pending d > 0 then handle_downstream_write t d)
-        t.downstreams;
-      (match t.upstream with
-      | Some ({ u_link = Some l; _ } as u) when u_pending u > 0 -> handle_upstream_write t u l
-      | _ -> ());
-      update_gauges t
+  ignore (Poll.wait t.pset ~timeout_ms);
+  let n = Poll.length t.pset in
+  (* Listeners, the wake pipe and the upstream first: accepts and shipped
+     batches applied this tick are visible to everything below. *)
+  for i = 0 to n - 1 do
+    if Poll.is_readable (Poll.revents t.pset i) then
+      match t.slots.(i) with
+      | S_listen -> accept_pending t
+      | S_repl_listen -> (
+          match t.repl_listen_fd with Some fd -> accept_repl t fd | None -> ())
+      | S_wake -> drain_wake t
+      | S_up -> (
+          match t.upstream with
+          | Some ({ u_link = Some l; _ } as u) -> handle_upstream_read t u l
+          | _ -> ())
+      | _ -> ()
+  done;
+  (* Client reads: feed frame readers, execute writer requests inline,
+     dispatch read-only ones to the reader domains. *)
+  for i = 0 to n - 1 do
+    if Poll.is_readable (Poll.revents t.pset i) then
+      match t.slots.(i) with
+      | S_conn c when c.alive && not c.inflight -> handle_read t c
+      | _ -> ()
+  done;
+  gather t gather_rounds;
+  (* Reader completions: buffer their replies (and replay any re-routed
+     writes) so they join this tick's write phase. *)
+  if t.nreaders > 0 then drain_completions t;
+  (* Standby acks — read before the write phase so the semi-sync gate sees
+     them this tick. *)
+  for i = 0 to n - 1 do
+    if Poll.is_readable (Poll.revents t.pset i) then
+      match t.slots.(i) with
+      | S_down d when List.memq d t.downstreams -> handle_downstream_read t d
+      | _ -> ()
+  done;
+  (* Read phase done: everything executed this tick shares one fsync.
+     Replies buffered above only hit the sockets below, after it — and the
+     fsync fed the observer, so the batches covering this tick's commits
+     are already queued on the downstreams. *)
+  ack_deferred t;
+  (* Write phase, opportunistic: attempt every pending buffer rather than
+     only poll's writable set — sockets are rarely full, EAGAIN costs one
+     syscall, and batches/acks/replies produced *this* tick get out without
+     waiting a poll round. Gated replies stay put. *)
+  List.iter
+    (fun c ->
+      if c.alive && (not c.doomed) && out_pending c > 0 && not (gated t c) then
+        handle_write t c)
+    t.conns;
+  List.iter
+    (fun d ->
+      if List.memq d t.downstreams then
+        if d_pending d > downstream_out_cap then drop_downstream t d
+        else if d_pending d > 0 then handle_downstream_write t d)
+    t.downstreams;
+  (match t.upstream with
+  | Some ({ u_link = Some l; _ } as u) when u_pending u > 0 -> handle_upstream_write t u l
+  | _ -> ());
+  update_gauges t
 
-(* Graceful shutdown: stop accepting, flush what's already encoded (bounded
-   by [drain_deadline]), abort every session's open transaction, release
-   the sockets. Requests still sitting unparsed in input buffers are
-   dropped — "in-flight" means a response exists. Semi-sync gating is not
-   applied here: a graceful shutdown loses nothing, so holding replies
+(* Graceful shutdown: stop accepting, collect outstanding reader
+   completions, stop the reader domains, flush what's already encoded
+   (bounded by [drain_deadline]), abort every session's open transaction,
+   release the sockets. Requests still sitting unparsed in input buffers
+   are dropped — "in-flight" means a response exists. Semi-sync gating is
+   not applied here: a graceful shutdown loses nothing, so holding replies
    hostage to a standby would only strand clients. *)
 let drain t =
   close_fd t.listen_fd;
@@ -680,6 +968,18 @@ let drain t =
   | Some u -> ( match u.u_link with Some l -> close_fd l.Replication.up_fd | None -> ())
   | None -> ());
   let deadline = Unix.gettimeofday () +. drain_deadline in
+  (* Every dispatched request completes (readers never abandon a job);
+     collecting one may execute further frames that connection had
+     buffered, which can dispatch again — hence the loop. *)
+  let rec settle () =
+    drain_completions t;
+    if any_inflight t && Unix.gettimeofday () < deadline then begin
+      Unix.sleepf 0.005;
+      settle ()
+    end
+  in
+  if t.nreaders > 0 then settle ();
+  stop_readers t;
   let rec flush () =
     (* Buffers may hold replies whose commits are still pending — both from
        the final serve tick and from backpressured frames that a drained
@@ -688,30 +988,30 @@ let drain t =
        top of every round keeps the reply-after-fsync guarantee through
        shutdown. *)
     ack_deferred t;
-    let pending_c = List.filter (fun c -> out_pending c > 0) t.conns in
+    let pending_c = List.filter (fun c -> out_pending c > 0 && not c.doomed) t.conns in
     let pending_d = List.filter (fun d -> d_pending d > 0) t.downstreams in
     if (pending_c <> [] || pending_d <> []) && Unix.gettimeofday () < deadline then begin
-      (match
-         Unix.select []
-           (List.map (fun c -> c.fd) pending_c @ List.map (fun d -> d.d_fd) pending_d)
-           [] 0.25
-       with
-      | exception Unix.Unix_error (EINTR, _, _) -> ()
-      | _, writable, _ ->
-          List.iter
-            (fun c -> if List.memq c t.conns && List.memq c.fd writable then handle_write t c)
-            pending_c;
-          List.iter
-            (fun d ->
-              if List.memq d t.downstreams && List.memq d.d_fd writable then
-                handle_downstream_write t d)
-            pending_d);
+      Poll.clear t.pset;
+      List.iter (fun c -> slot_add t (S_conn c) c.fd ~read:false ~write:true) pending_c;
+      List.iter (fun d -> slot_add t (S_down d) d.d_fd ~read:false ~write:true) pending_d;
+      if Poll.wait t.pset ~timeout_ms:250 > 0 then begin
+        let n = Poll.length t.pset in
+        for i = 0 to n - 1 do
+          if Poll.is_writable (Poll.revents t.pset i) then
+            match t.slots.(i) with
+            | S_conn c when c.alive -> handle_write t c
+            | S_down d when List.memq d t.downstreams -> handle_downstream_write t d
+            | _ -> ()
+        done
+      end;
       flush ()
     end
   in
   flush ();
-  List.iter (fun c -> drop t c) t.conns;
-  List.iter (fun d -> drop_downstream t d) t.downstreams
+  List.iter (fun c -> real_drop t c) t.conns;
+  List.iter (fun d -> drop_downstream t d) t.downstreams;
+  close_fd t.wake_r;
+  close_fd t.wake_w
 
 let serve t =
   while not t.stop do
@@ -726,18 +1026,19 @@ let bind_listener ~host ~port =
   let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-  Unix.listen fd 64;
+  Unix.listen fd 256;
   Unix.set_nonblock fd;
   match Unix.getsockname fd with
   | Unix.ADDR_INET (_, p) -> (fd, p)
   | _ -> assert false
 
 let create ?(host = "127.0.0.1") ?(max_conns = 64) ?(idle_timeout = 300.) ?durability
-    ?(group_window = 64) ?repl_port ?(sync_repl = false) ?replica ~db ~port () =
-  if not (Domain.is_main_domain ()) then
-    invalid_arg "Server.create: the serving model is single-domain (see stats.mli)";
+    ?(group_window = 64) ?repl_port ?(sync_repl = false) ?replica ?(domains = 1) ~db ~port
+    () =
+  if domains < 1 then invalid_arg "Server.create: domains must be >= 1";
   Option.iter (Db.set_durability db) durability;
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let nreaders = domains - 1 in
   let listen_fd, lport = bind_listener ~host ~port in
   let repl_listen_fd, rport =
     match repl_port with
@@ -760,6 +1061,10 @@ let create ?(host = "127.0.0.1") ?(max_conns = 64) ?(idle_timeout = 300.) ?durab
         })
       replica
   in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let job_cap = max 1 (4 * nreaders) in
   let t =
     {
       db;
@@ -772,6 +1077,19 @@ let create ?(host = "127.0.0.1") ?(max_conns = 64) ?(idle_timeout = 300.) ?durab
       idle_timeout;
       group_window = max 1 group_window;
       read_buf = Bytes.create 65536;
+      nreaders;
+      engine_lock = Rwlock.create ();
+      jobs = Chan.create job_cap;
+      (* Sized past the maximum in-flight count so reader pushes never
+         block. *)
+      dones = Chan.create (job_cap + nreaders + 8);
+      wake_r;
+      wake_w;
+      pset = Poll.create ();
+      slots = Array.make 64 S_none;
+      readers = [];
+      idle_q = Queue.create ();
+      accept_pause = 0.;
       conns = [];
       downstreams = [];
       upstream;
@@ -794,12 +1112,14 @@ let create ?(host = "127.0.0.1") ?(max_conns = 64) ?(idle_timeout = 300.) ?durab
       queue_ack t u;
       process_upstream t u l
   | _ -> ());
+  if nreaders > 0 then
+    t.readers <- List.init nreaders (fun _ -> Domain.spawn (fun () -> reader_loop t));
   t
 
 (* -- fork helper for tests and benchmarks --------------------------------- *)
 
 let spawn_full ?max_conns ?idle_timeout ?durability ?group_window ?repl_port ?sync_repl
-    ?replica_of ~db_dir () =
+    ?replica_of ?domains ~db_dir () =
   let r, w = Unix.pipe () in
   flush stdout;
   flush stderr;
@@ -815,9 +1135,11 @@ let spawn_full ?max_conns ?idle_timeout ?durability ?group_window ?repl_port ?sy
                 let db, up = Replication.bootstrap ~db_dir ~host ~port () in
                 (db, Some (host, port, up))
           in
+          (* Reader domains spawn here, in the child — [create] runs after
+             the fork, so the forked image never contains running domains. *)
           let t =
             create ?max_conns ?idle_timeout ?durability ?group_window ?repl_port ?sync_repl
-              ?replica ~db ~port:0 ()
+              ?replica ?domains ~db ~port:0 ()
           in
           handle_signals t;
           let msg = Printf.sprintf "%d %d\n" t.lport t.rport in
@@ -841,9 +1163,9 @@ let spawn_full ?max_conns ?idle_timeout ?durability ?group_window ?repl_port ?sy
       | _ -> failwith "Server.spawn: malformed port report")
 
 let spawn ?max_conns ?idle_timeout ?durability ?group_window ?repl_port ?sync_repl
-    ?replica_of ~db_dir () =
+    ?replica_of ?domains ~db_dir () =
   let pid, port, _ =
     spawn_full ?max_conns ?idle_timeout ?durability ?group_window ?repl_port ?sync_repl
-      ?replica_of ~db_dir ()
+      ?replica_of ?domains ~db_dir ()
   in
   (pid, port)

@@ -17,6 +17,7 @@ let create ?(id = 0) db =
   { sid = id; db; shell = Shell.create ~print:(Buffer.add_string out) db; out }
 
 let id t = t.sid
+let in_transaction t = Shell.in_transaction t.shell
 
 let op_name : Protocol.op -> string = function
   | Ping -> "ping"
@@ -25,7 +26,11 @@ let op_name : Protocol.op -> string = function
   | Dot _ -> "dot"
   | Close -> "close"
 
-let run t : Protocol.op -> Protocol.reply = function
+(* [detached] picks how a [Query] runs: in a detached read-only transaction
+   (reader domains — a write attempt raises {!Ode.Types.Read_only_txn} out
+   of here) or in an ordinary slot transaction (the writer, where queries
+   whose methods write are legal). *)
+let run ~detached t : Protocol.op -> Protocol.reply = function
   | Ping -> Pong
   | Exec src -> (
       Buffer.clear t.out;
@@ -33,7 +38,7 @@ let run t : Protocol.op -> Protocol.reply = function
       | Ok () -> Output (Buffer.contents t.out)
       | Error msg -> Error msg)
   | Query src -> (
-      match Shell.query_rows t.shell src with
+      match Shell.query_rows ~detached t.shell src with
       | Ok rows -> Rows rows
       | Error msg -> Error msg)
   | Dot line -> (
@@ -47,19 +52,28 @@ let run t : Protocol.op -> Protocol.reply = function
       | None -> Error "not a dot command")
   | Close -> Output "bye"
 
-let handle t (rq : Protocol.request) : Protocol.response =
-  Stats.incr_server_requests ();
-  (* Trigger actions fired by this request's commits print through the
-     requesting session, not whichever session was created last. *)
-  Ode.Database.set_action_printer t.db (Buffer.add_string t.out);
-  let reply =
-    Trace.with_span ~cat:"server"
-      ~args:[ ("session", string_of_int t.sid); ("op", op_name rq.rq_op) ]
-      "server.request"
-      (fun () -> Histogram.time request_hist (fun () -> run t rq.rq_op))
-  in
+let timed t (rq : Protocol.request) f =
+  Trace.with_span ~cat:"server"
+    ~args:[ ("session", string_of_int t.sid); ("op", op_name rq.rq_op) ]
+    "server.request"
+    (fun () -> Histogram.time request_hist f)
+
+let finish t (rq : Protocol.request) reply =
   (* The LSN after handling: a write's ack names the commit it covers, a
      read names the position its answer reflects. *)
-  { rs_id = rq.rq_id; rs_lsn = Ode.Database.lsn t.db; rs_reply = reply }
+  { Protocol.rs_id = rq.rq_id; rs_lsn = Ode.Database.lsn t.db; rs_reply = reply }
+
+let handle ?(count = true) t (rq : Protocol.request) : Protocol.response =
+  if count then Stats.incr_server_requests ();
+  (* Trigger actions fired by this request's commits print through the
+     requesting session, not whichever session was created last. Installed
+     only here, on the writer path: reader-domain requests cannot fire
+     triggers, and a concurrent install would race the writer's. *)
+  Ode.Database.set_action_printer t.db (Buffer.add_string t.out);
+  finish t rq (timed t rq (fun () -> run ~detached:false t rq.rq_op))
+
+let handle_read t (rq : Protocol.request) : Protocol.response =
+  Stats.incr_server_requests ();
+  finish t rq (timed t rq (fun () -> run ~detached:true t rq.rq_op))
 
 let close t = Shell.rollback t.shell

@@ -7,13 +7,13 @@
 
     Transactions follow the engine's single-writer model: autocommitted
     statements from any number of sessions interleave freely (the event
-    loop serializes requests, and each statement is its own transaction),
-    but an explicit [begin;] claims the engine's one transaction slot until
-    that session commits or aborts — a concurrent [begin;], or any
-    statement from another session while it is held, returns a rendered
-    "transaction is already active" error for the client to retry.
-    Disconnect, idle eviction and server shutdown all roll the slot back
-    ({!close}), so a vanished client cannot wedge the server. *)
+    loop serializes writing requests on one domain, and each statement is
+    its own transaction), but an explicit [begin;] claims the engine's one
+    transaction slot until that session commits or aborts — a concurrent
+    [begin;], or any statement from another session while it is held,
+    returns a rendered "transaction is already active" error for the client
+    to retry. Disconnect, idle eviction and server shutdown all roll the
+    slot back ({!close}), so a vanished client cannot wedge the server. *)
 
 type t
 
@@ -23,9 +23,26 @@ val create : ?id:int -> Ode.Database.t -> t
 
 val id : t -> int
 
-val handle : t -> Protocol.request -> Protocol.response
-(** Execute one request. Never raises: interpreter and parse errors come
-    back as [Error] replies; only the response id echoes the request id. *)
+val in_transaction : t -> bool
+(** Is this session inside an explicit [begin;] transaction? The server
+    keeps such sessions' queries on the writer domain (they must see the
+    transaction's own writes). *)
+
+val handle : ?count:bool -> t -> Protocol.request -> Protocol.response
+(** Execute one request on the writer domain. Never raises: interpreter and
+    parse errors come back as [Error] replies; only the response id echoes
+    the request id. Queries run in an ordinary slot transaction, so methods
+    that write are legal. Installs the database's trigger action printer
+    for the duration. [count:false] skips the [server.requests] bump (used
+    when re-executing a request already counted by {!handle_read}). *)
+
+val handle_read : t -> Protocol.request -> Protocol.response
+(** Execute one read-only request ([Ping] or [Query]) on a reader domain:
+    queries run in a detached read-only transaction that never touches the
+    engine's transaction slot. Raises {!Ode.Types.Read_only_txn} when the
+    query attempts a write (before any shared state is touched) — the
+    server re-routes such requests to the writer and replays them with
+    {!handle}. *)
 
 val close : t -> unit
 (** Roll back the session's open explicit transaction, if any. Idempotent;

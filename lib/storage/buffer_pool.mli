@@ -1,8 +1,13 @@
-(** A fixed-capacity page cache over a {!Disk.t}.
+(** A fixed-capacity, lock-striped page cache over a {!Disk.t}.
 
     Callers pin pages to work on them and unpin when done; only unpinned
     pages are eviction candidates (LRU). Dirty pages are written back on
-    eviction and on {!flush_all}. *)
+    eviction and on {!flush_all}. Frames are partitioned into stripes by
+    page number, each behind its own mutex, so pin/unpin/mark_dirty are
+    safe to call concurrently from multiple domains; write-back remains a
+    single crash-atomic batch under a global flush lock. Tiny pools
+    (capacity under 32) collapse to one stripe and keep exact global-LRU
+    semantics. *)
 
 type t
 
@@ -22,6 +27,9 @@ val create : ?capacity:int -> Disk.t -> t
 
 val disk : t -> Disk.t
 val capacity : t -> int
+
+val stripes : t -> int
+(** Number of lock stripes (a power of two; 1 for tiny pools). *)
 
 val set_pre_write : t -> (unit -> unit) -> unit
 (** Hook run immediately before any batch of dirty pages is written back

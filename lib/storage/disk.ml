@@ -22,7 +22,11 @@ type backend =
   | File of file
   | Memory of mem
 
-type t = { backend : backend }
+(* [mu] serializes every page-granular operation: the file backend
+   positions with lseek before read/write, so two domains sharing the fd
+   (e.g. two reader domains both missing in the buffer pool) would
+   otherwise interleave seek and transfer and tear pages. *)
+type t = { backend : backend; mu : Mutex.t }
 
 let fp_write = Failpoint.site "disk.write"
 let fp_sync = Failpoint.site "disk.sync"
@@ -206,9 +210,10 @@ let open_file path =
     end
   in
   trim ();
-  { backend = File { fd; journal; pages = !pages } }
+  { backend = File { fd; journal; pages = !pages }; mu = Mutex.create () }
 
-let in_memory () = { backend = Memory { arr = Array.make 8 Bytes.empty; used = 0 } }
+let in_memory () =
+  { backend = Memory { arr = Array.make 8 Bytes.empty; used = 0 }; mu = Mutex.create () }
 let is_memory t = match t.backend with Memory _ -> true | File _ -> false
 let page_count t = match t.backend with File f -> f.pages | Memory m -> m.used
 
@@ -224,6 +229,7 @@ let h_page_read = Ode_util.Histogram.create "page.read"
 let h_page_write = Ode_util.Histogram.create "page.write"
 
 let read_into t n buf =
+  Mutex.protect t.mu @@ fun () ->
   check_range t n ~extend:false;
   Stats.incr_pages_read ();
   Ode_util.Histogram.time h_page_read @@ fun () ->
@@ -264,7 +270,7 @@ let write_page f n page =
   | None -> pwrite f.fd page (n * Page.size));
   if n = f.pages then f.pages <- f.pages + 1
 
-let write t n page =
+let write_unlocked t n page =
   check_range t n ~extend:true;
   assert (Bytes.length page = Page.size);
   Stats.incr_pages_written ();
@@ -273,7 +279,10 @@ let write t n page =
   | File f -> write_page f n page
   | Memory m -> write_mem m n page
 
+let write t n page = Mutex.protect t.mu (fun () -> write_unlocked t n page)
+
 let write_batch t batch =
+  Mutex.protect t.mu @@ fun () ->
   (* one histogram sample per physical batch, like the single-page path *)
   Ode_util.Histogram.time h_page_write @@ fun () ->
   Ode_util.Trace.with_span ~cat:"disk" "disk.write_batch" @@ fun () ->
@@ -321,12 +330,14 @@ let write_batch t batch =
       | Some _ | None -> ( try Unix.unlink f.journal with Unix.Unix_error _ -> ()))
 
 let allocate t =
+  Mutex.protect t.mu @@ fun () ->
   let n = page_count t in
   let zero = Bytes.make Page.size '\000' in
-  write t n zero;
+  write_unlocked t n zero;
   n
 
 let sync t =
+  Mutex.protect t.mu @@ fun () ->
   match t.backend with
   | File f -> (
       match Failpoint.hit fp_sync with
@@ -336,6 +347,7 @@ let sync t =
   | Memory _ -> ()
 
 let truncate t n =
+  Mutex.protect t.mu @@ fun () ->
   match t.backend with
   | File f ->
       Unix.ftruncate f.fd (n * Page.size);

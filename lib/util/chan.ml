@@ -1,0 +1,64 @@
+(* Bounded multi-producer multi-consumer channel.
+
+   A mutex-and-two-conditions queue: [push] blocks while the channel is at
+   capacity, [pop] blocks while it is empty, and the [try_] variants never
+   block. The server uses a pair of these to hand requests to reader
+   domains (bounded, so a firehose of queries cannot balloon the job
+   backlog) and to collect their completions (sized so a reader can always
+   deposit its result without waiting). *)
+
+type 'a t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  nonfull : Condition.t;
+  q : 'a Queue.t;
+  cap : int;
+}
+
+let create cap =
+  {
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+    nonfull = Condition.create ();
+    q = Queue.create ();
+    cap = max 1 cap;
+  }
+
+let capacity t = t.cap
+
+let try_push t v =
+  Mutex.protect t.mu (fun () ->
+      if Queue.length t.q >= t.cap then false
+      else begin
+        Queue.push v t.q;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let push t v =
+  Mutex.protect t.mu (fun () ->
+      while Queue.length t.q >= t.cap do
+        Condition.wait t.nonfull t.mu
+      done;
+      Queue.push v t.q;
+      Condition.signal t.nonempty)
+
+let pop t =
+  Mutex.protect t.mu (fun () ->
+      while Queue.is_empty t.q do
+        Condition.wait t.nonempty t.mu
+      done;
+      let v = Queue.pop t.q in
+      Condition.signal t.nonfull;
+      v)
+
+let try_pop t =
+  Mutex.protect t.mu (fun () ->
+      if Queue.is_empty t.q then None
+      else begin
+        let v = Queue.pop t.q in
+        Condition.signal t.nonfull;
+        Some v
+      end)
+
+let length t = Mutex.protect t.mu (fun () -> Queue.length t.q)

@@ -6,7 +6,11 @@
 
    Enabled by default: the sites are coarse operation boundaries, each
    costing two clock reads and one array bump (E18 guards the total at
-   <=5% on a scan-heavy workload). Process-global, like Stats. *)
+   <=5% on a scan-heavy workload). Process-global, like Stats; a
+   per-histogram mutex makes [observe] domain-safe (reader domains and
+   the writer observe concurrently). Reads (count/percentile/summary)
+   are lock-free: they may see a mid-observation state, which for
+   monotonic tallies means at worst an off-by-one-in-flight report. *)
 
 let enabled_flag = ref true
 let enabled () = !enabled_flag
@@ -16,6 +20,7 @@ let nbuckets = 63
 
 type t = {
   name : string;
+  mu : Mutex.t;
   counts : int array;
   mutable n : int;
   mutable sum_ns : int;
@@ -24,18 +29,22 @@ type t = {
 
 let registry : (string, t) Hashtbl.t = Hashtbl.create 16
 let order : string list ref = ref [] (* newest first *)
+let registry_mu = Mutex.create ()
 
 let create name =
-  match Hashtbl.find_opt registry name with
-  | Some h -> h
-  | None ->
-      let h = { name; counts = Array.make nbuckets 0; n = 0; sum_ns = 0; max_ns = 0 } in
-      Hashtbl.replace registry name h;
-      order := name :: !order;
-      h
+  Mutex.protect registry_mu (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some h -> h
+      | None ->
+          let h =
+            { name; mu = Mutex.create (); counts = Array.make nbuckets 0; n = 0; sum_ns = 0; max_ns = 0 }
+          in
+          Hashtbl.replace registry name h;
+          order := name :: !order;
+          h)
 
-let find = Hashtbl.find_opt registry
-let all () = List.rev_map (Hashtbl.find registry) !order
+let find name = Mutex.protect registry_mu (fun () -> Hashtbl.find_opt registry name)
+let all () = Mutex.protect registry_mu (fun () -> List.rev_map (Hashtbl.find registry) !order)
 let name h = h.name
 
 let bucket_index ns =
@@ -52,10 +61,11 @@ let bucket_index ns =
 let observe h ns =
   let ns = max 0 ns in
   let b = bucket_index ns in
-  h.counts.(b) <- h.counts.(b) + 1;
-  h.n <- h.n + 1;
-  h.sum_ns <- h.sum_ns + ns;
-  if ns > h.max_ns then h.max_ns <- ns
+  Mutex.protect h.mu (fun () ->
+      h.counts.(b) <- h.counts.(b) + 1;
+      h.n <- h.n + 1;
+      h.sum_ns <- h.sum_ns + ns;
+      if ns > h.max_ns then h.max_ns <- ns)
 
 let time h f =
   if not !enabled_flag then f ()
@@ -93,12 +103,13 @@ let percentile h p =
   end
 
 let reset h =
-  Array.fill h.counts 0 nbuckets 0;
-  h.n <- 0;
-  h.sum_ns <- 0;
-  h.max_ns <- 0
+  Mutex.protect h.mu (fun () ->
+      Array.fill h.counts 0 nbuckets 0;
+      h.n <- 0;
+      h.sum_ns <- 0;
+      h.max_ns <- 0)
 
-let reset_all () = Hashtbl.iter (fun _ h -> reset h) registry
+let reset_all () = List.iter reset (all ())
 
 let format_ns ns =
   if ns < 1_000 then Printf.sprintf "%dns" ns

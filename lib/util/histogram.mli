@@ -2,11 +2,11 @@
     [2^i, 2^(i+1)-1] ns, so percentile estimates carry at most ~2x relative
     error, clamped to the observed max. Enabled by default (the sites are
     coarse operation boundaries); [set_enabled false] turns [time] into a
-    bare call. Process-global and unsynchronized — safe because the whole
-    engine, network server included, runs on a single domain (the server's
-    event loop serves every session from one thread and asserts that at
-    startup; see {!Ode_served.Server.create}). A [time] around a request
-    handler therefore never interleaves with another observation. *)
+    bare call. Process-global; [observe] takes a per-histogram mutex, so
+    observations from the server's reader domains and the writer domain
+    never tear a tally. Readers of a histogram (count/percentile/summary)
+    are lock-free and may observe a concurrent update mid-flight, which
+    for monotonic tallies only ever under-reports in-flight samples. *)
 
 type t
 

@@ -1,0 +1,61 @@
+(* Writer-preferring reader/writer lock on Mutex + Condition.
+
+   The serving layer uses one of these as the engine gate: reader domains
+   hold it shared for the duration of a read-only request, the writer
+   domain holds it exclusively for anything that mutates. Writer
+   preference (readers queue behind a waiting writer) keeps a steady read
+   load from starving commits. *)
+
+type t = {
+  mu : Mutex.t;
+  can_read : Condition.t;
+  can_write : Condition.t;
+  mutable readers : int; (* active shared holders *)
+  mutable writer : bool; (* exclusive holder present *)
+  mutable writers_waiting : int;
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    can_read = Condition.create ();
+    can_write = Condition.create ();
+    readers = 0;
+    writer = false;
+    writers_waiting = 0;
+  }
+
+let lock_read t =
+  Mutex.protect t.mu (fun () ->
+      while t.writer || t.writers_waiting > 0 do
+        Condition.wait t.can_read t.mu
+      done;
+      t.readers <- t.readers + 1)
+
+let unlock_read t =
+  Mutex.protect t.mu (fun () ->
+      t.readers <- t.readers - 1;
+      if t.readers = 0 then Condition.signal t.can_write)
+
+let lock_write t =
+  Mutex.protect t.mu (fun () ->
+      t.writers_waiting <- t.writers_waiting + 1;
+      while t.writer || t.readers > 0 do
+        Condition.wait t.can_write t.mu
+      done;
+      t.writers_waiting <- t.writers_waiting - 1;
+      t.writer <- true)
+
+let unlock_write t =
+  Mutex.protect t.mu (fun () ->
+      t.writer <- false;
+      if t.writers_waiting > 0 then Condition.signal t.can_write
+      else Condition.broadcast t.can_read)
+
+let read t f =
+  lock_read t;
+  Fun.protect ~finally:(fun () -> unlock_read t) f
+
+let write t f =
+  lock_write t;
+  Fun.protect ~finally:(fun () -> unlock_write t) f

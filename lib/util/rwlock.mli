@@ -1,0 +1,20 @@
+(** Writer-preferring reader/writer lock.
+
+    The serving layer's engine gate: reader domains hold it shared for the
+    duration of a read-only request; the writer domain holds it exclusively
+    for anything that mutates engine state. Readers queue behind a waiting
+    writer, so a steady read load cannot starve commits. Not reentrant. *)
+
+type t
+
+val create : unit -> t
+val lock_read : t -> unit
+val unlock_read : t -> unit
+val lock_write : t -> unit
+val unlock_write : t -> unit
+
+val read : t -> (unit -> 'a) -> 'a
+(** Run a thunk holding the shared lock (released on exception). *)
+
+val write : t -> (unit -> 'a) -> 'a
+(** Run a thunk holding the exclusive lock (released on exception). *)

@@ -1,0 +1,55 @@
+(* Sharded LRU: N independent Lru shards, each behind its own mutex, with
+   keys routed by [Hashtbl.hash]. Recency is therefore per-shard — an
+   acceptable approximation that buys uncontended concurrent access from
+   reader domains. Capacity is divided evenly across shards, so a shard
+   evicts based on its own share. *)
+
+type ('k, 'a) shard = { mu : Mutex.t; lru : ('k, 'a) Lru.t }
+type ('k, 'a) t = { shards : ('k, 'a) shard array; cap : int }
+
+let create ?(shards = 16) cap =
+  let shards = max 1 (min shards (max 1 cap)) in
+  let per = max 1 ((cap + shards - 1) / shards) in
+  {
+    shards =
+      Array.init shards (fun _ -> { mu = Mutex.create (); lru = Lru.create per });
+    cap;
+  }
+
+let capacity t = t.cap
+let nshards t = Array.length t.shards
+
+let shard_of t k =
+  t.shards.(Hashtbl.hash k land max_int mod Array.length t.shards)
+
+let length t =
+  Array.fold_left (fun acc s -> acc + Mutex.protect s.mu (fun () -> Lru.length s.lru)) 0 t.shards
+
+let find t k =
+  let s = shard_of t k in
+  Mutex.protect s.mu (fun () -> Lru.find s.lru k)
+
+let mem t k =
+  let s = shard_of t k in
+  Mutex.protect s.mu (fun () -> Lru.mem s.lru k)
+
+let add t k v =
+  let s = shard_of t k in
+  Mutex.protect s.mu (fun () ->
+      Lru.add s.lru k v;
+      while Lru.length s.lru > Lru.capacity s.lru do
+        ignore (Lru.evict s.lru (fun _ _ -> true))
+      done)
+
+(* Remove the key if present; true when it was resident. *)
+let remove t k =
+  let s = shard_of t k in
+  Mutex.protect s.mu (fun () ->
+      if Lru.mem s.lru k then begin
+        Lru.remove s.lru k;
+        true
+      end
+      else false)
+
+let clear t =
+  Array.iter (fun s -> Mutex.protect s.mu (fun () -> Lru.clear s.lru)) t.shards

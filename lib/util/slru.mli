@@ -1,0 +1,33 @@
+(** Sharded LRU map: N {!Lru} shards, each behind its own mutex, keys
+    routed by [Hashtbl.hash]. Safe for concurrent use from multiple
+    domains; recency (and therefore eviction) is per-shard. Backs the
+    decoded-object cache so reader domains probe it in parallel. *)
+
+type ('k, 'a) t
+
+val create : ?shards:int -> int -> ('k, 'a) t
+(** [create ?shards cap]: total capacity [cap] split evenly across
+    [shards] (default 16, clamped so every shard holds at least one
+    entry). [cap <= 0] still builds a structure; callers treat that as
+    "disabled" via {!capacity}. *)
+
+val capacity : ('k, 'a) t -> int
+val nshards : ('k, 'a) t -> int
+
+val length : ('k, 'a) t -> int
+(** Total entries across shards (each shard read under its lock; the sum
+    is not one atomic cut). *)
+
+val find : ('k, 'a) t -> 'k -> 'a option
+(** Lookup, refreshing recency within the key's shard. *)
+
+val mem : ('k, 'a) t -> 'k -> bool
+
+val add : ('k, 'a) t -> 'k -> 'a -> unit
+(** Insert or replace, then evict least-recent entries of that shard while
+    it is over its share of the capacity. *)
+
+val remove : ('k, 'a) t -> 'k -> bool
+(** Drop the binding if present; [true] when it was resident. *)
+
+val clear : ('k, 'a) t -> unit

@@ -1,8 +1,9 @@
 (* Global operation counters, kept in a registry of named slots: adding an
    instrumentation point is one [register] call, and snapshot/diff/pp/to_list
    all derive from the registry instead of being edited in four places.
-   A snapshot is the int array of live values at the time it was taken;
-   callers read it through the named accessor functions below. *)
+   Slots are [Atomic.t] cells so bumps from reader domains and the writer
+   domain never lose updates; a snapshot is the plain int array of live
+   values at the time it was taken, read through the named accessors. *)
 
 type group = Workload | Recovery
 type snapshot = int array
@@ -11,25 +12,27 @@ type def = { d_name : string; d_group : group }
 
 let defs : def list ref = ref [] (* newest first *)
 let ncounters = ref 0
-let values = ref (Array.make 32 0)
+let values : int Atomic.t array ref = ref (Array.init 32 (fun _ -> Atomic.make 0))
 
+(* Registration happens at module-initialization time, before any domain is
+   spawned, so the registry itself needs no lock. *)
 let register ?(group = Workload) name =
   let id = !ncounters in
   incr ncounters;
   if id >= Array.length !values then begin
-    let bigger = Array.make (2 * Array.length !values) 0 in
+    let bigger = Array.init (2 * Array.length !values) (fun _ -> Atomic.make 0) in
     Array.blit !values 0 bigger 0 (Array.length !values);
     values := bigger
   end;
   defs := { d_name = name; d_group = group } :: !defs;
   id
 
-let bump id = (!values).(id) <- (!values).(id) + 1
-let bump_by id n = (!values).(id) <- (!values).(id) + n
-let set id n = (!values).(id) <- n
+let bump id = ignore (Atomic.fetch_and_add (!values).(id) 1)
+let bump_by id n = ignore (Atomic.fetch_and_add (!values).(id) n)
+let set id n = Atomic.set (!values).(id) n
 
-let snapshot () = Array.sub !values 0 !ncounters
-let reset () = Array.fill !values 0 (Array.length !values) 0
+let snapshot () = Array.init !ncounters (fun i -> Atomic.get (!values).(i))
+let reset () = Array.iter (fun c -> Atomic.set c 0) !values
 let zero () = Array.make !ncounters 0
 
 (* A slot read that tolerates short arrays, so snapshots taken before a
@@ -83,6 +86,8 @@ let c_server_rejects = register "server.rejects"
 let c_server_timeouts = register "server.timeouts"
 let c_server_bytes_in = register "server.bytes_in"
 let c_server_bytes_out = register "server.bytes_out"
+let c_server_reroutes = register "server.reroutes"
+let c_server_accept_backoffs = register "server.accept_backoffs"
 let c_repl_batches_sent = register "repl.batches_sent"
 let c_repl_batches_applied = register "repl.batches_applied"
 let c_repl_bytes_sent = register "repl.bytes_sent"
@@ -123,6 +128,8 @@ let incr_server_rejects () = bump c_server_rejects
 let incr_server_timeouts () = bump c_server_timeouts
 let add_server_bytes_in n = bump_by c_server_bytes_in n
 let add_server_bytes_out n = bump_by c_server_bytes_out n
+let incr_server_reroutes () = bump c_server_reroutes
+let incr_server_accept_backoffs () = bump c_server_accept_backoffs
 let incr_repl_batches_sent () = bump c_repl_batches_sent
 let incr_repl_batches_applied () = bump c_repl_batches_applied
 let add_repl_bytes_sent n = bump_by c_repl_bytes_sent n
@@ -168,6 +175,8 @@ let server_rejects s = slot s c_server_rejects
 let server_timeouts s = slot s c_server_timeouts
 let server_bytes_in s = slot s c_server_bytes_in
 let server_bytes_out s = slot s c_server_bytes_out
+let server_reroutes s = slot s c_server_reroutes
+let server_accept_backoffs s = slot s c_server_accept_backoffs
 let repl_batches_sent s = slot s c_repl_batches_sent
 let repl_batches_applied s = slot s c_repl_batches_applied
 let repl_bytes_sent s = slot s c_repl_bytes_sent

@@ -5,11 +5,13 @@
     strategy performed (pages touched, index probes, objects scanned, ...).
     Counters live in a registry of named slots: [register] a new one and
     snapshot/diff/[to_list]/[pp] pick it up with no further edits. Counters
-    are process-global and unsynchronized: the engine — including the
-    network server, whose [Unix.select] event loop multiplexes every
-    session on one domain — runs entirely on a single domain, and
-    {!Ode_served.Server.create} asserts that model at startup. Bumps from
-    a second domain would race; there is deliberately no lock here. *)
+    are process-global [Atomic.t] cells, so bumps are domain-safe: the
+    network server executes read-only requests on reader domains in
+    parallel with the writer domain, and every layer's counters stay
+    exact under that concurrency. [snapshot] reads each cell atomically
+    (the array as a whole is not one atomic cut, which is fine for
+    monotonic counters). Registration itself happens at module
+    initialization, before any domain is spawned. *)
 
 type group =
   | Workload  (** reported by [pp] / the shell's [.stats] *)
@@ -82,6 +84,8 @@ val incr_server_rejects : unit -> unit
 val incr_server_timeouts : unit -> unit
 val add_server_bytes_in : int -> unit
 val add_server_bytes_out : int -> unit
+val incr_server_reroutes : unit -> unit
+val incr_server_accept_backoffs : unit -> unit
 val incr_repl_batches_sent : unit -> unit
 val incr_repl_batches_applied : unit -> unit
 val add_repl_bytes_sent : int -> unit
@@ -130,13 +134,16 @@ val obj_cache_invalidations : snapshot -> int
 val cursor_pages_read : snapshot -> int
 
 (* The serving layer (connections accepted, requests served, busy
-   rejections, idle-timeout evictions, wire bytes in/out). *)
+   rejections, idle-timeout evictions, wire bytes in/out, reader-domain
+   requests replayed on the writer, accept backoffs on fd exhaustion). *)
 val server_accepts : snapshot -> int
 val server_requests : snapshot -> int
 val server_rejects : snapshot -> int
 val server_timeouts : snapshot -> int
 val server_bytes_in : snapshot -> int
 val server_bytes_out : snapshot -> int
+val server_reroutes : snapshot -> int
+val server_accept_backoffs : snapshot -> int
 
 (* Replication: batches/bytes shipped and applied, snapshots served,
    acknowledgements, stream resyncs, duplicate batches skipped, semi-sync

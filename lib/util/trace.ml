@@ -4,14 +4,19 @@
 
    Compiled into every build: each emit site costs one flag check when
    tracing is disabled (E18 guards that), and one clock read + ring store
-   when enabled. Process-global and single-threaded, like Stats. *)
+   when enabled. Process-global, like Stats; ring mutations take a mutex
+   so spans emitted from reader domains never tear the buffer. The
+   nesting-depth counter is advisory under concurrency (display only). *)
 
 let enabled_flag = ref false
 let enabled () = !enabled_flag
 let set_enabled b = enabled_flag := b
 
 (* gettimeofday clamped non-decreasing: a wall-clock step backwards (NTP)
-   must never produce a negative span duration. *)
+   must never produce a negative span duration. The clamp cell is a plain
+   ref read/written racily across domains — int stores don't tear, and a
+   lost clamp update only weakens the (already best-effort) monotonicity
+   across domains, never within one timing pair on one domain. *)
 let last_ns = ref 0
 
 let now_ns () =
@@ -39,34 +44,39 @@ let ring = ref (Array.make default_capacity None)
 let head = ref 0 (* next write position *)
 let total = ref 0 (* spans ever recorded (wraparound overwrites oldest) *)
 
+let ring_mu = Mutex.create ()
 let capacity () = Array.length !ring
 
 let set_capacity n =
-  ring := Array.make (max 1 n) None;
-  head := 0;
-  total := 0
+  Mutex.protect ring_mu (fun () ->
+      ring := Array.make (max 1 n) None;
+      head := 0;
+      total := 0)
 
 let clear () =
-  Array.fill !ring 0 (capacity ()) None;
-  head := 0;
-  total := 0
+  Mutex.protect ring_mu (fun () ->
+      Array.fill !ring 0 (Array.length !ring) None;
+      head := 0;
+      total := 0)
 
 let record sp =
-  let r = !ring in
-  r.(!head) <- Some sp;
-  head := (!head + 1) mod Array.length r;
-  incr total
+  Mutex.protect ring_mu (fun () ->
+      let r = !ring in
+      r.(!head) <- Some sp;
+      head := (!head + 1) mod Array.length r;
+      incr total)
 
 let total_recorded () = !total
 
 (* Retained spans, oldest first (completion order). *)
 let spans () =
-  let r = !ring in
-  let cap = Array.length r in
-  let n = min !total cap in
-  List.filter_map
-    (fun i -> r.((((!head - n + i) mod cap) + cap) mod cap))
-    (List.init n Fun.id)
+  Mutex.protect ring_mu (fun () ->
+      let r = !ring in
+      let cap = Array.length r in
+      let n = min !total cap in
+      List.filter_map
+        (fun i -> r.((((!head - n + i) mod cap) + cap) mod cap))
+        (List.init n Fun.id))
 
 (* -- emission -------------------------------------------------------------- *)
 

@@ -1,11 +1,11 @@
 (** Span-based tracer with a fixed-size ring buffer and a Chrome
     trace-event JSON exporter. Disabled by default; every emit point is a
-    single flag check when off. Process-global and unsynchronized: the ring
-    buffer, depth counter and clamped clock assume a single domain. The
-    network server honours that by multiplexing all sessions on one
-    [Unix.select] event loop (one domain, sessions interleave at request
-    granularity, so spans nest correctly per request);
-    {!Ode_served.Server.create} asserts single-domain use at startup. *)
+    single flag check when off. Process-global; ring mutations take a
+    mutex, so spans emitted concurrently from the server's reader domains
+    and the writer domain never tear the buffer. The nesting-depth counter
+    is advisory under concurrency — spans from different domains may
+    report interleaved depths (display nesting only, durations and
+    ordering stay exact per span). *)
 
 val enabled : unit -> bool
 val set_enabled : bool -> unit

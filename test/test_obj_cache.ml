@@ -76,7 +76,7 @@ let crash_reopen_fresh () =
   Db.with_txn db (fun txn -> Db.set_field txn o "x" (Value.Int 2));
   Db.crash db;
   let db2 = Db.open_ dir in
-  Tutil.check_int "cache empty after recovery" 0 (Ode_util.Lru.length db2.Ode.Types.ocache);
+  Tutil.check_int "cache empty after recovery" 0 (Ode_util.Slru.length db2.Ode.Types.ocache);
   Tutil.check_bool "reopen reads the committed value" true
     (Store.get_field db2 None o "x" = Some (Value.Int 2));
   Db.close db2
@@ -86,7 +86,7 @@ let eviction_bounded () =
   let oids = mk db 50 in
   warm db oids;
   Tutil.check_bool "cache never exceeds its capacity" true
-    (Ode_util.Lru.length db.Ode.Types.ocache <= 4);
+    (Ode_util.Slru.length db.Ode.Types.ocache <= 4);
   (* Evicted entries are just misses, never wrong answers. *)
   List.iteri
     (fun i o ->
@@ -105,7 +105,7 @@ let disabled_counts_nothing () =
   Tutil.check_int "no hits when disabled" 0 Stats.(obj_cache_hits s1 - obj_cache_hits s0);
   Tutil.check_int "no misses when disabled" 0
     Stats.(obj_cache_misses s1 - obj_cache_misses s0);
-  Tutil.check_int "cache stays empty" 0 (Ode_util.Lru.length db.Ode.Types.ocache);
+  Tutil.check_int "cache stays empty" 0 (Ode_util.Slru.length db.Ode.Types.ocache);
   Db.close db
 
 let query_workload_hits () =

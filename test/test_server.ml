@@ -32,9 +32,11 @@ let counter_value dump name =
 
 (* Run [f client...] against a freshly spawned server; always reap the
    child, even on test failure. Returns the db dir for post-mortems. *)
-let with_server ?max_conns ?idle_timeout ?durability ?group_window f =
+let with_server ?max_conns ?idle_timeout ?durability ?group_window ?domains f =
   let dir = Tutil.temp_dir "ode-served" in
-  let pid, port = Server.spawn ?max_conns ?idle_timeout ?durability ?group_window ~db_dir:dir () in
+  let pid, port =
+    Server.spawn ?max_conns ?idle_timeout ?durability ?group_window ?domains ~db_dir:dir ()
+  in
   Fun.protect
     ~finally:(fun () ->
       (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
@@ -284,6 +286,105 @@ let group_kill9_durability () =
     (Ode.Query.count db ~var:"x" ~cls:"acct" ());
   Db.close db
 
+(* -- beyond select's FD_SETSIZE: >1024 live connections ------------------- *)
+
+(* The poll-based loop has no 1024-descriptor ceiling: hold 1100 sessions
+   open at once, serve them all, and see the accept counter agree. *)
+let thousand_plus_connections () =
+  let n = 1100 in
+  ignore
+    (with_server ~max_conns:1500 ~idle_timeout:120. (fun port ->
+         let cs = Array.init n (fun _ -> connect port) in
+         Tutil.check_string "schema over conn 0" "" (Client.exec cs.(0) schema);
+         ignore (Client.exec cs.(0) "pnew acct { owner = \"many\", bal = 1 };");
+         (* Every one of the 1100 concurrently-open sessions is live. *)
+         Array.iter Client.ping cs;
+         Tutil.check_int "query over the last conn" 1
+           (List.length (Client.query cs.(n - 1) "forall x in acct"));
+         let stats = Client.dot cs.(0) ".stats" in
+         Tutil.check_bool "accepts counted past 1024" true
+           (match counter_value stats "server.accepts" with
+           | Some v -> v >= n
+           | None -> false);
+         Array.iter Client.close cs))
+
+(* -- reader domains: parallel queries, funneled writes -------------------- *)
+
+(* A --domains 3 server (1 writer + 2 readers): concurrent reader processes
+   stream queries while the parent keeps writing. Every query reply must be
+   a consistent snapshot (row count only ever grows), writes all land, the
+   explicit-transaction slot stays exclusive, and a query that turns out to
+   write is re-routed to the writer and still answered correctly. *)
+let reader_domains_e2e () =
+  let readers = 3 and queries_per_reader = 120 in
+  ignore
+    (with_server ~domains:3 (fun port ->
+         let control = connect port in
+         Tutil.check_string "schema" "" (Client.exec control schema);
+         for i = 0 to 19 do
+           ignore
+             (Client.exec control
+                (Printf.sprintf "pnew acct { owner = \"pre%d\", bal = %d };" i i))
+         done;
+         let spawn_reader id =
+           flush stdout;
+           flush stderr;
+           match Unix.fork () with
+           | 0 ->
+               let errors = ref 0 in
+               (try
+                  let c = connect port in
+                  let last = ref 20 in
+                  for _ = 1 to queries_per_reader do
+                    Client.ping c;
+                    let rows = List.length (Client.query c "forall x in acct") in
+                    (* Snapshots are consistent and monotone: never torn
+                       mid-write, never going backwards. *)
+                    if rows < !last || rows > 40 then incr errors;
+                    last := max !last rows
+                  done;
+                  Client.close c
+                with _ -> errors := 100 + id);
+               Unix._exit (min 120 !errors)
+           | pid -> pid
+         in
+         let pids = List.init readers spawn_reader in
+         for i = 20 to 39 do
+           ignore
+             (Client.exec control
+                (Printf.sprintf "pnew acct { owner = \"mid%d\", bal = %d };" i i))
+         done;
+         List.iter
+           (fun pid ->
+             match Unix.waitpid [] pid with
+             | _, Unix.WEXITED 0 -> ()
+             | _, Unix.WEXITED e -> Alcotest.failf "reader process reported %d errors" e
+             | _ -> Alcotest.fail "reader process died abnormally")
+           pids;
+         Tutil.check_int "all writes landed" 40
+           (List.length (Client.query control "forall x in acct"));
+         (* The explicit-transaction slot is still exclusive across domains. *)
+         let c2 = connect port in
+         ignore (Client.exec control "begin; pnew acct { owner = \"held\", bal = 0 };");
+         (match Client.exec c2 "begin;" with
+         | _ -> Alcotest.fail "second begin must be refused"
+         | exception Client.Server_error msg ->
+             Tutil.check_bool "txn-busy error" true (contains msg "already active"));
+         ignore (Client.exec control "abort;");
+         (* Queries inside an explicit transaction stay on the writer (they
+            must see the transaction's own uncommitted writes). *)
+         ignore (Client.exec c2 "begin; pnew acct { owner = \"own\", bal = 0 };");
+         Tutil.check_int "txn query sees own write" 41
+           (List.length (Client.query c2 "forall x in acct"));
+         ignore (Client.exec c2 "abort;");
+         let stats = Client.dot control ".stats" in
+         Tutil.check_bool "requests counted" true
+           (match counter_value stats "server.requests" with
+           | Some v -> v >= readers * 2 * queries_per_reader
+           | None -> false);
+         Client.close c2;
+         Client.close control))
+
 let suite =
   [
     ( "server",
@@ -296,5 +397,9 @@ let suite =
         Alcotest.test_case "group commit shares fsyncs across clients" `Quick
           group_commit_batching;
         Alcotest.test_case "group commit: acked survives kill -9" `Quick group_kill9_durability;
+        Alcotest.test_case "poll loop serves >1024 concurrent connections" `Slow
+          thousand_plus_connections;
+        Alcotest.test_case "reader domains: parallel queries, funneled writes" `Quick
+          reader_domains_e2e;
       ] );
   ]
