@@ -31,7 +31,8 @@ let parse_host_port s =
       | _ -> None)
 
 let main db_dir port max_conns idle_timeout durability group_window port_file repl_port
-    sync_repl replica_of domains =
+    metrics_port metrics_port_file slow_query_ms slow_query_log trace_on sync_repl
+    replica_of domains =
   match db_dir with
   | None ->
       prerr_endline "ode_server: --db DIR is required";
@@ -66,10 +67,22 @@ let main db_dir port max_conns idle_timeout durability group_window port_file re
                   (Unix.error_message e);
                 exit 1)
       in
+      (match slow_query_ms with
+      | Some ms ->
+          let log_path =
+            match slow_query_log with Some f -> f | None -> Filename.concat dir "slow_query.log"
+          in
+          Ode_util.Slowlog.configure ~log_path ~threshold_ms:ms ()
+      | None -> ());
+      if trace_on then begin
+        Ode_util.Trace.set_process_label
+          (match replica_of with Some _ -> "ode_server (replica)" | None -> "ode_server");
+        Ode_util.Trace.set_enabled true
+      end;
       let server =
         try
           Ode_served.Server.create ~max_conns ~idle_timeout ~durability ~group_window
-            ?repl_port ~sync_repl ?replica ~domains ~db ~port ()
+            ?repl_port ?metrics_port ~sync_repl ?replica ~domains ~db ~port ()
         with Unix.Unix_error (e, _, _) ->
           Printf.eprintf "ode_server: cannot listen on port %d: %s\n" port
             (Unix.error_message e);
@@ -79,6 +92,11 @@ let main db_dir port max_conns idle_timeout durability group_window port_file re
       let bound = Ode_served.Server.port server in
       (match port_file with
       | Some f -> Out_channel.with_open_text f (fun oc -> Printf.fprintf oc "%d\n" bound)
+      | None -> ());
+      (match metrics_port_file with
+      | Some f ->
+          Out_channel.with_open_text f (fun oc ->
+              Printf.fprintf oc "%d\n" (Ode_served.Server.metrics_port server))
       | None -> ());
       let role =
         match replica with
@@ -91,13 +109,19 @@ let main db_dir port max_conns idle_timeout durability group_window port_file re
                   (if sync_repl then " (semi-sync)" else "")
             | None -> "")
       in
+      let obs =
+        match metrics_port with
+        | Some _ ->
+            Printf.sprintf ", metrics on port %d" (Ode_served.Server.metrics_port server)
+        | None -> ""
+      in
       Printf.printf
         "ode_server: serving %s on 127.0.0.1:%d (max %d conns, idle timeout %gs, durability \
          %s, group window %d, domains %d%s)\n\
          %!"
         dir bound max_conns idle_timeout
         (Ode.Database.durability_name durability)
-        group_window domains role;
+        group_window domains (role ^ obs);
       Ode_served.Server.serve server;
       print_endline "ode_server: shutting down";
       Ode.Database.close db;
@@ -165,6 +189,50 @@ let repl_port =
     & info [ "repl-port" ] ~docv:"PORT"
         ~doc:"Also serve the replication stream for standbys on this port (0 = ephemeral).")
 
+let metrics_port =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "metrics-port" ] ~docv:"PORT"
+        ~doc:
+          "Serve a minimal HTTP observability endpoint on this port (0 = ephemeral): \
+           $(b,GET /metrics) is Prometheus text exposition, $(b,GET /metrics.json) the \
+           same as JSON, $(b,GET /health) a JSON liveness document with role and LSNs.")
+
+let metrics_port_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-port-file" ] ~docv:"FILE"
+        ~doc:"Write the bound metrics port here once listening (for --metrics-port 0).")
+
+let slow_query_ms =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "slow-query-ms" ] ~docv:"MS"
+        ~doc:
+          "Arm the slow-query log: requests slower than MS milliseconds (queue wait + \
+           execution) are appended as JSON lines, with the per-plan-node profile for \
+           queries. Inspect with the $(b,.slow) dot command.")
+
+let slow_query_log =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "slow-query-log" ] ~docv:"FILE"
+        ~doc:
+          "Slow-query log path (default DIR/slow_query.log). Rotated once to FILE.1 when \
+           it exceeds 8 MiB.")
+
+let trace_on =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Enable the in-memory span tracer at startup (same as the $(b,.trace on) dot \
+           command); dump with $(b,.trace dump FILE).")
+
 let sync_repl =
   Arg.(
     value & flag
@@ -200,6 +268,7 @@ let cmd =
     (Cmd.info "ode_server" ~doc)
     Term.(
       const main $ db_dir $ port $ max_conns $ idle_timeout $ durability $ group_window
-      $ port_file $ repl_port $ sync_repl $ replica_of $ domains)
+      $ port_file $ repl_port $ metrics_port $ metrics_port_file $ slow_query_ms
+      $ slow_query_log $ trace_on $ sync_repl $ replica_of $ domains)
 
 let () = exit (Cmd.eval cmd)

@@ -70,7 +70,7 @@ let recover db =
      log order (idempotent logical redo). *)
   let committed = Hashtbl.create 16 in
   Wal.replay db.wal (function
-    | Wal.Commit xid -> Hashtbl.replace committed xid ()
+    | Wal.Commit (xid, _) -> Hashtbl.replace committed xid ()
     | _ -> ());
   let applied = ref 0 in
   Wal.replay db.wal (function
@@ -297,6 +297,15 @@ let durability_of_string = function
 
 let lsn db = Wal.last_lsn db.wal
 let durable_lsn db = Wal.durable_lsn db.wal
+(* Residency gauges for the metrics endpoint: pages cached across the
+   three buffer pools (heap, directory B+tree, index B+tree) and decoded
+   objects in the object cache. *)
+let pool_resident db =
+  Buffer_pool.resident (Heap.pool db.kv_heap)
+  + Buffer_pool.resident (Bptree.pool db.kv_dir)
+  + Buffer_pool.resident (Bptree.pool db.idx)
+
+let ocache_resident db = Ocache.resident db
 let wal_tail db ~lsn = Wal.tail_from db.wal ~lsn
 let set_wal_observer db f = Wal.set_on_sync db.wal f
 let read_only db = db.read_only
@@ -321,7 +330,16 @@ let apply_replicated db (records : Wal.record list) =
   let checkpointed = ref false in
   List.iter
     (function
-      | Wal.Commit xid -> Hashtbl.replace committed xid ()
+      | Wal.Commit (xid, trace) ->
+          Hashtbl.replace committed xid ();
+          (* One instant per traced commit, stamped with the trace id the
+             primary logged, so this standby's dump correlates with the
+             originating client's request spans across processes. *)
+          if trace <> 0 then
+            Ode_util.Trace.with_trace_id trace (fun () ->
+                Ode_util.Trace.instant ~cat:"repl"
+                  ~args:[ ("xid", string_of_int xid) ]
+                  "repl.apply")
       | Wal.Checkpoint _ -> checkpointed := true
       | _ -> ())
     records;

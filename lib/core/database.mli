@@ -123,6 +123,13 @@ val sync_commits : t -> unit
 val pending_commits : t -> int
 (** Commits prepared but not yet made durable by a sync. *)
 
+val pool_resident : t -> int
+(** Pages currently cached across the three buffer pools (heap, directory
+    B+tree, index B+tree) — a monitoring gauge. *)
+
+val ocache_resident : t -> int
+(** Decoded objects currently held by the object cache. *)
+
 val durability_name : durability -> string
 val durability_of_string : string -> durability option
 (** ["full"] / ["group"] / ["async"]. *)

@@ -40,3 +40,4 @@ let invalidate db key =
   if enabled db && Slru.remove db.ocache key then Stats.incr_obj_cache_invalidations ()
 
 let clear db = Slru.clear db.ocache
+let resident db = Slru.length db.ocache

@@ -19,3 +19,6 @@ val invalidate : Types.db -> string -> unit
 
 val clear : Types.db -> unit
 (** Wholesale wipe, used at recovery/reopen. *)
+
+val resident : Types.db -> int
+(** Decoded objects currently cached (monitoring gauge). *)

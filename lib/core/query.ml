@@ -126,7 +126,17 @@ type profile = {
 
 type prof_state = {
   mutable mark_ns : int;
-  mutable mark_stats : Ode_util.Stats.snapshot;
+  mutable mark_stats : Ode_util.Stats.snapshot; (* full mode only *)
+  (* Full mode (explicit [profile]): time and every counter attributed
+     exactly per node, at a clock read and a [Stats.snapshot] per
+     candidate transition. Light mode (armed slow log, tracer) pays
+     nothing per candidate: rows are counted at the call sites, and time
+     and counters are taken once at the query boundaries. The per-
+     candidate work is unaffordable on an always-armed path — counter-
+     cell reads cost hundreds of ns each in a real scan (the candidates'
+     own data traffic keeps evicting the cells), pricing the slow log at
+     ~35% of a query, and even the clock mark alone is ~5%. *)
+  pr_full : bool;
   pr_access : node_stats;
   pr_filter : node_stats option;
   pr_order : node_stats option;
@@ -136,17 +146,19 @@ type prof_state = {
 }
 
 let attr p node =
-  let t = Ode_util.Trace.now_ns () in
-  let s = Ode_util.Stats.snapshot () in
-  node.ns_ns <- node.ns_ns + (t - p.mark_ns);
-  Ode_util.Stats.accum ~into:node.ns_stats s p.mark_stats;
-  p.mark_ns <- t;
-  p.mark_stats <- s
+  if p.pr_full then begin
+    let t = Ode_util.Trace.now_ns () in
+    node.ns_ns <- node.ns_ns + (t - p.mark_ns);
+    let s = Ode_util.Stats.snapshot () in
+    Ode_util.Stats.accum ~into:node.ns_stats s p.mark_stats;
+    p.mark_stats <- s;
+    p.mark_ns <- t
+  end
 
 let h_query = Ode_util.Histogram.create "query.execute"
 
 let run_profiled db ?txn ?(env = []) ~var ~cls ?(deep = false) ?suchthat ?filter ?by
-    ?(fixpoint = false) ~profiled body =
+    ?(fixpoint = false) ?(full = false) ~profiled body =
   let txn = match txn with Some t -> Some t | None -> db.active in
   if fixpoint && by <> None then invalid_arg "query: fixpoint iteration cannot be ordered";
   let plan = Planner.plan db ~env ~var ~cls ~deep ~suchthat () in
@@ -171,7 +183,8 @@ let run_profiled db ?txn ?(env = []) ~var ~cls ?(deep = false) ?suchthat ?filter
       let t0 = Ode_util.Trace.now_ns () in
       let s0 = Ode_util.Stats.snapshot () in
       Some
-        { mark_ns = t0; mark_stats = s0; pr_access = List.hd base;
+        { mark_ns = t0; mark_stats = s0; pr_full = full;
+          pr_access = List.hd base;
           pr_filter = List.nth_opt base 1; pr_order = norder;
           pr_output = node (Planner.Output, "output (loop body)");
           pr_start_ns = t0; pr_start_stats = s0 }
@@ -326,8 +339,10 @@ let run_profiled db ?txn ?(env = []) ~var ~cls ?(deep = false) ?suchthat ?filter
   | Some p ->
       (* Final tail (cursor wind-down, loop epilogue) goes to the access
          node using the same instant that defines the totals, so the
-         per-node sums equal the totals exactly. *)
+         per-node sums equal the totals exactly. In light mode [attr] is
+         a no-op and [mark_ns] never moved, so take the end instant here. *)
       attr p p.pr_access;
+      if not p.pr_full then p.mark_ns <- Ode_util.Trace.now_ns ();
       let nodes =
         (p.pr_access :: Option.to_list p.pr_filter)
         @ Option.to_list p.pr_order
@@ -339,37 +354,64 @@ let run_profiled db ?txn ?(env = []) ~var ~cls ?(deep = false) ?suchthat ?filter
           pf_nodes = nodes;
           pf_rows = p.pr_output.ns_rows;
           pf_total_ns = p.mark_ns - p.pr_start_ns;
-          pf_stats = Ode_util.Stats.diff p.mark_stats p.pr_start_stats;
+          (* Light mode never advances [mark_stats]; one full snapshot at
+             the end still gives the whole-query totals. *)
+          pf_stats =
+            (if p.pr_full then Ode_util.Stats.diff p.mark_stats p.pr_start_stats
+             else Ode_util.Stats.diff (Ode_util.Stats.snapshot ()) p.pr_start_stats);
         }
       in
       if Ode_util.Trace.enabled () then begin
         Ode_util.Trace.emit ~cat:"query"
           ~args:[ ("cls", cls); ("plan", pf.pf_plan); ("rows", string_of_int pf.pf_rows) ]
           ~start_ns:p.pr_start_ns ~dur_ns:pf.pf_total_ns "query.execute";
-        (* One span per plan node. Node times are aggregates over an
-           interleaved streaming execution, so the spans are laid out
-           sequentially inside the parent rather than at their (many)
-           actual intervals. *)
-        let off = ref p.pr_start_ns in
-        List.iter
-          (fun n ->
-            Ode_util.Trace.emit ~cat:"query" ~depth:1
-              ~args:[ ("rows", string_of_int n.ns_rows) ]
-              ~start_ns:!off ~dur_ns:n.ns_ns n.ns_label;
-            off := !off + n.ns_ns)
-          nodes
+        (* One span per plan node, full mode only — light profiles carry
+           no per-node times, and a lane of zero-width spans is noise.
+           Node times are aggregates over an interleaved streaming
+           execution, so the spans are laid out sequentially inside the
+           parent rather than at their (many) actual intervals. *)
+        if p.pr_full then begin
+          let off = ref p.pr_start_ns in
+          List.iter
+            (fun n ->
+              Ode_util.Trace.emit ~cat:"query" ~depth:1
+                ~args:[ ("rows", string_of_int n.ns_rows) ]
+                ~start_ns:!off ~dur_ns:n.ns_ns n.ns_label;
+              off := !off + n.ns_ns)
+            nodes
+        end
       end;
       Some pf
 
+(* When the slow-query log is armed, every query runs light-profiled
+   (rows per node, whole-query time and counter totals) and the
+   resulting profile is stashed domain-locally: the session layer, which
+   times the whole request against the threshold, collects it from here
+   if (and only if) the request turns out slow. Domain-local because a
+   request executes entirely on one domain — concurrent readers each see
+   their own last profile. *)
+let last_profile_key = Domain.DLS.new_key (fun () : profile option -> None)
+
+let take_last_profile () =
+  let pf = Domain.DLS.get last_profile_key in
+  if pf <> None then Domain.DLS.set last_profile_key None;
+  pf
+
 let run db ?txn ?env ~var ~cls ?deep ?suchthat ?filter ?by ?fixpoint body =
   Ode_util.Histogram.time h_query (fun () ->
-      ignore
-        (run_profiled db ?txn ?env ~var ~cls ?deep ?suchthat ?filter ?by ?fixpoint
-           ~profiled:false body))
+      let slow = Ode_util.Slowlog.armed () in
+      match
+        run_profiled db ?txn ?env ~var ~cls ?deep ?suchthat ?filter ?by ?fixpoint ~profiled:slow
+          body
+      with
+      | Some pf when slow -> Domain.DLS.set last_profile_key (Some pf)
+      | _ -> ())
 
 let profile db ?txn ?env ~var ~cls ?deep ?suchthat ?by ?(body = fun _ -> ()) () =
   Ode_util.Histogram.time h_query (fun () ->
-      match run_profiled db ?txn ?env ~var ~cls ?deep ?suchthat ?by ~profiled:true body with
+      match
+        run_profiled db ?txn ?env ~var ~cls ?deep ?suchthat ?by ~full:true ~profiled:true body
+      with
       | Some pf -> pf
       | None -> assert false)
 
@@ -403,6 +445,35 @@ let profile_to_string pf =
          (List.combine widths row))
   in
   "plan: " ^ pf.pf_plan ^ "\n" ^ String.concat "\n" (List.map render rows)
+
+(* The same attribution as [profile_to_string], rendered as one JSON
+   object for the slow-query log. *)
+let profile_to_json pf =
+  let open Ode_util in
+  let esc = Metrics.json_escape in
+  let node n =
+    Printf.sprintf
+      "{\"label\":\"%s\",\"rows\":%d,\"ns\":%d,\"pages\":%d,\"probes\":%d,\"scanned\":%d,\"fetched\":%d,\"cursor\":%d}"
+      (esc n.ns_label) n.ns_rows n.ns_ns (Stats.pages_read n.ns_stats)
+      (Stats.index_probes n.ns_stats)
+      (Stats.objects_scanned n.ns_stats)
+      (Stats.objects_fetched n.ns_stats)
+      (Stats.cursor_pages_read n.ns_stats)
+  in
+  (* Whole-query counter totals: under a light profile (armed slow log)
+     the per-node counters are all zero, so the totals object is where
+     the log entry's physical-work numbers live. *)
+  let totals =
+    Printf.sprintf "{\"pages\":%d,\"probes\":%d,\"scanned\":%d,\"fetched\":%d,\"cursor\":%d}"
+      (Stats.pages_read pf.pf_stats)
+      (Stats.index_probes pf.pf_stats)
+      (Stats.objects_scanned pf.pf_stats)
+      (Stats.objects_fetched pf.pf_stats)
+      (Stats.cursor_pages_read pf.pf_stats)
+  in
+  Printf.sprintf "{\"plan\":\"%s\",\"rows\":%d,\"total_ns\":%d,\"totals\":%s,\"nodes\":[%s]}"
+    (esc pf.pf_plan) pf.pf_rows pf.pf_total_ns totals
+    (String.concat "," (List.map node pf.pf_nodes))
 
 let fold db ?txn ?env ~var ~cls ?deep ?suchthat ?filter ?by ~init f =
   let acc = ref init in

@@ -151,6 +151,16 @@ val profile_to_string : profile -> string
 (** The plan line plus a per-node table (rows, time, pages, probes, scanned,
     fetched, cursor pages) with a total row — the shell's [.profile]. *)
 
+val profile_to_json : profile -> string
+(** The same attribution as one JSON object
+    ([{"plan",...,"nodes":[{label,rows,ns,...}]}]) for the slow-query log. *)
+
+val take_last_profile : unit -> profile option
+(** Take (and clear) the profile of the last query run on the calling
+    domain. Populated only while {!Ode_util.Slowlog} is armed — [run]
+    then executes queries profiled so the session layer can attach the
+    per-plan-node breakdown to a slow-query entry after the fact. *)
+
 (** {1 Aggregates}
 
     The paper's §3.1 aggregate loops ("average income of all persons"),

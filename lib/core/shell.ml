@@ -150,6 +150,8 @@ let dot_help =
   \  .durability [MODE]    show or set commit durability (full|group|async)\n\
   \  .sync                 fsync any pending deferred commits now\n\
   \  .metrics [reset]      latency histograms (p50/p95/p99/max per operation)\n\
+  \  .metrics json         counters + gauges + histograms as one JSON object\n\
+  \  .slow [K]             worst K retained slow-query entries (JSON lines)\n\
   \  .hist NAME            one histogram, machine-readable (raw ns)\n\
   \  .trace on|off         toggle the span tracer\n\
   \  .trace dump FILE      write buffered spans as Chrome trace-event JSON\n\
@@ -270,8 +272,24 @@ let dot_command t line =
           Printf.sprintf "synced (%d commits acknowledged)" n
       | ".metrics", "" -> String.trim (Ode_util.Histogram.summary ())
       | ".metrics", "reset" ->
-          Ode_util.Histogram.reset_all ();
-          "histograms reset"
+          (* Atomic per histogram: each snapshot+zero happens under that
+             histogram's mutex, so an observe racing the reset from a
+             reader domain is never lost or double-counted. *)
+          let drained = Ode_util.Histogram.rows ~reset:true () in
+          let n = List.fold_left (fun a (r : Ode_util.Histogram.row) -> a + r.r_count) 0 drained in
+          Printf.sprintf "histograms reset (%d observations drained)" n
+      | ".metrics", "json" -> Ode_util.Metrics.json ()
+      | ".slow", rest -> (
+          let k =
+            if rest = "" then 10 else match int_of_string_opt rest with Some k -> max 1 k | None -> -1
+          in
+          if k < 0 then ".slow takes an entry count"
+          else if not (Ode_util.Slowlog.armed ()) then
+            "slow-query log disarmed (start the server with --slow-query-ms, or arm embedded via Slowlog.configure)"
+          else
+            match Ode_util.Slowlog.worst k with
+            | [] -> "no slow queries retained"
+            | lines -> String.concat "\n" lines)
       | ".trace", "on" ->
           Ode_util.Trace.set_enabled true;
           "tracing on"

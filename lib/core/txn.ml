@@ -135,7 +135,10 @@ let commit_slot ~durable txn =
         | Put payload -> Wal.append db.wal (Wal.Put (txn.xid, key, payload))
         | Del -> Wal.append db.wal (Wal.Delete (txn.xid, key)))
       txn.writes;
-    Wal.append db.wal (Wal.Commit txn.xid);
+    (* The commit record carries the ambient trace id of the request that
+       drove this transaction, so a standby replaying the shipped batch
+       can stamp its apply spans with the originating client's id. *)
+    Wal.append db.wal (Wal.Commit (txn.xid, Ode_util.Trace.current_trace_id ()));
     if durable then Wal.sync db.wal;
     (* 5. Apply to the committed structures. *)
     Hashtbl.iter (fun key op -> Store.apply_op db key op) txn.writes;

@@ -102,6 +102,12 @@ val last_seen_lsn : t -> int
 (** The read-your-writes watermark: the highest commit LSN any write-pool
     response carried. -1 before the first response. *)
 
+val last_trace_id : t -> int
+(** The client-assigned trace id of the most recent request (0 before the
+    first). Grep server `.trace dump`s and the slow-query log for
+    [Ode_util.Trace.id_to_string] of this value to find the request's
+    spans — including the standby's apply span for a replicated write. *)
+
 val close : t -> unit
 (** Send a polite [Close] (best effort) and release the sockets.
     Idempotent. *)

@@ -4,7 +4,13 @@
 module Codec = Ode_util.Codec
 
 let magic = "ODEP"
-let version = 2
+
+(* v3 added the optional request trace id. The server accepts any version
+   in [min_version, version] and frames are decoded per the negotiated
+   version, so v2 clients keep connecting (their requests simply carry no
+   trace id). *)
+let version = 3
+let min_version = 2
 let max_frame_len = 16 * 1024 * 1024
 
 (* Replication connections carry their own magic (so a replica pointed at a
@@ -27,10 +33,12 @@ type status = Accepted | Busy | Bad_version
 
 let status_byte = function Accepted -> 0 | Busy -> 1 | Bad_version -> 2
 
-let hello_reply st =
+(* The reply echoes the NEGOTIATED version (the client's, when the server
+   accepted it), so both sides encode subsequent frames identically. *)
+let hello_reply ?(negotiated = version) st =
   let b = Buffer.create 8 in
   Buffer.add_string b magic;
-  Codec.put_u16 b version;
+  Codec.put_u16 b negotiated;
   Codec.put_u8 b (status_byte st);
   Buffer.contents b
 
@@ -50,7 +58,7 @@ let parse_hello_reply s =
     let c = Codec.cursor ~pos:4 s in
     let v = Codec.get_u16 c in
     match Codec.get_u8 c with
-    | 0 -> Ok ()
+    | 0 -> Ok v (* the negotiated version: encode frames per it *)
     | 1 -> Error "server busy (connection limit reached)"
     | 2 -> Error (Printf.sprintf "protocol version mismatch (server %d, client %d)" v version)
     | n -> Error (Printf.sprintf "handshake reply: unknown status %d" n)
@@ -58,7 +66,10 @@ let parse_hello_reply s =
 (* -- requests / responses ----------------------------------------------- *)
 
 type op = Ping | Exec of string | Query of string | Dot of string | Close
-type request = { rq_id : int; rq_op : op }
+
+(* [rq_trace] is the client-assigned trace id (0 = untraced); it rides the
+   wire only on v3+ connections. *)
+type request = { rq_id : int; rq_trace : int; rq_op : op }
 type reply = Pong | Output of string | Rows of string list | Error of string
 
 (* [rs_lsn] is the server's commit LSN when the request was handled: on a
@@ -75,9 +86,10 @@ let frame b body =
   Codec.put_u32 b len;
   Buffer.add_buffer b body
 
-let encode_request b { rq_id; rq_op } =
+let encode_request ?(version = version) b { rq_id; rq_trace; rq_op } =
   let body = Buffer.create 64 in
   Codec.put_u32 body rq_id;
+  if version >= 3 then Codec.put_int body rq_trace;
   (match rq_op with
   | Ping -> Codec.put_u8 body 0
   | Exec src ->
@@ -114,9 +126,10 @@ let check_consumed c =
   if not (Codec.at_end c) then
     raise (Codec.Corrupt (Printf.sprintf "protocol: %d trailing bytes in frame" (Codec.remaining c)))
 
-let decode_request s =
+let decode_request ?(version = version) s =
   let c = Codec.cursor s in
   let rq_id = Codec.get_u32 c in
+  let rq_trace = if version >= 3 then Codec.get_int c else 0 in
   let rq_op =
     match Codec.get_u8 c with
     | 0 -> Ping
@@ -127,7 +140,7 @@ let decode_request s =
     | n -> raise (Codec.Corrupt (Printf.sprintf "protocol: unknown opcode %d" n))
   in
   check_consumed c;
-  { rq_id; rq_op }
+  { rq_id; rq_trace; rq_op }
 
 let decode_response s =
   let c = Codec.cursor s in
@@ -226,7 +239,7 @@ let parse_repl_hello s =
   else
     let c = Codec.cursor ~pos:4 s in
     let v = Codec.get_u16 c in
-    if v = version then Stdlib.Ok ()
+    if v >= min_version && v <= version then Stdlib.Ok ()
     else
       Stdlib.Error
         (Printf.sprintf "repl handshake: version mismatch (peer %d, ours %d)" v version)

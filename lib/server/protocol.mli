@@ -17,7 +17,13 @@ val magic : string
 (** 4 bytes on the front of both hello messages. *)
 
 val version : int
-(** Current protocol version, sent as a u16. *)
+(** Current protocol version, sent as a u16. v3 added the optional request
+    trace id. *)
+
+val min_version : int
+(** Oldest client version the server still speaks (v2: no trace ids).
+    Frames are encoded/decoded per the negotiated version, so old clients
+    keep working. *)
 
 val hello : string
 (** What a client sends immediately after connecting. *)
@@ -26,9 +32,11 @@ val hello_len : int
 
 type status = Accepted | Busy | Bad_version
 
-val hello_reply : status -> string
+val hello_reply : ?negotiated:int -> status -> string
 (** The server's fixed-size answer; on anything but [Accepted] the server
-    closes the connection right after writing it. *)
+    closes the connection right after writing it. [negotiated] (default
+    {!version}) echoes the version the server will speak on this
+    connection — the client's own, when accepted. *)
 
 val hello_reply_len : int
 
@@ -36,9 +44,10 @@ val parse_hello : string -> (int, string) result
 (** Validate a client hello; [Ok v] is the client's protocol version
     (which may differ from ours — the server decides what to do). *)
 
-val parse_hello_reply : string -> (unit, string) result
-(** Validate a server hello reply; [Error] carries a rendered reason
-    ("server busy", version mismatch, garbage). *)
+val parse_hello_reply : string -> (int, string) result
+(** Validate a server hello reply; [Ok v] is the negotiated protocol
+    version to encode subsequent frames with. [Error] carries a rendered
+    reason ("server busy", version mismatch, garbage). *)
 
 (** {1 Requests and responses} *)
 
@@ -49,7 +58,10 @@ type op =
   | Dot of string  (** a [.command] line *)
   | Close  (** polite goodbye; the server replies then closes *)
 
-type request = { rq_id : int; rq_op : op }
+type request = { rq_id : int; rq_trace : int; rq_op : op }
+(** [rq_trace] is the client-assigned trace id (0 = untraced). It rides
+    the wire only on v3+ connections; a v2 peer's requests decode with
+    [rq_trace = 0]. *)
 
 type reply =
   | Pong
@@ -67,15 +79,16 @@ type response = { rs_id : int; rs_lsn : int; rs_reply : reply }
 val max_frame_len : int
 (** Upper bound on a frame body (16 MiB). *)
 
-val encode_request : Buffer.t -> request -> unit
-(** Appends a complete frame (length prefix included). Raises
-    [Invalid_argument] if the payload would exceed {!max_frame_len}. *)
+val encode_request : ?version:int -> Buffer.t -> request -> unit
+(** Appends a complete frame (length prefix included), laid out per the
+    negotiated [version] (default current). Raises [Invalid_argument] if
+    the payload would exceed {!max_frame_len}. *)
 
 val encode_response : Buffer.t -> response -> unit
 
-val decode_request : string -> request
-(** Decode one frame body. Raises {!Ode_util.Codec.Corrupt} on malformed
-    or trailing bytes. *)
+val decode_request : ?version:int -> string -> request
+(** Decode one frame body per the negotiated [version]. Raises
+    {!Ode_util.Codec.Corrupt} on malformed or trailing bytes. *)
 
 val decode_response : string -> response
 

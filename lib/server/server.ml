@@ -58,6 +58,7 @@ type conn = {
   out : Buffer.t;             (* encoded responses awaiting the socket *)
   mutable out_pos : int;      (* written prefix of [out] *)
   mutable state : [ `Hello | `Active of Session.t ];
+  mutable proto : int;        (* negotiated protocol version (handshake) *)
   mutable closing : bool;     (* close once [out] drains *)
   mutable last : float;       (* last byte received (idle eviction) *)
   mutable sent_lsn : int;     (* highest commit LSN this conn's buffered
@@ -91,8 +92,15 @@ type upstream_state = {
   mutable u_retry_at : float;
 }
 
-(* A request handed to a reader domain, and its way back. *)
-type rjob = { rj_conn : conn; rj_session : Session.t; rj_rq : Protocol.request }
+(* A request handed to a reader domain, and its way back. [rj_enq_ns] is
+   the push time, so the reader can report queue wait separately from
+   execution in the slow-query log. *)
+type rjob = {
+  rj_conn : conn;
+  rj_session : Session.t;
+  rj_rq : Protocol.request;
+  rj_enq_ns : int;
+}
 type job = Job of rjob | Stop
 
 type completion = {
@@ -101,15 +109,27 @@ type completion = {
       (* None: the query tried to write — replay it on the writer *)
 }
 
+(* A metrics/health HTTP client: one GET in, one response out, close. *)
+type mconn = {
+  m_fd : Unix.file_descr;
+  m_buf : Buffer.t;           (* request bytes until the blank line *)
+  m_out : Buffer.t;
+  mutable m_out_pos : int;
+  mutable m_done : bool;      (* response built; close once [m_out] drains *)
+  mutable m_last : float;
+}
+
 (* What each poll slot means this tick (index-aligned with [Poll.add]). *)
 type slot =
   | S_none
   | S_listen
   | S_repl_listen
+  | S_metrics_listen
   | S_wake
   | S_up
   | S_conn of conn
   | S_down of downstream
+  | S_metrics of mconn
 
 type t = {
   db : Ode.Database.t;
@@ -117,6 +137,8 @@ type t = {
   lport : int;
   repl_listen_fd : Unix.file_descr option;
   rport : int;                (* 0 when replication is not served *)
+  metrics_fd : Unix.file_descr option;
+  mport : int;                (* 0 when no metrics endpoint is served *)
   sync_repl : bool;
   max_conns : int;
   idle_timeout : float;
@@ -134,6 +156,7 @@ type t = {
   idle_q : (float * conn) Queue.t; (* (enqueued_at, conn), push-time order *)
   mutable accept_pause : float; (* fd exhaustion: no accepts until then *)
   mutable conns : conn list;
+  mutable mconns : mconn list;
   mutable downstreams : downstream list;
   mutable upstream : upstream_state option; (* Some = replica role *)
   mutable degraded : bool;    (* semi-sync waived until replicas catch up *)
@@ -164,8 +187,14 @@ let sync_repl_timeout = 5.0
    as a descriptor frees. *)
 let accept_backoff = 0.2
 
+(* Scrapers are few and short-lived; anything past this is a mistake. *)
+let max_mconns = 16
+let mconn_idle_timeout = 30.
+let max_http_request = 8192
+
 let port t = t.lport
 let repl_port t = t.rport
+let metrics_port t = t.mport
 let connections t = List.length t.conns
 let domains t = t.nreaders + 1
 let shutdown t = t.stop <- true
@@ -234,9 +263,10 @@ let reader_loop t =
     match Chan.pop t.jobs with
     | Stop -> ()
     | Job j ->
+        let queue_wait_ns = max 0 (Ode_util.Trace.now_ns () - j.rj_enq_ns) in
         let resp =
           Rwlock.read t.engine_lock (fun () ->
-              match Session.handle_read j.rj_session j.rj_rq with
+              match Session.handle_read ~queue_wait_ns j.rj_session j.rj_rq with
               | resp -> Some resp
               | exception Ode.Types.Read_only_txn -> None
               | exception e ->
@@ -538,6 +568,112 @@ let server_dot t line : Protocol.reply option =
   | ".replication" -> Some (Protocol.Output (replication_report t))
   | _ -> None
 
+(* -- metrics / health endpoint -------------------------------------------- *)
+
+(* A deliberately tiny HTTP responder for scrapers, riding the poll loop on
+   the writer domain — no extra threads, no keep-alive: parse the request
+   line of one GET, answer, close. *)
+
+let m_pending m = Buffer.length m.m_out - m.m_out_pos
+
+let drop_mconn t m =
+  close_fd m.m_fd;
+  t.mconns <- List.filter (fun m' -> m' != m) t.mconns
+
+let http_response ?(status = "200 OK") ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+(* Role and positions for liveness probes; a standby's [lsn] is its
+   replication apply position, which is what the CI smoke asserts. *)
+let health_json t =
+  Printf.sprintf
+    "{\"role\":\"%s\",\"lsn\":%d,\"durable_lsn\":%d,\"connections\":%d,\"domains\":%d,\"slow_log_armed\":%b}\n"
+    (if is_primary t then "primary" else "replica")
+    (Db.lsn t.db) (Db.durable_lsn t.db) (List.length t.conns) (t.nreaders + 1)
+    (Ode_util.Slowlog.armed ())
+
+let has_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let metrics_answer t m =
+  let req = Buffer.contents m.m_buf in
+  let line =
+    match String.index_opt req '\n' with
+    | Some i -> String.trim (String.sub req 0 i)
+    | None -> String.trim req
+  in
+  let resp =
+    match String.split_on_char ' ' line with
+    | "GET" :: path :: _ -> (
+        match path with
+        | "/metrics" ->
+            http_response ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+              (Ode_util.Metrics.prometheus ())
+        | "/metrics.json" ->
+            http_response ~content_type:"application/json" (Ode_util.Metrics.json () ^ "\n")
+        | "/health" -> http_response ~content_type:"application/json" (health_json t)
+        | _ -> http_response ~status:"404 Not Found" ~content_type:"text/plain" "not found\n")
+    | _ -> http_response ~status:"400 Bad Request" ~content_type:"text/plain" "bad request\n"
+  in
+  Buffer.add_string m.m_out resp;
+  m.m_done <- true
+
+let rec accept_metrics t lfd =
+  match Unix.accept ~cloexec:true lfd with
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (EINTR, _, _) -> accept_metrics t lfd
+  | exception Unix.Unix_error ((EMFILE | ENFILE), _, _) ->
+      Stats.incr_server_accept_backoffs ();
+      t.accept_pause <- Unix.gettimeofday () +. accept_backoff
+  | fd, _ ->
+      Unix.set_nonblock fd;
+      if List.length t.mconns >= max_mconns then close_fd fd
+      else
+        t.mconns <-
+          {
+            m_fd = fd;
+            m_buf = Buffer.create 256;
+            m_out = Buffer.create 4096;
+            m_out_pos = 0;
+            m_done = false;
+            m_last = Unix.gettimeofday ();
+          }
+          :: t.mconns;
+      accept_metrics t lfd
+
+let handle_metrics_read t m =
+  match Unix.read m.m_fd t.read_buf 0 (Bytes.length t.read_buf) with
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> drop_mconn t m
+  | 0 -> drop_mconn t m
+  | n ->
+      m.m_last <- Unix.gettimeofday ();
+      Buffer.add_subbytes m.m_buf t.read_buf 0 n;
+      if Buffer.length m.m_buf > max_http_request then drop_mconn t m
+      else if not m.m_done then begin
+        let req = Buffer.contents m.m_buf in
+        if has_substring req "\r\n\r\n" || has_substring req "\n\n" then metrics_answer t m
+      end
+
+let handle_metrics_write t m =
+  let data = Buffer.contents m.m_out in
+  match Unix.write_substring m.m_fd data m.m_out_pos (String.length data - m.m_out_pos) with
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> drop_mconn t m
+  | n ->
+      m.m_out_pos <- m.m_out_pos + n;
+      if m.m_done && m.m_out_pos = Buffer.length m.m_out then drop_mconn t m
+
+let sweep_mconns t now =
+  if t.mconns <> [] then
+    List.iter
+      (fun m -> if now -. m.m_last > mconn_idle_timeout then drop_mconn t m)
+      t.mconns
+
 (* -- semi-sync gate ------------------------------------------------------- *)
 
 (* Replies covering commits past what the replicas acknowledged wait in
@@ -625,6 +761,7 @@ let rec accept_pending t =
             out = Buffer.create 1024;
             out_pos = 0;
             state = `Hello;
+            proto = Protocol.version;
             closing = false;
             last = now;
             sent_lsn = -1;
@@ -645,8 +782,11 @@ let try_handshake t c =
   | None -> ()
   | Some hello -> (
       match Protocol.parse_hello hello with
-      | Ok v when v = Protocol.version ->
-          Buffer.add_string c.out (Protocol.hello_reply Accepted);
+      | Ok v when v >= Protocol.min_version && v <= Protocol.version ->
+          (* Speak the client's version on this connection — the reply
+             echoes it so both sides encode frames identically. *)
+          c.proto <- v;
+          Buffer.add_string c.out (Protocol.hello_reply ~negotiated:v Accepted);
           t.next_session <- t.next_session + 1;
           c.state <- `Active (Session.create ~id:t.next_session t.db)
       | Ok _ | Error _ ->
@@ -689,7 +829,7 @@ let run_frames t c session =
         match Protocol.next_frame c.rd with
         | None -> ()
         | Some body ->
-            let rq = Protocol.decode_request body in
+            let rq = Protocol.decode_request ~version:c.proto body in
             let server_reply =
               match rq.rq_op with Protocol.Dot line -> server_dot t line | _ -> None
             in
@@ -702,7 +842,13 @@ let run_frames t c session =
                   t.nreaders > 0
                   && dispatchable session rq
                   && Chan.try_push t.jobs
-                       (Job { rj_conn = c; rj_session = session; rj_rq = rq })
+                       (Job
+                          {
+                            rj_conn = c;
+                            rj_session = session;
+                            rj_rq = rq;
+                            rj_enq_ns = Ode_util.Trace.now_ns ();
+                          })
                 then
                   (* A reader domain will answer; the completion resumes
                      this connection's frame processing. When the job queue
@@ -871,6 +1017,12 @@ let one_iteration t =
   (match t.repl_listen_fd with
   | Some fd -> slot_add t S_repl_listen fd ~read:true ~write:false
   | None -> ());
+  (match t.metrics_fd with
+  | Some fd -> slot_add t S_metrics_listen fd ~read:true ~write:false
+  | None -> ());
+  List.iter
+    (fun m -> slot_add t (S_metrics m) m.m_fd ~read:(not m.m_done) ~write:(m_pending m > 0))
+    t.mconns;
   if t.nreaders > 0 then slot_add t S_wake t.wake_r ~read:true ~write:false;
   (match t.upstream with
   | Some ({ u_link = Some l; _ } as u) ->
@@ -902,6 +1054,9 @@ let one_iteration t =
       | S_listen -> accept_pending t
       | S_repl_listen -> (
           match t.repl_listen_fd with Some fd -> accept_repl t fd | None -> ())
+      | S_metrics_listen -> (
+          match t.metrics_fd with Some fd -> accept_metrics t fd | None -> ())
+      | S_metrics m when List.memq m t.mconns -> handle_metrics_read t m
       | S_wake -> drain_wake t
       | S_up -> (
           match t.upstream with
@@ -952,6 +1107,10 @@ let one_iteration t =
   (match t.upstream with
   | Some ({ u_link = Some l; _ } as u) when u_pending u > 0 -> handle_upstream_write t u l
   | _ -> ());
+  List.iter
+    (fun m -> if List.memq m t.mconns && m_pending m > 0 then handle_metrics_write t m)
+    t.mconns;
+  sweep_mconns t now;
   update_gauges t
 
 (* Graceful shutdown: stop accepting, collect outstanding reader
@@ -964,6 +1123,8 @@ let one_iteration t =
 let drain t =
   close_fd t.listen_fd;
   (match t.repl_listen_fd with Some fd -> close_fd fd | None -> ());
+  (match t.metrics_fd with Some fd -> close_fd fd | None -> ());
+  List.iter (fun m -> drop_mconn t m) t.mconns;
   (match t.upstream with
   | Some u -> ( match u.u_link with Some l -> close_fd l.Replication.up_fd | None -> ())
   | None -> ());
@@ -1033,8 +1194,8 @@ let bind_listener ~host ~port =
   | _ -> assert false
 
 let create ?(host = "127.0.0.1") ?(max_conns = 64) ?(idle_timeout = 300.) ?durability
-    ?(group_window = 64) ?repl_port ?(sync_repl = false) ?replica ?(domains = 1) ~db ~port
-    () =
+    ?(group_window = 64) ?repl_port ?metrics_port ?(sync_repl = false) ?replica
+    ?(domains = 1) ~db ~port () =
   if domains < 1 then invalid_arg "Server.create: domains must be >= 1";
   Option.iter (Db.set_durability db) durability;
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -1042,6 +1203,13 @@ let create ?(host = "127.0.0.1") ?(max_conns = 64) ?(idle_timeout = 300.) ?durab
   let listen_fd, lport = bind_listener ~host ~port in
   let repl_listen_fd, rport =
     match repl_port with
+    | None -> (None, 0)
+    | Some p ->
+        let fd, p = bind_listener ~host ~port:p in
+        (Some fd, p)
+  in
+  let metrics_fd, mport =
+    match metrics_port with
     | None -> (None, 0)
     | Some p ->
         let fd, p = bind_listener ~host ~port:p in
@@ -1072,6 +1240,8 @@ let create ?(host = "127.0.0.1") ?(max_conns = 64) ?(idle_timeout = 300.) ?durab
       lport;
       repl_listen_fd;
       rport;
+      metrics_fd;
+      mport;
       sync_repl;
       max_conns;
       idle_timeout;
@@ -1091,6 +1261,7 @@ let create ?(host = "127.0.0.1") ?(max_conns = 64) ?(idle_timeout = 300.) ?durab
       idle_q = Queue.create ();
       accept_pause = 0.;
       conns = [];
+      mconns = [];
       downstreams = [];
       upstream;
       degraded = false;
@@ -1105,6 +1276,15 @@ let create ?(host = "127.0.0.1") ?(max_conns = 64) ?(idle_timeout = 300.) ?durab
       Db.set_wal_observer db
         (Some (fun ~data ~from_lsn ~to_lsn -> feed t ~data ~from_lsn ~to_lsn))
   | None -> ());
+  (* Health gauges, sampled at scrape time. Registration replaces any prior
+     server's sampler of the same name (one live server per process is the
+     rule), and a sampler that raises — e.g. over an already-closed
+     database in tests — reads as 0 rather than failing the scrape. *)
+  Stats.register_gauge "server.connections" (fun () -> List.length t.conns);
+  Stats.register_gauge "server.read_queue_depth" (fun () -> Chan.length t.jobs);
+  Stats.register_gauge "wal.pending_commits" (fun () -> Db.pending_commits db);
+  Stats.register_gauge "store.pool_resident" (fun () -> Db.pool_resident db);
+  Stats.register_gauge "store.ocache_resident" (fun () -> Db.ocache_resident db);
   (* A replica announces its position and drains whatever the primary
      pipelined behind the bootstrap handshake. *)
   (match t.upstream with
@@ -1118,8 +1298,8 @@ let create ?(host = "127.0.0.1") ?(max_conns = 64) ?(idle_timeout = 300.) ?durab
 
 (* -- fork helper for tests and benchmarks --------------------------------- *)
 
-let spawn_full ?max_conns ?idle_timeout ?durability ?group_window ?repl_port ?sync_repl
-    ?replica_of ?domains ~db_dir () =
+let spawn_full ?max_conns ?idle_timeout ?durability ?group_window ?repl_port ?metrics_port
+    ?slow_query_ms ?sync_repl ?replica_of ?domains ~db_dir () =
   let r, w = Unix.pipe () in
   flush stdout;
   flush stderr;
@@ -1128,6 +1308,13 @@ let spawn_full ?max_conns ?idle_timeout ?durability ?group_window ?repl_port ?sy
       Unix.close r;
       let rc =
         try
+          (* The forked image inherits the parent's process-global counters
+             and histograms (a test or bench harness may have accumulated
+             thousands of WAL syncs by now). Zero them before opening the
+             database so this server's /metrics and .stats describe this
+             server — recovery counters bumped by the open below survive. *)
+          Ode_util.Stats.reset ();
+          ignore (Ode_util.Histogram.rows ~reset:true ());
           let db, replica =
             match replica_of with
             | None -> (Ode.Database.open_ db_dir, None)
@@ -1135,14 +1322,26 @@ let spawn_full ?max_conns ?idle_timeout ?durability ?group_window ?repl_port ?sy
                 let db, up = Replication.bootstrap ~db_dir ~host ~port () in
                 (db, Some (host, port, up))
           in
+          Option.iter
+            (fun ms ->
+              Ode_util.Slowlog.configure
+                ~log_path:(Filename.concat db_dir "slow_query.log")
+                ~threshold_ms:ms ())
+            slow_query_ms;
+          (* Role label for trace dumps: a primary's and a standby's dump
+             stay distinguishable when merged (same as bin/ode_server). *)
+          Ode_util.Trace.set_process_label
+            (match replica_of with
+            | Some _ -> "ode_server (replica)"
+            | None -> "ode_server");
           (* Reader domains spawn here, in the child — [create] runs after
              the fork, so the forked image never contains running domains. *)
           let t =
-            create ?max_conns ?idle_timeout ?durability ?group_window ?repl_port ?sync_repl
-              ?replica ?domains ~db ~port:0 ()
+            create ?max_conns ?idle_timeout ?durability ?group_window ?repl_port
+              ?metrics_port ?sync_repl ?replica ?domains ~db ~port:0 ()
           in
           handle_signals t;
-          let msg = Printf.sprintf "%d %d\n" t.lport t.rport in
+          let msg = Printf.sprintf "%d %d %d\n" t.lport t.rport t.mport in
           ignore (Unix.write_substring w msg 0 (String.length msg));
           Unix.close w;
           serve t;
@@ -1154,17 +1353,17 @@ let spawn_full ?max_conns ?idle_timeout ?durability ?group_window ?repl_port ?sy
       Unix._exit rc)
   | pid ->
       Unix.close w;
-      let buf = Bytes.create 32 in
-      let n = Unix.read r buf 0 32 in
+      let buf = Bytes.create 64 in
+      let n = Unix.read r buf 0 64 in
       Unix.close r;
       if n <= 0 then failwith "Server.spawn: child died before reporting its ports";
       (match String.split_on_char ' ' (String.trim (Bytes.sub_string buf 0 n)) with
-      | [ cp; rp ] -> (pid, int_of_string cp, int_of_string rp)
+      | [ cp; rp; mp ] -> (pid, int_of_string cp, int_of_string rp, int_of_string mp)
       | _ -> failwith "Server.spawn: malformed port report")
 
 let spawn ?max_conns ?idle_timeout ?durability ?group_window ?repl_port ?sync_repl
     ?replica_of ?domains ~db_dir () =
-  let pid, port, _ =
+  let pid, port, _, _ =
     spawn_full ?max_conns ?idle_timeout ?durability ?group_window ?repl_port ?sync_repl
       ?replica_of ?domains ~db_dir ()
   in

@@ -78,6 +78,7 @@ val create :
   ?durability:Ode.Database.durability ->
   ?group_window:int ->
   ?repl_port:int ->
+  ?metrics_port:int ->
   ?sync_repl:bool ->
   ?replica:string * int * Replication.upstream ->
   ?domains:int ->
@@ -101,13 +102,25 @@ val create :
     [repl_port] (0 = ephemeral, see {!repl_port}) additionally serves the
     replication stream. [replica] is [(host, port, upstream)] from
     {!Replication.bootstrap}: serve [db] as a standby of that primary.
-    [sync_repl] turns on semi-sync reply gating (primaries only). *)
+    [sync_repl] turns on semi-sync reply gating (primaries only).
+
+    [metrics_port] (0 = ephemeral, see {!metrics_port}) additionally serves
+    a minimal HTTP observability endpoint on the same poll loop (no extra
+    threads): [GET /metrics] is Prometheus text exposition
+    ({!Ode_util.Metrics.prometheus}), [GET /metrics.json] the same data as
+    JSON, [GET /health] a one-line JSON liveness document (role, commit and
+    durable LSN — a standby's commit LSN is its replication apply
+    position — connection and domain counts). One request per connection,
+    [Connection: close]. *)
 
 val port : t -> int
 (** The bound client port (useful after binding port 0). *)
 
 val repl_port : t -> int
 (** The bound replication port; 0 when the server does not serve one. *)
+
+val metrics_port : t -> int
+(** The bound metrics HTTP port; 0 when the server does not serve one. *)
 
 val connections : t -> int
 
@@ -160,11 +173,15 @@ val spawn_full :
   ?durability:Ode.Database.durability ->
   ?group_window:int ->
   ?repl_port:int ->
+  ?metrics_port:int ->
+  ?slow_query_ms:int ->
   ?sync_repl:bool ->
   ?replica_of:string * int ->
   ?domains:int ->
   db_dir:string ->
   unit ->
-  int * int * int
-(** {!spawn}, but returns [(pid, client_port, repl_port)] — [repl_port] is 0
-    unless the child was given [?repl_port]. *)
+  int * int * int * int
+(** {!spawn}, but returns [(pid, client_port, repl_port, metrics_port)] —
+    the latter two are 0 unless the child was given [?repl_port] /
+    [?metrics_port]. [slow_query_ms] arms the child's slow-query log
+    ({!Ode_util.Slowlog.configure}) writing to [db_dir/slow_query.log]. *)

@@ -26,6 +26,13 @@ let op_name : Protocol.op -> string = function
   | Dot _ -> "dot"
   | Close -> "close"
 
+let statement_of : Protocol.op -> string = function
+  | Ping -> "ping"
+  | Exec src -> src
+  | Query src -> src
+  | Dot line -> line
+  | Close -> "close"
+
 (* [detached] picks how a [Query] runs: in a detached read-only transaction
    (reader domains — a write attempt raises {!Ode.Types.Read_only_txn} out
    of here) or in an ordinary slot transaction (the writer, where queries
@@ -52,28 +59,61 @@ let run ~detached t : Protocol.op -> Protocol.reply = function
       | None -> Error "not a dot command")
   | Close -> Output "bye"
 
-let timed t (rq : Protocol.request) f =
-  Trace.with_span ~cat:"server"
-    ~args:[ ("session", string_of_int t.sid); ("op", op_name rq.rq_op) ]
-    "server.request"
-    (fun () -> Histogram.time request_hist f)
+(* One slow-query log line: everything an operator needs to find the
+   request again — trace id, statement, queue-wait vs execute split, the
+   executing domain, and (for queries) the per-plan-node profile that
+   [Query.run] stashes domain-locally while the log is armed. *)
+let log_slow t (rq : Protocol.request) ~queue_wait_ns ~exec_ns profile =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "{\"ts\":%.6f,\"trace\":\"%s\",\"session\":%d,\"domain\":%d"
+    (Unix.gettimeofday ())
+    (Trace.id_to_string rq.rq_trace)
+    t.sid
+    (Domain.self () :> int);
+  Printf.bprintf b ",\"op\":\"%s\",\"statement\":\"%s\"" (op_name rq.rq_op)
+    (Ode_util.Metrics.json_escape (statement_of rq.rq_op));
+  Printf.bprintf b ",\"queue_wait_ns\":%d,\"exec_ns\":%d" queue_wait_ns exec_ns;
+  (match profile with
+  | Some pf -> Printf.bprintf b ",\"profile\":%s" (Ode.Query.profile_to_json pf)
+  | None -> ());
+  Buffer.add_char b '}';
+  Ode_util.Slowlog.record ~dur_ns:(queue_wait_ns + exec_ns) (Buffer.contents b)
+
+(* The request's trace id is installed as the domain's ambient id for the
+   duration, so the span below, every nested engine span, and the WAL
+   commit record all carry the client-assigned id. *)
+let timed t (rq : Protocol.request) ~queue_wait_ns f =
+  Trace.with_trace_id rq.rq_trace (fun () ->
+      Trace.with_span ~cat:"server"
+        ~args:[ ("session", string_of_int t.sid); ("op", op_name rq.rq_op) ]
+        "server.request"
+        (fun () ->
+          let t0 = Trace.now_ns () in
+          let reply = Histogram.time request_hist f in
+          let exec_ns = Trace.now_ns () - t0 in
+          (* Always drain the profile stash: a fast armed request must not
+             leave its profile behind for a later slow one to claim. *)
+          let profile = Ode.Query.take_last_profile () in
+          if queue_wait_ns + exec_ns >= Ode_util.Slowlog.threshold_ns () then
+            (try log_slow t rq ~queue_wait_ns ~exec_ns profile with _ -> ());
+          reply))
 
 let finish t (rq : Protocol.request) reply =
   (* The LSN after handling: a write's ack names the commit it covers, a
      read names the position its answer reflects. *)
   { Protocol.rs_id = rq.rq_id; rs_lsn = Ode.Database.lsn t.db; rs_reply = reply }
 
-let handle ?(count = true) t (rq : Protocol.request) : Protocol.response =
+let handle ?(count = true) ?(queue_wait_ns = 0) t (rq : Protocol.request) : Protocol.response =
   if count then Stats.incr_server_requests ();
   (* Trigger actions fired by this request's commits print through the
      requesting session, not whichever session was created last. Installed
      only here, on the writer path: reader-domain requests cannot fire
      triggers, and a concurrent install would race the writer's. *)
   Ode.Database.set_action_printer t.db (Buffer.add_string t.out);
-  finish t rq (timed t rq (fun () -> run ~detached:false t rq.rq_op))
+  finish t rq (timed t rq ~queue_wait_ns (fun () -> run ~detached:false t rq.rq_op))
 
-let handle_read t (rq : Protocol.request) : Protocol.response =
+let handle_read ?(queue_wait_ns = 0) t (rq : Protocol.request) : Protocol.response =
   Stats.incr_server_requests ();
-  finish t rq (timed t rq (fun () -> run ~detached:true t rq.rq_op))
+  finish t rq (timed t rq ~queue_wait_ns (fun () -> run ~detached:true t rq.rq_op))
 
 let close t = Shell.rollback t.shell

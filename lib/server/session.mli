@@ -28,15 +28,22 @@ val in_transaction : t -> bool
     keeps such sessions' queries on the writer domain (they must see the
     transaction's own writes). *)
 
-val handle : ?count:bool -> t -> Protocol.request -> Protocol.response
+val handle : ?count:bool -> ?queue_wait_ns:int -> t -> Protocol.request -> Protocol.response
 (** Execute one request on the writer domain. Never raises: interpreter and
     parse errors come back as [Error] replies; only the response id echoes
     the request id. Queries run in an ordinary slot transaction, so methods
     that write are legal. Installs the database's trigger action printer
     for the duration. [count:false] skips the [server.requests] bump (used
-    when re-executing a request already counted by {!handle_read}). *)
+    when re-executing a request already counted by {!handle_read}).
+    [queue_wait_ns] (default 0) is how long the request sat queued before
+    execution — reported in the slow-query log, see {!Ode_util.Slowlog}.
 
-val handle_read : t -> Protocol.request -> Protocol.response
+    The request's trace id ([rq_trace]) is the ambient
+    {!Ode_util.Trace.current_trace_id} for the duration: the
+    [server.request] span, nested engine spans, WAL commit records and any
+    slow-query entry all carry it. *)
+
+val handle_read : ?queue_wait_ns:int -> t -> Protocol.request -> Protocol.response
 (** Execute one read-only request ([Ping] or [Query]) on a reader domain:
     queries run in a detached read-only transaction that never touches the
     engine's transaction slot. Raises {!Ode.Types.Read_only_txn} when the

@@ -60,6 +60,13 @@ let set_pre_write t f = t.pre_write <- f
 let disk t = t.disk
 let capacity t = t.cap
 let stripes t = Array.length t.stripes
+
+(* Residency gauge: frames currently cached, summed per stripe under its
+   lock (the sum is not one atomic cut — fine for monitoring). *)
+let resident t =
+  Array.fold_left
+    (fun n s -> n + Mutex.protect s.mu (fun () -> Ode_util.Lru.length s.frames))
+    0 t.stripes
 let page_count t = Disk.page_count t.disk
 let stripe_of t n = t.stripes.(n land (Array.length t.stripes - 1))
 

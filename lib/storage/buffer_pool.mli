@@ -31,6 +31,10 @@ val capacity : t -> int
 val stripes : t -> int
 (** Number of lock stripes (a power of two; 1 for tiny pools). *)
 
+val resident : t -> int
+(** Frames currently cached across all stripes (each stripe counted under
+    its lock; the sum is not one atomic cut — a monitoring gauge). *)
+
 val set_pre_write : t -> (unit -> unit) -> unit
 (** Hook run immediately before any batch of dirty pages is written back
     (eviction or {!flush_all}). The engine installs a WAL force here so that

@@ -15,7 +15,7 @@ let fp_lsn = Failpoint.site "wal.lsn"
 
 type record =
   | Begin of int
-  | Commit of int
+  | Commit of int * int (* xid, originating trace id (0 = untraced) *)
   | Put of int * string * string
   | Delete of int * string
   | Checkpoint of int
@@ -56,9 +56,13 @@ let encode_record r =
   | Begin tx ->
       Codec.put_u8 b 1;
       Codec.put_int b tx
-  | Commit tx ->
+  | Commit (tx, trace) ->
       Codec.put_u8 b 2;
-      Codec.put_int b tx
+      Codec.put_int b tx;
+      (* The trace id rides only when present, so untraced logs stay
+         byte-identical with pre-tracing versions (and with standbys that
+         re-log the same records — E21 diffs the files). *)
+      if trace <> 0 then Codec.put_int b trace
   | Put (tx, k, v) ->
       Codec.put_u8 b 3;
       Codec.put_int b tx;
@@ -77,7 +81,10 @@ let decode_record s =
   let c = Codec.cursor s in
   match Codec.get_u8 c with
   | 1 -> Begin (Codec.get_int c)
-  | 2 -> Commit (Codec.get_int c)
+  | 2 ->
+      let tx = Codec.get_int c in
+      (* Pre-tracing logs stop after the xid; read them as untraced. *)
+      Commit (tx, if Codec.at_end c then 0 else Codec.get_int c)
   | 3 ->
       let tx = Codec.get_int c in
       let k = Codec.get_string c in

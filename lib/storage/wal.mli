@@ -25,7 +25,12 @@
 
 type record =
   | Begin of int                          (** txn id *)
-  | Commit of int
+  | Commit of int * int
+      (** txn, originating trace id (0 = untraced). The trace id is encoded
+          only when nonzero, so untraced logs stay byte-identical with
+          pre-tracing versions; decode reads its absence as 0. It lets a
+          standby's replay spans carry the client-assigned id of the
+          request that committed on the primary. *)
   | Put of int * string * string          (** txn, key, payload *)
   | Delete of int * string                (** txn, key *)
   | Checkpoint of int

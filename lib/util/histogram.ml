@@ -89,18 +89,61 @@ let mean_ns h = if h.n = 0 then 0. else float_of_int h.sum_ns /. float_of_int h.
    never exceeds any actually-observed value *)
 let bucket_upper i = if i = 0 then 1 else (1 lsl (i + 1)) - 1
 
-let percentile h p =
-  if h.n = 0 then 0
+let percentile_of counts n maxv p =
+  if n = 0 then 0
   else begin
-    let rank = max 1 (int_of_float (ceil (p /. 100. *. float_of_int h.n))) in
+    let rank = max 1 (int_of_float (ceil (p /. 100. *. float_of_int n))) in
     let rec go i seen =
-      if i >= nbuckets then h.max_ns
+      if i >= nbuckets then maxv
       else
-        let seen = seen + h.counts.(i) in
-        if seen >= rank then min (bucket_upper i) h.max_ns else go (i + 1) seen
+        let seen = seen + counts.(i) in
+        if seen >= rank then min (bucket_upper i) maxv else go (i + 1) seen
     in
     go 0 0
   end
+
+let percentile h p = percentile_of h.counts h.n h.max_ns p
+
+(* A consistent cut of one histogram, taken under its mutex so count, sum
+   and the percentile ranks all describe the same set of observations.
+   [reset:true] zeroes the tallies inside the SAME critical section —
+   that is what makes `.metrics reset` exact under reader domains: an
+   [observe] racing the drain lands either wholly in the returned row or
+   wholly in the next interval, never both and never neither. *)
+type row = {
+  r_name : string;
+  r_count : int;
+  r_sum_ns : int;
+  r_max_ns : int;
+  r_p50 : int;
+  r_p95 : int;
+  r_p99 : int;
+}
+
+let snapshot ?(reset = false) h =
+  Mutex.protect h.mu (fun () ->
+      let counts = Array.copy h.counts in
+      let n = h.n and sum = h.sum_ns and maxv = h.max_ns in
+      if reset then begin
+        Array.fill h.counts 0 nbuckets 0;
+        h.n <- 0;
+        h.sum_ns <- 0;
+        h.max_ns <- 0
+      end;
+      {
+        r_name = h.name;
+        r_count = n;
+        r_sum_ns = sum;
+        r_max_ns = maxv;
+        r_p50 = percentile_of counts n maxv 50.;
+        r_p95 = percentile_of counts n maxv 95.;
+        r_p99 = percentile_of counts n maxv 99.;
+      })
+
+let rows ?(reset = false) () =
+  all ()
+  |> List.map (snapshot ~reset)
+  |> List.sort (fun a b -> compare a.r_name b.r_name)
 
 let reset h =
   Mutex.protect h.mu (fun () ->
@@ -117,21 +160,21 @@ let format_ns ns =
   else if ns < 1_000_000_000 then Printf.sprintf "%.2fms" (float_of_int ns /. 1e6)
   else Printf.sprintf "%.2fs" (float_of_int ns /. 1e9)
 
+(* Sorted by name (like [rows]): histogram creation order depends on which
+   code paths ran first, sorted output diffs stably. *)
 let summary () =
-  let hs = all () in
-  let namew = List.fold_left (fun w h -> max w (String.length h.name)) 9 hs in
+  let rs = rows () in
+  let namew = List.fold_left (fun w r -> max w (String.length r.r_name)) 9 rs in
   let b = Buffer.create 512 in
   Buffer.add_string b
     (Printf.sprintf "%-*s %10s %10s %10s %10s %10s %10s\n" namew "operation" "count" "p50" "p95"
        "p99" "max" "mean");
   List.iter
-    (fun h ->
+    (fun r ->
+      let mean = if r.r_count = 0 then 0 else r.r_sum_ns / r.r_count in
       Buffer.add_string b
-        (Printf.sprintf "%-*s %10d %10s %10s %10s %10s %10s\n" namew h.name h.n
-           (format_ns (percentile h 50.))
-           (format_ns (percentile h 95.))
-           (format_ns (percentile h 99.))
-           (format_ns h.max_ns)
-           (format_ns (int_of_float (mean_ns h)))))
-    hs;
+        (Printf.sprintf "%-*s %10d %10s %10s %10s %10s %10s\n" namew r.r_name r.r_count
+           (format_ns r.r_p50) (format_ns r.r_p95) (format_ns r.r_p99) (format_ns r.r_max_ns)
+           (format_ns mean)))
+    rs;
   Buffer.contents b

@@ -43,6 +43,28 @@ val percentile : t -> float -> int
 val bucket_index : int -> int
 (** The bucket a duration falls in (exposed for tests). *)
 
+type row = {
+  r_name : string;
+  r_count : int;
+  r_sum_ns : int;
+  r_max_ns : int;
+  r_p50 : int;
+  r_p95 : int;
+  r_p99 : int;
+}
+(** One consistent cut of a histogram: count, sum, max and quantiles all
+    describing the same observation set. *)
+
+val snapshot : ?reset:bool -> t -> row
+(** Snapshot one histogram under its mutex. [~reset:true] zeroes the
+    tallies inside the same critical section, so a concurrent [observe]
+    lands either wholly in the returned row or wholly in the next
+    interval — never lost, never double-counted. *)
+
+val rows : ?reset:bool -> unit -> row list
+(** [snapshot] of every registered histogram, sorted by name. Each
+    histogram's snapshot(+reset) is individually atomic. *)
+
 val reset : t -> unit
 val reset_all : unit -> unit
 

@@ -6,9 +6,10 @@
    values at the time it was taken, read through the named accessors. *)
 
 type group = Workload | Recovery
+type kind = Counter | Gauge
 type snapshot = int array
 
-type def = { d_name : string; d_group : group }
+type def = { d_name : string; d_group : group; d_kind : kind }
 
 let defs : def list ref = ref [] (* newest first *)
 let ncounters = ref 0
@@ -16,7 +17,7 @@ let values : int Atomic.t array ref = ref (Array.init 32 (fun _ -> Atomic.make 0
 
 (* Registration happens at module-initialization time, before any domain is
    spawned, so the registry itself needs no lock. *)
-let register ?(group = Workload) name =
+let register ?(group = Workload) ?(kind = Counter) name =
   let id = !ncounters in
   incr ncounters;
   if id >= Array.length !values then begin
@@ -24,8 +25,37 @@ let register ?(group = Workload) name =
     Array.blit !values 0 bigger 0 (Array.length !values);
     values := bigger
   end;
-  defs := { d_name = name; d_group = group } :: !defs;
+  defs := { d_name = name; d_group = group; d_kind = kind } :: !defs;
   id
+
+let kind_of name =
+  match List.find_opt (fun d -> d.d_name = name) !defs with
+  | Some d -> d.d_kind
+  | None -> Counter
+
+(* Live gauges: sampled (not stored) values read through a callback at
+   exposition time — current connections, queue depth, cache residency.
+   Unlike counters these are registered by the owning subsystem when it
+   comes up (a server, a database), so the registry takes a lock and a
+   re-registration under the same name replaces the sampler: reopening a
+   database or restarting an embedded server keeps the gauge pointing at
+   the live instance. Samplers must be safe to call from the domain that
+   renders metrics (the server's writer domain). *)
+let gauges_mu = Mutex.create ()
+let gauge_defs : (string * (unit -> int)) list ref = ref []
+
+let register_gauge name fn =
+  Mutex.protect gauges_mu (fun () ->
+      gauge_defs := (name, fn) :: List.remove_assoc name !gauge_defs)
+
+let unregister_gauge name =
+  Mutex.protect gauges_mu (fun () ->
+      gauge_defs := List.remove_assoc name !gauge_defs)
+
+let gauges () =
+  let defs = Mutex.protect gauges_mu (fun () -> !gauge_defs) in
+  List.sort compare
+    (List.map (fun (n, fn) -> (n, try fn () with _ -> 0)) defs)
 
 let bump id = ignore (Atomic.fetch_and_add (!values).(id) 1)
 let bump_by id n = ignore (Atomic.fetch_and_add (!values).(id) n)
@@ -96,8 +126,8 @@ let c_repl_acks = register "repl.acks"
 let c_repl_resyncs = register "repl.resyncs"
 let c_repl_dup_batches = register "repl.dup_batches"
 let c_repl_sync_degraded = register "repl.sync_degraded"
-let c_repl_lag_commits = register "repl.lag_commits"
-let c_repl_lag_bytes = register "repl.lag_bytes"
+let c_repl_lag_commits = register ~kind:Gauge "repl.lag_commits"
+let c_repl_lag_bytes = register ~kind:Gauge "repl.lag_bytes"
 
 let incr_pages_read () = bump c_pages_read
 let incr_pages_written () = bump c_pages_written
@@ -189,18 +219,24 @@ let repl_lag_commits s = slot s c_repl_lag_commits
 let repl_lag_bytes s = slot s c_repl_lag_bytes
 
 (* pp derives from the registry: every counter of the group, name = value,
-   so new registrations show up in `.stats` with no further edits. *)
+   so new registrations show up in `.stats` with no further edits. Output
+   is sorted by counter name, not registration order — registration order
+   depends on which modules initialized first (a fresh open and a
+   post-recovery open pull layers in at different times), and sorted
+   output diffs stably across the two. *)
 let pp_group g ppf s =
-  let ds = List.rev !defs in
+  let named =
+    List.mapi (fun i d -> (d, slot s i)) (List.rev !defs)
+    |> List.filter (fun (d, _) -> d.d_group = g)
+    |> List.sort (fun (a, _) (b, _) -> compare a.d_name b.d_name)
+  in
   let first = ref true in
-  List.iteri
-    (fun i d ->
-      if d.d_group = g then begin
-        if not !first then Format.fprintf ppf "  ";
-        first := false;
-        Format.fprintf ppf "%s %d" d.d_name (slot s i)
-      end)
-    ds
+  List.iter
+    (fun (d, v) ->
+      if not !first then Format.fprintf ppf "  ";
+      first := false;
+      Format.fprintf ppf "%s %d" d.d_name v)
+    named
 
 let pp ppf s = pp_group Workload ppf s
 let pp_recovery ppf s = pp_group Recovery ppf s

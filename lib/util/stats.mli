@@ -17,14 +17,33 @@ type group =
   | Workload  (** reported by [pp] / the shell's [.stats] *)
   | Recovery  (** reported by [pp_recovery] / the shell's [.recovery] *)
 
+type kind =
+  | Counter  (** monotonically increasing; resets only via [reset] *)
+  | Gauge  (** overwritten with a current level (replication lag) *)
+
 type snapshot
 (** Counter values at the moment [snapshot] was taken; read with the named
     accessors below, or generically with [to_list]/[get]. *)
 
-val register : ?group:group -> string -> int
+val register : ?group:group -> ?kind:kind -> string -> int
 (** Register a counter and return its slot id, for layers that keep their
     own hot-path handle ([bump]/[bump_by] are not exported; use the
     [incr_*] style wrappers or re-register in the owning module). *)
+
+val kind_of : string -> kind
+(** Exposition kind of a registered slot ([Counter] if unknown) — lets the
+    metrics renderer emit [# TYPE ... gauge] for set-style slots. *)
+
+val register_gauge : string -> (unit -> int) -> unit
+(** Register (or replace — same name wins) a live sampled gauge: current
+    connections, read-queue depth, cache residency, pending group-commit
+    batch size. The callback runs on whichever domain renders metrics, so
+    it must be domain-safe; a raising sampler reads as 0. *)
+
+val unregister_gauge : string -> unit
+
+val gauges : unit -> (string * int) list
+(** All registered sampled gauges, read now, sorted by name. *)
 
 val snapshot : unit -> snapshot
 val reset : unit -> unit
@@ -161,7 +180,8 @@ val repl_lag_bytes : snapshot -> int
 
 val pp : Format.formatter -> snapshot -> unit
 (** Workload counters (pages, pool, WAL, probes, ...), derived from the
-    registry: every [Workload] counter as [name value]. *)
+    registry: every [Workload] counter as [name value], sorted by name so
+    the output diffs stably regardless of module-initialization order. *)
 
 val pp_recovery : Format.formatter -> snapshot -> unit
 (** Durability counters (replays, torn bytes, checksum failures, ...). *)

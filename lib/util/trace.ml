@@ -28,6 +28,8 @@ let now_ns () =
 type phase = Complete | Instant
 
 type span = {
+  sp_id : int; (* unique per recorded span, across domains *)
+  sp_trace : int; (* client-assigned trace id; 0 = untraced *)
   sp_name : string;
   sp_cat : string;
   sp_start_ns : int;
@@ -36,6 +38,33 @@ type span = {
   sp_args : (string * string) list;
   sp_phase : phase;
 }
+
+(* Span ids come from one process-global atomic, so they stay unique under
+   concurrent emission from reader domains (asserted by the multi-domain
+   stress test). *)
+let next_span_id = Atomic.make 1
+let fresh_span_id () = Atomic.fetch_and_add next_span_id 1
+
+(* The ambient trace id is domain-local: a request executes entirely on
+   one domain (writer, or the reader domain that popped its job), so
+   stamping it into DLS around the request lets every span emitted below
+   — session, query profiler, WAL commit — pick it up without threading a
+   parameter through each layer. *)
+let trace_key = Domain.DLS.new_key (fun () -> 0)
+let current_trace_id () = Domain.DLS.get trace_key
+
+let with_trace_id id f =
+  let prev = Domain.DLS.get trace_key in
+  Domain.DLS.set trace_key id;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set trace_key prev) f
+
+let id_to_string id = Printf.sprintf "%012x" (id land max_int)
+
+(* Cosmetic label for cross-process correlation: exported as the Chrome
+   process_name metadata event, so a primary dump and a standby dump keep
+   their roles apart when viewed together. *)
+let process_label = ref ""
+let set_process_label s = process_label := s
 
 (* -- ring buffer of completed spans --------------------------------------- *)
 
@@ -92,6 +121,8 @@ let with_span ?(cat = "ode") ?(args = []) name f =
       depth := d;
       record
         {
+          sp_id = fresh_span_id ();
+          sp_trace = current_trace_id ();
           sp_name = name;
           sp_cat = cat;
           sp_start_ns = t0;
@@ -114,6 +145,8 @@ let instant ?(cat = "ode") ?(args = []) name =
   if !enabled_flag then
     record
       {
+        sp_id = fresh_span_id ();
+        sp_trace = current_trace_id ();
         sp_name = name;
         sp_cat = cat;
         sp_start_ns = now_ns ();
@@ -127,6 +160,8 @@ let emit ?(cat = "ode") ?(args = []) ?(depth = 0) ~start_ns ~dur_ns name =
   if !enabled_flag then
     record
       {
+        sp_id = fresh_span_id ();
+        sp_trace = current_trace_id ();
         sp_name = name;
         sp_cat = cat;
         sp_start_ns = start_ns;
@@ -152,33 +187,48 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let event_json b sp =
+let event_json b pid sp =
   let us ns = float_of_int ns /. 1e3 in
   Buffer.add_string b
-    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"pid\":1,\"tid\":1,\"ts\":%.3f"
-       (json_escape sp.sp_name) (json_escape sp.sp_cat) (us sp.sp_start_ns));
+    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"pid\":%d,\"tid\":1,\"ts\":%.3f"
+       (json_escape sp.sp_name) (json_escape sp.sp_cat) pid (us sp.sp_start_ns));
   (match sp.sp_phase with
   | Complete -> Buffer.add_string b (Printf.sprintf ",\"ph\":\"X\",\"dur\":%.3f" (us sp.sp_dur_ns))
   | Instant -> Buffer.add_string b ",\"ph\":\"i\",\"s\":\"t\"");
-  (match sp.sp_args with
-  | [] -> ()
-  | args ->
-      Buffer.add_string b ",\"args\":{";
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char b ',';
-          Buffer.add_string b (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
-        args;
-      Buffer.add_char b '}');
-  Buffer.add_char b '}'
+  let args =
+    ("span_id", string_of_int sp.sp_id)
+    :: (if sp.sp_trace <> 0 then [ ("trace_id", id_to_string sp.sp_trace) ] else [])
+    @ sp.sp_args
+  in
+  Buffer.add_string b ",\"args\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+    args;
+  Buffer.add_string b "}}"
 
+(* Real OS pid in the events (not the fixed 1 of earlier versions): a
+   primary's dump and a standby's dump concatenate into one viewable
+   trace with the processes kept apart, and trace_id args correlate the
+   request's spans across them. *)
 let to_chrome_json () =
   let b = Buffer.create 4096 in
+  let pid = Unix.getpid () in
   Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  List.iteri
-    (fun i sp ->
-      if i > 0 then Buffer.add_string b ",\n";
-      event_json b sp)
+  let first = ref true in
+  if !process_label <> "" then begin
+    first := false;
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":1,\"args\":{\"name\":\"%s\"}}"
+         pid (json_escape !process_label))
+  end;
+  List.iter
+    (fun sp ->
+      if not !first then Buffer.add_string b ",\n";
+      first := false;
+      event_json b pid sp)
     (spans ());
   Buffer.add_string b "]}\n";
   Buffer.contents b

@@ -17,6 +17,8 @@ val now_ns : unit -> int
 type phase = Complete | Instant
 
 type span = {
+  sp_id : int;  (** unique per recorded span, across domains *)
+  sp_trace : int;  (** ambient trace id at emission; 0 = untraced *)
   sp_name : string;
   sp_cat : string;
   sp_start_ns : int;
@@ -25,6 +27,24 @@ type span = {
   sp_args : (string * string) list;
   sp_phase : phase;
 }
+
+val with_trace_id : int -> (unit -> 'a) -> 'a
+(** Run a thunk with the domain-local ambient trace id set (restored on
+    exit, also on exceptions). Every span recorded inside — including on
+    the same domain further down the stack — carries the id in [sp_trace]
+    and exports it as a [trace_id] arg. Id 0 means untraced. *)
+
+val current_trace_id : unit -> int
+(** The ambient trace id of the calling domain (0 when none). *)
+
+val id_to_string : int -> string
+(** Canonical rendering of a trace id (fixed-width hex), used everywhere a
+    trace id is shown so greps line up across client, server and logs. *)
+
+val set_process_label : string -> unit
+(** Label this process in Chrome exports (a [process_name] metadata
+    event): e.g. ["primary:7070"] vs ["standby:7071"], so dumps from both
+    sides of a replication pair stay tellable apart when concatenated. *)
 
 val with_span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [with_span name f] runs [f] inside a span; the span is recorded when [f]

@@ -645,7 +645,7 @@ let run_repl_iteration ~iter ~seed =
     end
     else 0
   in
-  let ppid, pport, prepl = Srv.spawn_full ~repl_port:0 ~durability:Db.Full ~db_dir:pdir () in
+  let ppid, pport, prepl, _ = Srv.spawn_full ~repl_port:0 ~durability:Db.Full ~db_dir:pdir () in
   let pdead = ref false in
   Fun.protect
     ~finally:(fun () -> if not !pdead then kill_reap ppid Sys.sigterm)
@@ -883,7 +883,7 @@ let run_failover_iteration ~iter ~seed =
   in
   let pdir = Tutil.temp_dir "torture-fo-p" in
   let rdir = Tutil.temp_dir "torture-fo-r" in
-  let ppid, pport, prepl =
+  let ppid, pport, prepl, _ =
     Srv.spawn_full ~repl_port:0 ~sync_repl:true ~durability:Db.Group ~db_dir:pdir ()
   in
   let pdead = ref false in

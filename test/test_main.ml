@@ -29,9 +29,12 @@ let () =
          Test_torn_wal.suite;
          Test_aggregates.suite;
          Test_crash_torture.suite;
-         Test_obs.suite;
          Test_protocol.suite;
          Test_server.suite;
          Test_replication.suite;
+         (* Domain-spawning suites must come after every forking suite:
+            on OCaml 5.x, once a process has ever created a domain,
+            Unix.fork refuses for the rest of its life. *)
+         Test_obs.suite;
          Test_multicore.suite;
        ])

@@ -77,6 +77,41 @@ let ring_wraparound () =
       Alcotest.(check (list string)) "last 4, oldest first" [ "e7"; "e8"; "e9"; "e10" ] names)
     ~finally:(fun () -> Trace.set_capacity cap0)
 
+(* Seeded multi-domain stress: four domains blast spans through a small
+   ring (forcing wraparound) under distinct ambient trace ids. Span ids
+   must stay unique across domains and every span must carry its emitting
+   domain's trace id — the invariants `.trace dump` correlation rests on. *)
+let concurrent_span_ids () =
+  with_tracing @@ fun () ->
+  let cap0 = Trace.capacity () in
+  Fun.protect ~finally:(fun () -> Trace.set_capacity cap0) @@ fun () ->
+  Trace.set_capacity 512;
+  let per_domain = 400 in
+  let doms =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            Trace.with_trace_id (1000 + d) (fun () ->
+                for i = 1 to per_domain do
+                  if i mod 3 = 0 then Trace.instant (Printf.sprintf "d%d.i%d" d i)
+                  else Trace.with_span (Printf.sprintf "d%d.s%d" d i) (fun () -> ())
+                done)))
+  in
+  List.iter Domain.join doms;
+  Alcotest.(check int) "total counts overwritten" (4 * per_domain) (Trace.total_recorded ());
+  let spans = Trace.spans () in
+  Alcotest.(check int) "ring holds exactly capacity" 512 (List.length spans);
+  let ids = List.map (fun s -> s.Trace.sp_id) spans in
+  let tbl = Hashtbl.create 1024 in
+  List.iter (fun id -> Hashtbl.replace tbl id ()) ids;
+  Alcotest.(check int) "span ids unique across domains" (List.length ids) (Hashtbl.length tbl);
+  List.iter
+    (fun s ->
+      let d = s.Trace.sp_trace - 1000 in
+      if d < 0 || d > 3 then Alcotest.failf "span %s has trace %d" s.Trace.sp_name s.Trace.sp_trace;
+      check_contains "trace id matches emitting domain" s.Trace.sp_name
+        (Printf.sprintf "d%d." d))
+    spans
+
 let disabled_noop () =
   Trace.clear ();
   Trace.set_enabled false;
@@ -131,6 +166,31 @@ let histogram_percentiles () =
   check_contains "summary row" (Histogram.summary ()) "test.obs.percentiles";
   Histogram.reset h
 
+(* Regression for the cross-domain `.metrics reset` race: draining
+   snapshots (snapshot ~reset) while other domains observe concurrently
+   must neither lose nor double-count a sample — each observation lands in
+   exactly one drained snapshot or the final residue. *)
+let histogram_concurrent_drain () =
+  let h = Histogram.create "test.obs.drain" in
+  Histogram.reset h;
+  let n_per = 20_000 in
+  let writers =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            for i = 1 to n_per do
+              Histogram.observe h i
+            done))
+  in
+  let drained = ref 0 in
+  for _ = 1 to 50 do
+    let r = Histogram.snapshot ~reset:true h in
+    drained := !drained + r.Histogram.r_count
+  done;
+  List.iter Domain.join writers;
+  let final = Histogram.snapshot ~reset:true h in
+  Alcotest.(check int) "no sample lost or double-counted" (3 * n_per)
+    (!drained + final.Histogram.r_count)
+
 let histogram_time_disabled () =
   let h = Histogram.create "test.obs.disabled" in
   Histogram.reset h;
@@ -164,6 +224,100 @@ let stats_registry () =
   let z = Stats.zero () in
   Stats.accum ~into:z after before;
   Alcotest.(check int) "accum" 1 (Stats.pages_read z)
+
+(* -- metrics exposition ---------------------------------------------------- *)
+
+let prometheus_exposition () =
+  let h = Histogram.create "test.obs.expo" in
+  Histogram.reset h;
+  Histogram.observe h 1000;
+  Histogram.observe h 2000;
+  Stats.register_gauge "test.gauge_ok" (fun () -> 42);
+  Stats.register_gauge "test.gauge_raises" (fun () -> failwith "sampler died");
+  Fun.protect
+    ~finally:(fun () ->
+      Stats.unregister_gauge "test.gauge_ok";
+      Stats.unregister_gauge "test.gauge_raises";
+      Histogram.reset h)
+  @@ fun () ->
+  let text = Ode_util.Metrics.prometheus () in
+  check_contains "sampled gauge" text "ode_test_gauge_ok 42";
+  check_contains "raising sampler reads 0" text "ode_test_gauge_raises 0";
+  check_contains "counter TYPE" text "# TYPE ode_server_requests counter";
+  check_contains "lag slot is a gauge" text "# TYPE ode_repl_lag_commits gauge";
+  check_contains "histogram p50" text "ode_test_obs_expo_ns{quantile=\"0.5\"}";
+  check_contains "histogram p95" text "ode_test_obs_expo_ns{quantile=\"0.95\"}";
+  check_contains "histogram p99" text "ode_test_obs_expo_ns{quantile=\"0.99\"}";
+  check_contains "histogram sum" text "ode_test_obs_expo_ns_sum 3000";
+  check_contains "histogram count" text "ode_test_obs_expo_ns_count 2";
+  (* Parseability: every non-comment line is `name[{labels}] value` with a
+     numeric value — the contract a Prometheus scraper relies on. *)
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if line <> "" && line.[0] <> '#' then
+           match String.rindex_opt line ' ' with
+           | None -> Alcotest.failf "unparseable exposition line %S" line
+           | Some i -> (
+               let v = String.sub line (i + 1) (String.length line - i - 1) in
+               match float_of_string_opt v with
+               | Some _ -> ()
+               | None -> Alcotest.failf "non-numeric value in %S" line))
+
+let metrics_json_shape () =
+  Stats.register_gauge "test.gauge_json" (fun () -> 7)
+  ;
+  Fun.protect ~finally:(fun () -> Stats.unregister_gauge "test.gauge_json") @@ fun () ->
+  let j = Ode_util.Metrics.json () in
+  check_contains "counters object" j "\"counters\":{";
+  check_contains "gauges object" j "\"gauges\":{";
+  check_contains "histograms object" j "\"histograms\":{";
+  check_contains "gauge value" j "\"test.gauge_json\":7";
+  check_contains "request histogram" j "\"server.request\":{"
+
+(* Satellite: `.stats` output is name-sorted, not registration-ordered, so
+   fresh-open and post-recovery sessions print comparable reports. *)
+let stats_sorted_output () =
+  let pp = Fmt.str "%a" Stats.pp (Stats.snapshot ()) in
+  let is_number tok = tok <> "" && float_of_string_opt tok <> None in
+  let names =
+    String.split_on_char ' ' pp
+    |> List.filter (fun tok -> tok <> "" && not (is_number tok))
+  in
+  if List.length names < 10 then Alcotest.failf "suspiciously few counters in %S" pp;
+  Alcotest.(check (list string)) "names sorted" (List.sort compare names) names
+
+(* -- slow-query log -------------------------------------------------------- *)
+
+let slowlog_basics () =
+  let dir = Tutil.temp_dir "ode-slowlog" in
+  let path = Filename.concat dir "slow.log" in
+  Ode_util.Slowlog.configure ~log_path:path ~log_max_bytes:4096 ~keep:4 ~threshold_ms:5 ();
+  Fun.protect ~finally:(fun () -> Ode_util.Slowlog.disarm ()) @@ fun () ->
+  Alcotest.(check bool) "armed" true (Ode_util.Slowlog.armed ());
+  Alcotest.(check int) "threshold in ns" 5_000_000 (Ode_util.Slowlog.threshold_ns ());
+  for i = 1 to 6 do
+    Ode_util.Slowlog.record ~dur_ns:(i * 1000) (Printf.sprintf "{\"n\":%d}" i)
+  done;
+  (* the ring keeps the newest [keep]; [worst] sorts by duration, worst
+     first *)
+  Alcotest.(check int) "retained" 4 (Ode_util.Slowlog.retained ());
+  Alcotest.(check (list string))
+    "worst first" [ "{\"n\":6}"; "{\"n\":5}" ]
+    (Ode_util.Slowlog.worst 2);
+  (* the file keeps everything, one JSON line per entry *)
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  Alcotest.(check int) "file lines" 6 (List.length lines);
+  Alcotest.(check string) "first line" "{\"n\":1}" (List.hd lines);
+  (* rotation: push past the byte cap; the old generation lands in .1 *)
+  Ode_util.Slowlog.record ~dur_ns:1
+    (Printf.sprintf "{\"pad\":\"%s\"}" (String.make 4200 'x'));
+  Ode_util.Slowlog.record ~dur_ns:1 "{\"after\":1}";
+  Alcotest.(check bool) "rotated generation exists" true (Sys.file_exists (path ^ ".1"));
+  let fresh = In_channel.with_open_text path In_channel.input_lines in
+  Alcotest.(check (list string)) "fresh file holds post-rotation entry" [ "{\"after\":1}" ] fresh;
+  (* disarm drops the threshold back to never *)
+  Ode_util.Slowlog.disarm ();
+  Alcotest.(check bool) "disarmed" false (Ode_util.Slowlog.armed ())
 
 (* -- EXPLAIN ANALYZE ------------------------------------------------------- *)
 
@@ -299,12 +453,18 @@ let suite =
         Alcotest.test_case "span nesting and ordering" `Quick span_nesting;
         Alcotest.test_case "span records on exception" `Quick span_exception_safe;
         Alcotest.test_case "ring buffer wraparound" `Quick ring_wraparound;
+        Alcotest.test_case "concurrent span ids and trace ids" `Quick concurrent_span_ids;
         Alcotest.test_case "disabled tracer is a no-op" `Quick disabled_noop;
         Alcotest.test_case "chrome trace JSON export" `Quick chrome_json;
         Alcotest.test_case "histogram bucket boundaries" `Quick histogram_buckets;
         Alcotest.test_case "histogram percentiles" `Quick histogram_percentiles;
+        Alcotest.test_case "histogram concurrent drain" `Quick histogram_concurrent_drain;
         Alcotest.test_case "histogram disabled" `Quick histogram_time_disabled;
         Alcotest.test_case "stats registry round-trip" `Quick stats_registry;
+        Alcotest.test_case "prometheus exposition" `Quick prometheus_exposition;
+        Alcotest.test_case "metrics json shape" `Quick metrics_json_shape;
+        Alcotest.test_case "stats output name-sorted" `Quick stats_sorted_output;
+        Alcotest.test_case "slow-query log basics" `Quick slowlog_basics;
         Alcotest.test_case "profile attribution sums exactly" `Quick profile_attribution;
         Alcotest.test_case "tracing emits query spans" `Quick profile_emits_spans;
         Alcotest.test_case "shell dot commands" `Quick dot_shell;

@@ -46,7 +46,11 @@ let fuzz_requests () =
     (* A burst of frames arrives as one byte stream split arbitrarily. *)
     let reqs =
       List.init (1 + Prng.int rng 5) (fun i ->
-          { P.rq_id = (round * 10) + i; rq_op = rand_op rng })
+          {
+            P.rq_id = (round * 10) + i;
+            rq_trace = Prng.int rng 1_000_000;
+            rq_op = rand_op rng;
+          })
     in
     let b = Buffer.create 4096 in
     List.iter (P.encode_request b) reqs;
@@ -62,6 +66,7 @@ let fuzz_requests () =
     List.iter2
       (fun (a : P.request) (b : P.request) ->
         Tutil.check_int "id" a.rq_id b.rq_id;
+        Tutil.check_int "trace" a.rq_trace b.rq_trace;
         Tutil.check_bool "op" true (op_eq a.rq_op b.rq_op))
       reqs decoded;
     Tutil.check_bool "drained" true (P.next_frame rd = None)
@@ -87,7 +92,7 @@ let fuzz_responses () =
 
 let truncated_frame () =
   let b = Buffer.create 64 in
-  P.encode_request b { rq_id = 7; rq_op = Exec "print 1;" };
+  P.encode_request b { rq_id = 7; rq_trace = 0; rq_op = Exec "print 1;" };
   let whole = Buffer.contents b in
   (* Every proper prefix must yield "need more bytes", never a frame. *)
   for n = 0 to String.length whole - 1 do
@@ -122,21 +127,24 @@ let oversized_frame () =
   | _ -> Alcotest.fail "expected Corrupt on oversized header"
   | exception Codec.Corrupt _ -> ());
   (* The encoder refuses to build such a frame in the first place. *)
-  match P.encode_request (Buffer.create 16) { rq_id = 1; rq_op = Exec (String.make (P.max_frame_len + 1) 'x') } with
+  match P.encode_request (Buffer.create 16) { rq_id = 1; rq_trace = 0; rq_op = Exec (String.make (P.max_frame_len + 1) 'x') } with
   | _ -> Alcotest.fail "expected Invalid_argument on oversized encode"
   | exception Invalid_argument _ -> ()
 
 let garbage_handshake () =
   let rng = Prng.create 403 in
   Tutil.check_bool "good hello" true (P.parse_hello P.hello = Ok P.version);
-  Tutil.check_bool "good reply" true (P.parse_hello_reply (P.hello_reply Accepted) = Ok ());
+  Tutil.check_bool "good reply" true (P.parse_hello_reply (P.hello_reply Accepted) = Ok P.version);
+  (* The reply echoes the negotiated version for the client to encode with. *)
+  Tutil.check_bool "negotiated reply" true
+    (P.parse_hello_reply (P.hello_reply ~negotiated:P.min_version Accepted) = Ok P.min_version);
   (* Busy / version-mismatch replies render reasons. *)
   (match P.parse_hello_reply (P.hello_reply Busy) with
   | Error msg -> Tutil.check_bool "busy reason" true (String.length msg > 0)
-  | Ok () -> Alcotest.fail "busy must not parse as accepted");
+  | Ok _ -> Alcotest.fail "busy must not parse as accepted");
   (match P.parse_hello_reply (P.hello_reply Bad_version) with
   | Error _ -> ()
-  | Ok () -> Alcotest.fail "bad version must not parse as accepted");
+  | Ok _ -> Alcotest.fail "bad version must not parse as accepted");
   (* Random garbage of the right length: rejected unless it happens to start
      with the magic (the prng won't produce that). *)
   for _ = 0 to 99 do
@@ -148,6 +156,43 @@ let garbage_handshake () =
   Tutil.check_bool "short hello" true (Result.is_error (P.parse_hello "OD"));
   Tutil.check_bool "long hello" true (Result.is_error (P.parse_hello (P.hello ^ "x")));
   Tutil.check_bool "short reply" true (Result.is_error (P.parse_hello_reply "ODEP"))
+
+(* v2 framing carries no trace id: a v2-encoded request decodes per v2 with
+   [rq_trace = 0], and the strict trailing-bytes check means decoding one
+   version's frame with the other's layout is rejected, never silently
+   misread. *)
+let version_negotiation () =
+  let rq = { P.rq_id = 42; rq_trace = 0xbeef; rq_op = Exec "print 1;" } in
+  let b = Buffer.create 64 in
+  P.encode_request ~version:P.min_version b rq;
+  let rd = P.reader () in
+  let frame = Buffer.contents b in
+  P.feed rd (Bytes.of_string frame) (String.length frame);
+  (match P.next_frame rd with
+  | None -> Alcotest.fail "complete frame expected"
+  | Some body -> (
+      let got = P.decode_request ~version:P.min_version body in
+      Tutil.check_int "v2 id" rq.rq_id got.rq_id;
+      Tutil.check_int "v2 trace dropped" 0 got.rq_trace;
+      Tutil.check_bool "v2 op" true (op_eq rq.rq_op got.rq_op);
+      (* Decoding a v2 body as v3 misparses the layout: Corrupt, not junk. *)
+      match P.decode_request body with
+      | _ -> Alcotest.fail "v2 body must not decode as v3"
+      | exception Codec.Corrupt _ -> ()));
+  (* And a v3 frame must not pass a v2 decode. *)
+  let b3 = Buffer.create 64 in
+  P.encode_request b3 rq;
+  let rd3 = P.reader () in
+  let f3 = Buffer.contents b3 in
+  P.feed rd3 (Bytes.of_string f3) (String.length f3);
+  match P.next_frame rd3 with
+  | None -> Alcotest.fail "complete frame expected"
+  | Some body -> (
+      let got = P.decode_request body in
+      Tutil.check_int "v3 trace" rq.rq_trace got.rq_trace;
+      match P.decode_request ~version:P.min_version body with
+      | _ -> Alcotest.fail "v3 body must not decode as v2"
+      | exception Codec.Corrupt _ -> ())
 
 let reader_take () =
   let rd = P.reader () in
@@ -167,6 +212,7 @@ let suite =
         Alcotest.test_case "truncated frames wait or reject" `Quick truncated_frame;
         Alcotest.test_case "oversized frames rejected early" `Quick oversized_frame;
         Alcotest.test_case "garbage handshakes rejected" `Quick garbage_handshake;
+        Alcotest.test_case "version negotiation framing" `Quick version_negotiation;
         Alcotest.test_case "reader take semantics" `Quick reader_take;
       ] );
   ]

@@ -264,7 +264,7 @@ let kill_wait pid signal =
    always reap both. *)
 let with_cluster ?(sync_repl = false) f =
   let pdir = Tutil.temp_dir "repl-e2e-p" and rdir = Tutil.temp_dir "repl-e2e-r" in
-  let ppid, pport, prepl =
+  let ppid, pport, prepl, _ =
     Server.spawn_full ~repl_port:0 ~sync_repl ~durability:Db.Group ~db_dir:pdir ()
   in
   let killed_primary = ref false in
@@ -375,6 +375,51 @@ let e2e_promotion_failover () =
         (contains (Client.dot c ".replication") "role           primary");
       Client.close c)
 
+(* -- distributed tracing: one trace id across primary and standby ---------- *)
+
+(* Turn the span tracer on in both server processes, do one traced write on
+   the primary, and dump both rings: the client-assigned trace id must
+   appear in the primary's dump (the server.request span) AND in the
+   standby's (the repl.apply span for the shipped batch) — the id rode the
+   wire protocol into the WAL commit record and out through replication. *)
+let e2e_trace_correlation () =
+  with_cluster (fun ~pport ~rport ~kill_primary:_ ~promote_replica:_ ->
+      let c = connect pport in
+      let rc = connect rport in
+      Tutil.check_bool "tracer on (primary)" true
+        (contains (Client.dot c ".trace on") "on");
+      Tutil.check_bool "tracer on (standby)" true
+        (contains (Client.dot rc ".trace on") "on");
+      Tutil.check_string "ddl" "" (Client.exec c schema);
+      ignore (Client.exec c "pnew t { tag = 7, v = \"traced\" };");
+      let tid = Client.last_trace_id c in
+      Tutil.check_bool "client assigned a trace id" true (tid <> 0);
+      let needle = Ode_util.Trace.id_to_string tid in
+      eventually "standby applied the traced write" (fun () ->
+          List.length (Client.query rc "forall x in t") = 1);
+      let pdump = Filename.temp_file "ode-trace-p" ".json" in
+      let rdump = Filename.temp_file "ode-trace-r" ".json" in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ pdump; rdump ])
+        (fun () ->
+          Tutil.check_bool "primary dump written" true
+            (contains (Client.dot c (".trace dump " ^ pdump)) "wrote");
+          Tutil.check_bool "standby dump written" true
+            (contains (Client.dot rc (".trace dump " ^ rdump)) "wrote");
+          let read f = In_channel.with_open_text f In_channel.input_all in
+          let pj = read pdump and rj = read rdump in
+          Tutil.check_bool "primary recorded the request span" true
+            (contains pj "server.request");
+          Tutil.check_bool "primary span carries the client's trace id" true
+            (contains pj needle);
+          Tutil.check_bool "standby recorded the apply span" true (contains rj "repl.apply");
+          Tutil.check_bool "standby apply carries the same trace id" true (contains rj needle);
+          (* The two processes keep distinct identities in a merged view. *)
+          Tutil.check_bool "standby labeled as replica" true (contains rj "replica"));
+      Client.close rc;
+      Client.close c)
+
 (* -- exec_many partial-failure reporting ---------------------------------- *)
 
 let rec read_exact fd buf pos len =
@@ -475,6 +520,8 @@ let suite =
         Alcotest.test_case "recovery bounded by checkpoint interval" `Quick recovery_bounded;
         Alcotest.test_case "primary streams to a read-only standby" `Quick e2e_streaming;
         Alcotest.test_case "kill, promote, client failover" `Quick e2e_promotion_failover;
+        Alcotest.test_case "trace id correlates primary and standby" `Quick
+          e2e_trace_correlation;
         Alcotest.test_case "exec_many reports the acked prefix" `Quick exec_many_broken_pipeline;
       ] );
   ]

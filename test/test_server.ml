@@ -385,6 +385,115 @@ let reader_domains_e2e () =
          Client.close c2;
          Client.close control))
 
+(* -- observability: /metrics endpoint, /health, slow-query log ------------ *)
+
+(* One-shot HTTP GET against the metrics listener: write the request line,
+   read to EOF (the server answers exactly one request and closes). *)
+let http_get port path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let rq = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      let rec send pos =
+        if pos < String.length rq then
+          send (pos + Unix.write_substring fd rq pos (String.length rq - pos))
+      in
+      send 0;
+      let b = Buffer.create 4096 in
+      let buf = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes b buf 0 n;
+            drain ()
+        | exception Unix.Unix_error (EINTR, _, _) -> drain ()
+      in
+      drain ();
+      Buffer.contents b)
+
+(* The body of an HTTP response: everything after the header separator. *)
+let http_body resp =
+  let rec find i =
+    if i + 4 > String.length resp then String.length resp
+    else if String.sub resp i 4 = "\r\n\r\n" then i + 4
+    else find (i + 1)
+  in
+  let p = find 0 in
+  String.sub resp p (String.length resp - p)
+
+(* A --domains 2 server with the metrics endpoint bound and the slow-query
+   log armed at 0 ms (every request logs). Drive real load, then assert the
+   whole observability surface: a parseable Prometheus scrape with counters,
+   gauges and latency quantiles; the health document; 404s; the JSON twin;
+   and a slow-query log whose entries carry trace ids, the queue-wait /
+   execute split and per-plan-node profiles — also visible via [.slow]. *)
+let observability_endpoint () =
+  let dir = Tutil.temp_dir "ode-served" in
+  let pid, port, _, mport =
+    Server.spawn_full ~domains:2 ~metrics_port:0 ~slow_query_ms:0 ~db_dir:dir ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid))
+    (fun () ->
+      let c = connect port in
+      Tutil.check_string "schema" "" (Client.exec c schema);
+      for i = 0 to 9 do
+        ignore (Client.exec c (Printf.sprintf "pnew acct { owner = \"m%d\", bal = %d };" i i))
+      done;
+      for _ = 1 to 5 do
+        ignore (Client.query c "forall x in acct")
+      done;
+      let resp = http_get mport "/metrics" in
+      Tutil.check_bool "scrape is 200" true (contains resp "200 OK");
+      Tutil.check_bool "prometheus content type" true
+        (contains resp "text/plain; version=0.0.4");
+      let body = http_body resp in
+      Tutil.check_bool "requests counter exposed" true (contains body "ode_server_requests");
+      Tutil.check_bool "counter TYPE line" true
+        (contains body "# TYPE ode_server_requests counter");
+      Tutil.check_bool "repl lag gauge exposed" true (contains body "ode_repl_lag_commits");
+      Tutil.check_bool "queue depth gauge exposed" true
+        (contains body "ode_server_read_queue_depth");
+      Tutil.check_bool "connections gauge exposed" true (contains body "ode_server_connections");
+      Tutil.check_bool "latency quantiles exposed" true (contains body "quantile=\"0.5\"");
+      (* Every sample line must end in a number a scraper can parse. *)
+      List.iter
+        (fun line ->
+          if line <> "" && line.[0] <> '#' then
+            match String.rindex_opt line ' ' with
+            | None -> Alcotest.failf "unparseable sample line: %s" line
+            | Some i -> (
+                match float_of_string_opt (String.sub line (i + 1) (String.length line - i - 1)) with
+                | Some _ -> ()
+                | None -> Alcotest.failf "non-numeric sample value in: %s" line))
+        (String.split_on_char '\n' body);
+      let h = http_body (http_get mport "/health") in
+      Tutil.check_bool "health: primary role" true (contains h "\"role\":\"primary\"");
+      Tutil.check_bool "health: nonzero lsn" false (contains h "\"lsn\":0,");
+      Tutil.check_bool "health: domain count" true (contains h "\"domains\":2");
+      Tutil.check_bool "health: slow log armed" true (contains h "\"slow_log_armed\":true");
+      Tutil.check_bool "unknown path 404s" true (contains (http_get mport "/nope") "404");
+      let j = http_body (http_get mport "/metrics.json") in
+      Tutil.check_bool "json scrape has counters" true (contains j "\"counters\"");
+      Tutil.check_bool "json scrape has histograms" true (contains j "\"histograms\"");
+      let log =
+        In_channel.with_open_text (Filename.concat dir "slow_query.log") In_channel.input_all
+      in
+      Tutil.check_bool "slow log carries trace ids" true (contains log "\"trace\":");
+      Tutil.check_bool "slow log splits queue wait" true (contains log "\"queue_wait_ns\":");
+      Tutil.check_bool "slow log has plan profiles" true (contains log "\"profile\":");
+      Tutil.check_bool "slow log names the statement" true (contains log "forall x in acct");
+      let slow = Client.dot c ".slow 3" in
+      Tutil.check_bool ".slow shows retained entries" true (contains slow "\"exec_ns\":");
+      let mj = Client.dot c ".metrics json" in
+      Tutil.check_bool ".metrics json over the wire" true (contains mj "\"gauges\"");
+      Client.close c)
+
 let suite =
   [
     ( "server",
@@ -401,5 +510,7 @@ let suite =
           thousand_plus_connections;
         Alcotest.test_case "reader domains: parallel queries, funneled writes" `Quick
           reader_domains_e2e;
+        Alcotest.test_case "metrics endpoint, health, slow-query log" `Quick
+          observability_endpoint;
       ] );
   ]
