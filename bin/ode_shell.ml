@@ -46,6 +46,8 @@ let remote_run client source =
   match Ode_served.Client.exec client source with
   | out -> print_string out
   | exception Ode_served.Client.Server_error msg -> Printf.printf "error: %s\n" msg
+  | exception Ode_served.Client.Conflict msg ->
+      Printf.printf "error: conflict: %s (transaction aborted; begin again to retry)\n" msg
 
 let remote_driver client =
   {
@@ -159,6 +161,9 @@ let main memory file expr connect dir =
                 0
             | exception Ode_served.Client.Server_error msg ->
                 Printf.eprintf "error: %s\n" msg;
+                1
+            | exception Ode_served.Client.Conflict msg ->
+                Printf.eprintf "error: conflict: %s\n" msg;
                 1
           in
           let code = drive (remote_driver client) run_checked file expr in

@@ -35,6 +35,10 @@ let make_db ~dbdir ~kv_disk ~dir_disk ~idx_disk ~wal ~pool_pages ~wal_checkpoint
       meta = { next_tid = 0; clock = 0 };
       next_xid = 1;
       active = None;
+      wtxns = Hashtbl.create 8;
+      mvcc = Mvcc.create ();
+      latch = Ode_util.Rwlock.create ();
+      in_excl = false;
       activations = Hashtbl.create 64;
       by_oid = Hashtbl.create 64;
       action_queue = Queue.create ();
@@ -70,7 +74,7 @@ let recover db =
      log order (idempotent logical redo). *)
   let committed = Hashtbl.create 16 in
   Wal.replay db.wal (function
-    | Wal.Commit (xid, _) -> Hashtbl.replace committed xid ()
+    | Wal.Commit (xid, _, _) -> Hashtbl.replace committed xid ()
     | _ -> ());
   let applied = ref 0 in
   Wal.replay db.wal (function
@@ -156,7 +160,7 @@ let checkpoint = Txn.checkpoint
 
 let close db =
   if not db.closed then begin
-    (match db.active with Some t -> Txn.abort t | None -> ());
+    List.iter (fun t -> try Txn.abort t with _ -> ()) (Txn.open_writers db);
     Txn.checkpoint db;
     close_fds db;
     db.closed <- true
@@ -297,6 +301,21 @@ let durability_of_string = function
 
 let lsn db = Wal.last_lsn db.wal
 let durable_lsn db = Wal.durable_lsn db.wal
+
+(* -- concurrency / MVCC introspection --------------------------------------- *)
+
+let latch db = db.latch
+
+(* Open read-write transactions as [(xid, read_ts)], oldest xid first — the
+   shell's [.txns] report. *)
+let open_txns db =
+  List.sort compare (List.map (fun t -> (t.xid, t.read_ts)) (Txn.open_writers db))
+
+let oldest_snapshot db = Mvcc.oldest_snapshot db.mvcc
+let live_snapshots db = Mvcc.live_snapshots db.mvcc
+let mvcc_chains db = Mvcc.chain_count db.mvcc
+let mvcc_dead_versions db = Mvcc.dead_versions db.mvcc
+let mvcc_reclaimed db = Mvcc.reclaimed_total db.mvcc
 (* Residency gauges for the metrics endpoint: pages cached across the
    three buffer pools (heap, directory B+tree, index B+tree) and decoded
    objects in the object cache. *)
@@ -322,15 +341,24 @@ let dir db = db.dbdir
 
    A [Checkpoint] record — always the last in its batch, since the primary's
    checkpoint syncs — is not copied into our log; it triggers the standby's
-   own checkpoint, keeping its recovery just as bounded. *)
+   own checkpoint, keeping its recovery just as bounded.
+
+   Transactions are applied commit by commit, and each one's pre-images go
+   into the standby's MVCC version chains under the commit timestamp the
+   primary embedded in the record — so an explicit read transaction held
+   open on a standby session observes exactly the snapshot it began with
+   even while batches stream in, and primary and standby agree on version
+   order. The whole apply holds the exclusive latch: a reader domain never
+   observes a half-applied transaction. *)
 let apply_replicated db (records : Wal.record list) =
   if db.closed then raise Db_closed;
   Ode_util.Trace.with_span ~cat:"repl" "repl.apply" @@ fun () ->
+  Txn.with_excl db @@ fun () ->
   let committed = Hashtbl.create 8 in
   let checkpointed = ref false in
   List.iter
     (function
-      | Wal.Commit (xid, trace) ->
+      | Wal.Commit (xid, trace, _) ->
           Hashtbl.replace committed xid ();
           (* One instant per traced commit, stamped with the trace id the
              primary logged, so this standby's dump correlates with the
@@ -343,6 +371,7 @@ let apply_replicated db (records : Wal.record list) =
       | Wal.Checkpoint _ -> checkpointed := true
       | _ -> ())
     records;
+  let base_lsn = Wal.last_lsn db.wal in
   List.iter
     (fun r -> match r with Wal.Checkpoint _ -> () | r -> Wal.append db.wal r)
     records;
@@ -356,10 +385,37 @@ let apply_replicated db (records : Wal.record list) =
       || (String.length key > 0 && String.sub key 0 1 = Keys.trigger_prefix)
     then state_touched := true
   in
+  (* Group each committed transaction's operations and land them at its
+     Commit record: chains first (while the KV still holds the pre-images),
+     then the writes. The primary ships whole transactions, so every
+     grouped op meets its Commit within this batch. *)
+  let pending : (int, (string * op) list) Hashtbl.t = Hashtbl.create 8 in
+  let push xid key op =
+    Hashtbl.replace pending xid ((key, op) :: Option.value ~default:[] (Hashtbl.find_opt pending xid))
+  in
+  let commits_seen = ref 0 in
   List.iter
     (function
-      | Wal.Put (xid, key, payload) when Hashtbl.mem committed xid -> apply key (Put payload)
-      | Wal.Delete (xid, key) when Hashtbl.mem committed xid -> apply key Del
+      | Wal.Put (xid, key, payload) when Hashtbl.mem committed xid ->
+          push xid key (Put payload)
+      | Wal.Delete (xid, key) when Hashtbl.mem committed xid -> push xid key Del
+      | Wal.Commit (xid, _, cts) ->
+          incr commits_seen;
+          if Hashtbl.mem committed xid then begin
+            let ops = List.rev (Option.value ~default:[] (Hashtbl.find_opt pending xid)) in
+            Hashtbl.remove pending xid;
+            (* Records from a pre-timestamp primary carry no cts; fall back
+               to the LSN this Commit received in our own log above — the
+               same value the primary would have embedded. *)
+            let ts = if cts <> 0 then cts else base_lsn + !commits_seen in
+            Mvcc.commit db.mvcc ~ts ~except:0 ~pre:(Store.committed_image db)
+              (List.filter_map
+                 (fun (key, op) ->
+                   if key = Keys.catalog || key = Keys.meta then None
+                   else Some (key, match op with Put s -> Some s | Del -> None))
+                 ops);
+            List.iter (fun (key, op) -> apply key op) ops
+          end
       | _ -> ())
     records;
   (* Schema, clock or trigger changes shipped from the primary must reach
@@ -373,8 +429,12 @@ let apply_replicated db (records : Wal.record list) =
 
 (* -- schema ---------------------------------------------------------------------- *)
 
+(* DDL mutates the shared catalog mirror in place before committing it, so
+   it cannot overlap any open write transaction (whose snapshot it would
+   pollute) — not just "a" transaction on this session. *)
 let require_no_txn db what =
-  if db.active <> None then invalid_arg (what ^ " cannot run inside a transaction")
+  if Hashtbl.length db.wtxns > 0 then
+    invalid_arg (what ^ " cannot run inside a transaction")
 
 (* DDL and the clock mutate in-memory state before the commit that would
    reject them, so a standby refuses them up front. *)
@@ -383,6 +443,7 @@ let require_writable db = if db.read_only then raise Read_only_store
 let define_class db (decl : Ast.class_decl) =
   require_no_txn db "define_class";
   require_writable db;
+  Txn.with_excl db @@ fun () ->
   (* Resolve the would-be field set to drive the implicit-this rewrite. *)
   let parent_fields =
     List.concat_map
@@ -419,12 +480,14 @@ let define db source =
 let create_cluster db name =
   require_no_txn db "create_cluster";
   require_writable db;
+  Txn.with_excl db @@ fun () ->
   Catalog.create_cluster db.catalog name;
   ignore (with_txn_no_drain db (fun txn -> txn.catalog_dirty <- true))
 
 let create_index db ~cls ~field =
   require_no_txn db "create_index";
   require_writable db;
+  Txn.with_excl db @@ fun () ->
   Catalog.add_index db.catalog ~cls ~field;
   let idx_id =
     match Store.index_ids db ~cls ~field with Some i -> i | None -> assert false
@@ -506,7 +569,7 @@ let advance_time db n =
   require_writable db;
   if n < 0 then invalid_arg "advance_time: negative step";
   with_txn_no_drain db (fun txn ->
-      db.meta.clock <- db.meta.clock + n;
+      Txn.with_excl db (fun () -> db.meta.clock <- db.meta.clock + n);
       txn.meta_dirty <- true);
   let expired = Triggers.expired db in
   if expired <> [] then begin

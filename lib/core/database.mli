@@ -40,7 +40,7 @@ val open_in_memory : ?pool_pages:int -> ?object_cache:int -> ?durability:Types.d
 (** A volatile database: same engine, same WAL protocol, no files. *)
 
 val close : t -> unit
-(** Checkpoint and release. Aborts any active transaction. *)
+(** Checkpoint and release. Aborts every open write transaction. *)
 
 val crash : t -> unit
 (** Simulate process death: release the file descriptors without
@@ -76,12 +76,17 @@ val with_txn : t -> (txn -> 'a) -> 'a
 
 val with_read_txn : t -> (txn -> 'a) -> 'a
 (** Run [f] inside a detached read-only transaction ({!Txn.begin_read}):
-    it never occupies the engine's single active slot, so any number can
-    run concurrently on reader domains while the slot is free or even
-    held. A write attempt inside [f] raises {!Types.Read_only_txn} before
-    touching shared state. *)
+    it registers an MVCC snapshot but never a write set or an xid, so any
+    number run concurrently on reader domains alongside open write
+    transactions, each observing a stable snapshot. A write attempt inside
+    [f] raises {!Types.Read_only_txn} before touching shared state. *)
 
 val begin_txn : t -> txn
+(** Open an explicit read-write transaction. Any number may be open at
+    once (MVCC snapshot isolation); a commit that loses first-committer-wins
+    conflict detection raises the retryable {!Types.Txn_conflict} after
+    auto-aborting. *)
+
 val commit : txn -> unit
 (** Commit and drain trigger actions. Under [Group]/[Async] durability the
     commit is prepared (logged, applied) but its fsync is deferred to the
@@ -130,6 +135,34 @@ val pool_resident : t -> int
 val ocache_resident : t -> int
 (** Decoded objects currently held by the object cache. *)
 
+(** {1 Concurrency and MVCC introspection} *)
+
+val latch : t -> Ode_util.Rwlock.t
+(** The engine latch. Reader domains hold the shared side for the duration
+    of a request; the engine itself takes the exclusive side around commit
+    apply, checkpoints, DDL and replication apply ({!Txn.with_excl}). *)
+
+val open_txns : t -> (int * int) list
+(** Open read-write transactions as [(xid, read_ts)] pairs, oldest xid
+    first — the shell's [.txns] report. *)
+
+val oldest_snapshot : t -> int option
+(** Read timestamp of the oldest live snapshot (the MVCC GC horizon), or
+    [None] when no snapshot is registered. *)
+
+val live_snapshots : t -> int
+(** Registered snapshots: open write transactions plus in-flight detached
+    read transactions. *)
+
+val mvcc_chains : t -> int
+(** Keys currently carrying a version chain. *)
+
+val mvcc_dead_versions : t -> int
+(** Superseded versions retained for live snapshots — the GC backlog. *)
+
+val mvcc_reclaimed : t -> int
+(** Versions reclaimed by the GC since open (monotonic). *)
+
 val durability_name : durability -> string
 val durability_of_string : string -> durability option
 (** ["full"] / ["group"] / ["async"]. *)
@@ -174,7 +207,9 @@ val set_wal_observer :
 val apply_replicated : t -> Ode_storage.Wal.record list -> unit
 (** Standby redo: append a shipped batch to the local WAL, fsync it
     (write-ahead — a standby crash mid-apply replays on reopen), apply the
-    committed operations through the same path recovery uses, refresh the
+    committed operations through the same path recovery uses (recording
+    pre-images into the MVCC version chains under the primary's commit
+    timestamps, so snapshots held on this standby stay stable), refresh the
     decoded schema/trigger/clock mirrors if the batch touched them, and
     checkpoint when the primary's checkpoint record says to (or the local
     log outgrows its bound). The local commit LSN advances through the

@@ -108,13 +108,18 @@ let delete db key =
    cursor snapshots each leaf's entry array (arrays are copied on mutation),
    so a split or delete racing the scan cannot corrupt it.
 
-   Collect-first fallback: when the active transaction already has pending
+   Collect-first fallback: when the scanning transaction already has pending
    writes under the prefix, the scan's callback is likely interleaving
    overlay reads and further writes against the same extent (e.g. a fixpoint
    query inserting objects mid-scan). Materialising the directory entries up
-   front keeps that case on the historically stable footing. *)
-let pending_under_prefix db prefix =
-  match db.active with
+   front keeps that case on the historically stable footing.
+
+   [?txn] is the scanning transaction; when omitted, [db.active] (the most
+   recently begun write transaction) is consulted as before. Reader domains
+   must always pass their own transaction: [db.active] belongs to the writer
+   and reading it from another domain is a race. *)
+let pending_under_prefix db ?txn prefix =
+  match (match txn with Some _ as t -> t | None -> db.active) with
   | None -> false
   | Some t ->
       Hashtbl.length t.writes > 0
@@ -122,7 +127,7 @@ let pending_under_prefix db prefix =
            (fun k _ acc -> acc || String.starts_with ~prefix k)
            t.writes false
 
-let iter_prefix db prefix f =
+let iter_prefix db ?txn prefix f =
   let fetch k rid_s k_payload_fn =
     match Heap.get db.kv_heap (decode_rid rid_s) with
     | None -> true (* deleted since the directory entry was read *)
@@ -131,7 +136,7 @@ let iter_prefix db prefix f =
         | None -> true (* stale alias: not this key's record *)
         | Some payload -> k_payload_fn payload)
   in
-  if pending_under_prefix db prefix then begin
+  if pending_under_prefix db ?txn prefix then begin
     let entries = ref [] in
     Bptree.iter_prefix db.kv_dir prefix (fun k rid ->
         entries := (k, rid) :: !entries;
@@ -157,8 +162,8 @@ let iter_prefix db prefix f =
    that died since (deletes drop entries eagerly, but crash recovery may
    leave strays), so callers must re-verify liveness per key — e.g. with
    [get] — before trusting a candidate. *)
-let iter_prefix_keys db prefix f =
-  if pending_under_prefix db prefix then begin
+let iter_prefix_keys db ?txn prefix f =
+  if pending_under_prefix db ?txn prefix then begin
     let keys = ref [] in
     Bptree.iter_prefix db.kv_dir prefix (fun k _ ->
         keys := k :: !keys;

@@ -32,15 +32,18 @@ val mem : db -> string -> bool
 val put : db -> string -> string -> unit
 val delete : db -> string -> unit
 
-val iter_prefix : db -> string -> (string -> string -> bool) -> unit
+val iter_prefix : db -> ?txn:txn -> string -> (string -> string -> bool) -> unit
 (** [iter_prefix db p f] visits entries whose key starts with [p] in key
     order; [f] returns [false] to stop. Streams through a B+tree cursor
-    (O(1) memory, early exit stops page reads) unless the active transaction
-    has pending writes under [p], in which case the matching directory
-    entries are collected before any payload is fetched so the callback may
-    safely interleave further writes against the same extent. *)
+    (O(1) memory, early exit stops page reads) unless the scanning
+    transaction has pending writes under [p], in which case the matching
+    directory entries are collected before any payload is fetched so the
+    callback may safely interleave further writes against the same extent.
+    [?txn] names the scanning transaction; omitted, [db.active] is
+    consulted — fine on the writer domain, a race anywhere else, so reader
+    domains must pass their own transaction. *)
 
-val iter_prefix_keys : db -> string -> (string -> bool) -> unit
+val iter_prefix_keys : db -> ?txn:txn -> string -> (string -> bool) -> unit
 (** Like {!iter_prefix} but yields keys only and never reads the heap: the
     scan's working set is the directory tree, not the records, so large
     extents don't evict record pages from the buffer pool. A yielded key is

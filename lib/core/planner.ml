@@ -83,11 +83,13 @@ let as_sarg db txn env var (e : Ast.expr) =
 let indexable_value (v : Value.t) =
   match v with Null | Int _ | Float _ | Bool _ | Str _ | Ref _ -> true | _ -> false
 
-let plan db ?(env = []) ~var ~cls ~deep ~suchthat () =
+let plan db ?txn ?(env = []) ~var ~cls ~deep ~suchthat () =
   let _ = Catalog.find_exn db.catalog cls in
   let classes = if deep then Catalog.subclasses db.catalog cls else [ cls ] in
   let indexed = Catalog.indexes_on db.catalog cls in
-  let txn = db.active in
+  (* Constant-conjunct evaluation reads through the planning transaction's
+     view; [db.active] is only a writer-domain fallback. *)
+  let txn = match txn with Some _ as t -> t | None -> db.active in
   match suchthat with
   | None ->
       { p_cls = cls; p_deep = deep; p_classes = classes; p_access = Full_scan; p_residual = None; p_var = var }

@@ -30,6 +30,7 @@ type plan = {
 
 val plan :
   db ->
+  ?txn:txn ->
   ?env:(string * Ode_model.Value.t) list ->
   var:string ->
   cls:string ->
@@ -38,7 +39,10 @@ val plan :
   unit ->
   plan
 (** Raises {!Ode_model.Catalog.Schema_error} for an unknown class. [env]
-    supplies outer loop bindings so join conjuncts become probes. *)
+    supplies outer loop bindings so join conjuncts become probes. [txn] is
+    the transaction the query will run in (constant conjuncts evaluate
+    against its view); omitted, [db.active] is consulted — reader domains
+    must pass their own. *)
 
 val explain : plan -> string
 (** Human-readable plan, e.g.

@@ -15,13 +15,55 @@ let class_ids db classes =
 (* Does the (live) object [oid] belong to one of the accepted clusters? *)
 let accept_class ids (oid : Oid.t) = List.mem oid.cls ids
 
+(* Ordered merge of MVCC chain keys into a streaming key scan. An object
+   overwritten or deleted after the scanning snapshot was taken may have no
+   directory or index entry left to stream from — its pre-image lives only
+   in a version chain — so the chained keys under the scan's range are
+   interleaved into the stream in key order. Every merged candidate is
+   re-verified against the snapshot by [accept] (invisible ones, e.g.
+   created-after-snapshot chains, drop out there); a chained key still
+   present in the tree collapses onto the stream's copy. [chained] must be
+   sorted (as {!Mvcc.keys_matching} returns), [iter] must stream in key
+   order. *)
+let merge_chained chained emit iter =
+  match chained with
+  | [] -> iter (fun key -> emit key; true)
+  | _ ->
+      let rest = ref chained in
+      let drain_below key =
+        let rec go () =
+          match !rest with
+          | ck :: tl when ck < key ->
+              rest := tl;
+              emit ck;
+              go ()
+          | ck :: tl when ck = key -> rest := tl
+          | _ -> ()
+        in
+        go ()
+      in
+      iter (fun key ->
+          drain_below key;
+          emit key;
+          true);
+      List.iter emit !rest
+
 (* Committed extent of one class, in creation order. Keys-only: the header
    payload is never needed here, and [accept]'s [Store.exists] re-verifies
-   liveness per candidate, so the scan reads directory leaves only. *)
-let committed_candidates db cls_id f =
-  Kv.iter_prefix_keys db (Keys.header_prefix_class cls_id) (fun key ->
-      f (Keys.oid_of_header_key key);
-      true)
+   liveness per candidate, so the scan reads directory leaves only. Chained
+   header keys are merged in so objects deleted after the snapshot still
+   surface ([Mvcc.keys_matching] is a single atomic load when no chains
+   exist — the no-concurrent-snapshot common case). *)
+let committed_candidates db ?txn cls_id f =
+  let prefix = Keys.header_prefix_class cls_id in
+  let chained =
+    match txn with
+    | None -> []
+    | Some _ -> Mvcc.keys_matching db.mvcc (fun k -> String.starts_with ~prefix k)
+  in
+  merge_chained chained
+    (fun key -> f (Keys.oid_of_header_key key))
+    (fun g -> Kv.iter_prefix_keys db ?txn prefix g)
 
 (* Transaction-local additions: objects created (or touched — their state may
    newly match an indexed predicate) in the active transaction. *)
@@ -32,14 +74,26 @@ let txn_candidates txn ids f =
       List.iter (fun oid -> if accept_class ids oid then f oid) (List.rev t.created);
       Hashtbl.iter (fun oid () -> if accept_class ids oid then f oid) t.touched
 
-let index_candidates db (access : Planner.access) f =
+(* Index entries are chain-recorded under their 'I'-prefixed logical key;
+   the index tree stores them without the tag, so chained keys are stripped
+   (order-preserving: they share the leading 'I') before merging. *)
+let chained_index_keys db txn pred =
+  match txn with
+  | None -> []
+  | Some _ ->
+      List.map Keys.index_tree_key
+        (Mvcc.keys_matching db.mvcc (fun k ->
+             Keys.is_index_key k && pred (Keys.index_tree_key k)))
+
+let index_candidates db ?txn (access : Planner.access) f =
   match access with
   | Planner.Full_scan -> invalid_arg "index_candidates: full scan"
   | Planner.Index_eq { idx_id; value; _ } ->
       let prefix = Keys.index_tree_key (Keys.index_value_prefix ~idx_id ~valkey:(Value.index_key value)) in
-      Bptree.iter_prefix db.idx prefix (fun key _ ->
-          f (Keys.oid_of_index_key key);
-          true)
+      let chained = chained_index_keys db txn (String.starts_with ~prefix) in
+      merge_chained chained
+        (fun key -> f (Keys.oid_of_index_key key))
+        (fun g -> Bptree.iter_prefix db.idx prefix (fun key _ -> g key))
   | Planner.Index_range { idx_id; lo; hi; _ } ->
       let tree_prefix = Keys.index_tree_key (Keys.index_prefix ~idx_id) in
       let lo_key =
@@ -60,14 +114,21 @@ let index_candidates db (access : Planner.access) f =
             if incl then Ode_util.Key.succ_prefix vk else Some vk
       in
       let lo_key = Option.value lo_key ~default:tree_prefix in
-      Bptree.iter_range db.idx ~lo:lo_key ?hi:hi_key (fun key _ ->
-          f (Keys.oid_of_index_key key);
-          true)
+      let chained =
+        chained_index_keys db txn (fun tk ->
+            tk >= lo_key && match hi_key with None -> true | Some h -> tk < h)
+      in
+      merge_chained chained
+        (fun key -> f (Keys.oid_of_index_key key))
+        (fun g -> Bptree.iter_range db.idx ~lo:lo_key ?hi:hi_key (fun key _ -> g key))
 
 (* [by x.f asc] over a single cluster with an index on [f] can stream in
    index order instead of materializing and sorting — but only when the
    transaction has no pending writes on that cluster (a dirty write set
-   would have to be merge-sorted in; we fall back to sorting then). *)
+   would have to be merge-sorted in; we fall back to sorting then), and the
+   index carries no version chains for the snapshot (a post-snapshot
+   reindex moved entries; the sort path re-evaluates keys under the
+   snapshot, the stream would emit at the new position). *)
 let index_order_plan db txn (plan : Planner.plan) by =
   match (by, plan.p_classes) with
   | Some (Ast.Field (Ast.Var v, f), order), [ only_cls ] when v = plan.p_var -> (
@@ -75,6 +136,12 @@ let index_order_plan db txn (plan : Planner.plan) by =
         match txn with
         | None -> false
         | Some t -> Hashtbl.length t.writes > 0
+      in
+      let unchained idx_id =
+        txn = None
+        || Mvcc.keys_matching db.mvcc
+             (String.starts_with ~prefix:(Keys.index_prefix ~idx_id))
+           = []
       in
       if txn_dirty then None
       else
@@ -90,11 +157,13 @@ let index_order_plan db txn (plan : Planner.plan) by =
                   else pick (i + 1) rest
             in
             match pick 0 (Catalog.indexes db.catalog) with
-            | Some idx_id -> Some (idx_id, order, cls.Schema.id)
-            | None -> None)
+            | Some idx_id when unchained idx_id -> Some (idx_id, order, cls.Schema.id)
+            | Some _ | None -> None)
         | (Planner.Full_scan | Planner.Index_range _), Some idx_id ->
-            let cls = Catalog.find_exn db.catalog only_cls in
-            Some (idx_id, order, cls.Schema.id)
+            if unchained idx_id then
+              let cls = Catalog.find_exn db.catalog only_cls in
+              Some (idx_id, order, cls.Schema.id)
+            else None
         | Planner.Index_eq _, _ -> None)
   | _ -> None
 
@@ -161,7 +230,7 @@ let run_profiled db ?txn ?(env = []) ~var ~cls ?(deep = false) ?suchthat ?filter
     ?(fixpoint = false) ?(full = false) ~profiled body =
   let txn = match txn with Some t -> Some t | None -> db.active in
   if fixpoint && by <> None then invalid_arg "query: fixpoint iteration cannot be ordered";
-  let plan = Planner.plan db ~env ~var ~cls ~deep ~suchthat () in
+  let plan = Planner.plan db ?txn ~env ~var ~cls ~deep ~suchthat () in
   let ids = class_ids db plan.p_classes in
   let hooks = Runtime.hooks db txn in
   let iop = index_order_plan db txn plan by in
@@ -248,11 +317,11 @@ let run_profiled db ?txn ?(env = []) ~var ~cls ?(deep = false) ?suchthat ?filter
           if accept oid then f oid
         end
       in
-      index_candidates db plan.p_access once;
+      index_candidates db ?txn plan.p_access once;
       txn_candidates txn ids once
     end
     else begin
-      List.iter (fun cid -> committed_candidates db cid (fun oid -> if accept oid then f oid)) ids;
+      List.iter (fun cid -> committed_candidates db ?txn cid (fun oid -> if accept oid then f oid)) ids;
       match txn with
       | None -> ()
       | Some t ->
@@ -320,7 +389,7 @@ let run_profiled db ?txn ?(env = []) ~var ~cls ?(deep = false) ?suchthat ?filter
             if accept oid then obody oid
           end
         in
-        List.iter (fun cid -> committed_candidates db cid process) ids;
+        List.iter (fun cid -> committed_candidates db ?txn cid process) ids;
         let rec drain () =
           let fresh =
             List.filter

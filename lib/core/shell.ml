@@ -8,13 +8,19 @@ type t = {
   db : Database.t;
   env : Interp.env;
   mutable txn : txn option; (* explicit transaction opened with [begin;] *)
+  mutable conflicted : string option;
+      (* the last explicit transaction died of a write-write conflict (it
+         was auto-aborted server-side). A later bare [commit;] re-reports
+         the conflict instead of "no open transaction", so a client that
+         retries a commit request keeps seeing the retryable error until
+         it replays the transaction ([begin] clears the flag). *)
   mutable quit : bool;      (* set by the [.quit] dot command *)
   print : string -> unit;
 }
 
 let create ?(print = print_string) db =
   Database.set_action_printer db print;
-  { db; env = Interp.env ~print (); txn = None; quit = false; print }
+  { db; env = Interp.env ~print (); txn = None; conflicted = None; quit = false; print }
 
 let database t = t.db
 let in_transaction t = t.txn <> None
@@ -41,16 +47,25 @@ let rec exec_top t (top : Ast.top) =
   | TBegin -> (
       match t.txn with
       | Some _ -> failwith "a transaction is already open"
-      | None -> t.txn <- Some (Database.begin_txn t.db))
+      | None ->
+          t.conflicted <- None;
+          t.txn <- Some (Database.begin_txn t.db))
   | TCommit -> (
       match t.txn with
-      | None -> failwith "no open transaction"
+      | None -> (
+          match t.conflicted with
+          | Some msg -> raise (Txn_conflict msg)
+          | None -> failwith "no open transaction")
       | Some txn ->
           t.txn <- None;
           Database.commit txn)
   | TAbort -> (
       match t.txn with
-      | None -> failwith "no open transaction"
+      | None ->
+          (* Acknowledging a conflict-aborted transaction is not an error:
+             the server already rolled it back. *)
+          if t.conflicted <> None then t.conflicted <- None
+          else failwith "no open transaction"
       | Some txn ->
           t.txn <- None;
           Database.abort txn)
@@ -113,12 +128,15 @@ let render_error = function
   (* The prefix is load-bearing: clients recognize it as a retryable
      redirect and fail over to the primary. *)
   | Read_only_store -> "read-only replica: writes must go to the primary"
+  (* This prefix is load-bearing too: the session layer upgrades it to the
+     protocol's distinct retryable conflict reply. *)
+  | Txn_conflict msg -> "conflict: " ^ msg
   | Constraint_violation { cls; cname; oid } ->
       Fmt.str "constraint %s.%s violated by object %a (transaction aborted)" cls cname
         Ode_model.Oid.pp oid
   | Failure msg -> msg
-  (* "txn: a transaction is already active" — another session (or an outer
-     EDSL caller) holds the engine's single transaction slot. *)
+  (* e.g. "define_class cannot run inside a transaction" — DDL refused
+     while any write transaction is open. *)
   | Invalid_argument msg -> msg
   | e -> Printexc.to_string e
 
@@ -128,6 +146,12 @@ let exec_catching t source =
   | exception (Constraint_violation _ as e) ->
       (* The commit already aborted the transaction. *)
       t.txn <- None;
+      Error (render_error e)
+  | exception (Txn_conflict msg as e) ->
+      (* First-committer-wins loser: the commit auto-aborted it. Remember
+         the conflict so a retried bare [commit;] re-reports it. *)
+      t.txn <- None;
+      t.conflicted <- Some msg;
       Error (render_error e)
   | exception e -> Error (render_error e)
 
@@ -153,6 +177,7 @@ let dot_help =
   \  .metrics json         counters + gauges + histograms as one JSON object\n\
   \  .slow [K]             worst K retained slow-query entries (JSON lines)\n\
   \  .hist NAME            one histogram, machine-readable (raw ns)\n\
+  \  .txns                 open transactions, snapshots and MVCC version backlog\n\
   \  .trace on|off         toggle the span tracer\n\
   \  .trace dump FILE      write buffered spans as Chrome trace-event JSON\n\
   \  .explain QUERY        access plan for a forall query\n\
@@ -188,11 +213,12 @@ let parse_forall rest =
    each qualifying object rendered as one row. Runs inside the open explicit
    transaction if any, so a remote session sees its own uncommitted writes;
    with no explicit transaction it runs in a *detached* read-only txn
-   ({!Database.with_read_txn}), which never takes the engine's single slot —
+   ({!Database.with_read_txn}), which registers only an MVCC snapshot —
    that is what lets the server execute queries on reader domains in
-   parallel. A predicate that turns out to write raises
+   parallel with open write transactions. A predicate that turns out to
+   write raises
    {!Types.Read_only_txn}, re-raised (not rendered) so the server can
-   re-execute the request on the writer domain in a slot transaction. *)
+   re-execute the request on the writer domain in a write transaction. *)
 let query_rows ?(detached = true) t source =
   let run txn =
     let f = parse_forall source in
@@ -290,6 +316,23 @@ let dot_command t line =
             match Ode_util.Slowlog.worst k with
             | [] -> "no slow queries retained"
             | lines -> String.concat "\n" lines)
+      | ".txns", _ ->
+          let txns = Database.open_txns t.db in
+          let b = Buffer.create 128 in
+          Printf.bprintf b "open txns %d  snapshots %d  oldest_snapshot %s"
+            (List.length txns)
+            (Database.live_snapshots t.db)
+            (match Database.oldest_snapshot t.db with
+            | Some ts -> string_of_int ts
+            | None -> "-");
+          List.iter
+            (fun (xid, read_ts) -> Printf.bprintf b "\n  xid %d read_ts %d" xid read_ts)
+            txns;
+          Printf.bprintf b "\nchains %d  dead_versions %d  reclaimed %d"
+            (Database.mvcc_chains t.db)
+            (Database.mvcc_dead_versions t.db)
+            (Database.mvcc_reclaimed t.db);
+          Buffer.contents b
       | ".trace", "on" ->
           Ode_util.Trace.set_enabled true;
           "tracing on"

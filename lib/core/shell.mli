@@ -22,7 +22,12 @@ val exec : t -> string -> unit
     explicit transaction open for the user to [abort;]. *)
 
 val exec_catching : t -> string -> (unit, string) result
-(** Like {!exec} but rendering any error as a message (for the REPL). *)
+(** Like {!exec} but rendering any error as a message (for the REPL). A
+    {!Types.Txn_conflict} renders with the load-bearing ["conflict: "]
+    prefix and clears the (already server-side-aborted) open transaction;
+    a later bare [commit;] re-reports the conflict until [begin] or
+    [abort] acknowledges it, so retried commit requests keep seeing the
+    retryable error. *)
 
 val vars : t -> (string * Ode_model.Value.t) list
 (** Current shell variable bindings. *)
@@ -39,16 +44,18 @@ val query_rows : ?detached:bool -> t -> string -> (string list, string) result
     row (oid plus fields) — the wire protocol's [Query] opcode. Runs inside
     the open explicit transaction if any; otherwise in a detached read-only
     transaction ([detached], the default — safe on a reader domain) or an
-    ordinary slot transaction ([~detached:false] — the writer-domain
+    ordinary write transaction ([~detached:false] — the writer-domain
     fallback). Errors are rendered, not raised, except
     {!Types.Read_only_txn}, which escapes so the server can re-route the
     request to the writer domain. *)
 
 val dot_command : t -> string -> string option
 (** Handle a sqlite3-style dot command line ([.stats [reset]], [.recovery],
-    [.metrics [reset]], [.hist NAME], [.trace on|off|dump FILE],
+    [.metrics [reset]], [.hist NAME], [.txns], [.trace on|off|dump FILE],
     [.explain QUERY], [.profile QUERY], [.durability [full|group|async]],
-    [.sync], [.read FILE], [.quit], [.help]). [.durability] reports (and
+    [.sync], [.read FILE], [.quit], [.help]). [.txns] reports the open
+    write transactions (xid, read timestamp), live snapshot count, the
+    MVCC GC horizon and the dead-version backlog. [.durability] reports (and
     with an argument, switches) the database's commit durability level —
     switching to [full] first syncs any pending group commits; [.sync]
     force-acknowledges pending commits with one shared WAL fsync.

@@ -31,6 +31,11 @@ let decode_header s =
 
 (* -- overlay ---------------------------------------------------------------- *)
 
+(* The snapshot a read resolves against: the transaction's read timestamp,
+   or "latest" for embedded callers that pass no transaction (max_int makes
+   every chain head visible, i.e. the plain committed state). *)
+let read_ts_of = function Some t -> t.read_ts | None -> max_int
+
 let read db txn key =
   let from_writes =
     match txn with
@@ -40,7 +45,10 @@ let read db txn key =
   match from_writes with
   | Some (Put s) -> Some s
   | Some Del -> None
-  | None -> Kv.get db key
+  | None -> (
+      match Mvcc.read db.mvcc ~read_ts:(read_ts_of txn) key with
+      | Mvcc.Older v -> v
+      | Mvcc.Latest -> Kv.get db key)
 
 (* The two overlay choke points: every mutation in this module funnels
    through them. A detached read txn (reader domain) is rejected before the
@@ -69,15 +77,24 @@ let get_header db txn oid =
   | Some (Put s) -> Some (decode_header s)
   | Some Del -> None
   | None -> (
-      match Ocache.find db key with
-      | Some (Cheader h) -> Some h
-      | Some (Cfields _) | None -> (
-          match Kv.get db key with
-          | None -> None
-          | Some s ->
-              let h = decode_header s in
-              Ocache.add db key (Cheader h);
-              Some h))
+      (* Snapshot resolution before the cache: the decoded-object cache
+         holds only the *latest* committed state, so a read that an MVCC
+         chain answers (the key changed past this snapshot) bypasses it
+         entirely — in both directions: never served from it, never
+         populated into it. *)
+      match Mvcc.read db.mvcc ~read_ts:(read_ts_of txn) key with
+      | Mvcc.Older None -> None
+      | Mvcc.Older (Some s) -> Some (decode_header s)
+      | Mvcc.Latest -> (
+          match Ocache.find db key with
+          | Some (Cheader h) -> Some h
+          | Some (Cfields _) | None -> (
+              match Kv.get db key with
+              | None -> None
+              | Some s ->
+                  let h = decode_header s in
+                  Ocache.add db key (Cheader h);
+                  Some h)))
 
 let exists db txn oid = get_header db txn oid <> None
 let class_of db (oid : Oid.t) = Catalog.find_by_id db.catalog oid.cls
@@ -90,16 +107,22 @@ let get_fields_v db txn (vr : Oid.vref) =
       Some (Value.fields_decode s)
   | Some Del -> None
   | None -> (
-      match Ocache.find db key with
-      | Some (Cfields fs) -> Some fs
-      | Some (Cheader _) | None -> (
-          match Kv.get db key with
-          | None -> None
-          | Some s ->
-              Ode_util.Stats.incr_objects_fetched ();
-              let fs = Value.fields_decode s in
-              Ocache.add db key (Cfields fs);
-              Some fs))
+      match Mvcc.read db.mvcc ~read_ts:(read_ts_of txn) key with
+      | Mvcc.Older None -> None
+      | Mvcc.Older (Some s) ->
+          Ode_util.Stats.incr_objects_fetched ();
+          Some (Value.fields_decode s)
+      | Mvcc.Latest -> (
+          match Ocache.find db key with
+          | Some (Cfields fs) -> Some fs
+          | Some (Cheader _) | None -> (
+              match Kv.get db key with
+              | None -> None
+              | Some s ->
+                  Ode_util.Stats.incr_objects_fetched ();
+                  let fs = Value.fields_decode s in
+                  Ocache.add db key (Cfields fs);
+                  Some fs)))
 
 let get_fields db txn oid =
   match get_header db txn oid with
@@ -332,3 +355,12 @@ let apply_op db key op =
     match op with
     | Put payload -> Kv.put db key payload
     | Del -> Kv.delete db key
+
+(* The current committed value of a logical key — the pre-image the MVCC
+   layer records as a new chain's base entry just before a commit applies
+   over it. Index entries live in the index tree (present = [Some ""]),
+   everything else in the KV. Called under the exclusive latch. *)
+let committed_image db key =
+  if Keys.is_index_key key then
+    if Bptree.find db.idx (Keys.index_tree_key key) <> None then Some "" else None
+  else Kv.get db key

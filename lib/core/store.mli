@@ -28,14 +28,21 @@ val decode_header : string -> header
 
 (** {1 Raw overlay access} *)
 
+val read_ts_of : txn option -> int
+(** The snapshot a read resolves against: the transaction's read timestamp,
+    or [max_int] ("latest committed") when no transaction is given. *)
+
 val read : db -> txn option -> string -> string option
 val write : txn -> string -> string -> unit
 val remove : txn -> string -> unit
 
 (** {1 Reading objects} *)
 
-(** Reads consult the write overlay first, then the decoded-object cache
-    ({!Ocache}), then the committed KV (populating the cache on a miss). *)
+(** Reads consult the write overlay first, then the MVCC version chains
+    (a key committed past the transaction's snapshot resolves to the
+    version the snapshot can see, bypassing the cache), then the
+    decoded-object cache ({!Ocache}), then the committed KV (populating
+    the cache on a miss — only ever with latest committed state). *)
 
 val get_header : db -> txn option -> Ode_model.Oid.t -> header option
 val exists : db -> txn option -> Ode_model.Oid.t -> bool
@@ -84,3 +91,8 @@ val index_ids : db -> cls:string -> field:string -> int option
 val apply_op : db -> string -> op -> unit
 (** Apply one logical operation to the committed structures (KV or index
     tree). Idempotent. *)
+
+val committed_image : db -> string -> string option
+(** The key's current committed value (index entries: [Some ""] when the
+    entry exists) — the pre-image the MVCC layer records before a commit
+    overwrites it. Call under the exclusive latch. *)

@@ -2,11 +2,15 @@
 
     The paper treats "any O++ program that interacts with the database" as a
     single transaction; here transactions are explicit and the engine runs
-    them one at a time (concurrency control is out of the paper's scope and
-    ours). The engine is deferred-apply: effects live in a write set until
-    commit, when constraints are checked, trigger conditions evaluated, the
-    logical operations logged and fsynced, and only then applied to the
-    disk structures. Abort simply discards the write set.
+    any number of them concurrently under MVCC snapshot isolation: each
+    transaction captures a read timestamp at {!begin_} and reads resolve
+    against that snapshot through {!Mvcc} version chains, while writes stay
+    private in a per-transaction write set until commit (deferred apply).
+    At commit, constraints are checked, trigger conditions evaluated,
+    write-write conflicts detected (first-committer-wins — the loser aborts
+    with the retryable {!Types.Txn_conflict}), the logical operations
+    logged with their commit timestamp and fsynced, and only then applied
+    to the disk structures. Abort simply discards the write set.
 
     Commit returns the trigger firings to run as follow-up transactions
     (weak coupling); {!Database.with_txn} drains them. *)
@@ -14,24 +18,33 @@
 open Types
 
 val begin_ : db -> txn
-(** Raises [Invalid_argument] if a transaction is already active. *)
+(** Open a read-write transaction. Any number may be open at once; each
+    gets its own snapshot and write set. *)
 
 val begin_read : db -> txn
-(** A detached read-only transaction: it never occupies the single active
-    slot or allocates an xid, so any number can run concurrently (the
-    server executes queries on reader domains inside one each). Every
-    write choke point in {!Store} raises {!Types.Read_only_txn} against it
-    before touching shared state; commit is trivial (nothing to log). *)
+(** A detached read-only transaction: it never registers as a writer or
+    allocates an xid, so the server runs any number concurrently on reader
+    domains. Every write choke point in {!Store} raises
+    {!Types.Read_only_txn} against it before touching shared state; commit
+    is trivial (nothing to log). *)
 
 val active : db -> txn option
+(** The most recently begun still-open write transaction — the default for
+    embedded callers that pass no transaction to read paths. *)
+
 val active_exn : db -> txn
+
+val open_writers : db -> txn list
+(** Every open write transaction, unordered. *)
 
 val commit : txn -> firing list
 (** Raises {!Types.Constraint_violation} after auto-aborting if a constraint
-    fails. Durability follows the database's {!Types.durability} mode: under
-    [Full] the WAL is fsynced before the write set is applied (eager); under
-    [Group]/[Async] the commit is {e prepared} — logged and applied — but
-    stays pending until {!ack} (or a checkpoint) runs the shared fsync. *)
+    fails, {!Types.Txn_conflict} after auto-aborting if another transaction
+    committed a conflicting write first. Durability follows the database's
+    {!Types.durability} mode: under [Full] the WAL is fsynced before the
+    write set is applied (eager); under [Group]/[Async] the commit is
+    {e prepared} — logged and applied — but stays pending until {!ack} (or
+    a checkpoint) runs the shared fsync. *)
 
 val commit_deferred : txn -> firing list
 (** {!commit} with durability always deferred, regardless of mode: the
@@ -48,8 +61,14 @@ val pending_commits : db -> int
 
 val abort : txn -> unit
 
+val with_excl : db -> (unit -> 'a) -> 'a
+(** Run [f] holding the engine latch exclusively (re-entrant for the single
+    mutating domain). The commit apply, checkpoints, DDL and replication
+    apply run under it; readers hold the shared side per request. *)
+
 val checkpoint : db -> unit
-(** Flush every pool, sync the disks, and reset the WAL. *)
+(** Flush every pool, sync the disks, and reset the WAL. Takes the
+    exclusive latch. *)
 
 val wal_bytes : db -> int
 

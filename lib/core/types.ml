@@ -53,9 +53,11 @@ type txn = {
   xid : int;
   tdb : db;
   tro : bool;                               (* detached read-only txn: never
-                                               occupies [db.active], never
+                                               registers as a writer, never
                                                allocates an xid; any write
                                                attempt raises Read_only_txn *)
+  read_ts : int;                            (* snapshot: commit LSN at begin *)
+  mutable snap : int;                       (* Mvcc snapshot token; 0 = released *)
   writes : (string, op) Hashtbl.t;          (* logical key -> final state *)
   mutable created : Oid.t list;             (* reverse creation order *)
   touched : (Oid.t, unit) Hashtbl.t;        (* objects written (for constraints/triggers) *)
@@ -73,7 +75,23 @@ and db = {
   mutable catalog : Ode_model.Catalog.t;
   mutable meta : meta;
   mutable next_xid : int;
-  mutable active : txn option;              (* at most one active transaction *)
+  mutable active : txn option;              (* most recently begun write txn —
+                                               a compatibility default for
+                                               embedded callers that pass no
+                                               txn; concurrent transactions
+                                               live in [wtxns] *)
+  wtxns : (int, txn) Hashtbl.t;             (* xid -> every open write txn *)
+  mvcc : Mvcc.t;                            (* version chains + snapshots *)
+  latch : Ode_util.Rwlock.t;                (* engine latch: readers share it
+                                               per request; mutations of the
+                                               committed structures (commit
+                                               apply, checkpoint, DDL,
+                                               replication apply) take it
+                                               exclusively — see Txn.with_excl *)
+  mutable in_excl : bool;                   (* re-entrancy flag for the
+                                               exclusive side; only ever
+                                               touched by the single
+                                               mutating domain *)
   activations : (int, activation) Hashtbl.t;
   by_oid : (Oid.t, int list) Hashtbl.t;     (* object -> activation tids *)
   action_queue : firing Queue.t;            (* weakly-coupled trigger actions *)
@@ -90,6 +108,13 @@ and db = {
 
 exception Constraint_violation of { cls : string; cname : string; oid : Oid.t }
 exception Txn_aborted of string
+
+exception Txn_conflict of string
+(* First-committer-wins: another transaction committed a write to a key this
+   one also wrote, after this one's snapshot. The transaction has already
+   been aborted; the error is retryable (the server surfaces it as the
+   protocol's Err_conflict so clients re-run under their retry budget). *)
+
 exception No_active_txn
 exception Db_closed
 

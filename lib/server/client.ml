@@ -13,6 +13,7 @@
    watermark is discarded in favor of the primary. *)
 
 exception Server_error of string
+exception Conflict of string
 exception Rejected of string
 exception Disconnected of string
 exception Timeout
@@ -209,9 +210,12 @@ let backoff_sleep t attempt =
   if d > 0. then Unix.sleepf d
 
 (* Run [op] against the write pool, burning the retry budget on transient
-   connection failures and read-only redirects (each rotates endpoints: the
-   promoted standby is somewhere in the pool). Successful responses advance
-   the read-your-writes watermark. *)
+   connection failures, read-only redirects (each rotates endpoints: the
+   promoted standby is somewhere in the pool) and first-committer-wins
+   conflicts (same endpoint, same session — re-executing the request
+   replays the transaction against a fresh snapshot; with jittered backoff
+   so two colliding writers do not collide again in lockstep). Successful
+   responses advance the read-your-writes watermark. *)
 let response ?timeout t op : Protocol.response =
   let rec go attempt =
     let retry msg =
@@ -234,6 +238,16 @@ let response ?timeout t op : Protocol.response =
             rotate_endpoint t;
             backoff_sleep t attempt;
             go (attempt + 1)
+        | Protocol.Err_conflict msg ->
+            (* The server already aborted the losing transaction; the
+               session and socket are fine — retry right here. Budget
+               exhausted: surface the retryable error for the caller to
+               replay at its own pace. *)
+            if attempt >= t.retries then raise (Conflict msg)
+            else begin
+              backoff_sleep t attempt;
+              go (attempt + 1)
+            end
         | _ ->
             if resp.rs_lsn > t.seen_lsn then t.seen_lsn <- resp.rs_lsn;
             resp)
@@ -252,6 +266,9 @@ let call ?timeout t op = (response ?timeout t op).rs_reply
 let unexpected what (reply : Protocol.reply) =
   match reply with
   | Error msg -> raise (Server_error msg)
+  (* [response] retries conflicts and raises {!Conflict} past the budget,
+     so this arm only fires for replies that bypassed it. *)
+  | Err_conflict msg -> raise (Conflict msg)
   | Pong -> failwith (what ^ ": unexpected Pong reply")
   | Output _ -> failwith (what ^ ": unexpected Output reply")
   | Rows _ -> failwith (what ^ ": unexpected Rows reply")
@@ -331,7 +348,14 @@ let last_trace_id t = t.last_trace
    reconnect or retry: a batch is not idempotent-retry-safe. Instead, a
    connection that dies mid-pipeline raises {!Pipeline_broken} carrying the
    responses that did arrive, so the caller knows exactly which requests
-   were acknowledged and how many are in doubt. *)
+   were acknowledged and how many are in doubt.
+
+   First-committer-wins conflicts are the one retry exception: the server
+   already aborted the losing statement (each pipelined [Exec] is its own
+   transaction), so once the whole batch has drained off the socket, each
+   conflicted entry is replayed individually through {!exec} — which
+   carries its own backoff-and-retry budget — and its result spliced back
+   into place. *)
 let exec_many t srcs =
   if srcs = [] then []
   else begin
@@ -343,7 +367,7 @@ let exec_many t srcs =
           t.next_id <- t.next_id + 1;
           Protocol.encode_request ~version:t.proto b
             { rq_id = t.next_id; rq_trace = fresh_trace t; rq_op = Exec src };
-          t.next_id)
+          (t.next_id, src))
         srcs
     in
     let frame = Buffer.contents b in
@@ -355,30 +379,52 @@ let exec_many t srcs =
       raise (Pipeline_broken { acked = List.rev !acked; pending = total - List.length !acked })
     in
     (try write_all fd frame 0 (String.length frame) with Conn_lost msg -> broken msg);
+    (* Phase 1: drain every response in order. A conflict cannot be retried
+       here — a fresh request written now would interleave with responses
+       still queued on the socket — so it is only marked for phase 2. *)
+    let raws =
+      List.map
+        (fun (id, src) ->
+          let r =
+            try
+              let len_bytes = read_exact fd 4 in
+              let len = Ode_util.Codec.get_u32 (Ode_util.Codec.cursor len_bytes) in
+              if len > Protocol.max_frame_len then
+                raise
+                  (Ode_util.Codec.Corrupt (Printf.sprintf "client: %d-byte response frame" len));
+              let resp = Protocol.decode_response (read_exact fd len) in
+              if resp.rs_id <> id then
+                raise
+                  (Ode_util.Codec.Corrupt
+                     (Printf.sprintf "client: response id %d for request %d" resp.rs_id id));
+              if resp.rs_lsn > t.seen_lsn then t.seen_lsn <- resp.rs_lsn;
+              match resp.rs_reply with
+              | Output s -> `Ok s
+              | Error msg -> `Err msg
+              | Err_conflict msg -> `Conflict (src, msg)
+              | Pong | Rows _ -> failwith "exec_many: unexpected reply kind"
+            with Conn_lost msg -> broken msg
+          in
+          (acked :=
+             (match r with
+             | `Ok s -> Ok s
+             | `Err msg -> Error msg
+             | `Conflict (_, msg) -> Error ("conflict: " ^ msg))
+             :: !acked);
+          r)
+        ids
+    in
+    (* Phase 2: the socket is quiet again — replay the losers. *)
     List.map
-      (fun id ->
-        let r =
-          try
-            let len_bytes = read_exact fd 4 in
-            let len = Ode_util.Codec.get_u32 (Ode_util.Codec.cursor len_bytes) in
-            if len > Protocol.max_frame_len then
-              raise
-                (Ode_util.Codec.Corrupt (Printf.sprintf "client: %d-byte response frame" len));
-            let resp = Protocol.decode_response (read_exact fd len) in
-            if resp.rs_id <> id then
-              raise
-                (Ode_util.Codec.Corrupt
-                   (Printf.sprintf "client: response id %d for request %d" resp.rs_id id));
-            if resp.rs_lsn > t.seen_lsn then t.seen_lsn <- resp.rs_lsn;
-            match resp.rs_reply with
-            | Output s -> Ok s
-            | Error msg -> Error msg
-            | Pong | Rows _ -> failwith "exec_many: unexpected reply kind"
-          with Conn_lost msg -> broken msg
-        in
-        acked := r :: !acked;
-        r)
-      ids
+      (function
+        | `Ok s -> Ok s
+        | `Err msg -> Error msg
+        | `Conflict (src, _) -> (
+            match exec t src with
+            | s -> Ok s
+            | exception Server_error m -> Error m
+            | exception Conflict m -> Error ("conflict: " ^ m)))
+      raws
   end
 
 let close t =

@@ -20,6 +20,16 @@
     retried writes may be applied twice. Callers needing exactly-once must
     make their programs idempotent.
 
+    A first-committer-wins conflict (the server's retryable [Err_conflict]
+    reply) also burns a retry, but without rotating endpoints or dropping
+    the connection: the server already aborted the losing transaction, so
+    the same request is simply re-executed on the same session after the
+    jittered backoff — replaying the transaction against a fresh snapshot.
+    Budget exhausted, the call raises {!Conflict} for the caller to replay
+    at its own pace. For this to be sound, send an explicit transaction as
+    {e one} request ("begin; ...; commit;"): a conflict spread across
+    several requests leaves the replay without the earlier statements.
+
     {2 Read routing}
 
     When [replicas] is non-empty, {!query} is served from a replica
@@ -33,6 +43,11 @@ type t
 exception Server_error of string
 (** The server answered a request with an [Error] reply (parse error,
     constraint violation, ...). The connection stays usable. *)
+
+exception Conflict of string
+(** A first-committer-wins conflict survived the whole retry budget: every
+    replay lost the race again. The transaction did not commit; the
+    connection stays usable. Back off and replay, or give up. *)
 
 exception Rejected of string
 (** The handshake was refused: server busy, protocol version mismatch, or
@@ -85,7 +100,10 @@ val exec_many : t -> string list -> (string, string) result list
     batches modest (well under the server's per-connection flow-control
     cap, ~1 MiB of responses). There is no mid-batch reconnect or retry: a
     dead connection raises {!Pipeline_broken} with the acknowledged
-    prefix. *)
+    prefix. The one exception is a first-committer-wins conflict: once the
+    batch has drained, each conflicted entry (already aborted server-side)
+    is replayed individually with {!exec}'s backoff-and-retry, and a loss
+    past the budget comes back as [Error ("conflict: " ^ msg)]. *)
 
 val query : ?timeout:float -> t -> string -> string list
 (** Run a bodiless [forall]; one rendered object per row. Served from a

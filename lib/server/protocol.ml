@@ -5,11 +5,13 @@ module Codec = Ode_util.Codec
 
 let magic = "ODEP"
 
-(* v3 added the optional request trace id. The server accepts any version
-   in [min_version, version] and frames are decoded per the negotiated
-   version, so v2 clients keep connecting (their requests simply carry no
-   trace id). *)
-let version = 3
+(* v3 added the optional request trace id; v4 the distinct retryable
+   conflict reply (MVCC first-committer-wins aborts). The server accepts
+   any version in [min_version, version] and frames are encoded/decoded
+   per the negotiated version, so older clients keep connecting (their
+   requests carry no trace id, and conflicts reach them as ordinary
+   errors with the "conflict: " prefix). *)
+let version = 4
 let min_version = 2
 let max_frame_len = 16 * 1024 * 1024
 
@@ -70,7 +72,14 @@ type op = Ping | Exec of string | Query of string | Dot of string | Close
 (* [rq_trace] is the client-assigned trace id (0 = untraced); it rides the
    wire only on v3+ connections. *)
 type request = { rq_id : int; rq_trace : int; rq_op : op }
-type reply = Pong | Output of string | Rows of string list | Error of string
+type reply =
+  | Pong
+  | Output of string
+  | Rows of string list
+  | Error of string
+  | Err_conflict of string
+      (* the transaction lost first-committer-wins and was aborted;
+         retryable by re-executing the whole transaction *)
 
 (* [rs_lsn] is the server's commit LSN when the request was handled: on a
    primary the last committed transaction (so a write's ack carries the LSN
@@ -104,7 +113,7 @@ let encode_request ?(version = version) b { rq_id; rq_trace; rq_op } =
   | Close -> Codec.put_u8 body 4);
   frame b body
 
-let encode_response b { rs_id; rs_lsn; rs_reply } =
+let encode_response ?(version = version) b { rs_id; rs_lsn; rs_reply } =
   let body = Buffer.create 64 in
   Codec.put_u32 body rs_id;
   Codec.put_int body rs_lsn;
@@ -119,7 +128,18 @@ let encode_response b { rs_id; rs_lsn; rs_reply } =
       List.iter (Codec.put_string body) rows
   | Error msg ->
       Codec.put_u8 body 3;
-      Codec.put_string body msg);
+      Codec.put_string body msg
+  | Err_conflict msg ->
+      if version >= 4 then begin
+        Codec.put_u8 body 4;
+        Codec.put_string body msg
+      end
+      else begin
+        (* Pre-v4 peers know no conflict tag; they get an ordinary error
+           whose prefix still marks it recognizably. *)
+        Codec.put_u8 body 3;
+        Codec.put_string body ("conflict: " ^ msg)
+      end);
   frame b body
 
 let check_consumed c =
@@ -156,6 +176,7 @@ let decode_response s =
           raise (Codec.Corrupt (Printf.sprintf "protocol: absurd row count %d" n));
         Rows (List.init n (fun _ -> Codec.get_string c))
     | 3 -> Error (Codec.get_string c)
+    | 4 -> Err_conflict (Codec.get_string c)
     | n -> raise (Codec.Corrupt (Printf.sprintf "protocol: unknown reply tag %d" n))
   in
   check_consumed c;

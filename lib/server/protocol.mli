@@ -18,7 +18,7 @@ val magic : string
 
 val version : int
 (** Current protocol version, sent as a u16. v3 added the optional request
-    trace id. *)
+    trace id; v4 the distinct retryable {!Err_conflict} reply. *)
 
 val min_version : int
 (** Oldest client version the server still speaks (v2: no trace ids).
@@ -68,6 +68,11 @@ type reply =
   | Output of string  (** captured [print] output of an [Exec] / [Dot] *)
   | Rows of string list  (** [Query] results, one rendered object per row *)
   | Error of string  (** the rendered error message *)
+  | Err_conflict of string
+      (** the transaction lost first-committer-wins conflict detection and
+          was aborted server-side; retryable by re-executing the whole
+          transaction. On pre-v4 connections this is downgraded to
+          [Error ("conflict: " ^ msg)]. *)
 
 type response = { rs_id : int; rs_lsn : int; rs_reply : reply }
 (** [rs_lsn] is the serving database's commit LSN at response time: on the
@@ -84,7 +89,10 @@ val encode_request : ?version:int -> Buffer.t -> request -> unit
     negotiated [version] (default current). Raises [Invalid_argument] if
     the payload would exceed {!max_frame_len}. *)
 
-val encode_response : Buffer.t -> response -> unit
+val encode_response : ?version:int -> Buffer.t -> response -> unit
+(** Appends a complete frame per the negotiated [version] (default
+    current); {!Err_conflict} downgrades to a prefixed {!Error} for
+    pre-v4 peers. *)
 
 val decode_request : ?version:int -> string -> request
 (** Decode one frame body per the negotiated [version]. Raises

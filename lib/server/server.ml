@@ -207,10 +207,13 @@ let handle_signals t =
      between iterations. Harmless on a primary. *)
   Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> t.promote_flag <- true))
 
-(* Engine exclusivity: anything that can mutate shared engine state runs
-   under the exclusive side of the lock when reader domains exist. With no
-   readers the lock is pure overhead, so classic mode skips it. *)
-let with_write t f = if t.nreaders = 0 then f () else Rwlock.write t.engine_lock f
+(* Engine exclusivity lives in the engine now: [t.engine_lock] is the
+   database's own latch ({!Db.latch}), reader domains hold its shared side
+   per request, and the engine takes the exclusive side internally around
+   commit apply, checkpoints, DDL and replication apply ({!Ode.Txn.with_excl},
+   re-entrant for the writer domain). The serving loop therefore never
+   wraps request execution in the exclusive side itself — a writer's WAL
+   fsync no longer holds snapshot readers out. *)
 
 let out_pending c = Buffer.length c.out - c.out_pos
 let d_pending d = Buffer.length d.d_out - d.d_out_pos
@@ -368,14 +371,17 @@ let process_downstream t d =
         | Some body -> (
             match Protocol.decode_repl body with
             | Protocol.R_hello lsn -> (
-                (* [answer_hello] may checkpoint (snapshot path): engine
-                   state moves, so it runs under the exclusive lock. The
-                   sync inside feeds the *other*, already-streaming
+                (* [answer_hello] may checkpoint and read the data files
+                   off disk (snapshot path): it runs under the engine's
+                   exclusive latch so no reader-domain eviction writes a
+                   dirty page mid-read (the checkpoint inside re-enters).
+                   The sync inside feeds the *other*, already-streaming
                    downstreams — this one only starts receiving batches
                    once marked [`Streaming] below, right after its
                    backlog. *)
                 match
-                  with_write t (fun () -> Replication.answer_hello t.db ~replica_lsn:lsn)
+                  Ode.Txn.with_excl t.db (fun () ->
+                      Replication.answer_hello t.db ~replica_lsn:lsn)
                 with
                 | Replication.Resume { from_lsn; to_lsn; backlog } ->
                     Protocol.encode_repl d.d_out (Protocol.R_resume from_lsn);
@@ -453,8 +459,9 @@ let upstream_fault _t u reason =
   Printf.eprintf "replication: upstream lost (%s); retrying\n%!" reason
 
 (* Drain every complete frame buffered from the primary, applying batches
-   (under the exclusive lock — redo mutates the engine) and queueing an ack
-   per batch. Stale reads keep working throughout, between batches. *)
+   (redo latches the engine exclusively inside [Db.apply_replicated]) and
+   queueing an ack per batch. Snapshot reads keep working throughout,
+   between batches. *)
 let process_upstream t u link =
   let rec go () =
     match Protocol.next_frame link.Replication.up_rd with
@@ -462,9 +469,7 @@ let process_upstream t u link =
     | Some body ->
         (match Protocol.decode_repl body with
         | Protocol.R_batch (from_lsn, to_lsn, data) ->
-            (match
-               with_write t (fun () -> Replication.apply_batch t.db ~from_lsn ~to_lsn ~data)
-             with
+            (match Replication.apply_batch t.db ~from_lsn ~to_lsn ~data with
             | `Applied | `Duplicate -> queue_ack t u)
         | _ -> raise (Replication.Resync "unexpected message from primary"));
         go ()
@@ -525,7 +530,7 @@ let promote t =
   | Some u ->
       (match u.u_link with Some l -> close_fd l.Replication.up_fd | None -> ());
       t.upstream <- None;
-      with_write t (fun () -> Db.set_read_only t.db false);
+      Ode.Txn.with_excl t.db (fun () -> Db.set_read_only t.db false);
       Stdlib.Ok (Printf.sprintf "promoted to primary at lsn %d" (Db.lsn t.db))
 
 let replication_report t =
@@ -796,16 +801,16 @@ let try_handshake t c =
           Buffer.add_string c.out (Protocol.hello_reply Bad_version);
           c.closing <- true)
 
-(* Execute one request on the writer domain (exclusive lock when readers
-   exist), buffer its reply, track the semi-sync position, bound the
-   deferred-durability window. *)
+(* Execute one request on the writer domain (the engine latches its own
+   commit apply), buffer its reply, track the semi-sync position, bound
+   the deferred-durability window. *)
 let exec_on_writer ?count t c session rq =
   let before = Db.lsn t.db in
-  let resp = with_write t (fun () -> Session.handle ?count session rq) in
+  let resp = Session.handle ?count session rq in
   (* Only a request that moved the LSN puts this connection under the
      semi-sync gate — reads ride free. *)
   if Db.lsn t.db > before then c.sent_lsn <- Db.lsn t.db;
-  Protocol.encode_response c.out resp;
+  Protocol.encode_response ~version:c.proto c.out resp;
   (* Bound the deferred-durability window: a long batch syncs every
      [group_window] commits rather than once at the end. *)
   if Db.pending_commits t.db >= t.group_window then Db.sync_commits t.db
@@ -835,7 +840,7 @@ let run_frames t c session =
             in
             (match server_reply with
             | Some reply ->
-                Protocol.encode_response c.out
+                Protocol.encode_response ~version:c.proto c.out
                   { Protocol.rs_id = rq.rq_id; rs_lsn = Db.lsn t.db; rs_reply = reply }
             | None ->
                 if
@@ -863,7 +868,7 @@ let run_frames t c session =
     in
     go ()
   with Ode_util.Codec.Corrupt msg ->
-    Protocol.encode_response c.out
+    Protocol.encode_response ~version:c.proto c.out
       { rs_id = 0; rs_lsn = Db.lsn t.db; rs_reply = Error ("protocol error: " ^ msg) };
     c.closing <- true
 
@@ -908,7 +913,7 @@ let finish_completion t (cm : completion) =
   if c.doomed then real_drop t c
   else begin
     (match cm.cm_resp with
-    | Some resp -> Protocol.encode_response c.out resp
+    | Some resp -> Protocol.encode_response ~version:c.proto c.out resp
     | None ->
         (* The query tried to write (a method with side effects): replay it
            on the writer under the exclusive lock, where writes are legal.
@@ -1248,7 +1253,7 @@ let create ?(host = "127.0.0.1") ?(max_conns = 64) ?(idle_timeout = 300.) ?durab
       group_window = max 1 group_window;
       read_buf = Bytes.create 65536;
       nreaders;
-      engine_lock = Rwlock.create ();
+      engine_lock = Db.latch db;
       jobs = Chan.create job_cap;
       (* Sized past the maximum in-flight count so reader pushes never
          block. *)
@@ -1285,6 +1290,15 @@ let create ?(host = "127.0.0.1") ?(max_conns = 64) ?(idle_timeout = 300.) ?durab
   Stats.register_gauge "wal.pending_commits" (fun () -> Db.pending_commits db);
   Stats.register_gauge "store.pool_resident" (fun () -> Db.pool_resident db);
   Stats.register_gauge "store.ocache_resident" (fun () -> Db.ocache_resident db);
+  (* MVCC health: open write txns, registered snapshots, the GC horizon
+     (0 when no snapshot pins one) and the dead-version backlog. *)
+  Stats.register_gauge "mvcc.active_txns" (fun () -> List.length (Db.open_txns db));
+  Stats.register_gauge "mvcc.snapshots" (fun () -> Db.live_snapshots db);
+  Stats.register_gauge "mvcc.oldest_snapshot" (fun () ->
+      match Db.oldest_snapshot db with Some ts -> ts | None -> 0);
+  Stats.register_gauge "mvcc.chains" (fun () -> Db.mvcc_chains db);
+  Stats.register_gauge "mvcc.dead_versions" (fun () -> Db.mvcc_dead_versions db);
+  Stats.register_gauge "mvcc.reclaimed" (fun () -> Db.mvcc_reclaimed db);
   (* A replica announces its position and drains whatever the primary
      pipelined behind the bootstrap handshake. *)
   (match t.upstream with

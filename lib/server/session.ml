@@ -33,9 +33,20 @@ let statement_of : Protocol.op -> string = function
   | Dot line -> line
   | Close -> "close"
 
+(* The shell renders a first-committer-wins abort with the load-bearing
+   "conflict: " prefix; the wire protocol has a distinct retryable tag for
+   it, which clients auto-retry. *)
+let conflict_prefix = "conflict: "
+
+let reply_error msg : Protocol.reply =
+  if String.starts_with ~prefix:conflict_prefix msg then
+    Err_conflict (String.sub msg (String.length conflict_prefix)
+                    (String.length msg - String.length conflict_prefix))
+  else Error msg
+
 (* [detached] picks how a [Query] runs: in a detached read-only transaction
    (reader domains — a write attempt raises {!Ode.Types.Read_only_txn} out
-   of here) or in an ordinary slot transaction (the writer, where queries
+   of here) or in an ordinary write transaction (the writer, where queries
    whose methods write are legal). *)
 let run ~detached t : Protocol.op -> Protocol.reply = function
   | Ping -> Pong
@@ -43,11 +54,11 @@ let run ~detached t : Protocol.op -> Protocol.reply = function
       Buffer.clear t.out;
       match Shell.exec_catching t.shell src with
       | Ok () -> Output (Buffer.contents t.out)
-      | Error msg -> Error msg)
+      | Error msg -> reply_error msg)
   | Query src -> (
       match Shell.query_rows ~detached t.shell src with
       | Ok rows -> Rows rows
-      | Error msg -> Error msg)
+      | Error msg -> reply_error msg)
   | Dot line -> (
       Buffer.clear t.out;
       match Shell.dot_command t.shell line with

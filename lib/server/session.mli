@@ -5,15 +5,17 @@
     [server.request] trace span when tracing is on, and bumps the
     [server.requests] counter.
 
-    Transactions follow the engine's single-writer model: autocommitted
+    Transactions run under MVCC snapshot isolation: autocommitted
     statements from any number of sessions interleave freely (the event
     loop serializes writing requests on one domain, and each statement is
-    its own transaction), but an explicit [begin;] claims the engine's one
-    transaction slot until that session commits or aborts — a concurrent
-    [begin;], or any statement from another session while it is held,
-    returns a rendered "transaction is already active" error for the client
-    to retry. Disconnect, idle eviction and server shutdown all roll the
-    slot back ({!close}), so a vanished client cannot wedge the server. *)
+    its own transaction), and any number of sessions hold explicit
+    [begin;] transactions concurrently, each against its own snapshot.
+    When two of them write the same key, the first committer wins and the
+    loser's commit returns the protocol's distinct retryable
+    [Err_conflict] reply (its transaction is auto-aborted server-side);
+    clients replay the transaction. Disconnect, idle eviction and server
+    shutdown all roll an open transaction back ({!close}), so a vanished
+    client cannot wedge the server. *)
 
 type t
 
@@ -30,9 +32,10 @@ val in_transaction : t -> bool
 
 val handle : ?count:bool -> ?queue_wait_ns:int -> t -> Protocol.request -> Protocol.response
 (** Execute one request on the writer domain. Never raises: interpreter and
-    parse errors come back as [Error] replies; only the response id echoes
-    the request id. Queries run in an ordinary slot transaction, so methods
-    that write are legal. Installs the database's trigger action printer
+    parse errors come back as [Error] replies (first-committer-wins aborts
+    as [Err_conflict]); only the response id echoes the request id.
+    Queries run in an ordinary write transaction, so methods that write
+    are legal. Installs the database's trigger action printer
     for the duration. [count:false] skips the [server.requests] bump (used
     when re-executing a request already counted by {!handle_read}).
     [queue_wait_ns] (default 0) is how long the request sat queued before
@@ -45,8 +48,8 @@ val handle : ?count:bool -> ?queue_wait_ns:int -> t -> Protocol.request -> Proto
 
 val handle_read : ?queue_wait_ns:int -> t -> Protocol.request -> Protocol.response
 (** Execute one read-only request ([Ping] or [Query]) on a reader domain:
-    queries run in a detached read-only transaction that never touches the
-    engine's transaction slot. Raises {!Ode.Types.Read_only_txn} when the
+    queries run in a detached read-only transaction against its own MVCC
+    snapshot. Raises {!Ode.Types.Read_only_txn} when the
     query attempts a write (before any shared state is touched) — the
     server re-routes such requests to the writer and replays them with
     {!handle}. *)

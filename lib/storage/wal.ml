@@ -15,7 +15,9 @@ let fp_lsn = Failpoint.site "wal.lsn"
 
 type record =
   | Begin of int
-  | Commit of int * int (* xid, originating trace id (0 = untraced) *)
+  | Commit of int * int * int (* xid, originating trace id (0 = untraced),
+                                 commit timestamp (the commit's own LSN;
+                                 0 in logs written before MVCC) *)
   | Put of int * string * string
   | Delete of int * string
   | Checkpoint of int
@@ -56,13 +58,17 @@ let encode_record r =
   | Begin tx ->
       Codec.put_u8 b 1;
       Codec.put_int b tx
-  | Commit (tx, trace) ->
+  | Commit (tx, trace, cts) ->
       Codec.put_u8 b 2;
       Codec.put_int b tx;
-      (* The trace id rides only when present, so untraced logs stay
-         byte-identical with pre-tracing versions (and with standbys that
-         re-log the same records — E21 diffs the files). *)
-      if trace <> 0 then Codec.put_int b trace
+      (* The optional-suffix discipline: trace and commit-ts ride only when
+         the commit-ts is present (it always is for records written by this
+         version), so a standby re-logging the same records produces
+         byte-identical files (E21 diffs them) and old logs still decode. *)
+      if cts <> 0 || trace <> 0 then begin
+        Codec.put_int b trace;
+        if cts <> 0 then Codec.put_int b cts
+      end
   | Put (tx, k, v) ->
       Codec.put_u8 b 3;
       Codec.put_int b tx;
@@ -83,8 +89,11 @@ let decode_record s =
   | 1 -> Begin (Codec.get_int c)
   | 2 ->
       let tx = Codec.get_int c in
-      (* Pre-tracing logs stop after the xid; read them as untraced. *)
-      Commit (tx, if Codec.at_end c then 0 else Codec.get_int c)
+      (* Layered compatibility: pre-tracing logs stop after the xid; pre-MVCC
+         logs stop after the trace id. Absent fields read as 0. *)
+      let trace = if Codec.at_end c then 0 else Codec.get_int c in
+      let cts = if Codec.at_end c then 0 else Codec.get_int c in
+      Commit (tx, trace, cts)
   | 3 ->
       let tx = Codec.get_int c in
       let k = Codec.get_string c in

@@ -25,12 +25,16 @@
 
 type record =
   | Begin of int                          (** txn id *)
-  | Commit of int * int
-      (** txn, originating trace id (0 = untraced). The trace id is encoded
-          only when nonzero, so untraced logs stay byte-identical with
-          pre-tracing versions; decode reads its absence as 0. It lets a
-          standby's replay spans carry the client-assigned id of the
-          request that committed on the primary. *)
+  | Commit of int * int * int
+      (** txn, originating trace id (0 = untraced), commit timestamp. The
+          commit timestamp is the commit's own LSN, embedded so recovery
+          and replication standbys reconstruct the MVCC version order
+          exactly as the primary assigned it; 0 when decoding pre-MVCC
+          logs (replayers fall back to their running LSN count, which is
+          the same number). The trace id lets a standby's replay spans
+          carry the client-assigned id of the request that committed on
+          the primary. Optional suffixes: decode reads their absence
+          as 0. *)
   | Put of int * string * string          (** txn, key, payload *)
   | Delete of int * string                (** txn, key *)
   | Checkpoint of int

@@ -128,6 +128,8 @@ let c_repl_dup_batches = register "repl.dup_batches"
 let c_repl_sync_degraded = register "repl.sync_degraded"
 let c_repl_lag_commits = register ~kind:Gauge "repl.lag_commits"
 let c_repl_lag_bytes = register ~kind:Gauge "repl.lag_bytes"
+let c_txn_conflicts = register "txn.conflicts"
+let c_txn_begins = register "txn.begins"
 
 let incr_pages_read () = bump c_pages_read
 let incr_pages_written () = bump c_pages_written
@@ -168,6 +170,8 @@ let incr_repl_acks () = bump c_repl_acks
 let incr_repl_resyncs () = bump c_repl_resyncs
 let incr_repl_dup_batches () = bump c_repl_dup_batches
 let incr_repl_sync_degraded () = bump c_repl_sync_degraded
+let incr_txn_conflicts () = bump c_txn_conflicts
+let incr_txn_begins () = bump c_txn_begins
 
 (* Lag is a gauge, not a counter: the serving loop overwrites it with the
    current distance between the primary's durable LSN and the slowest
@@ -217,6 +221,8 @@ let repl_dup_batches s = slot s c_repl_dup_batches
 let repl_sync_degraded s = slot s c_repl_sync_degraded
 let repl_lag_commits s = slot s c_repl_lag_commits
 let repl_lag_bytes s = slot s c_repl_lag_bytes
+let txn_conflicts s = slot s c_txn_conflicts
+let txn_begins s = slot s c_txn_begins
 
 (* pp derives from the registry: every counter of the group, name = value,
    so new registrations show up in `.stats` with no further edits. Output

@@ -114,6 +114,13 @@ val incr_repl_resyncs : unit -> unit
 val incr_repl_dup_batches : unit -> unit
 val incr_repl_sync_degraded : unit -> unit
 
+val incr_txn_conflicts : unit -> unit
+(** A committing transaction lost first-committer-wins conflict detection
+    and was aborted with the retryable conflict error. *)
+
+val incr_txn_begins : unit -> unit
+(** A read-write transaction was opened. *)
+
 val set_repl_lag_commits : int -> unit
 val set_repl_lag_bytes : int -> unit
 (** Replication-lag gauges (overwritten, not accumulated): commits the
@@ -177,6 +184,10 @@ val repl_dup_batches : snapshot -> int
 val repl_sync_degraded : snapshot -> int
 val repl_lag_commits : snapshot -> int
 val repl_lag_bytes : snapshot -> int
+
+(* MVCC transactions: read-write begins and first-committer-wins aborts. *)
+val txn_conflicts : snapshot -> int
+val txn_begins : snapshot -> int
 
 val pp : Format.formatter -> snapshot -> unit
 (** Workload counters (pages, pool, WAL, probes, ...), derived from the

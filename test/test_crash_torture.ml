@@ -30,6 +30,17 @@
    never a subset with holes and never anything past the in-flight
    transaction. Acknowledged commits must always survive.
 
+   A fifth of the seeds additionally run every workload step as 2–3
+   *interleaved* explicit MVCC transactions: all opened on the same
+   snapshot, their buffered ops applied round-robin, then committed in a
+   shuffled order. Tag sets are disjoint by construction, so the only key
+   two of them can collide on is the shared named root — when they do,
+   first-committer-wins must abort the later committer, which then
+   contributes nothing to the oracle. Committed transactions enter the
+   model in commit order (that IS the WAL order), so recovery and the
+   admissible-prefix logic keep working unchanged: each commit is one
+   atomic step of the chain.
+
    Reproduce a failure with TORTURE_SEED=<seed> [TORTURE_ITERS=<n>]; each
    failure message carries the iteration number and seed. *)
 
@@ -124,34 +135,33 @@ let final_state st ops =
 
 (* -- workload -------------------------------------------------------------- *)
 
-let execute db oids ops =
-  Db.with_txn db (fun txn ->
-      List.iter
-        (fun op ->
-          match op with
-          | Insert (tag, p) ->
-              let oid =
-                Db.pnew txn "t"
-                  [
-                    ("tag", Value.Int tag);
-                    ("grp", Value.Int (tag mod 7));
-                    ("payload", Value.Str p);
-                    ("flagged", Value.Int 0);
-                  ]
-              in
-              Hashtbl.replace oids tag oid
-          | Update (tag, p) -> Db.set_field txn (Hashtbl.find oids tag) "payload" (Value.Str p)
-          | Remove tag -> Db.pdelete txn (Hashtbl.find oids tag)
-          | SetRoot v -> Db.set_root txn "last" (Value.Int v)
-          | Activate tag -> ignore (Db.activate txn (Hashtbl.find oids tag) "mark" []))
-        ops)
+let apply_op txn oids op =
+  match op with
+  | Insert (tag, p) ->
+      let oid =
+        Db.pnew txn "t"
+          [
+            ("tag", Value.Int tag);
+            ("grp", Value.Int (tag mod 7));
+            ("payload", Value.Str p);
+            ("flagged", Value.Int 0);
+          ]
+      in
+      Hashtbl.replace oids tag oid
+  | Update (tag, p) -> Db.set_field txn (Hashtbl.find oids tag) "payload" (Value.Str p)
+  | Remove tag -> Db.pdelete txn (Hashtbl.find oids tag)
+  | SetRoot v -> Db.set_root txn "last" (Value.Int v)
+  | Activate tag -> ignore (Db.activate txn (Hashtbl.find oids tag) "mark" [])
+
+let execute db oids ops = Db.with_txn db (fun txn -> List.iter (apply_op txn oids) ops)
 
 (* Random ops for one transaction. Each tag is targeted by at most one op
    and at most one trigger is activated, so the admissible-state chain stays
    unambiguous. [pressure] biases towards large chunked payloads to fill the
-   buffer pool with dirty pages (the eviction failpoint needs that). *)
-let gen_ops rng st next_tag ~pressure =
-  let used = Hashtbl.create 8 in
+   buffer pool with dirty pages (the eviction failpoint needs that). [used]
+   is shared across the transactions of one interleaved group so their tag
+   sets stay disjoint — only the named root can then collide. *)
+let gen_ops_shared rng st next_tag ~pressure ~used =
   let live () =
     List.rev
       (IM.fold (fun k _ acc -> if Hashtbl.mem used k then acc else k :: acc) st.objs [])
@@ -195,6 +205,19 @@ let gen_ops rng st next_tag ~pressure =
                 activated := true;
                 Activate tag
             | None -> SetRoot (Prng.int rng 1000)))
+
+let gen_ops rng st next_tag ~pressure =
+  gen_ops_shared rng st next_tag ~pressure ~used:(Hashtbl.create 8)
+
+let shuffle rng l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Prng.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
 
 (* -- per-site tuning ------------------------------------------------------- *)
 
@@ -246,11 +269,15 @@ let run_iteration ~iter ~seed ~site ~coverage =
   (* A third of the iterations defers durability: commits pend until a
      randomly placed shared sync acknowledges the batch (group commit). *)
   let group = seed mod 3 = 1 in
+  (* A fifth of the seeds runs every step as a group of interleaved explicit
+     transactions committed in shuffled order (the MVCC slice). *)
+  let interleaved = seed mod 5 = 2 in
   let fail fmt =
     Format.kasprintf
       (fun s ->
-        Alcotest.failf "iteration %d (seed %d, site %s%s): %s" iter seed site
+        Alcotest.failf "iteration %d (seed %d, site %s%s%s): %s" iter seed site
           (if group then ", group durability" else "")
+          (if interleaved then ", interleaved" else "")
           s)
       fmt
   in
@@ -308,22 +335,61 @@ let run_iteration ~iter ~seed ~site ~coverage =
          acked := !model;
          unacked := []
        end;
-       let ops = gen_ops rng !model next_tag ~pressure in
-       dbg "txn %d: %a" t pp_ops ops;
-       pending := Some ops;
-       execute db oids ops;
-       model := final_state !model ops;
-       pending := None;
-       if group then begin
-         unacked := !unacked @ [ ops ];
-         if Prng.float rng 1.0 < 0.35 then begin
-           dbg "txn %d: shared ack over %d pending commits" t (Db.pending_commits db);
-           Db.sync_commits db;
-           acked := !model;
-           unacked := []
-         end
+       (if interleaved then begin
+          (* Interleaved explicit transactions on one snapshot. Buffered ops
+             round-robin across the open transactions, commits in shuffled
+             order; each commit is one atomic oracle step, in commit order.
+             A first-committer-wins loser (only the named root can collide —
+             tag sets are disjoint) aborts wholesale and contributes
+             nothing. *)
+          let nt = 2 + Prng.int rng 2 in
+          let used = Hashtbl.create 8 in
+          let txns =
+            List.init nt (fun _ ->
+                (Db.begin_txn db, gen_ops_shared rng !model next_tag ~pressure ~used))
+          in
+          List.iteri (fun i (_, ops) -> dbg "txn %d.%d: %a" t i pp_ops ops) txns;
+          let queues = List.map (fun (txn, ops) -> (txn, ref ops)) txns in
+          let progressed = ref true in
+          while !progressed do
+            progressed := false;
+            List.iter
+              (fun (txn, q) ->
+                match !q with
+                | [] -> ()
+                | op :: rest ->
+                    q := rest;
+                    apply_op txn oids op;
+                    progressed := true)
+              queues
+          done;
+          List.iter
+            (fun (txn, ops) ->
+              pending := Some ops;
+              (match Db.commit txn with
+              | () ->
+                  model := final_state !model ops;
+                  if group then unacked := !unacked @ [ ops ] else acked := !model
+              | exception Ode.Types.Txn_conflict key ->
+                  dbg "txn %d: conflict loser on %s: %a" t key pp_ops ops);
+              pending := None)
+            (shuffle rng txns)
+        end
+        else begin
+          let ops = gen_ops rng !model next_tag ~pressure in
+          dbg "txn %d: %a" t pp_ops ops;
+          pending := Some ops;
+          execute db oids ops;
+          model := final_state !model ops;
+          pending := None;
+          if group then unacked := !unacked @ [ ops ] else acked := !model
+        end);
+       if group && Prng.float rng 1.0 < 0.35 then begin
+         dbg "txn %d: shared ack over %d pending commits" t (Db.pending_commits db);
+         Db.sync_commits db;
+         acked := !model;
+         unacked := []
        end
-       else acked := !model
      done
    with Failpoint.Crash s ->
      dbg "CRASH at %s (in-doubt: %s)" s

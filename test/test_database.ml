@@ -96,13 +96,47 @@ let txn_sees_own_writes () =
       Tutil.check_bool "deleted in txn" false (Db.exists db ~txn oid));
   Db.close db
 
-let single_active_txn () =
+let concurrent_txns () =
   let db = Tutil.open_university () in
+  (* Two explicit transactions open at once, each on its own snapshot. *)
   let t1 = Db.begin_txn db in
-  (match Db.begin_txn db with
-  | _ -> Alcotest.fail "second active txn allowed"
-  | exception Invalid_argument _ -> ());
-  Db.abort t1;
+  let t2 = Db.begin_txn db in
+  let oid = Db.pnew t1 "person" [ ("name", str "early"); ("age", int 30) ] in
+  Db.commit t1;
+  (* t2's snapshot predates t1's commit: the new object is invisible. *)
+  Tutil.check_bool "snapshot isolation" false (Db.exists db ~txn:t2 oid);
+  (* ... but a fresh transaction sees it. *)
+  let t3 = Db.begin_txn db in
+  Tutil.check_bool "later snapshot sees it" true (Db.exists db ~txn:t3 oid);
+  Db.abort t3;
+  (* t2 can still commit disjoint writes. *)
+  let oid2 = Db.pnew t2 "person" [ ("name", str "late"); ("age", int 40) ] in
+  Db.commit t2;
+  Db.with_txn db (fun txn ->
+      Tutil.check_bool "both commits landed" true
+        (Db.exists db ~txn oid && Db.exists db ~txn oid2));
+  Db.close db
+
+let first_committer_wins () =
+  let db = Tutil.open_university () in
+  let oid =
+    Db.with_txn db (fun txn -> Db.pnew txn "person" [ ("name", str "c"); ("age", int 1) ])
+  in
+  let ta = Db.begin_txn db in
+  let tb = Db.begin_txn db in
+  Db.set_field ta oid "age" (int 2);
+  Db.set_field tb oid "age" (int 3);
+  Db.commit ta;
+  (match Db.commit tb with
+  | () -> Alcotest.fail "conflicting commit succeeded"
+  | exception Txn_conflict _ -> ());
+  (* Exactly one winner: the first committer's write is the state. *)
+  Db.with_txn db (fun txn ->
+      Tutil.check_value "winner's write" (int 2) (Db.get_field txn oid "age"));
+  (* The loser's transaction is gone; a replay succeeds. *)
+  Db.with_txn db (fun txn -> Db.set_field txn oid "age" (int 3));
+  Db.with_txn db (fun txn ->
+      Tutil.check_value "replay landed" (int 3) (Db.get_field txn oid "age"));
   Db.close db
 
 let constraint_violation_aborts () =
@@ -217,7 +251,8 @@ let suite =
         Alcotest.test_case "update and delete" `Quick update_and_delete;
         Alcotest.test_case "abort discards everything" `Quick abort_discards;
         Alcotest.test_case "read-your-writes" `Quick txn_sees_own_writes;
-        Alcotest.test_case "one active transaction" `Quick single_active_txn;
+        Alcotest.test_case "concurrent transactions" `Quick concurrent_txns;
+        Alcotest.test_case "first committer wins" `Quick first_committer_wins;
         Alcotest.test_case "constraint violation aborts txn" `Quick constraint_violation_aborts;
         Alcotest.test_case "constraints inherit" `Quick constraint_inherited_from_parent;
         Alcotest.test_case "dynamic method dispatch" `Quick methods_dispatch_dynamically;

@@ -12,6 +12,7 @@ let () =
          Test_catalog.suite;
          Test_eval.suite;
          Test_database.suite;
+         Test_mvcc.suite;
          Test_query.suite;
          Test_version.suite;
          Test_triggers.suite;

@@ -19,10 +19,11 @@ let rand_op rng : P.op =
   | _ -> Close
 
 let rand_reply rng : P.reply =
-  match Prng.int rng 4 with
+  match Prng.int rng 5 with
   | 0 -> Pong
   | 1 -> Output (rand_payload rng)
   | 2 -> Rows (List.init (Prng.int rng 20) (fun _ -> rand_payload rng))
+  | 3 -> Err_conflict (rand_payload rng)
   | _ -> Error (rand_payload rng)
 
 let op_eq (a : P.op) (b : P.op) = a = b
@@ -194,6 +195,27 @@ let version_negotiation () =
       | _ -> Alcotest.fail "v3 body must not decode as v2"
       | exception Codec.Corrupt _ -> ())
 
+(* The conflict reply is v4 vocabulary: a v4 peer gets the distinct tag
+   back verbatim; an older peer must receive an ordinary [Error] whose
+   "conflict: " prefix still marks it as retryable. *)
+let conflict_downgrade () =
+  let decode_one frame =
+    let rd = P.reader () in
+    P.feed rd (Bytes.of_string frame) (String.length frame);
+    match P.next_frame rd with
+    | Some body -> (P.decode_response body).P.rs_reply
+    | None -> Alcotest.fail "complete frame expected"
+  in
+  let resp = { P.rs_id = 9; rs_lsn = 17; rs_reply = Err_conflict "root last" } in
+  let b4 = Buffer.create 64 in
+  P.encode_response b4 resp;
+  Tutil.check_bool "v4 keeps the distinct tag" true
+    (decode_one (Buffer.contents b4) = Err_conflict "root last");
+  let b3 = Buffer.create 64 in
+  P.encode_response ~version:3 b3 resp;
+  Tutil.check_bool "pre-v4 gets a prefixed plain error" true
+    (decode_one (Buffer.contents b3) = Error "conflict: root last")
+
 let reader_take () =
   let rd = P.reader () in
   P.feed rd (Bytes.of_string "abcdef") 6;
@@ -213,6 +235,7 @@ let suite =
         Alcotest.test_case "oversized frames rejected early" `Quick oversized_frame;
         Alcotest.test_case "garbage handshakes rejected" `Quick garbage_handshake;
         Alcotest.test_case "version negotiation framing" `Quick version_negotiation;
+        Alcotest.test_case "conflict reply downgrade" `Quick conflict_downgrade;
         Alcotest.test_case "reader take semantics" `Quick reader_take;
       ] );
   ]

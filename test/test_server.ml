@@ -1,8 +1,8 @@
 (* End-to-end serving tests over loopback: a forked ode-served event loop
    on a temp database, driven by real protocol clients. Covers concurrent
-   sessions (interleaved autocommit + the exclusive explicit-transaction
-   slot), idle-timeout eviction, max-conns rejection, and graceful shutdown
-   leaving the store recoverable. *)
+   sessions (interleaved autocommit + concurrent MVCC explicit transactions
+   with first-committer-wins conflicts), idle-timeout eviction, max-conns
+   rejection, and graceful shutdown leaving the store recoverable. *)
 
 module Server = Ode_served.Server
 module Client = Ode_served.Client
@@ -104,27 +104,51 @@ let concurrent_sessions () =
          (match Client.exec cs.(1) "print secret;" with
          | _ -> Alcotest.fail "sessions must not share variables"
          | exception Client.Server_error _ -> ());
-         (* The explicit transaction slot is exclusive: while session 0
-            holds it, other sessions' begins AND statements are refused with
-            a rendered, retryable error. *)
+         (* MVCC: sessions hold explicit transactions concurrently, each on
+            its own snapshot, while other sessions keep autocommitting. *)
          ignore (Client.exec cs.(0) "begin; pnew acct { owner = \"uncommitted\", bal = 0 };");
-         (match Client.exec cs.(1) "begin;" with
-         | _ -> Alcotest.fail "second begin must be refused"
-         | exception Client.Server_error msg ->
-             Tutil.check_bool "txn-busy error" true (contains msg "already active"));
-         (match Client.exec cs.(2) "pnew acct { owner = \"blocked\", bal = 0 };" with
-         | _ -> Alcotest.fail "autocommit during held txn must be refused"
-         | exception Client.Server_error _ -> ());
-         (* Holder's own view sees the uncommitted row; it aborts, the slot
-            frees, and another session can take it. *)
-         Tutil.check_int "holder sees own write" 21
+         ignore (Client.exec cs.(1) "begin; pnew acct { owner = \"second\", bal = 0 };");
+         ignore (Client.exec cs.(2) "pnew acct { owner = \"not_blocked\", bal = 0 };");
+         (* Each holder sees its own uncommitted write plus the autocommit,
+            not the other's; snapshots were taken at [begin], before the
+            autocommit, so neither sees "not_blocked". *)
+         Tutil.check_int "holder 0 sees own write" 21
            (List.length (Client.query cs.(0) "forall x in acct"));
-         ignore (Client.exec cs.(0) "abort;");
-         Tutil.check_int "abort rolled back" 20
+         Tutil.check_int "holder 1 sees own write" 21
            (List.length (Client.query cs.(1) "forall x in acct"));
-         ignore (Client.exec cs.(1) "begin; pnew acct { owner = \"kept\", bal = 7 }; commit;");
-         Tutil.check_int "committed txn visible everywhere" 21
-           (List.length (Client.query cs.(2) "forall x in acct"));
+         ignore (Client.exec cs.(0) "abort;");
+         ignore (Client.exec cs.(1) "commit;");
+         (* After the dust settles: 20 + autocommit + session 1's commit. *)
+         Tutil.check_int "abort rolled back, commit kept" 22
+           (List.length (Client.query cs.(3) "forall x in acct"));
+         (* The .txns introspection reflects open transactions. *)
+         ignore (Client.exec cs.(0) "begin;");
+         Tutil.check_bool ".txns reports the open txn" true
+           (contains (Client.dot cs.(1) ".txns") "open txns 1");
+         ignore (Client.exec cs.(0) "abort;");
+         (* Write-write conflict: two explicit transactions race on the
+            same object. The loser's commit comes back as the retryable
+            conflict; spread over several requests the client's automatic
+            replay (of the commit request alone) cannot win, so it
+            surfaces as [Client.Conflict] — and a whole-transaction replay
+            in one request then lands. *)
+         ignore (Client.exec cs.(2) "t := pnew acct { owner = \"hot\", bal = 0 };");
+         ignore (Client.exec cs.(0) "forall x in acct suchthat x.owner = \"hot\" { r := x; };");
+         ignore (Client.exec cs.(1) "forall x in acct suchthat x.owner = \"hot\" { r := x; };");
+         ignore (Client.exec cs.(1) "begin;");
+         ignore (Client.exec cs.(1) "r.bal := r.bal + 10;");
+         (* Session 0 commits the same object first, in one request. *)
+         ignore (Client.exec cs.(0) "begin; r.bal := r.bal + 100; commit;");
+         (match Client.exec cs.(1) "commit;" with
+         | _ -> Alcotest.fail "losing commit must conflict"
+         | exception Client.Conflict msg ->
+             Tutil.check_bool "conflict names the object" true (contains msg "conflict"));
+         (* Replayed as one self-contained request, the transaction reads
+            the winner's state and applies cleanly. *)
+         ignore (Client.exec cs.(1) "begin; r.bal := r.bal + 10; commit;");
+         Tutil.check_string "both increments landed" "110\n"
+           (Client.exec cs.(2)
+              "forall x in acct suchthat x.owner = \"hot\" { print x.bal; };");
          Array.iter Client.close cs))
 
 (* -- idle-timeout eviction ------------------------------------------------ *)
@@ -312,9 +336,10 @@ let thousand_plus_connections () =
 
 (* A --domains 3 server (1 writer + 2 readers): concurrent reader processes
    stream queries while the parent keeps writing. Every query reply must be
-   a consistent snapshot (row count only ever grows), writes all land, the
-   explicit-transaction slot stays exclusive, and a query that turns out to
-   write is re-routed to the writer and still answered correctly. *)
+   a consistent snapshot (row count only ever grows), writes all land,
+   explicit transactions from several sessions coexist on stable snapshots,
+   and a query that turns out to write is re-routed to the writer and still
+   answered correctly. *)
 let reader_domains_e2e () =
   let readers = 3 and queries_per_reader = 120 in
   ignore
@@ -363,20 +388,36 @@ let reader_domains_e2e () =
            pids;
          Tutil.check_int "all writes landed" 40
            (List.length (Client.query control "forall x in acct"));
-         (* The explicit-transaction slot is still exclusive across domains. *)
+         (* Explicit transactions from several sessions coexist across
+            domains: while [control] holds one open, another session's
+            begin succeeds and reader-domain queries see a stable snapshot
+            that excludes both sessions' uncommitted writes. *)
          let c2 = connect port in
+         let c3 = connect port in
          ignore (Client.exec control "begin; pnew acct { owner = \"held\", bal = 0 };");
-         (match Client.exec c2 "begin;" with
-         | _ -> Alcotest.fail "second begin must be refused"
-         | exception Client.Server_error msg ->
-             Tutil.check_bool "txn-busy error" true (contains msg "already active"));
+         ignore (Client.exec c2 "begin; pnew acct { owner = \"held2\", bal = 0 };");
+         Tutil.check_int "reader sees neither uncommitted write" 40
+           (List.length (Client.query c3 "forall x in acct"));
          ignore (Client.exec control "abort;");
          (* Queries inside an explicit transaction stay on the writer (they
             must see the transaction's own uncommitted writes). *)
-         ignore (Client.exec c2 "begin; pnew acct { owner = \"own\", bal = 0 };");
          Tutil.check_int "txn query sees own write" 41
            (List.length (Client.query c2 "forall x in acct"));
          ignore (Client.exec c2 "abort;");
+         (* A transaction's snapshot is stable mid-write: a commit from
+            another session after [begin] stays invisible until the
+            transaction ends (the committed row is undone through the
+            version chains on read). *)
+         ignore (Client.exec c2 "begin;");
+         Tutil.check_int "snapshot taken at begin" 40
+           (List.length (Client.query c2 "forall x in acct"));
+         ignore (Client.exec control "pnew acct { owner = \"leak\", bal = 1 };");
+         Tutil.check_int "foreign commit invisible mid-txn" 40
+           (List.length (Client.query c2 "forall x in acct"));
+         ignore (Client.exec c2 "commit;");
+         Tutil.check_int "visible once the txn ends" 41
+           (List.length (Client.query c2 "forall x in acct"));
+         Client.close c3;
          let stats = Client.dot control ".stats" in
          Tutil.check_bool "requests counted" true
            (match counter_value stats "server.requests" with

@@ -99,7 +99,7 @@ let wal_records =
     Wal.Begin 1;
     Wal.Put (1, "key-a", "payload-a");
     Wal.Delete (1, "key-b");
-    Wal.Commit (1, 0);
+    Wal.Commit (1, 0, 0);
     Wal.Checkpoint 1;
   ]
 
@@ -141,7 +141,7 @@ let wal_torn_tail_ignored () =
   Wal.replay w2 (fun r -> got := r :: !got);
   Tutil.check_int "only intact frame" 1 (List.length !got);
   (* And new appends after reopening are readable. *)
-  Wal.append w2 (Wal.Commit (1, 0));
+  Wal.append w2 (Wal.Commit (1, 0, 0));
   Wal.sync w2;
   let got2 = ref [] in
   Wal.replay w2 (fun r -> got2 := r :: !got2);
@@ -171,10 +171,10 @@ let wal_pending_commits () =
   Wal.append w (Wal.Begin 1);
   Wal.append w (Wal.Put (1, "a", "x"));
   Tutil.check_int "non-commit records don't pend" 0 (Wal.pending_commits w);
-  Wal.append w (Wal.Commit (1, 0));
+  Wal.append w (Wal.Commit (1, 0, 0));
   Tutil.check_int "commit pends" 1 (Wal.pending_commits w);
   Wal.append w (Wal.Begin 2);
-  Wal.append w (Wal.Commit (2, 0));
+  Wal.append w (Wal.Commit (2, 0, 0));
   Tutil.check_int "second commit pends" 2 (Wal.pending_commits w);
   let before = Ode_util.Stats.snapshot () in
   Wal.sync w;
@@ -191,7 +191,7 @@ let wal_pending_commits () =
 let wal_reset_clears_pending () =
   let w = Wal.in_memory () in
   Wal.append w (Wal.Begin 3);
-  Wal.append w (Wal.Commit (3, 0));
+  Wal.append w (Wal.Commit (3, 0, 0));
   Tutil.check_int "pending before reset" 1 (Wal.pending_commits w);
   Wal.reset w;
   Tutil.check_int "reset discards pending" 0 (Wal.pending_commits w)
