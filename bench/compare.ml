@@ -1,6 +1,7 @@
 (* Bench-regression gate: compare two flat BENCH json files.
 
      compare BASELINE.json FRESH.json [--tolerance 0.25]
+             [--tolerance-key KEY=FRACTION]...
 
    The inputs are the `--json` dumps from bench/main.exe: one flat object of
    "metric name" -> number. Only throughput-shaped metrics gate — keys
@@ -13,13 +14,23 @@
    smoke baseline is the per-key minimum over repeated runs, so the gate
    catches real collapses, not scheduler noise. Metrics present on only one
    side are reported and skipped: a renamed or new experiment must not
-   silently pass, nor fail the build. *)
+   silently pass, nor fail the build.
+
+   Some metrics are legitimately noisier than the blanket tolerance allows
+   (a contended multicore rate, a tiny smoke-scale denominator). Rather than
+   loosening the gate for everything, `--tolerance-key KEY=FRACTION` (repeatable)
+   overrides the tolerance for exactly that metric name; each override must
+   match a gated baseline key, so a stale override after a metric rename
+   fails loudly instead of silently widening nothing. *)
 
 let tolerance = ref 0.25
+let key_tolerance : (string * float) list ref = ref []
 let files = ref []
 
 let usage () =
-  prerr_endline "usage: compare BASELINE.json FRESH.json [--tolerance FRACTION]";
+  prerr_endline
+    "usage: compare BASELINE.json FRESH.json [--tolerance FRACTION] [--tolerance-key \
+     KEY=FRACTION]...";
   exit 2
 
 let () =
@@ -27,6 +38,16 @@ let () =
     | [] -> ()
     | "--tolerance" :: v :: rest ->
         (tolerance := try float_of_string v with Failure _ -> usage ());
+        parse rest
+    | "--tolerance-key" :: kv :: rest ->
+        (match String.index_opt kv '=' with
+        | Some i ->
+            let key = String.sub kv 0 i in
+            let frac = String.sub kv (i + 1) (String.length kv - i - 1) in
+            let frac = try float_of_string frac with Failure _ -> usage () in
+            if key = "" || frac < 0.0 then usage ();
+            key_tolerance := (key, frac) :: !key_tolerance
+        | None -> usage ());
         parse rest
     | ("--help" | "-h") :: _ -> usage ()
     | f :: rest ->
@@ -130,6 +151,16 @@ let () =
     match List.rev !files with [ b; f ] -> (b, f) | _ -> usage ()
   in
   let base = parse_flat base_file and fresh = parse_flat fresh_file in
+  List.iter
+    (fun (key, _) ->
+      if not (List.exists (fun (k, _) -> k = key && gated k) base) then begin
+        Printf.eprintf "compare: --tolerance-key %s matches no gated baseline metric\n" key;
+        exit 2
+      end)
+    !key_tolerance;
+  let tol_for key =
+    match List.assoc_opt key !key_tolerance with Some t -> t | None -> !tolerance
+  in
   let regressions = ref [] in
   let compared = ref 0 in
   Printf.printf "%-48s %12s %12s %8s\n" "metric" "baseline" "fresh" "delta";
@@ -143,8 +174,10 @@ let () =
         | Some b, Some (Some f) ->
             incr compared;
             let delta = if b = 0.0 then 0.0 else (f -. b) /. b in
-            Printf.printf "%-48s %12.2f %12.2f %+7.1f%%\n" key b f (100.0 *. delta);
-            if f < b *. (1.0 -. !tolerance) then regressions := (key, b, f) :: !regressions)
+            let tol = tol_for key in
+            Printf.printf "%-48s %12.2f %12.2f %+7.1f%%%s\n" key b f (100.0 *. delta)
+              (if tol <> !tolerance then Printf.sprintf "  (tol %.0f%%)" (100.0 *. tol) else "");
+            if f < b *. (1.0 -. tol) then regressions := (key, b, f, tol) :: !regressions)
     base;
   List.iter
     (fun (key, _) ->
@@ -157,8 +190,10 @@ let () =
   | [] -> print_endline "no regressions"
   | rs ->
       List.iter
-        (fun (key, b, f) ->
-          Printf.printf "REGRESSION %s: %.2f -> %.2f (%.1f%% below baseline)\n" key b f
-            (100.0 *. (1.0 -. (f /. b))))
+        (fun (key, b, f, tol) ->
+          Printf.printf "REGRESSION %s: %.2f -> %.2f (%.1f%% below baseline, tolerance %.0f%%)\n"
+            key b f
+            (100.0 *. (1.0 -. (f /. b)))
+            (100.0 *. tol))
         rs;
       exit 1

@@ -33,6 +33,7 @@ let make_db ~dbdir ~kv_disk ~dir_disk ~idx_disk ~wal ~pool_pages ~wal_checkpoint
       wal;
       catalog = Catalog.create ();
       meta = { next_tid = 0; clock = 0 };
+      stats = Ostats.fresh ();
       next_xid = 1;
       active = None;
       wtxns = Hashtbl.create 8;
@@ -111,6 +112,13 @@ let load_state db =
   (match Kv.get db Keys.meta with
   | Some s -> db.meta <- Txn.decode_meta s
   | None -> ());
+  (* Planner statistics: recovery replay may already have installed a
+     newer snapshot (and tail adjustments) through [Store.apply_op]; only
+     fall back to the checkpointed copy when it hasn't. *)
+  if not db.stats.st_analyzed then
+    (match Kv.get db Keys.stats with
+    | Some s -> ( try Ostats.install db s with Ode_util.Codec.Corrupt _ -> ())
+    | None -> ());
   Triggers.load_all db
 
 let close_fds db =
@@ -514,6 +522,26 @@ let create_index db ~cls ~field =
            classes))
 
 let catalog db = db.catalog
+
+(* -- planner statistics ------------------------------------------------------ *)
+
+(* `analyze`: one full committed-state scan producing the statistics
+   snapshot, then an ordinary transaction writing it under the 'S' key —
+   the commit apply installs it (Store.apply_op), and WAL/replication/
+   recovery carry it like any other committed write. DDL-like: runs
+   outside transactions so the scan summarizes a quiesced committed
+   state. *)
+let analyze db =
+  require_no_txn db "analyze";
+  require_writable db;
+  let payload = Ostats.compute db in
+  ignore (with_txn_no_drain db (fun txn -> Store.write txn Keys.stats payload));
+  Ode_util.Stats.incr_planner_analyze_runs ();
+  Ostats.describe db
+
+let stats_summary db = Ostats.describe db
+let stats_analyzed db = Ostats.analyzed db
+let stats_stale db = Ostats.stale db
 
 (* -- objects ------------------------------------------------------------------------ *)
 

@@ -67,6 +67,21 @@ val create_index : t -> cls:string -> field:string -> unit
 
 val catalog : t -> Ode_model.Catalog.t
 
+(** {1 Planner statistics} *)
+
+val analyze : t -> string
+(** Collect planner statistics: one full committed-state scan producing
+    per-extent cardinalities and per-index equi-depth key histograms,
+    persisted under the ['S'] key through an ordinary transaction (WAL,
+    recovery, replication and dump all carry it). DDL-like: must run
+    outside transactions. Returns a one-line human summary. *)
+
+val stats_summary : t -> string
+val stats_analyzed : t -> bool
+val stats_stale : t -> bool
+(** Whether the planner currently distrusts the histograms (no analyze
+    yet, or too many header creates/deletes since the last one). *)
+
 (** {1 Transactions} *)
 
 val with_txn : t -> (txn -> 'a) -> 'a

@@ -116,6 +116,10 @@ let export db =
         out "activate %s.%s(%s);" (var_of_oid a.aoid) a.tname
           (String.concat ", " (List.map value_expr a.targs));
       true);
+  (* 6. Planner statistics: replaying `analyze` at the end re-collects
+     them over the just-imported objects, so the restored store plans
+     like the source did. *)
+  if db.stats.st_analyzed then out "analyze;";
   Buffer.contents b
 
 let export_to_file db path =
@@ -132,6 +136,7 @@ let import db script =
       | TCreateCluster c -> Database.create_cluster db c
       | TCreateIndex (c, f) -> Database.create_index db ~cls:c ~field:f
       | TStmt s -> Database.with_txn db (fun txn -> Interp.exec_stmt txn env s)
+      | TAnalyze -> ignore (Database.analyze db)
       | TBegin | TCommit | TAbort | TShowClasses | TShowStats | TVerify | TDump | TLoad _
       | TExplain _ | TAdvance _ ->
           invalid_arg "dump: unexpected statement in dump script")

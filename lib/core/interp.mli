@@ -26,6 +26,14 @@ exception Returned of Ode_model.Value.t
 (** Raised by a top-level [return e;] — callers that expect a value catch
     it. *)
 
+val fusable_join : Ode_lang.Ast.forall -> Ode_lang.Ast.forall option
+(** When [q] is a two-extent nested loop the join planner may fuse —
+    exactly one nested [forall] as the body, no [by] clauses, and a
+    side-effect-free inner body that reassigns no variable the predicates
+    read — returns the inner loop. {!exec_stmt} routes such loops through
+    {!Query.run_join}; the shell's [.explain] uses the same gate so plans
+    it prints are the plans that run. *)
+
 val exec_stmts : txn -> env -> Ode_lang.Ast.stmt list -> unit
 val exec_stmt : txn -> env -> Ode_lang.Ast.stmt -> unit
 

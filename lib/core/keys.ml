@@ -10,6 +10,7 @@
      'T' ++ u32 tid                trigger activation record
      'C'                           the schema catalog
      'M'                           engine metadata (counters, logical clock)
+     'S'                           planner statistics (cardinalities, histograms)
      'I' ++ u32 idx ++ valkey ++ oid-key   secondary index entry (routed to
                                            the index tree, not the KV)       *)
 
@@ -43,6 +44,7 @@ let trigger tid =
 let trigger_prefix = "T"
 let catalog = "C"
 let meta = "M"
+let stats = "S"
 
 let index_entry ~idx_id ~valkey ~oid =
   let b = Buffer.create 32 in

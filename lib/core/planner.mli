@@ -2,10 +2,20 @@
 
     The paper notes the [suchthat] and [by] clauses "can be used to
     advantage in query optimization" (§3.1); this planner does exactly that:
-    it splits the [suchthat] expression into conjuncts, looks for a
-    sargable conjunct ([var.field OP constant]) on an indexed field, and
-    turns it into a point or range probe of the secondary index, with the
-    remaining conjuncts as a residual filter. *)
+    it splits the [suchthat] expression into conjuncts, looks for sargable
+    conjuncts ([var.field OP constant]) on indexed fields, and turns one
+    into a point or range probe of the secondary index, with the remaining
+    conjuncts as a residual filter.
+
+    Every plan carries a cardinality/cost {!estimate}. After [analyze] has
+    collected per-extent cardinalities and per-index key histograms
+    ({!Ostats}), candidate access paths are priced from those and the
+    cheapest wins; with absent or stale statistics the planner falls back
+    to the original first-sargable-conjunct heuristics with textbook
+    default selectivities. Two-extent nested [forall] loops go through
+    {!plan_join}, which recognizes collection-join links (ref deref, set
+    membership, field equality) and fuses the nested loops when the
+    statistics say it pays. *)
 
 open Types
 
@@ -19,6 +29,13 @@ type access =
       hi : (Ode_model.Value.t * bool) option;
     }
 
+type estimate = {
+  est_rows : float;  (** candidates the access path will emit *)
+  est_out : float;  (** rows expected to survive the filter *)
+  est_cost : float;  (** total access cost, abstract work units *)
+  est_stats : bool;  (** true when derived from analyze statistics *)
+}
+
 type plan = {
   p_cls : string;             (** root class of the iteration *)
   p_deep : bool;              (** include subclass clusters (paper §3.1.1) *)
@@ -26,7 +43,11 @@ type plan = {
   p_access : access;
   p_residual : Ode_lang.Ast.expr option;  (** checked per candidate object *)
   p_var : string;             (** the loop variable the residual binds *)
+  p_est : estimate;
 }
+
+val indexable_value : Ode_model.Value.t -> bool
+(** Values with an order-preserving byte encoding ({!Ode_model.Value.index_key}). *)
 
 val plan :
   db ->
@@ -42,11 +63,12 @@ val plan :
     supplies outer loop bindings so join conjuncts become probes. [txn] is
     the transaction the query will run in (constant conjuncts evaluate
     against its view); omitted, [db.active] is consulted — reader domains
-    must pass their own. *)
+    must pass their own. Bumps [planner.stats_hits] or [planner.fallbacks]
+    per planned predicate. *)
 
 val explain : plan -> string
-(** Human-readable plan, e.g.
-    ["index range person(age): 30 < age — residual: (x.name != \"\")"]. *)
+(** Human-readable plan with its estimate, e.g.
+    ["index range person(age) > 30 — est ~12 rows, cost ~56 (stats) — residual: ..."]. *)
 
 type node_kind = Access | Filter | Order | Output
 (** Plan-node roles for per-node profiling: candidate enumeration + liveness
@@ -54,7 +76,57 @@ type node_kind = Access | Filter | Order | Output
     evaluation and sorting (Order), and the caller's loop body (Output). *)
 
 val nodes : ?suchthat:Ode_lang.Ast.expr -> plan -> (node_kind * string) list
-(** The Access and Filter nodes of a plan with display labels; the executor
-    appends Order/Output as the query shape requires. [suchthat] is the full
-    predicate, used to label the filter node when the plan has no residual
-    but the executor still re-checks the predicate per candidate. *)
+(** The Access and Filter nodes of a plan with display labels (estimated
+    rows/cost embedded as [~N] figures); the executor appends Order/Output
+    as the query shape requires. [suchthat] is the full predicate, used to
+    label the filter node when the plan has no residual but the executor
+    still re-checks the predicate per candidate. *)
+
+(** {1 Join planning} *)
+
+type join_strategy =
+  | Nested_loop  (** inner extent replanned and rescanned per outer row *)
+  | Fused_deref of string
+      (** [i == o.f]: reach the inner object through the outer's ref field *)
+  | Fused_member of string
+      (** [i in o.fs]: iterate the outer's set/list field *)
+  | Hash_join of { outer_field : string; inner_field : string }
+      (** [i.g == o.f]: one streamed build pass over the inner extent,
+          hash probe per outer row *)
+
+type join_plan = {
+  j_ovar : string;
+  j_ivar : string;
+  j_outer : plan;                      (** access plan for the outer extent *)
+  j_inner_cls : string;
+  j_inner_deep : bool;
+  j_inner_only : Ode_lang.Ast.expr option;
+      (** conjuncts on the inner variable alone (hash-build filter) *)
+  j_strategy : join_strategy;
+  j_rows : float;                      (** estimated emitted pairs *)
+  j_cost : float;                      (** estimated cost of the chosen strategy *)
+  j_nested_cost : float;               (** what the unfused nested loop would cost *)
+  j_stats : bool;
+}
+
+val plan_join :
+  db ->
+  ?txn:txn ->
+  ?env:(string * Ode_model.Value.t) list ->
+  outer:string * string * bool ->
+  inner:string * string * bool ->
+  ?outer_suchthat:Ode_lang.Ast.expr ->
+  ?inner_suchthat:Ode_lang.Ast.expr ->
+  unit ->
+  join_plan
+(** Plan a two-extent join ([outer]/[inner] are [(var, class, deep)]).
+    [inner_suchthat] may mention both variables; its outer-free conjuncts
+    filter the inner side, the rest link the extents. Deref/member fusion
+    is chosen whenever the link shape allows (it is semantically identical
+    to the nested loop and strictly cheaper); a hash join only when fresh
+    statistics price it below the nested loop. Raises
+    {!Ode_model.Catalog.Schema_error} for an unknown class. *)
+
+val explain_join : join_plan -> string
+(** Two-line human-readable join plan: strategy + estimates, then the
+    outer access path. *)

@@ -564,13 +564,99 @@ let exists db ?txn ?env ?deep ?suchthat ~var ~cls () =
   | () -> false
   | exception Found -> true
 
-let join2 db ?txn ~outer:(ovar, ocls) ~inner:(ivar, icls) ?deep ?suchthat body =
+(* -- two-extent joins (collection-join fusion) ------------------------------ *)
+
+(* Execute a planned two-extent join. Pair emission is always outer-major
+   (outer rows in extent order); within one outer row the inner order may
+   differ between strategies, which [forall] nesting does not specify.
+   Every emitted pair re-checks the full inner predicate with both
+   variables bound, so a fused strategy can only skip non-matching work,
+   never change results. *)
+let run_join db ?txn ?(env = []) ~outer:(ovar, ocls, odeep) ~inner:(ivar, icls, ideep)
+    ?outer_suchthat ?inner_suchthat body =
   let txn = match txn with Some t -> Some t | None -> db.active in
-  run db ?txn ~var:ovar ~cls:ocls ?deep (fun o ->
-      run db ?txn
-        ~env:[ (ovar, Value.Ref o) ]
-        ~var:ivar ~cls:icls ?deep ?suchthat
-        (fun i -> body o i))
+  let jp =
+    Planner.plan_join db ?txn ~env ~outer:(ovar, ocls, odeep) ~inner:(ivar, icls, ideep)
+      ?outer_suchthat ?inner_suchthat ()
+  in
+  let hooks = Runtime.hooks db txn in
+  let inner_ids = class_ids db (if ideep then Catalog.subclasses db.catalog icls else [ icls ]) in
+  let live i = accept_class inner_ids i && Store.exists db txn i in
+  let check_pair o i =
+    match inner_suchthat with
+    | None -> true
+    | Some e -> (
+        let vars = (ivar, Value.Ref i) :: (ovar, Value.Ref o) :: env in
+        match Eval.eval hooks ~vars ~this:None e with
+        | v -> ( try Eval.truthy v with Eval.Error _ -> false)
+        | exception Eval.Error _ -> false)
+  in
+  let field_of var oid f =
+    match Eval.eval hooks ~vars:((var, Value.Ref oid) :: env) ~this:None (Ast.Field (Ast.Var var, f)) with
+    | v -> v
+    | exception Eval.Error _ -> Value.Null
+  in
+  let run_outer f =
+    run db ?txn ~env ~var:ovar ~cls:ocls ~deep:odeep ?suchthat:outer_suchthat f
+  in
+  match jp.j_strategy with
+  | Planner.Nested_loop ->
+      Ode_util.Stats.incr_planner_nested_joins ();
+      run_outer (fun o ->
+          run db ?txn
+            ~env:((ovar, Value.Ref o) :: env)
+            ~var:ivar ~cls:icls ~deep:ideep ?suchthat:inner_suchthat
+            (fun i -> body o i))
+  | Planner.Fused_deref f ->
+      Ode_util.Stats.incr_planner_fused_joins ();
+      run_outer (fun o ->
+          match field_of ovar o f with
+          | Value.Ref i when live i && check_pair o i -> body o i
+          | _ -> ())
+  | Planner.Fused_member f ->
+      Ode_util.Stats.incr_planner_fused_joins ();
+      run_outer (fun o ->
+          match field_of ovar o f with
+          | Value.VSet vs | Value.VList vs ->
+              (* A list may hold the same ref twice; the nested loop would
+                 still emit the pair once (the inner extent is the driver
+                 there), so deduplicate per outer row. *)
+              let seen = Hashtbl.create 8 in
+              List.iter
+                (fun v ->
+                  match v with
+                  | Value.Ref i when not (Hashtbl.mem seen i) ->
+                      Hashtbl.replace seen i ();
+                      if live i && check_pair o i then body o i
+                  | _ -> ())
+                vs
+          | _ -> ())
+  | Planner.Hash_join { outer_field; inner_field } ->
+      Ode_util.Stats.incr_planner_hash_joins ();
+      (* One streamed pass over the inner extent (MVCC chain merging and
+         txn-local candidates come with [run] for free), keyed by the
+         order-preserving byte encoding of the join field. *)
+      let tbl : (string, Oid.t) Hashtbl.t = Hashtbl.create 256 in
+      run db ?txn ~env ~var:ivar ~cls:icls ~deep:ideep ?suchthat:jp.j_inner_only (fun i ->
+          match field_of ivar i inner_field with
+          | v when Planner.indexable_value v -> Hashtbl.add tbl (Value.index_key v) i
+          | _ -> ());
+      run_outer (fun o ->
+          match field_of ovar o outer_field with
+          | v when Planner.indexable_value v ->
+              List.iter
+                (fun i -> if live i && check_pair o i then body o i)
+                (* find_all returns latest-first; restore build order. *)
+                (List.rev (Hashtbl.find_all tbl (Value.index_key v)))
+          | _ -> ())
+
+let explain_join db ?txn ?env ~outer ~inner ?outer_suchthat ?inner_suchthat () =
+  Planner.explain_join
+    (Planner.plan_join db ?txn ?env ~outer ~inner ?outer_suchthat ?inner_suchthat ())
+
+let join2 db ?txn ~outer:(ovar, ocls) ~inner:(ivar, icls) ?(deep = false) ?suchthat body =
+  run_join db ?txn ~outer:(ovar, ocls, deep) ~inner:(ivar, icls, deep) ?inner_suchthat:suchthat
+    body
 
 let explain db ?env ~var ~cls ?(deep = false) ?suchthat () =
   Planner.explain (Planner.plan db ?env ~var ~cls ~deep ~suchthat ())

@@ -81,6 +81,35 @@ val exists :
 (** Is there at least one qualifying object? Stops scanning — and reading
     pages — at the first match. *)
 
+val run_join :
+  db ->
+  ?txn:txn ->
+  ?env:(string * Ode_model.Value.t) list ->
+  outer:string * string * bool ->
+  inner:string * string * bool ->
+  ?outer_suchthat:Ode_lang.Ast.expr ->
+  ?inner_suchthat:Ode_lang.Ast.expr ->
+  (Ode_model.Oid.t -> Ode_model.Oid.t -> unit) ->
+  unit
+(** Planned two-extent join ([(var, class, deep)] per side) executing the
+    {!Planner.plan_join} strategy: nested loop, deref/membership fusion, or
+    a hash join (one streamed build pass over the inner extent, probe per
+    outer row). Pairs are emitted outer-major; every pair re-checks the
+    full [inner_suchthat] with both variables bound, so a fused strategy
+    produces exactly the nested loop's matches. *)
+
+val explain_join :
+  db ->
+  ?txn:txn ->
+  ?env:(string * Ode_model.Value.t) list ->
+  outer:string * string * bool ->
+  inner:string * string * bool ->
+  ?outer_suchthat:Ode_lang.Ast.expr ->
+  ?inner_suchthat:Ode_lang.Ast.expr ->
+  unit ->
+  string
+(** The join plan {!Planner.explain_join} would execute right now. *)
+
 val join2 :
   db ->
   ?txn:txn ->
@@ -91,10 +120,11 @@ val join2 :
   (Ode_model.Oid.t -> Ode_model.Oid.t -> unit) ->
   unit
 (** [join2 db ~outer:(x, C1) ~inner:(y, C2) ~suchthat f] — the paper's
-    multiple-loop-variable [forall]: nested iteration where the inner loop
-    is planned with the outer binding known, so an equi-join conjunct
-    [y.f == x.g] becomes an index probe per outer row when [C2(f)] is
-    indexed. *)
+    multiple-loop-variable [forall], routed through {!run_join}: a
+    nested iteration where the inner loop is planned with the outer
+    binding known (an equi-join conjunct [y.f == x.g] becomes an index
+    probe per outer row when [C2(f)] is indexed), fused or hash-joined
+    when the planner prices that cheaper. *)
 
 val explain :
   db ->

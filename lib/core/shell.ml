@@ -103,6 +103,9 @@ let rec exec_top t (top : Ast.top) =
             Query.explain t.db ~var:q.q_var ~cls:q.q_cls ~deep:q.q_deep ?suchthat:q.q_suchthat ())
       in
       t.print (text ^ "\n")
+  | TAnalyze ->
+      if t.txn <> None then failwith "analyze requires no open transaction"
+      else t.print (Database.analyze t.db ^ "\n")
   | TAdvance e -> (
       let v = in_txn t (fun txn -> Interp.eval_expr txn t.env e) in
       match v with
@@ -180,8 +183,9 @@ let dot_help =
   \  .txns                 open transactions, snapshots and MVCC version backlog\n\
   \  .trace on|off         toggle the span tracer\n\
   \  .trace dump FILE      write buffered spans as Chrome trace-event JSON\n\
-  \  .explain QUERY        access plan for a forall query\n\
+  \  .explain QUERY        access plan + cost estimates for a forall query\n\
   \  .profile QUERY        EXPLAIN ANALYZE: run QUERY, per-plan-node costs\n\
+  \  .analyze              collect planner statistics (cardinalities, histograms)\n\
   \  .verify               run the structural integrity checker\n\
   \  .read FILE            execute a script file\n\
   \  .quit                 leave the shell"
@@ -375,13 +379,26 @@ let dot_command t line =
           match Verify.run t.db with
           | Ok () -> "ok"
           | Error ps -> "verify failed: " ^ String.concat "; " ps)
-      | ".explain", q ->
+      | ".explain", q -> (
           let f = parse_forall q in
-          in_txn t (fun _txn ->
-              Query.explain t.db
-                ~env:(Interp.all_vars t.env)
-                ~var:f.q_var ~cls:f.q_cls ~deep:f.q_deep ?suchthat:f.q_suchthat ())
+          match Interp.fusable_join f with
+          | Some iq ->
+              in_txn t (fun _txn ->
+                  Query.explain_join t.db
+                    ~env:(Interp.all_vars t.env)
+                    ~outer:(f.q_var, f.q_cls, f.q_deep)
+                    ~inner:(iq.q_var, iq.q_cls, iq.q_deep)
+                    ?outer_suchthat:f.q_suchthat ?inner_suchthat:iq.q_suchthat ())
+          | None ->
+              in_txn t (fun _txn ->
+                  Query.explain t.db
+                    ~env:(Interp.all_vars t.env)
+                    ~var:f.q_var ~cls:f.q_cls ~deep:f.q_deep ?suchthat:f.q_suchthat ()))
       | ".profile", q -> profile_query t (parse_forall q)
+      | ".analyze", "" ->
+          if t.txn <> None then failwith "analyze requires no open transaction"
+          else Database.analyze t.db
+      | ".analyze", "status" -> Database.stats_summary t.db
       | _ -> Printf.sprintf "unknown command %s\n%s" cmd dot_help
     in
     Some (match run () with out -> out | exception e -> render_error e)

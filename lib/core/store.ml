@@ -353,8 +353,18 @@ let apply_op db key op =
   end
   else
     match op with
-    | Put payload -> Kv.put db key payload
-    | Del -> Kv.delete db key
+    | Put payload ->
+        (* The stats hook rides the single apply choke point, so commit
+           apply, recovery replay and standby apply all maintain the same
+           cardinality counters; a replayed/replicated analyze snapshot
+           installs itself the same way. *)
+        if key = Keys.stats then Ostats.install db payload
+        else if Ostats.is_header_key key && not (Kv.mem db key) then
+          Ostats.note_create db key;
+        Kv.put db key payload
+    | Del ->
+        if Ostats.is_header_key key && Kv.mem db key then Ostats.note_delete db key;
+        Kv.delete db key
 
 (* The current committed value of a logical key — the pre-image the MVCC
    layer records as a new chain's base entry just before a commit applies

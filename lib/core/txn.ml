@@ -135,12 +135,14 @@ let decode_meta s =
   let clock = Ode_util.Codec.get_int c in
   { next_tid; clock }
 
-(* The catalog and meta singletons are excluded from conflict detection and
-   version chains: they are re-encoded from the in-memory mirrors at every
-   commit (so two concurrent creators both writing 'C' is not a logical
-   conflict — the mirrors already merged their oid allocations), and
-   snapshot reads of schema go through the mirrors, not the KV. *)
-let versioned key = key <> Keys.catalog && key <> Keys.meta
+(* The catalog, meta and stats singletons are excluded from conflict
+   detection and version chains: catalog/meta are re-encoded from the
+   in-memory mirrors at every commit (so two concurrent creators both
+   writing 'C' is not a logical conflict — the mirrors already merged
+   their oid allocations), snapshot reads of schema go through the
+   mirrors, not the KV, and the stats snapshot is advisory planner input
+   that always supersedes wholesale. *)
+let versioned key = key <> Keys.catalog && key <> Keys.meta && key <> Keys.stats
 
 let describe_key key =
   if key = "" then "a key"

@@ -36,6 +36,32 @@ type firing = { f_act : activation; f_kind : firing_kind }
 
 type meta = { mutable next_tid : int; mutable clock : int }
 
+(* One index's key-distribution statistics as of the last analyze. *)
+type idx_stat = {
+  is_total : int;                          (* entries at analyze time *)
+  is_distinct : int;                       (* distinct keys at analyze time *)
+  is_hist : Ode_util.Histogram.Dist.t;     (* equi-depth key histogram *)
+}
+
+(* Planner statistics: per-extent cardinality and per-index key
+   distributions. Histograms and the [st_base] snapshot are rebuilt only
+   by `analyze` (full scan); the cardinality counters and [st_mods] are
+   maintained incrementally by [Store.apply_op] on every committed /
+   recovered / replicated header create+delete, so the planner's row
+   estimates track the live database and staleness is measurable as
+   mods-since-analyze against the analyze-time base. Mutations happen
+   under the engine's exclusive latch but reads come from reader
+   domains, so [st_mu] guards the hashtables (cheap: one lock per plan,
+   one per header apply). *)
+type ostats = {
+  mutable st_analyzed : bool;              (* an analyze has populated this *)
+  mutable st_base : int;                   (* live objects at analyze time *)
+  mutable st_mods : int;                   (* header creates+deletes since *)
+  st_cards : (int, int) Hashtbl.t;         (* class id -> live object count *)
+  st_idx : (int, idx_stat) Hashtbl.t;      (* idx id -> key distribution *)
+  st_mu : Mutex.t;
+}
+
 (* When a commit becomes durable:
    - [Full]: every commit fsyncs the WAL before it is acknowledged (eager,
      the historical behavior).
@@ -74,6 +100,7 @@ and db = {
   wal : Ode_storage.Wal.t;
   mutable catalog : Ode_model.Catalog.t;
   mutable meta : meta;
+  stats : ostats;                           (* planner statistics ('S' key) *)
   mutable next_xid : int;
   mutable active : txn option;              (* most recently begun write txn —
                                                a compatibility default for

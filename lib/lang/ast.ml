@@ -117,6 +117,7 @@ type top =
   | TDump                            (* logical export as a script *)
   | TLoad of string                  (* source another script file *)
   | TExplain of forall
+  | TAnalyze                         (* collect planner statistics *)
   | TAdvance of expr                 (* advance logical time (timed triggers) *)
 
 (* Structural equality is derived; the AST carries no annotations. *)

@@ -18,7 +18,7 @@ let keywords =
     "int"; "float"; "bool"; "string"; "ref"; "set"; "list";
     "true"; "false"; "null"; "this"; "is"; "and"; "or"; "not";
     "begin"; "commit"; "abort"; "show"; "classes"; "explain"; "advance"; "time";
-    "stats"; "verify"; "dump"; "load";
+    "stats"; "verify"; "dump"; "load"; "analyze";
   ]
 
 let is_kw s = List.mem s keywords

@@ -512,6 +512,10 @@ let top st =
       let head = forall_head st in
       expect_punct st ";";
       TExplain head
+  | Lexer.KW "analyze" ->
+      advance st;
+      expect_punct st ";";
+      TAnalyze
   | Lexer.KW "advance" ->
       advance st;
       expect_kw st "time";

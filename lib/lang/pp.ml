@@ -148,6 +148,7 @@ let pp_top ppf = function
       (match q.q_suchthat with Some e -> Fmt.pf ppf " suchthat %a" pp_expr e | None -> ());
       (match q.q_by with Some (e, o) -> Fmt.pf ppf " by %a %a" pp_expr e pp_order o | None -> ());
       Fmt.string ppf ";"
+  | TAnalyze -> Fmt.string ppf "analyze;"
   | TAdvance e -> Fmt.pf ppf "advance time %a;" pp_expr e
 
 let expr_to_string e = Fmt.str "%a" pp_expr e

@@ -160,6 +160,140 @@ let format_ns ns =
   else if ns < 1_000_000_000 then Printf.sprintf "%.2fms" (float_of_int ns /. 1e6)
   else Printf.sprintf "%.2fs" (float_of_int ns /. 1e9)
 
+(* Equi-depth key distributions for the query planner's statistics
+   subsystem. Unlike the latency histograms above, these are value
+   histograms: each bucket holds ~total/buckets rows of an index's key
+   space, bounded by real observed keys (order-preserving
+   [Value.index_key] strings), so skew shows up as narrow buckets and
+   selectivity estimates come out of bucket arithmetic rather than a
+   uniformity assumption. Immutable once built — `.analyze` rebuilds
+   them from a full scan; incremental commit maintenance only bumps the
+   cardinality counters that decide staleness. *)
+module Dist = struct
+  type t = {
+    total : int;            (* rows summarized *)
+    distinct : int;         (* distinct keys summarized *)
+    lo : string;            (* smallest key ("" when empty) *)
+    bounds : string array;  (* inclusive upper bound per bucket, ascending *)
+    counts : int array;     (* rows per bucket *)
+    uniques : int array;    (* distinct keys per bucket *)
+  }
+
+  let empty = { total = 0; distinct = 0; lo = ""; bounds = [||]; counts = [||]; uniques = [||] }
+  let default_buckets = 32
+  let total d = d.total
+  let distinct d = d.distinct
+  let buckets d = Array.length d.bounds
+
+  (* [keys] sorted ascending, duplicates allowed. Bucket edges are pushed
+     past runs of equal keys so no key straddles two buckets — that keeps
+     the per-bucket distinct counts additive and eq-estimates sharp on
+     heavy hitters (a hot key that fills a whole bucket estimates as the
+     whole bucket). *)
+  let of_sorted ?(buckets = default_buckets) keys =
+    let n = Array.length keys in
+    if n = 0 then empty
+    else begin
+      let per = max 1 ((n + buckets - 1) / buckets) in
+      let bounds = ref [] and counts = ref [] and uniques = ref [] in
+      let start = ref 0 in
+      while !start < n do
+        let stop = ref (min n (!start + per)) in
+        while !stop < n && keys.(!stop) = keys.(!stop - 1) do
+          incr stop
+        done;
+        let stop = !stop in
+        let u = ref 1 in
+        for i = !start + 1 to stop - 1 do
+          if keys.(i) <> keys.(i - 1) then incr u
+        done;
+        bounds := keys.(stop - 1) :: !bounds;
+        counts := (stop - !start) :: !counts;
+        uniques := !u :: !uniques;
+        start := stop
+      done;
+      {
+        total = n;
+        distinct = List.fold_left ( + ) 0 !uniques;
+        lo = keys.(0);
+        bounds = Array.of_list (List.rev !bounds);
+        counts = Array.of_list (List.rev !counts);
+        uniques = Array.of_list (List.rev !uniques);
+      }
+    end
+
+  (* Estimated fraction of rows whose key equals [key]: rows-per-distinct
+     within the containing bucket. *)
+  let eq_fraction d key =
+    if d.total = 0 then 0.
+    else if key < d.lo then 0.
+    else begin
+      let nb = Array.length d.bounds in
+      let rec go i =
+        if i >= nb then 0.
+        else if key <= d.bounds.(i) then
+          float_of_int d.counts.(i)
+          /. float_of_int (max 1 d.uniques.(i))
+          /. float_of_int d.total
+        else go (i + 1)
+      in
+      go 0
+    end
+
+  (* Estimated fraction of rows in the range bounded by [lo]/[hi]
+     (either side optional; the bool is inclusivity, which at bucket
+     granularity only matters for the half-bucket partial estimate).
+     Buckets wholly inside count fully, partially-overlapped buckets
+     count half — coarse, but monotone and cheap. *)
+  let range_fraction d lo hi =
+    if d.total = 0 then 0.
+    else begin
+      let nb = Array.length d.bounds in
+      let rows = ref 0. in
+      for i = 0 to nb - 1 do
+        let bl = if i = 0 then d.lo else d.bounds.(i - 1) in
+        let bh = d.bounds.(i) in
+        let above_lo =
+          match lo with
+          | None -> `Full
+          | Some (k, _) -> if k <= bl then `Full else if k > bh then `None else `Part
+        in
+        let below_hi =
+          match hi with
+          | None -> `Full
+          | Some (k, _) -> if k >= bh then `Full else if k < bl then `None else `Part
+        in
+        let f =
+          match (above_lo, below_hi) with
+          | `None, _ | _, `None -> 0.
+          | `Full, `Full -> 1.
+          | _ -> 0.5
+        in
+        rows := !rows +. (f *. float_of_int d.counts.(i))
+      done;
+      min 1. (!rows /. float_of_int d.total)
+    end
+
+  let encode b d =
+    Codec.put_int b d.total;
+    Codec.put_int b d.distinct;
+    Codec.put_string b d.lo;
+    Codec.put_u32 b (Array.length d.bounds);
+    Array.iter (Codec.put_string b) d.bounds;
+    Array.iter (Codec.put_int b) d.counts;
+    Array.iter (Codec.put_int b) d.uniques
+
+  let decode c =
+    let total = Codec.get_int c in
+    let distinct = Codec.get_int c in
+    let lo = Codec.get_string c in
+    let nb = Codec.get_u32 c in
+    let bounds = Array.init nb (fun _ -> Codec.get_string c) in
+    let counts = Array.init nb (fun _ -> Codec.get_int c) in
+    let uniques = Array.init nb (fun _ -> Codec.get_int c) in
+    { total; distinct; lo; bounds; counts; uniques }
+end
+
 (* Sorted by name (like [rows]): histogram creation order depends on which
    code paths ran first, sorted output diffs stably. *)
 let summary () =

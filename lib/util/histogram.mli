@@ -73,3 +73,34 @@ val format_ns : int -> string
 
 val summary : unit -> string
 (** A table of every registered histogram: count, p50, p95, p99, max, mean. *)
+
+(** Equi-depth key-distribution histograms for planner statistics: each
+    bucket covers ~total/buckets rows of an order-preserving key space,
+    bounded by real observed keys, so selectivity estimates track skew.
+    Immutable once built (rebuilt by `.analyze`). *)
+module Dist : sig
+  type t
+
+  val empty : t
+  val default_buckets : int
+
+  val of_sorted : ?buckets:int -> string array -> t
+  (** Build from keys sorted ascending (duplicates allowed). Bucket edges
+      never split a run of equal keys. *)
+
+  val total : t -> int
+  val distinct : t -> int
+  val buckets : t -> int
+
+  val eq_fraction : t -> string -> float
+  (** Estimated fraction of rows equal to the key: rows-per-distinct of
+      the containing bucket. 0 when empty or out of range. *)
+
+  val range_fraction : t -> (string * bool) option -> (string * bool) option -> float
+  (** [range_fraction d lo hi]: estimated fraction of rows between the
+      optional bounds (bool = inclusive). Whole buckets count fully,
+      boundary buckets half. *)
+
+  val encode : Buffer.t -> t -> unit
+  val decode : Codec.cursor -> t
+end

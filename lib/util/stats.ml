@@ -130,6 +130,12 @@ let c_repl_lag_commits = register ~kind:Gauge "repl.lag_commits"
 let c_repl_lag_bytes = register ~kind:Gauge "repl.lag_bytes"
 let c_txn_conflicts = register "txn.conflicts"
 let c_txn_begins = register "txn.begins"
+let c_planner_stats_hits = register "planner.stats_hits"
+let c_planner_fallbacks = register "planner.fallbacks"
+let c_planner_analyze_runs = register "planner.analyze_runs"
+let c_planner_fused_joins = register "planner.fused_joins"
+let c_planner_hash_joins = register "planner.hash_joins"
+let c_planner_nested_joins = register "planner.nested_joins"
 
 let incr_pages_read () = bump c_pages_read
 let incr_pages_written () = bump c_pages_written
@@ -172,6 +178,12 @@ let incr_repl_dup_batches () = bump c_repl_dup_batches
 let incr_repl_sync_degraded () = bump c_repl_sync_degraded
 let incr_txn_conflicts () = bump c_txn_conflicts
 let incr_txn_begins () = bump c_txn_begins
+let incr_planner_stats_hits () = bump c_planner_stats_hits
+let incr_planner_fallbacks () = bump c_planner_fallbacks
+let incr_planner_analyze_runs () = bump c_planner_analyze_runs
+let incr_planner_fused_joins () = bump c_planner_fused_joins
+let incr_planner_hash_joins () = bump c_planner_hash_joins
+let incr_planner_nested_joins () = bump c_planner_nested_joins
 
 (* Lag is a gauge, not a counter: the serving loop overwrites it with the
    current distance between the primary's durable LSN and the slowest
@@ -223,6 +235,12 @@ let repl_lag_commits s = slot s c_repl_lag_commits
 let repl_lag_bytes s = slot s c_repl_lag_bytes
 let txn_conflicts s = slot s c_txn_conflicts
 let txn_begins s = slot s c_txn_begins
+let planner_stats_hits s = slot s c_planner_stats_hits
+let planner_fallbacks s = slot s c_planner_fallbacks
+let planner_analyze_runs s = slot s c_planner_analyze_runs
+let planner_fused_joins s = slot s c_planner_fused_joins
+let planner_hash_joins s = slot s c_planner_hash_joins
+let planner_nested_joins s = slot s c_planner_nested_joins
 
 (* pp derives from the registry: every counter of the group, name = value,
    so new registrations show up in `.stats` with no further edits. Output

@@ -121,6 +121,19 @@ val incr_txn_conflicts : unit -> unit
 val incr_txn_begins : unit -> unit
 (** A read-write transaction was opened. *)
 
+val incr_planner_stats_hits : unit -> unit
+(** The planner costed a plan from analyze statistics. *)
+
+val incr_planner_fallbacks : unit -> unit
+(** The planner fell back to heuristics (stats absent or stale). *)
+
+val incr_planner_analyze_runs : unit -> unit
+val incr_planner_fused_joins : unit -> unit
+(** A nested join was fused into one streamed pass (deref/membership). *)
+
+val incr_planner_hash_joins : unit -> unit
+val incr_planner_nested_joins : unit -> unit
+
 val set_repl_lag_commits : int -> unit
 val set_repl_lag_bytes : int -> unit
 (** Replication-lag gauges (overwritten, not accumulated): commits the
@@ -188,6 +201,15 @@ val repl_lag_bytes : snapshot -> int
 (* MVCC transactions: read-write begins and first-committer-wins aborts. *)
 val txn_conflicts : snapshot -> int
 val txn_begins : snapshot -> int
+
+(* Query planner: stats-costed vs heuristic plans, analyze runs, and the
+   join strategies actually executed. *)
+val planner_stats_hits : snapshot -> int
+val planner_fallbacks : snapshot -> int
+val planner_analyze_runs : snapshot -> int
+val planner_fused_joins : snapshot -> int
+val planner_hash_joins : snapshot -> int
+val planner_nested_joins : snapshot -> int
 
 val pp : Format.formatter -> snapshot -> unit
 (** Workload counters (pages, pool, WAL, probes, ...), derived from the

@@ -26,6 +26,8 @@ let () =
          Test_defaults.suite;
          Test_hash_index.suite;
          Test_planner.suite;
+         Test_stats.suite;
+         Test_plans.suite;
          Test_obj_cache.suite;
          Test_torn_wal.suite;
          Test_aggregates.suite;
